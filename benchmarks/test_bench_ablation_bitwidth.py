@@ -1,0 +1,46 @@
+"""Experiment E6 (ablation) — channel-estimation accuracy vs datapath bit width.
+
+Section IV.C, citing Meng et al. [21], claims 8-10 bits with optimal
+dynamic-range scaling are sufficient for accurate channel estimation.  The
+ablation sweeps the word length of the fixed-point MP datapath and measures
+estimation error against the true channel and against the floating-point
+reference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ablations import bitwidth_accuracy_ablation
+from repro.utils.tables import format_table
+
+WORD_LENGTHS = (4, 6, 8, 10, 12, 16)
+
+
+def test_bench_ablation_bitwidth(benchmark):
+    results = benchmark.pedantic(
+        bitwidth_accuracy_ablation,
+        kwargs=dict(word_lengths=WORD_LENGTHS, num_trials=12, snr_db=25.0, rng=0),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(
+        format_table(
+            ["Word length", "error vs true channel", "support recovery", "error vs float MP"],
+            [
+                (r.word_length, r.mean_normalized_error, r.mean_support_recovery, r.mean_error_vs_float)
+                for r in results
+            ],
+            title="E6 — fixed-point MP accuracy vs word length",
+        )
+    )
+    by_bits = {r.word_length: r for r in results}
+
+    # the paper's claim: 8 bits are already accurate ...
+    assert by_bits[8].mean_support_recovery > 0.9
+    assert by_bits[8].mean_error_vs_float < 0.25
+    assert by_bits[8].mean_normalized_error < 0.2
+    # ... 10+ bits do not change the story ...
+    assert abs(by_bits[10].mean_normalized_error - by_bits[8].mean_normalized_error) < 0.1
+    assert by_bits[16].mean_error_vs_float < 0.1
+    # ... while very low precision clearly degrades estimation
+    assert by_bits[4].mean_normalized_error > 1.5 * by_bits[8].mean_normalized_error

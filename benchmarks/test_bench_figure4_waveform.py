@@ -1,0 +1,25 @@
+"""Experiment E2 — regenerate the Figure 4 Walsh/m-sequence composite waveforms.
+
+The paper's Figure 4 shows the 8-symbol x 7-chip (56-chip) waveform; the shape
+checks are orthogonality of the alphabet, the chip/sample counts of Table 1
+and the constant envelope of the DS-SS waveform.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figure4 import reproduce_figure4
+
+
+def test_bench_figure4_waveform(benchmark):
+    waveforms = benchmark(reproduce_figure4)
+    print()
+    print(
+        f"Figure 4: {waveforms.num_waveforms} composite waveforms, "
+        f"{waveforms.chips_per_waveform} chips ({waveforms.samples_per_waveform} samples) each; "
+        f"orthogonal={waveforms.orthogonal}, constant envelope={waveforms.constant_envelope}"
+    )
+    assert waveforms.num_waveforms == 8
+    assert waveforms.chips_per_waveform == 56
+    assert waveforms.samples_per_waveform == 112
+    assert waveforms.orthogonal
+    assert waveforms.constant_envelope

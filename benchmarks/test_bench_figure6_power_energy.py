@@ -1,0 +1,58 @@
+"""Experiment E4 — regenerate Figure 6 (power and energy of the DSE).
+
+Checks against the paper: the four published power/energy anchor points are
+reproduced within 4 %, and the figure's qualitative shape holds — power rises
+with parallelism and bit width, energy falls with parallelism, the Virtex-4
+draws more than the Spartan-3, and the serial designs sit just above the
+quiescent floor (0.723 W / 0.335 W).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figure6 import render_figure6, reproduce_figure6
+
+
+def test_bench_figure6_power_energy(benchmark):
+    points = benchmark(reproduce_figure6)
+    print()
+    print(render_figure6(points))
+
+    anchored = [p for p in points if p.paper_power_w is not None]
+    assert len(anchored) == 4
+    for p in anchored:
+        assert p.power_w == pytest.approx(p.paper_power_w, rel=0.04)
+        assert p.energy_uj == pytest.approx(p.paper_energy_uj, rel=0.04)
+
+    for family in ("Virtex-4", "Spartan-3"):
+        for bits in (8, 12, 16):
+            series = {p.num_fc_blocks: p for p in points
+                      if p.device_family == family and p.word_length == bits and p.feasible}
+            levels = sorted(series)
+            powers = [series[lvl].power_w for lvl in levels]
+            energies = [series[lvl].energy_uj for lvl in levels]
+            assert powers == sorted(powers), "power must rise with parallelism"
+            assert energies == sorted(energies, reverse=True), "energy must fall with parallelism"
+
+    # power also rises with bit width at fixed parallelism
+    for family in ("Virtex-4", "Spartan-3"):
+        for blocks in (1, 14):
+            series = [p.power_w for p in sorted(
+                (p for p in points if p.device_family == family and p.num_fc_blocks == blocks),
+                key=lambda p: p.word_length)]
+            assert series == sorted(series)
+
+    # Virtex-4 always draws more power than the Spartan-3 at comparable points
+    for bits in (8, 12, 16):
+        for blocks in (1, 14):
+            v4 = next(p for p in points if p.device_family == "Virtex-4"
+                      and p.word_length == bits and p.num_fc_blocks == blocks)
+            s3 = next(p for p in points if p.device_family == "Spartan-3"
+                      and p.word_length == bits and p.num_fc_blocks == blocks)
+            assert v4.power_w > s3.power_w
+
+    # serial designs sit near the quiescent floor
+    for p in points:
+        if p.num_fc_blocks == 1:
+            assert p.power_w - p.quiescent_power_w < 0.05

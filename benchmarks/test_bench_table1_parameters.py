@@ -1,0 +1,18 @@
+"""Experiment E1 — regenerate Table 1 (AquaModem design parameters).
+
+Every derived waveform parameter must match the paper exactly; the benchmark
+times the (cheap) derivation plus validation as a smoke-level baseline for the
+harness.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.table1 import render_table1, reproduce_table1
+
+
+def test_bench_table1_parameters(benchmark):
+    rows = benchmark(reproduce_table1)
+    print()
+    print(render_table1(rows))
+    assert len(rows) == 9
+    assert all(row.matches for row in rows), "Table 1 must be reproduced exactly"

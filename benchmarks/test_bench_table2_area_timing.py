@@ -1,0 +1,45 @@
+"""Experiment E3 — regenerate Table 2 (area / timing / throughput DSE).
+
+Checks against the paper: every published area figure is reproduced exactly,
+every published timing figure within 0.5 %, the 112-block Spartan-3 design is
+infeasible (DSP48 limit), and the qualitative orderings hold (Virtex-4 faster,
+timing scales with 112/P, everything within the 22.4 ms deadline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table2 import render_table2, reproduce_table2
+
+
+def test_bench_table2_area_timing(benchmark):
+    rows = benchmark(reproduce_table2)
+    print()
+    print(render_table2(rows))
+
+    published = [r for r in rows if r.paper_slices is not None and r.feasible]
+    assert len(published) == 15
+    for row in published:
+        assert row.slices == row.paper_slices, f"area mismatch at {row}"
+        assert row.time_error < 0.005, f"timing off by {row.time_error:.2%} at {row}"
+
+    infeasible = [r for r in rows if not r.feasible]
+    assert {(r.device_family, r.num_fc_blocks) for r in infeasible} == {("Spartan-3", 112)}
+
+    # shape: the Virtex-4 is faster than the Spartan-3 at every comparable point
+    for bits in (8, 12, 16):
+        for blocks in (1, 14):
+            v4 = next(r for r in rows if r.device_family == "Virtex-4"
+                      and r.word_length == bits and r.num_fc_blocks == blocks)
+            s3 = next(r for r in rows if r.device_family == "Spartan-3"
+                      and r.word_length == bits and r.num_fc_blocks == blocks)
+            assert v4.time_us < s3.time_us
+
+    # shape: timing scales as 112 / P and every point meets the 22.4 ms deadline
+    for bits in (8, 12, 16):
+        v4 = {r.num_fc_blocks: r.time_us for r in rows
+              if r.device_family == "Virtex-4" and r.word_length == bits}
+        assert v4[1] / v4[112] == pytest.approx(112.0, rel=1e-6)
+        assert v4[1] / v4[14] == pytest.approx(14.0, rel=1e-6)
+    assert all(r.time_us < 22.4e3 for r in rows if r.feasible)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space exploration of the Matching Pursuits IP core (Tables 2-3, Figure 6).
+
+Reproduces the paper's hardware evaluation end to end:
+
+* sweep parallelism (FC blocks) x bit width x FPGA device through the
+  calibrated area / timing / power / energy models,
+* print the Table 2 and Figure 6 quantities with the paper's published values
+  alongside,
+* extend the sweep to every divisor of 112 (the paper only shows 1/14/112) and
+  extract the area-energy Pareto frontier,
+* print the Table 3 platform comparison with the 210X / 52X headline ratios.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import comparison_report
+from repro.core.dse import DesignSpaceExplorer, divisors
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.utils.tables import format_table
+
+
+def paper_sweep() -> None:
+    """The exact sweep of the paper, with paper values side by side."""
+    print(comparison_report())
+
+
+def extended_sweep() -> None:
+    """Every divisor parallelism level at 8 bits, plus the Pareto frontier."""
+    explorer = DesignSpaceExplorer(
+        devices=(VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000),
+        parallelism_levels=tuple(divisors(112)),
+        bit_widths=(8,),
+        include_infeasible=True,
+    )
+    evaluations = explorer.explore()
+    print()
+    print(explorer.render_table(evaluations))
+
+    front = explorer.pareto_front(evaluations)
+    print()
+    print(format_table(
+        ["Device", "#FC", "Slices", "Energy (uJ)", "Time (us)"],
+        [
+            (e.point.device.family, e.point.num_fc_blocks, e.slices, e.energy_uj, e.time_us)
+            for e in front
+        ],
+        title="Area-energy Pareto frontier (8-bit datapath)",
+    ))
+    best = explorer.minimum_energy_point(evaluations)
+    print(f"\nMinimum-energy design: {best.point} -> {best.energy_uj:.2f} uJ per estimation, "
+          f"{best.slices} slices, {best.time_us:.2f} us")
+
+
+def main() -> None:
+    paper_sweep()
+    extended_sweep()
+
+
+if __name__ == "__main__":
+    main()

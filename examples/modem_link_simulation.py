@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""End-to-end acoustic modem link over a shallow-water multipath channel.
+
+Builds the full DS-SS physical layer the paper's kernel belongs to:
+
+* a transmitter that spreads 8-ary symbols with the composite Walsh /
+  m-sequence waveforms (pilot + payload),
+* a physically motivated multipath channel from the image method for a
+  20 m-deep, 300 m link, plus ambient-noise-derived SNR,
+* a receiver that estimates the channel with Matching Pursuits (choosing the
+  floating-point, fixed-point or IP-core backend), RAKE-combines and detects,
+* a DS-SS vs FSK symbol-error-rate sweep (the Section III motivation).
+
+Run with:  python examples/modem_link_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AquaModemConfig, IPCoreConfig, IPCoreSimulator, Receiver, Transmitter
+from repro.analysis.ablations import aquamodem_signal_matrices
+from repro.channel.geometry import ShallowWaterGeometry
+from repro.channel.multipath import MultipathChannel
+from repro.channel.noise import total_noise_level_db
+from repro.channel.propagation import snr_db as sonar_snr_db
+from repro.channel.simulator import add_noise_for_snr, apply_channel
+from repro.modem.frame import bit_errors, random_bits
+from repro.modem.link import symbol_error_rate_curve
+from repro.utils.tables import format_table
+
+
+def single_link() -> None:
+    """One 300 m link: geometry -> channel -> frame -> detection."""
+    config = AquaModemConfig()
+    geometry = ShallowWaterGeometry(
+        water_depth_m=20.0, source_depth_m=10.0, receiver_depth_m=12.0, range_m=300.0
+    )
+    channel = MultipathChannel.from_geometry(
+        geometry, sampling_interval_s=config.sampling_interval_s,
+        max_delay_samples=config.samples_per_symbol,
+    )
+    print("Image-method channel taps (delay samples, gain):",
+          [(int(d), round(float(np.real(g)), 3)) for d, g in zip(channel.delays, channel.gains)])
+
+    # link budget: source level 185 dB re 1 uPa, Wenz ambient noise over 5 kHz
+    noise_level = total_noise_level_db(config.carrier_frequency_hz / 1e3, config.bandwidth_hz)
+    link_snr = sonar_snr_db(185.0, geometry.range_m, config.carrier_frequency_hz / 1e3, noise_level)
+    print(f"Sonar-equation receive SNR at {geometry.range_m:.0f} m: {link_snr:.1f} dB")
+
+    # transmit a 60-bit message
+    tx = Transmitter(config=config)
+    bits = random_bits(60, rng=1)
+    frame = tx.transmit_bits(bits)
+
+    received = apply_channel(frame.samples, channel)
+    received = add_noise_for_snr(received, min(link_snr, 25.0), rng=2)
+
+    # receiver backed by the IP-core (hardware-accurate) channel estimator
+    matrices = aquamodem_signal_matrices(config)
+    core = IPCoreSimulator(matrices, IPCoreConfig(num_fc_blocks=14, word_length=8, num_paths=6))
+    rx = Receiver(config=config, estimator=lambda w, m, n: core.estimate(w).result)
+    output = rx.receive(received)
+
+    errors = bit_errors(bits, output.bits[: len(bits)])
+    print(f"Transmitted {len(bits)} bits, bit errors: {errors} "
+          f"(IP-core estimator, {core.num_fc_blocks} FC blocks, "
+          f"{core.cycle_count()} cycles per estimation)\n")
+
+
+def ser_sweep() -> None:
+    """DS-SS vs FSK symbol error rate over random multipath channels."""
+    snr_points = [-9.0, -6.0, -3.0, 0.0, 3.0]
+    dsss = symbol_error_rate_curve("DSSS", snr_points, num_symbols=120, rng=3)
+    fsk = symbol_error_rate_curve("FSK", snr_points, num_symbols=120, rng=4)
+    print(format_table(
+        ["SNR (dB)", "DS-SS SER", "FSK SER"],
+        [
+            (snr, round(d.symbol_error_rate, 4), round(f.symbol_error_rate, 4))
+            for snr, d, f in zip(snr_points, dsss, fsk)
+        ],
+        title="Symbol error rate: DS-SS (MP + RAKE) vs non-coherent FSK",
+    ))
+
+
+def main() -> None:
+    single_link()
+    ser_sweep()
+
+
+if __name__ == "__main__":
+    main()

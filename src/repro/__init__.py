@@ -1,0 +1,90 @@
+"""repro — reproduction of "Energy Benefits of Reconfigurable Hardware for Use
+in Underwater Sensor Nets" (Benson, Irturk, Cho, Kastner, 2009).
+
+The library implements, from scratch:
+
+* the Matching Pursuits channel-estimation algorithm and a register-transfer
+  level model of the paper's Filter-and-Cancel FPGA IP core (:mod:`repro.core`);
+* the fixed-point arithmetic it runs on (:mod:`repro.fixedpoint`);
+* the DS-SS AquaModem waveform and signal matrices (:mod:`repro.dsp`,
+  :mod:`repro.modem`);
+* a shallow-water multipath channel simulator (:mod:`repro.channel`);
+* calibrated area / timing / power / energy models of the Virtex-4 and
+  Spartan-3 FPGAs, the TI C6713 DSP and the MicroBlaze soft core
+  (:mod:`repro.hardware`);
+* an underwater sensor-network simulator that turns per-estimation energy
+  into deployment lifetime (:mod:`repro.network`);
+* an experiment harness that regenerates every table and figure of the paper
+  (:mod:`repro.analysis`).
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import (AquaModemConfig, aquamodem_signal_matrices,
+...                    random_sparse_channel, matching_pursuit)
+>>> config = AquaModemConfig()
+>>> matrices = aquamodem_signal_matrices(config)
+>>> channel = random_sparse_channel(num_paths=3, max_delay=100, rng=0)
+>>> received = matrices.synthesize(channel.coefficient_vector(112))
+>>> estimate = matching_pursuit(received, matrices, num_paths=6)
+>>> set(channel.delays.tolist()).issubset(set(estimate.path_indices.tolist()))
+True
+"""
+
+from repro.analysis.ablations import aquamodem_signal_matrices
+from repro.channel.multipath import MultipathChannel, random_sparse_channel
+from repro.core.dse import DesignPoint, DesignSpaceExplorer
+from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.ipcore import IPCoreConfig, IPCoreSimulator
+from repro.core.matching_pursuit import (
+    MatchingPursuitResult,
+    matching_pursuit,
+    matching_pursuit_naive,
+)
+from repro.dsp.signal_matrix import SignalMatrices, build_signal_matrices
+from repro.hardware.comparison import compare_platforms
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55, get_device
+from repro.hardware.fpga import FPGAImplementation
+from repro.hardware.processors import microblaze_soft_core, ti_c6713
+from repro.modem.config import AquaModemConfig
+from repro.modem.receiver import Receiver
+from repro.modem.transmitter import Transmitter
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import grid_deployment, random_deployment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithm
+    "matching_pursuit",
+    "matching_pursuit_naive",
+    "MatchingPursuitResult",
+    "FixedPointMatchingPursuit",
+    "IPCoreConfig",
+    "IPCoreSimulator",
+    "DesignPoint",
+    "DesignSpaceExplorer",
+    # signal matrices and waveform
+    "SignalMatrices",
+    "build_signal_matrices",
+    "aquamodem_signal_matrices",
+    "AquaModemConfig",
+    # channel
+    "MultipathChannel",
+    "random_sparse_channel",
+    # hardware
+    "FPGAImplementation",
+    "VIRTEX4_XC4VSX55",
+    "SPARTAN3_XC3S5000",
+    "get_device",
+    "ti_c6713",
+    "microblaze_soft_core",
+    "compare_platforms",
+    # modem / network
+    "Transmitter",
+    "Receiver",
+    "NetworkSimulator",
+    "grid_deployment",
+    "random_deployment",
+]

@@ -1,0 +1,55 @@
+"""Experiment harness: one module per paper artefact plus the published values.
+
+* :mod:`repro.analysis.paper_data` — every number the paper reports (Tables
+  1-3, the Figure 6 anchor points), used by the benchmarks to print
+  paper-vs-measured comparisons.
+* :mod:`repro.analysis.table1` — regenerate the AquaModem design parameters.
+* :mod:`repro.analysis.figure4` — regenerate the composite Walsh/m-sequence
+  waveform of Figure 4.
+* :mod:`repro.analysis.table2` — regenerate the area / timing / throughput
+  design-space exploration.
+* :mod:`repro.analysis.figure6` — regenerate the power / energy series.
+* :mod:`repro.analysis.table3` — regenerate the platform comparison and the
+  210x / 52x headline ratios.
+* :mod:`repro.analysis.ablations` — the extension studies (bit-width accuracy,
+  DS-SS vs FSK, full parallelism sweep, network lifetime).
+* :mod:`repro.analysis.report` — paper-vs-measured report rendering.
+"""
+
+from repro.analysis import paper_data
+from repro.analysis.table1 import reproduce_table1
+from repro.analysis.figure4 import reproduce_figure4
+from repro.analysis.table2 import reproduce_table2, Table2Row
+from repro.analysis.figure6 import reproduce_figure6, Figure6Point
+from repro.analysis.table3 import reproduce_table3, Table3Row
+from repro.analysis.ablations import (
+    bitwidth_accuracy_ablation,
+    parallelism_ablation,
+    dsss_vs_fsk_ablation,
+    network_lifetime_study,
+)
+from repro.analysis.sensitivity import SensitivityPoint, headline_sensitivity, PERTURBABLE_PARAMETERS
+from repro.analysis.export import export_all, write_csv
+from repro.analysis.report import comparison_report
+
+__all__ = [
+    "paper_data",
+    "reproduce_table1",
+    "reproduce_figure4",
+    "reproduce_table2",
+    "Table2Row",
+    "reproduce_figure6",
+    "Figure6Point",
+    "reproduce_table3",
+    "Table3Row",
+    "bitwidth_accuracy_ablation",
+    "parallelism_ablation",
+    "dsss_vs_fsk_ablation",
+    "network_lifetime_study",
+    "SensitivityPoint",
+    "headline_sensitivity",
+    "PERTURBABLE_PARAMETERS",
+    "export_all",
+    "write_csv",
+    "comparison_report",
+]

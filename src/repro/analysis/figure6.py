@@ -1,0 +1,101 @@
+"""Experiment E4: regenerate Figure 6 (power and energy of the DSE).
+
+Figure 6 plots, for every Table 2 design point, the total power (W) and the
+energy per channel estimation (uJ).  The paper prints only a handful of the
+underlying numbers (the quiescent powers and the four design points repeated
+in Table 3), so the reproduction pairs each point with a published value when
+one exists and otherwise reports the modelled value alone.  The qualitative
+shape is asserted by the benchmark: power increases with parallelism and with
+bit width, energy *decreases* with parallelism, the Virtex-4 always draws
+more power than the Spartan-3, and the serial designs sit near the quiescent
+floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import paper_data
+from repro.core.dse import DesignSpaceExplorer, PAPER_BIT_WIDTHS, PAPER_PARALLELISM_LEVELS
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.utils.tables import AsciiTable
+
+__all__ = ["Figure6Point", "reproduce_figure6", "render_figure6"]
+
+#: Published (power W, energy uJ) anchors from Table 3, keyed like Table 2 rows.
+_PUBLISHED_ANCHORS: dict[tuple[int, int, str], tuple[float, float]] = {
+    (16, 1, "Virtex-4"): (0.74, 360.52),
+    (16, 1, "Spartan-3"): (0.35, 260.92),
+    (8, 112, "Virtex-4"): (2.40, 9.50),
+    (8, 14, "Spartan-3"): (0.53, 25.82),
+}
+
+
+@dataclass(frozen=True)
+class Figure6Point:
+    """One point of the Figure 6 power/energy scatter."""
+
+    word_length: int
+    num_fc_blocks: int
+    device_family: str
+    feasible: bool
+    power_w: float
+    energy_uj: float
+    quiescent_power_w: float
+    paper_power_w: float | None
+    paper_energy_uj: float | None
+
+
+def reproduce_figure6(num_paths: int = 6) -> list[Figure6Point]:
+    """Regenerate the power/energy value of every Figure 6 design point."""
+    explorer = DesignSpaceExplorer(
+        devices=(VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000),
+        parallelism_levels=PAPER_PARALLELISM_LEVELS,
+        bit_widths=PAPER_BIT_WIDTHS,
+        num_paths=num_paths,
+        include_infeasible=True,
+    )
+    points: list[Figure6Point] = []
+    for evaluation in explorer.explore():
+        key = (
+            evaluation.point.word_length,
+            evaluation.point.num_fc_blocks,
+            evaluation.point.device.family,
+        )
+        anchor = _PUBLISHED_ANCHORS.get(key)
+        points.append(
+            Figure6Point(
+                word_length=evaluation.point.word_length,
+                num_fc_blocks=evaluation.point.num_fc_blocks,
+                device_family=evaluation.point.device.family,
+                feasible=evaluation.feasible,
+                power_w=evaluation.power_w,
+                energy_uj=evaluation.energy_uj,
+                quiescent_power_w=paper_data.FIGURE6_QUIESCENT_POWER_W[
+                    evaluation.point.device.family
+                ],
+                paper_power_w=anchor[0] if anchor else None,
+                paper_energy_uj=anchor[1] if anchor else None,
+            )
+        )
+    return points
+
+
+def render_figure6(points: list[Figure6Point] | None = None) -> str:
+    """ASCII rendering of the Figure 6 data (power and energy per design point)."""
+    if points is None:
+        points = reproduce_figure6()
+    table = AsciiTable(
+        headers=[
+            "Bits", "#FC", "Device", "Feasible",
+            "Power (W)", "Power paper", "Energy (uJ)", "Energy paper",
+        ],
+        title="Figure 6 — power and energy consumption of the design space exploration",
+    )
+    for p in points:
+        table.add_row(
+            p.word_length, p.num_fc_blocks, p.device_family, p.feasible,
+            p.power_w, p.paper_power_w if p.paper_power_w is not None else "-",
+            p.energy_uj, p.paper_energy_uj if p.paper_energy_uj is not None else "-",
+        )
+    return table.render()

@@ -1,0 +1,94 @@
+"""Published values from Benson et al., "Energy Benefits of Reconfigurable
+Hardware for Use in Underwater Sensor Nets".
+
+These constants are the paper's reported numbers, kept verbatim so every
+benchmark can print a paper-vs-measured comparison and every calibration test
+can bound the model error.  Units follow the paper: microseconds,
+microjoules, watts, slices.
+
+Known internal inconsistency: the MicroBlaze row of Table 3 reports 0.38 W and
+2000.40 uJ over 6341.84 us, but 0.38 x 6341.84 = 2409.9 uJ.  The 210.57x
+headline ratio is 2000.40 / 9.50, so the energy value is authoritative; the
+implied power is ~0.3155 W.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_PARAMETERS",
+    "TABLE2_ROWS",
+    "TABLE3_ROWS",
+    "FIGURE6_QUIESCENT_POWER_W",
+    "HEADLINE_ENERGY_DECREASE",
+    "REAL_TIME_DEADLINE_MS",
+    "AQUAMODEM_NUM_PATHS",
+    "FULLY_PARALLEL_DSP48_REQUIRED",
+]
+
+#: Table 1 — AquaModem design parameters (value, unit).
+TABLE1_PARAMETERS: dict[str, tuple[float, str]] = {
+    "walsh_symbol_length": (8, "symbols"),
+    "m_sequence_length": (7, "chips"),
+    "chip_duration": (0.2, "ms"),
+    "sampling_interval": (0.1, "ms"),
+    "symbol_duration": (11.2, "ms"),
+    "time_guard_interval": (11.2, "ms"),
+    "samples_per_symbol": (112, "samples"),
+    "samples_per_time_guard": (112, "samples"),
+    "total_receive_vector_samples": (224, "samples"),
+}
+
+#: Table 2 — area, timing and throughput of the design space exploration.
+#: Keys: (bit width, #FC blocks, device family).
+#: Values: (area slices, timing us, throughput per us).
+TABLE2_ROWS: dict[tuple[int, int, str], tuple[int, float, float]] = {
+    (8, 112, "Virtex-4"): (11508, 3.95, 0.253),
+    (8, 14, "Virtex-4"): (1439, 31.63, 0.032),
+    (8, 14, "Spartan-3"): (1897, 48.94, 0.020),
+    (8, 1, "Virtex-4"): (103, 442.80, 0.002),
+    (8, 1, "Spartan-3"): (136, 685.17, 0.001),
+    (12, 112, "Virtex-4"): (16884, 4.10, 0.244),
+    (12, 14, "Virtex-4"): (2111, 32.83, 0.030),
+    (12, 14, "Spartan-3"): (2783, 49.85, 0.020),
+    (12, 1, "Virtex-4"): (151, 459.65, 0.002),
+    (12, 1, "Spartan-3"): (199, 697.83, 0.001),
+    (16, 112, "Virtex-4"): (22260, 4.32, 0.231),
+    (16, 14, "Virtex-4"): (2783, 34.59, 0.029),
+    (16, 14, "Spartan-3"): (3665, 52.65, 0.019),
+    (16, 1, "Virtex-4"): (199, 484.24, 0.002),
+    (16, 1, "Spartan-3"): (262, 737.07, 0.001),
+}
+
+#: Table 3 — platform comparison.
+#: Keys: platform label.  Values: (time us, power W, energy uJ,
+#: energy decrease vs MicroBlaze, energy decrease vs DSP).
+TABLE3_ROWS: dict[str, tuple[float, float, float, float, float]] = {
+    "MicroBlaze 32bit": (6341.84, 0.38, 2000.40, 1.0, 0.25),
+    "DSP 32bit": (468.0, 1.07, 500.76, 3.99, 1.0),
+    "Virtex-4 1FC 16bit": (484.24, 0.74, 360.52, 5.55, 1.39),
+    "Spartan-3 1FC 16bit": (737.07, 0.35, 260.92, 7.67, 1.92),
+    "Virtex-4 112FC 8bit": (3.95, 2.40, 9.50, 210.57, 52.71),
+    "Spartan-3 14FC 8bit": (48.94, 0.53, 25.82, 77.47, 19.39),
+}
+
+#: Figure 6 — quiescent power of the two devices (W).
+FIGURE6_QUIESCENT_POWER_W: dict[str, float] = {
+    "Virtex-4": 0.723,
+    "Spartan-3": 0.335,
+}
+
+#: Headline result: energy decrease of the fully parallel 8-bit Virtex-4 core.
+HEADLINE_ENERGY_DECREASE: dict[str, float] = {
+    "vs_microcontroller": 210.57,
+    "vs_dsp": 52.71,
+}
+
+#: The real-time constraint between successive receive vectors (Section IV).
+REAL_TIME_DEADLINE_MS: float = 22.4
+
+#: Nf used for every design in the paper's evaluation.
+AQUAMODEM_NUM_PATHS: int = 6
+
+#: DSP48 resources needed by the fully parallel design (2 per FC block),
+#: versus 512 available on the Virtex-4 and 104 on the Spartan-3.
+FULLY_PARALLEL_DSP48_REQUIRED: int = 224

@@ -1,0 +1,59 @@
+"""Paper-vs-measured report rendering.
+
+Collects the reproductions of every table and figure into one plain-text
+report — the content that EXPERIMENTS.md summarises and that the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figure4 import reproduce_figure4
+from repro.analysis.figure6 import render_figure6, reproduce_figure6
+from repro.analysis.table1 import render_table1, reproduce_table1
+from repro.analysis.table2 import render_table2, reproduce_table2
+from repro.analysis.table3 import render_table3, reproduce_table3
+
+__all__ = ["comparison_report"]
+
+
+def comparison_report(num_paths: int = 6) -> str:
+    """Render the full paper-vs-measured comparison as plain text."""
+    sections: list[str] = []
+
+    table1 = reproduce_table1()
+    sections.append(render_table1(table1))
+    matches = sum(1 for row in table1 if row.matches)
+    sections.append(f"Table 1: {matches}/{len(table1)} parameters reproduced exactly.\n")
+
+    figure4 = reproduce_figure4()
+    sections.append(
+        "Figure 4: composite waveform set regenerated — "
+        f"{figure4.num_waveforms} waveforms x {figure4.chips_per_waveform} chips "
+        f"({figure4.samples_per_waveform} samples), orthogonal={figure4.orthogonal}, "
+        f"constant envelope={figure4.constant_envelope}.\n"
+    )
+
+    table2 = reproduce_table2(num_paths=num_paths)
+    sections.append(render_table2(table2))
+    feasible = [r for r in table2 if r.feasible and r.paper_slices is not None]
+    if feasible:
+        worst_area = max(r.slice_error for r in feasible if r.slice_error is not None)
+        worst_time = max(r.time_error for r in feasible if r.time_error is not None)
+        sections.append(
+            f"Table 2: worst-case area error {worst_area:.2%}, worst-case timing error {worst_time:.2%}.\n"
+        )
+
+    figure6 = reproduce_figure6(num_paths=num_paths)
+    sections.append(render_figure6(figure6))
+
+    table3 = reproduce_table3(num_paths=num_paths)
+    sections.append(render_table3(table3))
+    headline = next((r for r in table3 if "112FC" in r.label), None)
+    if headline is not None:
+        sections.append(
+            "Headline: fully parallel Virtex-4 8-bit design gives "
+            f"{headline.energy_decrease_vs_microcontroller:.1f}X (paper 210.6X) vs the microcontroller "
+            f"and {headline.energy_decrease_vs_dsp:.1f}X (paper 52.7X) vs the DSP.\n"
+        )
+
+    return "\n".join(sections)

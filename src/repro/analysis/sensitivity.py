@@ -1,0 +1,107 @@
+"""Sensitivity of the headline energy ratios to the calibration constants.
+
+Because the original tool chain (XPower, TI's estimator, board measurements)
+is replaced by calibrated analytical models (DESIGN.md §2), it is worth
+knowing how much the paper's headline conclusion — the fully parallel 8-bit
+Virtex-4 core beats the microcontroller by ~210x and the DSP by ~52x — depends
+on each fitted constant.  :func:`headline_sensitivity` perturbs one constant
+at a time by a relative amount and reports the resulting ratios; the benchmark
+asserts that the *conclusion* (two-orders-of-magnitude advantage over the
+microcontroller, tens of times over the DSP) survives ±20 % perturbations of
+every constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.devices import FPGADevice, VIRTEX4_XC4VSX55
+from repro.hardware.fpga import FPGAImplementation
+from repro.hardware.processors import ProcessorImplementation, microblaze_soft_core, ti_c6713
+from repro.utils.validation import check_in_range
+
+__all__ = ["SensitivityPoint", "headline_sensitivity", "PERTURBABLE_PARAMETERS"]
+
+#: The calibration constants the sensitivity study perturbs.
+PERTURBABLE_PARAMETERS: tuple[str, ...] = (
+    "fpga_quiescent_power",
+    "fpga_dynamic_coefficient",
+    "fpga_clock_frequency",
+    "dsp_active_power",
+    "dsp_clock_frequency",
+    "microblaze_active_power",
+    "microblaze_clock_frequency",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Headline ratios after one perturbation."""
+
+    parameter: str
+    relative_change: float
+    energy_decrease_vs_microcontroller: float
+    energy_decrease_vs_dsp: float
+    fpga_energy_uj: float
+
+
+def _perturbed_device(device: FPGADevice, parameter: str, factor: float) -> FPGADevice:
+    if parameter == "fpga_quiescent_power":
+        return replace(device, quiescent_power_w=device.quiescent_power_w * factor)
+    if parameter == "fpga_dynamic_coefficient":
+        return replace(
+            device, dynamic_power_per_slice_hz=device.dynamic_power_per_slice_hz * factor
+        )
+    if parameter == "fpga_clock_frequency":
+        return replace(
+            device,
+            clock_frequency_hz={b: f * factor for b, f in device.clock_frequency_hz.items()},
+        )
+    return device
+
+
+def headline_sensitivity(
+    parameter: str,
+    relative_change: float,
+    num_paths: int = 6,
+) -> SensitivityPoint:
+    """Recompute the headline ratios with one calibration constant perturbed.
+
+    Parameters
+    ----------
+    parameter:
+        One of :data:`PERTURBABLE_PARAMETERS`.
+    relative_change:
+        Fractional change, e.g. ``+0.2`` for +20 %; must lie in (-0.9, 10).
+    num_paths:
+        Workload Nf.
+    """
+    if parameter not in PERTURBABLE_PARAMETERS:
+        raise ValueError(
+            f"unknown parameter {parameter!r}; choose one of {PERTURBABLE_PARAMETERS}"
+        )
+    check_in_range("relative_change", relative_change, -0.9, 10.0)
+    factor = 1.0 + relative_change
+
+    device = _perturbed_device(VIRTEX4_XC4VSX55, parameter, factor)
+    fpga = FPGAImplementation(device, num_fc_blocks=112, word_length=8, num_paths=num_paths)
+
+    dsp_model = ti_c6713(
+        clock_hz=225e6 * (factor if parameter == "dsp_clock_frequency" else 1.0),
+        active_power_w=1.07 * (factor if parameter == "dsp_active_power" else 1.0),
+    )
+    microblaze_model = microblaze_soft_core(
+        clock_hz=100e6 * (factor if parameter == "microblaze_clock_frequency" else 1.0),
+        active_power_w=0.3155 * (factor if parameter == "microblaze_active_power" else 1.0),
+    )
+    dsp = ProcessorImplementation(dsp_model, num_paths=num_paths)
+    microblaze = ProcessorImplementation(microblaze_model, num_paths=num_paths)
+
+    fpga_energy = fpga.energy.energy_uj
+    return SensitivityPoint(
+        parameter=parameter,
+        relative_change=relative_change,
+        energy_decrease_vs_microcontroller=microblaze.energy.energy_uj / fpga_energy,
+        energy_decrease_vs_dsp=dsp.energy.energy_uj / fpga_energy,
+        fpga_energy_uj=fpga_energy,
+    )

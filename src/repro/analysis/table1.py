@@ -1,0 +1,73 @@
+"""Experiment E1: regenerate Table 1 (AquaModem design parameters).
+
+The table is fully derived from the three primary waveform parameters
+(Nw = 8, Lpn = 7, Tc = 0.2 ms) plus the Nyquist sampling and equal-guard
+rules, so the reproduction simply instantiates
+:class:`repro.modem.config.AquaModemConfig` and reads the derived values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import paper_data
+from repro.modem.config import AquaModemConfig
+from repro.utils.tables import AsciiTable
+
+__all__ = ["Table1Comparison", "reproduce_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Comparison:
+    """Paper value vs reproduced value for one Table 1 quantity."""
+
+    quantity: str
+    unit: str
+    paper_value: float
+    reproduced_value: float
+
+    @property
+    def matches(self) -> bool:
+        """True when the reproduction matches the paper exactly (to 1e-9)."""
+        return abs(self.paper_value - self.reproduced_value) < 1e-9
+
+
+def reproduce_table1(config: AquaModemConfig | None = None) -> list[Table1Comparison]:
+    """Regenerate every row of Table 1 and pair it with the published value."""
+    config = config if config is not None else AquaModemConfig()
+    config.validate_waveform_design()
+    reproduced = {
+        "walsh_symbol_length": config.walsh_symbols,
+        "m_sequence_length": config.spreading_chips,
+        "chip_duration": config.chip_duration_s * 1e3,
+        "sampling_interval": config.sampling_interval_s * 1e3,
+        "symbol_duration": config.symbol_duration_s * 1e3,
+        "time_guard_interval": config.guard_duration_s * 1e3,
+        "samples_per_symbol": config.samples_per_symbol,
+        "samples_per_time_guard": config.samples_per_guard,
+        "total_receive_vector_samples": config.receive_vector_samples,
+    }
+    rows = []
+    for key, (paper_value, unit) in paper_data.TABLE1_PARAMETERS.items():
+        rows.append(
+            Table1Comparison(
+                quantity=key,
+                unit=unit,
+                paper_value=float(paper_value),
+                reproduced_value=float(reproduced[key]),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Comparison] | None = None) -> str:
+    """ASCII rendering of the Table 1 comparison."""
+    if rows is None:
+        rows = reproduce_table1()
+    table = AsciiTable(
+        headers=["Quantity", "Unit", "Paper", "Reproduced", "Match"],
+        title="Table 1 — AquaModem design parameters",
+    )
+    for row in rows:
+        table.add_row(row.quantity, row.unit, row.paper_value, row.reproduced_value, row.matches)
+    return table.render()

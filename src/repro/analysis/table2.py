@@ -1,0 +1,106 @@
+"""Experiment E3: regenerate Table 2 (area / timing / throughput DSE).
+
+Sweeps the paper's design axes — bit width {8, 12, 16}, FC blocks
+{112, 14, 1}, device {Virtex-4 xc4vsx55, Spartan-3 xc3s5000} — through the
+calibrated hardware models, and pairs each feasible point with the paper's
+published row.  The infeasible (112-block Spartan-3) points are reported with
+the reason, matching the footnote of the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import paper_data
+from repro.core.dse import DesignSpaceExplorer, PAPER_BIT_WIDTHS, PAPER_PARALLELISM_LEVELS
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.utils.tables import AsciiTable
+
+__all__ = ["Table2Row", "reproduce_table2", "render_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the reproduced Table 2, with the paper's values alongside."""
+
+    word_length: int
+    num_fc_blocks: int
+    device_family: str
+    feasible: bool
+    slices: int
+    time_us: float
+    throughput_per_us: float
+    paper_slices: int | None
+    paper_time_us: float | None
+    paper_throughput_per_us: float | None
+
+    @property
+    def slice_error(self) -> float | None:
+        """Relative error of the area model against the paper (None if not published)."""
+        if self.paper_slices is None or not self.feasible:
+            return None
+        return abs(self.slices - self.paper_slices) / self.paper_slices
+
+    @property
+    def time_error(self) -> float | None:
+        """Relative error of the timing model against the paper."""
+        if self.paper_time_us is None or not self.feasible:
+            return None
+        return abs(self.time_us - self.paper_time_us) / self.paper_time_us
+
+
+def reproduce_table2(num_paths: int = 6) -> list[Table2Row]:
+    """Regenerate every Table 2 row (including the infeasible Spartan-3 points)."""
+    explorer = DesignSpaceExplorer(
+        devices=(VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000),
+        parallelism_levels=PAPER_PARALLELISM_LEVELS,
+        bit_widths=PAPER_BIT_WIDTHS,
+        num_paths=num_paths,
+        include_infeasible=True,
+    )
+    rows: list[Table2Row] = []
+    for evaluation in explorer.explore():
+        key = (
+            evaluation.point.word_length,
+            evaluation.point.num_fc_blocks,
+            evaluation.point.device.family,
+        )
+        paper_row = paper_data.TABLE2_ROWS.get(key)
+        rows.append(
+            Table2Row(
+                word_length=evaluation.point.word_length,
+                num_fc_blocks=evaluation.point.num_fc_blocks,
+                device_family=evaluation.point.device.family,
+                feasible=evaluation.feasible,
+                slices=evaluation.slices,
+                time_us=evaluation.time_us,
+                throughput_per_us=evaluation.throughput_per_us,
+                paper_slices=paper_row[0] if paper_row else None,
+                paper_time_us=paper_row[1] if paper_row else None,
+                paper_throughput_per_us=paper_row[2] if paper_row else None,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row] | None = None) -> str:
+    """ASCII rendering of the reproduced Table 2 with paper values alongside."""
+    if rows is None:
+        rows = reproduce_table2()
+    table = AsciiTable(
+        headers=[
+            "Bits", "#FC", "Device", "Feasible",
+            "Slices", "Slices(paper)", "Time us", "Time us(paper)",
+            "Tput 1/us", "Tput(paper)",
+        ],
+        title="Table 2 — area, timing and throughput of the design space exploration",
+    )
+    for r in rows:
+        table.add_row(
+            r.word_length, r.num_fc_blocks, r.device_family, r.feasible,
+            r.slices, r.paper_slices if r.paper_slices is not None else "-",
+            r.time_us, r.paper_time_us if r.paper_time_us is not None else "-",
+            r.throughput_per_us,
+            r.paper_throughput_per_us if r.paper_throughput_per_us is not None else "-",
+        )
+    return table.render()

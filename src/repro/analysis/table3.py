@@ -1,0 +1,101 @@
+"""Experiment E5: regenerate Table 3 (platform comparison, 210x / 52x headline).
+
+Compares the MicroBlaze and TI C6713 baselines against the least- and
+most-energy-consuming Virtex-4 and Spartan-3 IP-core designs, reporting the
+energy-decrease factors relative to both baselines, and pairs every row with
+the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import paper_data
+from repro.hardware.comparison import compare_platforms
+from repro.utils.tables import AsciiTable
+
+__all__ = ["Table3Row", "reproduce_table3", "render_table3"]
+
+#: Mapping from our platform labels to the paper's Table 3 row labels.
+_LABEL_TO_PAPER: dict[str, str] = {
+    "MicroBlaze 32bit": "MicroBlaze 32bit",
+    "TI C6713 DSP 32bit": "DSP 32bit",
+    "Virtex-4 1FC 16bit": "Virtex-4 1FC 16bit",
+    "Spartan-3 1FC 16bit": "Spartan-3 1FC 16bit",
+    "Virtex-4 112FC 8bit": "Virtex-4 112FC 8bit",
+    "Spartan-3 14FC 8bit": "Spartan-3 14FC 8bit",
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One reproduced row of Table 3 with the paper's values alongside."""
+
+    label: str
+    time_us: float
+    power_w: float
+    energy_uj: float
+    energy_decrease_vs_microcontroller: float
+    energy_decrease_vs_dsp: float
+    paper_time_us: float | None
+    paper_power_w: float | None
+    paper_energy_uj: float | None
+    paper_decrease_vs_microcontroller: float | None
+    paper_decrease_vs_dsp: float | None
+
+    @property
+    def energy_error(self) -> float | None:
+        """Relative error of the modelled energy against the paper."""
+        if self.paper_energy_uj is None:
+            return None
+        return abs(self.energy_uj - self.paper_energy_uj) / self.paper_energy_uj
+
+
+def reproduce_table3(num_paths: int = 6) -> list[Table3Row]:
+    """Regenerate the six rows of Table 3."""
+    comparison = compare_platforms(num_paths=num_paths)
+    rows: list[Table3Row] = []
+    for result in comparison.results:
+        paper_label = _LABEL_TO_PAPER.get(result.label)
+        paper_row = paper_data.TABLE3_ROWS.get(paper_label) if paper_label else None
+        rows.append(
+            Table3Row(
+                label=result.label,
+                time_us=result.time_us,
+                power_w=result.power_w,
+                energy_uj=result.energy_uj,
+                energy_decrease_vs_microcontroller=result.energy_decrease_vs_microcontroller,
+                energy_decrease_vs_dsp=result.energy_decrease_vs_dsp,
+                paper_time_us=paper_row[0] if paper_row else None,
+                paper_power_w=paper_row[1] if paper_row else None,
+                paper_energy_uj=paper_row[2] if paper_row else None,
+                paper_decrease_vs_microcontroller=paper_row[3] if paper_row else None,
+                paper_decrease_vs_dsp=paper_row[4] if paper_row else None,
+            )
+        )
+    return rows
+
+
+def render_table3(rows: list[Table3Row] | None = None) -> str:
+    """ASCII rendering of the reproduced Table 3 with paper values alongside."""
+    if rows is None:
+        rows = reproduce_table3()
+    table = AsciiTable(
+        headers=[
+            "Platform", "Time us", "Time(paper)", "Power W", "Power(paper)",
+            "Energy uJ", "Energy(paper)", "vs uC", "vs uC(paper)", "vs DSP", "vs DSP(paper)",
+        ],
+        title="Table 3 — comparison of the DSP / MicroBlaze / FPGA implementations",
+    )
+    for r in rows:
+        table.add_row(
+            r.label,
+            r.time_us, r.paper_time_us if r.paper_time_us is not None else "-",
+            r.power_w, r.paper_power_w if r.paper_power_w is not None else "-",
+            r.energy_uj, r.paper_energy_uj if r.paper_energy_uj is not None else "-",
+            f"{r.energy_decrease_vs_microcontroller:.2f}X",
+            f"{r.paper_decrease_vs_microcontroller:.2f}X" if r.paper_decrease_vs_microcontroller else "-",
+            f"{r.energy_decrease_vs_dsp:.2f}X",
+            f"{r.paper_decrease_vs_dsp:.2f}X" if r.paper_decrease_vs_dsp else "-",
+        )
+    return table.render()

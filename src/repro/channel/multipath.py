@@ -1,0 +1,248 @@
+"""Sparse tapped-delay-line channel descriptions.
+
+The Matching Pursuits kernel estimates the channel as a sparse vector of
+complex coefficients over a grid of sample-spaced delays (the columns of the
+signal matrix ``S``).  :class:`MultipathChannel` is that same description used
+in the forward direction: a handful of (delay, complex gain) taps that can be
+applied to a transmitted sample stream or converted to/from the dense
+coefficient vector MP estimates.
+
+Channels can be built three ways:
+
+* directly from taps,
+* from the image-method geometry (:func:`MultipathChannel.from_geometry`),
+* randomly (:func:`random_sparse_channel`) with exponentially decaying power
+  and Rayleigh/uniform-phase fading, which is the conventional statistical
+  model for shallow-water multipath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.geometry import ShallowWaterGeometry, image_method_paths
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_integer, check_non_negative, check_positive, ensure_1d_array
+
+__all__ = ["MultipathChannel", "random_sparse_channel"]
+
+
+@dataclass(frozen=True)
+class MultipathChannel:
+    """A sparse multipath channel as (sample delay, complex gain) taps.
+
+    Attributes
+    ----------
+    delays:
+        Integer sample delays, strictly increasing, first entry usually 0.
+    gains:
+        Complex tap gains, same length as ``delays``.
+    """
+
+    delays: np.ndarray
+    gains: np.ndarray
+
+    def __post_init__(self) -> None:
+        delays = ensure_1d_array("delays", self.delays, dtype=np.int64)
+        gains = ensure_1d_array("gains", self.gains, dtype=np.complex128)
+        if delays.shape != gains.shape:
+            raise ValueError(
+                f"delays and gains must have equal length, got {delays.shape} and {gains.shape}"
+            )
+        if delays.size == 0:
+            raise ValueError("a channel must have at least one tap")
+        if delays.min() < 0:
+            raise ValueError("delays must be non-negative")
+        if np.any(np.diff(delays) <= 0):
+            raise ValueError("delays must be strictly increasing")
+        object.__setattr__(self, "delays", delays)
+        object.__setattr__(self, "gains", gains)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_paths(self) -> int:
+        """Number of taps."""
+        return int(self.delays.shape[0])
+
+    @property
+    def delay_spread(self) -> int:
+        """Difference between the largest and smallest tap delay, in samples."""
+        return int(self.delays.max() - self.delays.min())
+
+    @property
+    def total_power(self) -> float:
+        """Sum of |gain|^2 over all taps."""
+        return float(np.sum(np.abs(self.gains) ** 2))
+
+    def strongest_path(self) -> tuple[int, complex]:
+        """Return (delay, gain) of the tap with the largest magnitude."""
+        idx = int(np.argmax(np.abs(self.gains)))
+        return int(self.delays[idx]), complex(self.gains[idx])
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def impulse_response(self, length: int | None = None) -> np.ndarray:
+        """Dense impulse response vector (complex), length >= max delay + 1."""
+        min_len = int(self.delays.max()) + 1
+        if length is None:
+            length = min_len
+        length = check_integer("length", length, minimum=min_len)
+        h = np.zeros(length, dtype=np.complex128)
+        h[self.delays] = self.gains
+        return h
+
+    def coefficient_vector(self, num_delays: int) -> np.ndarray:
+        """Channel as the dense coefficient vector MP estimates (length ``num_delays``).
+
+        Taps beyond ``num_delays - 1`` raise, because they are outside the
+        delay grid the estimator searches.
+        """
+        num_delays = check_integer("num_delays", num_delays, minimum=1)
+        if self.delays.max() >= num_delays:
+            raise ValueError(
+                f"tap delay {int(self.delays.max())} outside the estimator grid of {num_delays} delays"
+            )
+        f = np.zeros(num_delays, dtype=np.complex128)
+        f[self.delays] = self.gains
+        return f
+
+    @classmethod
+    def from_coefficient_vector(
+        cls, coefficients: np.ndarray, magnitude_threshold: float = 0.0
+    ) -> "MultipathChannel":
+        """Build a sparse channel from a dense coefficient vector.
+
+        Coefficients with magnitude ``<= magnitude_threshold`` are discarded.
+        """
+        coefficients = ensure_1d_array("coefficients", coefficients, dtype=np.complex128)
+        check_non_negative("magnitude_threshold", magnitude_threshold)
+        mask = np.abs(coefficients) > magnitude_threshold
+        if not np.any(mask):
+            raise ValueError("no coefficients above the threshold; empty channel")
+        delays = np.nonzero(mask)[0].astype(np.int64)
+        return cls(delays=delays, gains=coefficients[mask])
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Convolve ``samples`` with the channel (output truncated to input length).
+
+        Truncation to the input length matches the receive-window framing of
+        the modem: energy arriving after the guard interval of the final
+        symbol is ignored.
+        """
+        samples = ensure_1d_array("samples", samples, dtype=np.complex128)
+        out = np.zeros_like(samples)
+        n = samples.shape[0]
+        for delay, gain in zip(self.delays, self.gains):
+            d = int(delay)
+            if d >= n:
+                continue
+            out[d:] += gain * samples[: n - d]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_geometry(
+        cls,
+        geometry: ShallowWaterGeometry,
+        sampling_interval_s: float,
+        max_bounces: int = 3,
+        frequency_khz: float = 24.0,
+        max_delay_samples: int | None = None,
+        normalize: bool = True,
+    ) -> "MultipathChannel":
+        """Discretise the image-method paths onto the sample grid.
+
+        Delays are measured relative to the direct path (the modem's symbol
+        timing locks onto the first arrival).  Paths mapping to the same
+        sample are merged coherently.
+        """
+        check_positive("sampling_interval_s", sampling_interval_s)
+        paths = image_method_paths(geometry, max_bounces=max_bounces, frequency_khz=frequency_khz)
+        if not paths:
+            raise ValueError("geometry produced no propagation paths")
+        first_delay = paths[0].delay_s
+        taps: dict[int, complex] = {}
+        for path in paths:
+            rel = path.delay_s - first_delay
+            sample = int(round(rel / sampling_interval_s))
+            if max_delay_samples is not None and sample >= max_delay_samples:
+                continue
+            taps[sample] = taps.get(sample, 0.0 + 0.0j) + complex(path.amplitude)
+        delays = np.array(sorted(taps), dtype=np.int64)
+        gains = np.array([taps[d] for d in delays], dtype=np.complex128)
+        if normalize:
+            peak = np.max(np.abs(gains))
+            if peak > 0:
+                gains = gains / peak
+        return cls(delays=delays, gains=gains)
+
+
+def random_sparse_channel(
+    num_paths: int,
+    max_delay: int,
+    rng: np.random.Generator | int | None = None,
+    decay_constant: float = 30.0,
+    min_separation: int = 2,
+    include_direct: bool = True,
+) -> MultipathChannel:
+    """Draw a random sparse channel with exponentially decaying path power.
+
+    Parameters
+    ----------
+    num_paths:
+        Number of taps to draw.
+    max_delay:
+        Largest allowed sample delay (exclusive upper bound is ``max_delay``).
+    rng:
+        Seed or generator.
+    decay_constant:
+        Power e-folding constant in samples; later paths are weaker on average.
+    min_separation:
+        Minimum spacing between taps in samples (models resolvable paths).
+    include_direct:
+        Force a tap at delay 0 (the direct arrival the receiver synchronises to).
+
+    Returns
+    -------
+    MultipathChannel
+        Channel normalised so the strongest tap has unit magnitude.
+    """
+    check_integer("num_paths", num_paths, minimum=1)
+    check_integer("max_delay", max_delay, minimum=1)
+    check_positive("decay_constant", decay_constant)
+    check_integer("min_separation", min_separation, minimum=1)
+    if num_paths * min_separation > max_delay + 1:
+        raise ValueError(
+            f"cannot place {num_paths} paths with separation {min_separation} within {max_delay} samples"
+        )
+    rng = as_rng(rng)
+
+    delays: list[int] = [0] if include_direct else []
+    candidates = np.arange(0 if not include_direct else 1, max_delay, dtype=np.int64)
+    rng.shuffle(candidates)
+    for candidate in candidates:
+        if len(delays) >= num_paths:
+            break
+        if all(abs(int(candidate) - d) >= min_separation for d in delays):
+            delays.append(int(candidate))
+    if len(delays) < num_paths:
+        raise ValueError("could not place the requested number of paths; relax min_separation")
+    delays_arr = np.array(sorted(delays), dtype=np.int64)
+
+    magnitudes = np.exp(-delays_arr / (2.0 * decay_constant))
+    magnitudes = magnitudes * (0.5 + rng.random(num_paths))
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=num_paths)
+    gains = magnitudes * np.exp(1j * phases)
+    # the direct path should be the strongest on average; normalise to peak 1
+    gains = gains / np.max(np.abs(gains))
+    return MultipathChannel(delays=delays_arr, gains=gains)

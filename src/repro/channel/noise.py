@@ -1,0 +1,107 @@
+"""Ambient ocean noise and additive white Gaussian noise generation.
+
+The ambient noise model follows the standard four-component empirical
+formulation (turbulence, distant shipping, wind-driven surface agitation and
+thermal noise) with the usual dependence on frequency, shipping-activity
+factor and wind speed.  It supplies the noise level term of the sonar equation
+used by the network energy model; the complex AWGN generator supplies
+sample-level noise for the link simulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = [
+    "turbulence_noise_psd_db",
+    "shipping_noise_psd_db",
+    "wind_noise_psd_db",
+    "thermal_noise_psd_db",
+    "ambient_noise_psd_db",
+    "total_noise_level_db",
+    "complex_awgn",
+    "noise_power_for_snr",
+]
+
+
+def turbulence_noise_psd_db(frequency_khz: float) -> float:
+    """Turbulence noise power spectral density (dB re 1 uPa^2/Hz)."""
+    f = check_positive("frequency_khz", frequency_khz)
+    return 17.0 - 30.0 * math.log10(f)
+
+
+def shipping_noise_psd_db(frequency_khz: float, shipping_factor: float = 0.5) -> float:
+    """Distant-shipping noise PSD; ``shipping_factor`` in [0, 1]."""
+    f = check_positive("frequency_khz", frequency_khz)
+    s = check_in_range("shipping_factor", shipping_factor, 0.0, 1.0)
+    return 40.0 + 20.0 * (s - 0.5) + 26.0 * math.log10(f) - 60.0 * math.log10(f + 0.03)
+
+
+def wind_noise_psd_db(frequency_khz: float, wind_speed_m_s: float = 5.0) -> float:
+    """Wind-driven surface noise PSD for wind speed in m/s."""
+    f = check_positive("frequency_khz", frequency_khz)
+    w = check_non_negative("wind_speed_m_s", wind_speed_m_s)
+    return 50.0 + 7.5 * math.sqrt(w) + 20.0 * math.log10(f) - 40.0 * math.log10(f + 0.4)
+
+
+def thermal_noise_psd_db(frequency_khz: float) -> float:
+    """Thermal noise PSD, dominant above ~100 kHz."""
+    f = check_positive("frequency_khz", frequency_khz)
+    return -15.0 + 20.0 * math.log10(f)
+
+
+def ambient_noise_psd_db(
+    frequency_khz: float,
+    shipping_factor: float = 0.5,
+    wind_speed_m_s: float = 5.0,
+) -> float:
+    """Total ambient noise PSD (power sum of the four components), dB re 1 uPa^2/Hz."""
+    components_db = (
+        turbulence_noise_psd_db(frequency_khz),
+        shipping_noise_psd_db(frequency_khz, shipping_factor),
+        wind_noise_psd_db(frequency_khz, wind_speed_m_s),
+        thermal_noise_psd_db(frequency_khz),
+    )
+    linear = sum(10.0 ** (c / 10.0) for c in components_db)
+    return 10.0 * math.log10(linear)
+
+
+def total_noise_level_db(
+    frequency_khz: float,
+    bandwidth_hz: float,
+    shipping_factor: float = 0.5,
+    wind_speed_m_s: float = 5.0,
+) -> float:
+    """Noise level integrated over ``bandwidth_hz`` around the carrier (dB re 1 uPa)."""
+    bandwidth_hz = check_positive("bandwidth_hz", bandwidth_hz)
+    psd = ambient_noise_psd_db(frequency_khz, shipping_factor, wind_speed_m_s)
+    return psd + 10.0 * math.log10(bandwidth_hz)
+
+
+def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
+    """Noise power that yields the requested SNR for the given signal power."""
+    signal_power = check_non_negative("signal_power", signal_power)
+    return signal_power / (10.0 ** (snr_db / 10.0))
+
+
+def complex_awgn(
+    shape: int | tuple[int, ...],
+    noise_power: float,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Circularly symmetric complex Gaussian noise with total power ``noise_power``.
+
+    ``noise_power`` is the variance E[|n|^2] per sample; the real and imaginary
+    parts each carry half of it.
+    """
+    noise_power = check_non_negative("noise_power", noise_power)
+    rng = as_rng(rng)
+    scale = math.sqrt(noise_power / 2.0)
+    real = rng.standard_normal(shape)
+    imag = rng.standard_normal(shape)
+    return scale * (real + 1j * imag)

@@ -1,0 +1,127 @@
+"""Acoustic propagation models: absorption, spreading and transmission loss.
+
+These are the standard empirical models used throughout the underwater
+acoustic networking literature (e.g. Stojanovic's link-budget formulation):
+
+* Thorp's formula for frequency-dependent absorption (dB/km);
+* geometric spreading loss ``k * 10 log10(d)`` with spreading exponent ``k``
+  (1 = cylindrical, 1.5 = practical, 2 = spherical);
+* the passive sonar equation for received signal level and SNR.
+
+They feed two parts of the reproduction: the network-level energy model
+(transmit power needed to close a link of a given range, experiment E9) and
+the link-level SNR sweeps (experiment E7).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "thorp_absorption_db_per_km",
+    "spreading_loss_db",
+    "transmission_loss_db",
+    "received_level_db",
+    "snr_db",
+    "sound_speed_mackenzie",
+    "propagation_delay",
+]
+
+
+def thorp_absorption_db_per_km(frequency_khz: float) -> float:
+    """Thorp's empirical absorption coefficient in dB/km.
+
+    Valid for frequencies above a few hundred Hz.  ``frequency_khz`` is the
+    carrier frequency in kHz (the AquaModem family operates in the tens of
+    kHz).
+    """
+    f = check_positive("frequency_khz", frequency_khz)
+    f2 = f * f
+    return (
+        0.11 * f2 / (1.0 + f2)
+        + 44.0 * f2 / (4100.0 + f2)
+        + 2.75e-4 * f2
+        + 0.003
+    )
+
+
+def spreading_loss_db(distance_m: float, spreading_exponent: float = 1.5) -> float:
+    """Geometric spreading loss in dB for a path of ``distance_m`` metres.
+
+    The loss is referenced to 1 m, the sonar-equation convention; distances
+    below 1 m therefore return 0 dB.
+    """
+    distance_m = check_positive("distance_m", distance_m)
+    spreading_exponent = check_in_range("spreading_exponent", spreading_exponent, 0.5, 2.0)
+    return spreading_exponent * 10.0 * math.log10(max(distance_m, 1.0))
+
+
+def transmission_loss_db(
+    distance_m: float,
+    frequency_khz: float,
+    spreading_exponent: float = 1.5,
+) -> float:
+    """Total one-way transmission loss (spreading + absorption) in dB."""
+    spreading = spreading_loss_db(distance_m, spreading_exponent)
+    absorption = thorp_absorption_db_per_km(frequency_khz) * (distance_m / 1000.0)
+    return spreading + absorption
+
+
+def received_level_db(
+    source_level_db: float,
+    distance_m: float,
+    frequency_khz: float,
+    spreading_exponent: float = 1.5,
+) -> float:
+    """Received signal level (dB re 1 uPa) after transmission loss."""
+    return source_level_db - transmission_loss_db(
+        distance_m, frequency_khz, spreading_exponent
+    )
+
+
+def snr_db(
+    source_level_db: float,
+    distance_m: float,
+    frequency_khz: float,
+    noise_level_db: float,
+    directivity_index_db: float = 0.0,
+    spreading_exponent: float = 1.5,
+) -> float:
+    """Passive sonar equation: ``SNR = SL - TL - NL + DI``."""
+    rl = received_level_db(source_level_db, distance_m, frequency_khz, spreading_exponent)
+    return rl - noise_level_db + directivity_index_db
+
+
+def sound_speed_mackenzie(
+    temperature_c: float = 12.0,
+    salinity_ppt: float = 35.0,
+    depth_m: float = 20.0,
+) -> float:
+    """Mackenzie's nine-term equation for the speed of sound in sea water (m/s).
+
+    Valid for 2-30 C, 25-40 ppt, 0-8000 m — comfortably covering the shallow
+    coastal deployments the paper targets.
+    """
+    t = check_in_range("temperature_c", temperature_c, -2.0, 40.0)
+    s = check_in_range("salinity_ppt", salinity_ppt, 0.0, 45.0)
+    d = check_in_range("depth_m", depth_m, 0.0, 9000.0)
+    return (
+        1448.96
+        + 4.591 * t
+        - 5.304e-2 * t**2
+        + 2.374e-4 * t**3
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * d
+        + 1.675e-7 * d**2
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * d**3
+    )
+
+
+def propagation_delay(distance_m: float, sound_speed_m_s: float = 1500.0) -> float:
+    """One-way acoustic propagation delay in seconds."""
+    distance_m = check_positive("distance_m", distance_m)
+    sound_speed_m_s = check_positive("sound_speed_m_s", sound_speed_m_s)
+    return distance_m / sound_speed_m_s

@@ -1,0 +1,178 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro table1          # Table 1  — AquaModem design parameters
+    python -m repro table2          # Table 2  — area / timing / throughput DSE
+    python -m repro figure6         # Figure 6 — power / energy DSE
+    python -m repro table3          # Table 3  — platform comparison (210X / 52X)
+    python -m repro report          # all of the above, paper vs measured
+    python -m repro bitwidth        # E6 ablation — accuracy vs word length
+    python -m repro lifetime        # E9 extension — network lifetime by platform
+    python -m repro estimate        # run one MP estimation on a random channel
+
+Every command prints plain text to stdout; ``--num-paths`` changes the MP
+workload (Nf) where applicable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.ablations import (
+    aquamodem_signal_matrices,
+    bitwidth_accuracy_ablation,
+    network_lifetime_study,
+)
+from repro.analysis.figure6 import render_figure6, reproduce_figure6
+from repro.analysis.report import comparison_report
+from repro.analysis.table1 import render_table1, reproduce_table1
+from repro.analysis.table2 import render_table2, reproduce_table2
+from repro.analysis.table3 import render_table3, reproduce_table3
+from repro.channel.multipath import random_sparse_channel
+from repro.channel.simulator import add_noise_for_snr
+from repro.core.matching_pursuit import matching_pursuit
+from repro.modem.config import AquaModemConfig
+from repro.utils.tables import format_table
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of 'Energy Benefits of Reconfigurable "
+        "Hardware for Use in Underwater Sensor Nets' (Benson et al., 2009).",
+    )
+    parser.add_argument(
+        "--num-paths", type=int, default=6,
+        help="number of Matching Pursuits iterations Nf (default: 6)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("table1", "AquaModem design parameters (Table 1)"),
+        ("table2", "area / timing / throughput design-space exploration (Table 2)"),
+        ("figure6", "power / energy design-space exploration (Figure 6)"),
+        ("table3", "platform comparison and the 210X / 52X headline (Table 3)"),
+        ("report", "full paper-vs-measured report"),
+    ):
+        subparsers.add_parser(name, help=help_text)
+
+    bitwidth = subparsers.add_parser("bitwidth", help="fixed-point accuracy ablation (E6)")
+    bitwidth.add_argument("--trials", type=int, default=12, help="Monte-Carlo trials per word length")
+    bitwidth.add_argument("--snr-db", type=float, default=25.0, help="per-sample SNR")
+
+    lifetime = subparsers.add_parser("lifetime", help="network lifetime by platform (E9)")
+    lifetime.add_argument("--grid", type=int, default=5, help="grid side length (grid x grid nodes)")
+    lifetime.add_argument("--battery-kj", type=float, default=200.0, help="battery capacity in kJ")
+    lifetime.add_argument("--report-interval-s", type=float, default=120.0,
+                          help="sensing report interval per node")
+
+    estimate = subparsers.add_parser("estimate", help="run one MP channel estimation")
+    estimate.add_argument("--seed", type=int, default=0, help="channel / noise seed")
+    estimate.add_argument("--snr-db", type=float, default=20.0, help="per-sample SNR")
+    estimate.add_argument("--channel-paths", type=int, default=4, help="true number of paths")
+
+    export = subparsers.add_parser(
+        "export", help="write every regenerated table/figure as CSV plus a JSON summary"
+    )
+    export.add_argument("--output-dir", default="results", help="directory for the CSV/JSON files")
+
+    return parser
+
+
+def _run_estimate(args: argparse.Namespace) -> str:
+    config = AquaModemConfig(num_paths=args.num_paths)
+    matrices = aquamodem_signal_matrices(config)
+    channel = random_sparse_channel(
+        num_paths=args.channel_paths,
+        max_delay=config.multipath_spread_samples,
+        rng=args.seed,
+        min_separation=4,
+    )
+    received = add_noise_for_snr(
+        matrices.synthesize(channel.coefficient_vector(matrices.num_delays)),
+        args.snr_db,
+        rng=args.seed + 1,
+    )
+    result = matching_pursuit(received, matrices, num_paths=args.num_paths)
+    lines = [
+        "True channel taps (delay, |gain|): "
+        + str([(int(d), round(float(abs(g)), 3)) for d, g in zip(channel.delays, channel.gains)]),
+        "Estimated taps   (delay, |gain|): "
+        + str([(int(d), round(float(abs(g)), 3)) for d, g in result.as_delay_gain_pairs()]),
+    ]
+    return "\n".join(lines)
+
+
+def _run_bitwidth(args: argparse.Namespace) -> str:
+    results = bitwidth_accuracy_ablation(
+        word_lengths=(4, 6, 8, 10, 12, 16),
+        num_trials=args.trials,
+        snr_db=args.snr_db,
+        rng=0,
+    )
+    return format_table(
+        ["Bits", "Error vs truth", "Support recovery", "Error vs float"],
+        [
+            (r.word_length, r.mean_normalized_error, r.mean_support_recovery, r.mean_error_vs_float)
+            for r in results
+        ],
+        title="Fixed-point MP accuracy vs word length",
+    )
+
+
+def _run_lifetime(args: argparse.Namespace) -> str:
+    lifetimes = network_lifetime_study(
+        grid_size=(args.grid, args.grid),
+        battery_capacity_j=args.battery_kj * 1e3,
+        report_interval_s=args.report_interval_s,
+    )
+    return format_table(
+        ["Platform", "Deployment lifetime (days)"],
+        sorted(lifetimes.items(), key=lambda kv: kv[1]),
+        title=f"{args.grid * args.grid}-node deployment lifetime by platform",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        output = render_table1(reproduce_table1())
+    elif args.command == "table2":
+        output = render_table2(reproduce_table2(num_paths=args.num_paths))
+    elif args.command == "figure6":
+        output = render_figure6(reproduce_figure6(num_paths=args.num_paths))
+    elif args.command == "table3":
+        output = render_table3(reproduce_table3(num_paths=args.num_paths))
+    elif args.command == "report":
+        output = comparison_report(num_paths=args.num_paths)
+    elif args.command == "bitwidth":
+        output = _run_bitwidth(args)
+    elif args.command == "lifetime":
+        output = _run_lifetime(args)
+    elif args.command == "estimate":
+        output = _run_estimate(args)
+    elif args.command == "export":
+        from repro.analysis.export import export_all
+
+        written = export_all(args.output_dir, num_paths=args.num_paths)
+        output = "\n".join(f"{name}: {path}" for name, path in sorted(written.items()))
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

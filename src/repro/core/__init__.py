@@ -1,0 +1,52 @@
+"""The paper's primary contribution: Matching Pursuits channel estimation and
+its hardware design-space exploration.
+
+Modules
+-------
+* :mod:`repro.core.matching_pursuit` — the reference floating-point MP
+  algorithm of Figure 3 (vectorised and straight-line variants).
+* :mod:`repro.core.fixedpoint_mp` — a bit-accurate fixed-point MP that models
+  the FPGA datapath at a configurable word length.
+* :mod:`repro.core.ipcore` — a functional + cycle-level simulator of the
+  Filter-and-Cancel IP core of Figure 5, parameterised by the number of FC
+  blocks (level of parallelism).
+* :mod:`repro.core.dse` — the design-space exploration engine that sweeps
+  parallelism, bit width and FPGA device and evaluates area / timing /
+  throughput / power / energy for each point (Tables 2-3, Figure 6).
+* :mod:`repro.core.metrics` — channel-estimation quality metrics.
+"""
+
+from repro.core.matching_pursuit import (
+    MatchingPursuitResult,
+    matching_pursuit,
+    matching_pursuit_naive,
+)
+from repro.core.refinement import matching_pursuit_ls, refine_least_squares
+from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.metrics import (
+    coefficient_mse,
+    normalized_channel_error,
+    support_recovery_rate,
+    residual_energy_ratio,
+)
+from repro.core.ipcore import FilterAndCancelBlock, IPCoreConfig, IPCoreSimulator
+from repro.core.dse import DesignPoint, DesignPointEvaluation, DesignSpaceExplorer
+
+__all__ = [
+    "MatchingPursuitResult",
+    "matching_pursuit",
+    "matching_pursuit_naive",
+    "matching_pursuit_ls",
+    "refine_least_squares",
+    "FixedPointMatchingPursuit",
+    "coefficient_mse",
+    "normalized_channel_error",
+    "support_recovery_rate",
+    "residual_energy_ratio",
+    "FilterAndCancelBlock",
+    "IPCoreConfig",
+    "IPCoreSimulator",
+    "DesignPoint",
+    "DesignPointEvaluation",
+    "DesignSpaceExplorer",
+]

@@ -1,0 +1,148 @@
+"""Bit-accurate fixed-point Matching Pursuits.
+
+Models the arithmetic the FPGA IP core actually performs: the signal matrices
+and the received vector are quantised to a configurable word length with
+power-of-two dynamic-range scaling (Section IV.C), and every intermediate
+result of the datapath (matched-filter accumulators, temporary coefficients,
+decision variables) is re-quantised to the width the hardware would carry.
+
+The word length is the design axis of experiment E6: the paper, citing Meng
+et al. [21], states that 8-10 bits suffice for accurate channel estimation.
+:class:`FixedPointMatchingPursuit` lets that claim be checked by sweeping
+``word_length`` and measuring estimation error against the floating-point
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matching_pursuit import MatchingPursuitResult
+from repro.dsp.signal_matrix import SignalMatrices
+from repro.fixedpoint.fmt import FixedPointFormat
+from repro.fixedpoint.metrics import dynamic_range_scale
+from repro.fixedpoint.quantize import quantize
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["FixedPointMatchingPursuit"]
+
+
+@dataclass
+class FixedPointMatchingPursuit:
+    """Fixed-point Matching Pursuits estimator.
+
+    Parameters
+    ----------
+    matrices:
+        The floating-point signal matrices; they are quantised once at
+        construction (they are static in hardware, stored in block RAM).
+    word_length:
+        Datapath width in bits (8, 12 or 16 in the paper's exploration).
+    num_paths:
+        Number of paths ``Nf`` to estimate.
+    accumulator_growth_bits:
+        Extra bits carried by the matched-filter accumulator beyond the input
+        word length (DSP48 accumulators are wide; default 16).
+    """
+
+    matrices: SignalMatrices
+    word_length: int = 8
+    num_paths: int = 6
+    accumulator_growth_bits: int = 16
+
+    def __post_init__(self) -> None:
+        check_integer("word_length", self.word_length, minimum=2, maximum=32)
+        check_integer("num_paths", self.num_paths, minimum=1,
+                      maximum=self.matrices.num_delays)
+        check_integer("accumulator_growth_bits", self.accumulator_growth_bits,
+                      minimum=0, maximum=32)
+
+        # --- quantise the static matrices with power-of-two scaling -------
+        s_scale = dynamic_range_scale(self.matrices.S)
+        a_mat_scale = dynamic_range_scale(self.matrices.A)
+        a_vec_scale = dynamic_range_scale(self.matrices.a)
+
+        self._input_fmt = FixedPointFormat.for_unit_range(self.word_length)
+        self.S_q = quantize(self.matrices.S / s_scale, self._input_fmt) * s_scale
+        self.A_q = quantize(self.matrices.A / a_mat_scale, self._input_fmt) * a_mat_scale
+        self.a_q = quantize(self.matrices.a / a_vec_scale, self._input_fmt) * a_vec_scale
+
+        # datapath formats: products/accumulators carry extra bits
+        self._acc_fmt = FixedPointFormat(
+            min(self.word_length + self.accumulator_growth_bits, 48),
+            self._input_fmt.fraction_length,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _quantize_received(self, received: np.ndarray) -> tuple[np.ndarray, float]:
+        """Quantise the received vector with its own power-of-two scale."""
+        scale = dynamic_range_scale(received)
+        r_q = quantize(received / scale, self._input_fmt) * scale
+        return r_q, scale
+
+    def _requant(self, values: np.ndarray, scale: float) -> np.ndarray:
+        """Re-quantise an intermediate result to the accumulator format."""
+        return quantize(values / scale, self._acc_fmt) * scale
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, received: np.ndarray) -> MatchingPursuitResult:
+        """Run fixed-point MP on a received vector.
+
+        The control flow is identical to the floating-point reference; only
+        the arithmetic precision differs.
+        """
+        received = ensure_1d_array(
+            "received", received, dtype=np.complex128,
+            length=self.matrices.window_length,
+        )
+        r_q, r_scale = self._quantize_received(received)
+        num_delays = self.matrices.num_delays
+
+        # scale of the matched-filter outputs: |S^T r| <= window * max|S| * max|r|
+        v_scale = dynamic_range_scale(self.S_q.T @ r_q)
+
+        V = self._requant(self.S_q.T @ r_q, v_scale)
+        F = np.zeros(num_delays, dtype=np.complex128)
+        selected = np.zeros(num_delays, dtype=bool)
+
+        path_indices = np.empty(self.num_paths, dtype=np.int64)
+        path_gains = np.empty(self.num_paths, dtype=np.complex128)
+        decision_history = np.empty(self.num_paths, dtype=np.float64)
+
+        g_scale = v_scale * float(np.max(np.abs(self.a_q))) if np.max(np.abs(self.a_q)) > 0 else v_scale
+        q_scale = g_scale * v_scale
+
+        previous: int | None = None
+        for j in range(self.num_paths):
+            if previous is not None:
+                V = self._requant(V - self.A_q[:, previous] * F[previous], v_scale)
+            G = self._requant(V * self.a_q, g_scale)
+            Q = self._requant(np.real(np.conj(G) * V), q_scale)
+            Q_masked = np.where(selected, -np.inf, Q)
+            q = int(np.argmax(Q_masked))
+            F[q] = G[q]
+            selected[q] = True
+            path_indices[j] = q
+            path_gains[j] = G[q]
+            decision_history[j] = Q[q]
+            previous = q
+
+        return MatchingPursuitResult(
+            coefficients=F,
+            path_indices=path_indices,
+            path_gains=path_gains,
+            decision_history=decision_history,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def storage_bits(self) -> int:
+        """Total bits needed to store S, A and a at this word length.
+
+        Section IV.C quotes 1208 kbit for 32-bit storage of the 224x112,
+        112x112 and 1x112 matrices; this property generalises that count.
+        """
+        n_values = self.matrices.S.size + self.matrices.A.size + self.matrices.a.size
+        return int(n_values) * self.word_length

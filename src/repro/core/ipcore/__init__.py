@@ -1,0 +1,41 @@
+"""Functional + cycle-level simulator of the Matching Pursuits IP core (Figure 5).
+
+The paper's IP core replicates a "Filter and Cancel" (FC) block once per
+hypothesised delay column (fully parallel: 112 blocks) or time-multiplexes a
+smaller number of blocks over the columns (14 blocks process 8 columns each,
+a single block processes all 112).  A "q-gen" block reduces the per-column
+decision variables to the global winner each iteration, and a small control
+FSM sequences the matched-filter phase and the ``Nf`` cancel/select
+iterations.
+
+This package mirrors that structure in software:
+
+* :class:`~repro.core.ipcore.fc_block.FilterAndCancelBlock` — one FC block:
+  stores its assigned columns of S/A/a (quantised to the configured word
+  length), holds the V/G/F/Q registers for those columns, and performs the
+  matched-filter, cancellation and decision-variable updates.
+* :class:`~repro.core.ipcore.qgen.QGenBlock` — the arg-max reduction with the
+  "not already selected" exclusion of step 13.
+* :class:`~repro.core.ipcore.control.ControlUnit` — the cycle accountant: it
+  knows how many clock cycles each phase of the schedule takes for a given
+  level of parallelism.
+* :class:`~repro.core.ipcore.simulator.IPCoreSimulator` — wires the blocks
+  together, produces the same :class:`~repro.core.matching_pursuit.MatchingPursuitResult`
+  as the reference algorithm plus an exact cycle count.
+"""
+
+from repro.core.ipcore.fc_block import FilterAndCancelBlock
+from repro.core.ipcore.qgen import QGenBlock
+from repro.core.ipcore.control import ControlUnit, CyclePhase, ScheduleBreakdown
+from repro.core.ipcore.simulator import IPCoreConfig, IPCoreRun, IPCoreSimulator
+
+__all__ = [
+    "FilterAndCancelBlock",
+    "QGenBlock",
+    "ControlUnit",
+    "CyclePhase",
+    "ScheduleBreakdown",
+    "IPCoreConfig",
+    "IPCoreRun",
+    "IPCoreSimulator",
+]

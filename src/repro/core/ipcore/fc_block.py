@@ -1,0 +1,161 @@
+"""One Filter-and-Cancel (FC) block of the IP core.
+
+Each FC block owns a contiguous slice of the delay columns.  For every owned
+column ``k`` it stores (in block RAM) column ``k`` of ``S``, column ``k`` of
+``A`` and element ``k`` of ``a``, all quantised to the datapath word length,
+and it maintains the registers the paper names VKR/VKI (matched-filter
+output), GKR/GKI (temporary coefficient), FKR/FKI (committed coefficient) and
+QK (decision variable).
+
+The real and imaginary datapaths are duplicated in hardware; in the model the
+complex arithmetic captures both at once.  Accumulations use the full
+precision of the wide DSP48 accumulator (modelled as exact double-precision
+arithmetic over the quantised operands).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.fmt import FixedPointFormat
+from repro.fixedpoint.metrics import dynamic_range_scale
+from repro.fixedpoint.quantize import quantize
+from repro.utils.validation import check_integer, ensure_1d_array, ensure_2d_array
+
+__all__ = ["FilterAndCancelBlock"]
+
+
+class FilterAndCancelBlock:
+    """One FC block responsible for a slice of delay columns.
+
+    Parameters
+    ----------
+    block_id:
+        Index of this block within the core (0-based).
+    column_indices:
+        Global delay indices owned by this block.
+    S_columns:
+        ``(window_length, num_owned)`` slice of the signal matrix.
+    A_columns:
+        ``(num_delays, num_owned)`` slice of the Gram matrix (full columns —
+        the cancellation needs every row of the selected column).
+    a_elements:
+        ``(num_owned,)`` slice of the reciprocal-diagonal vector.
+    word_length:
+        Datapath width in bits; the stored matrices are quantised to this
+        width with power-of-two scaling.
+    """
+
+    def __init__(
+        self,
+        block_id: int,
+        column_indices: np.ndarray,
+        S_columns: np.ndarray,
+        A_columns: np.ndarray,
+        a_elements: np.ndarray,
+        word_length: int = 8,
+    ) -> None:
+        self.block_id = check_integer("block_id", block_id, minimum=0)
+        self.column_indices = ensure_1d_array("column_indices", column_indices, dtype=np.int64)
+        S_columns = ensure_2d_array("S_columns", S_columns, dtype=np.float64)
+        A_columns = ensure_2d_array("A_columns", A_columns, dtype=np.float64)
+        a_elements = ensure_1d_array("a_elements", a_elements, dtype=np.float64)
+        check_integer("word_length", word_length, minimum=2, maximum=32)
+
+        owned = self.column_indices.shape[0]
+        if owned == 0:
+            raise ValueError("an FC block must own at least one column")
+        if S_columns.shape[1] != owned or A_columns.shape[1] != owned or a_elements.shape[0] != owned:
+            raise ValueError("column slices must all cover the owned columns")
+
+        self.word_length = word_length
+        fmt = FixedPointFormat.for_unit_range(word_length)
+        s_scale = dynamic_range_scale(S_columns)
+        a_mat_scale = dynamic_range_scale(A_columns)
+        a_vec_scale = dynamic_range_scale(a_elements)
+        #: quantised column storage (what the block RAM holds)
+        self.S = quantize(S_columns / s_scale, fmt) * s_scale
+        self.A = quantize(A_columns / a_mat_scale, fmt) * a_mat_scale
+        self.a = quantize(a_elements / a_vec_scale, fmt) * a_vec_scale
+
+        # registers (one per owned column)
+        self.V = np.zeros(owned, dtype=np.complex128)
+        self.G = np.zeros(owned, dtype=np.complex128)
+        self.F = np.zeros(owned, dtype=np.complex128)
+        self.Q = np.zeros(owned, dtype=np.float64)
+        self._selected = np.zeros(owned, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_columns(self) -> int:
+        """Number of delay columns owned by this block."""
+        return int(self.column_indices.shape[0])
+
+    def reset(self) -> None:
+        """Zero all registers (steps 2-4 of the algorithm)."""
+        self.V[:] = 0.0
+        self.G[:] = 0.0
+        self.F[:] = 0.0
+        self.Q[:] = 0.0
+        self._selected[:] = False
+
+    # ------------------------------------------------------------------ #
+    # Datapath operations
+    # ------------------------------------------------------------------ #
+    def matched_filter(self, received: np.ndarray) -> None:
+        """Step 1-5: compute V_k = S_k^T r for every owned column."""
+        received = ensure_1d_array("received", received, dtype=np.complex128,
+                                   length=self.S.shape[0])
+        self.V = self.S.T @ received
+        self.G[:] = 0.0
+        self.F[:] = 0.0
+        self.Q[:] = 0.0
+        self._selected[:] = False
+
+    def cancel(self, global_index: int, coefficient: complex) -> None:
+        """Step 8: subtract the selected path's interference from every owned V_k.
+
+        ``global_index`` is the delay selected by the q-gen block in the
+        previous iteration; ``coefficient`` is its committed value F_q.
+        """
+        column = int(global_index)
+        if not (0 <= column < self.A.shape[0]):
+            raise ValueError(f"global index {column} outside the Gram matrix")
+        self.V = self.V - self.A[column, :] * coefficient
+
+    def update_decision(self) -> None:
+        """Steps 10-11: G_k = V_k a_k and Q_k = Re{G_k^* V_k} for owned columns."""
+        self.G = self.V * self.a
+        self.Q = np.real(np.conj(self.G) * self.V)
+
+    def local_candidate(self) -> tuple[int, float, complex]:
+        """Return the block's best not-yet-selected (global index, Q, G) candidate.
+
+        The q-gen block compares these per-block candidates to find the global
+        winner (step 13).
+        """
+        masked = np.where(self._selected, -np.inf, self.Q)
+        local = int(np.argmax(masked))
+        return int(self.column_indices[local]), float(masked[local]), complex(self.G[local])
+
+    def commit(self, global_index: int) -> complex:
+        """Step 14: if the winning delay is owned here, latch F_q = G_q.
+
+        Returns the committed coefficient; raises if the index is not owned.
+        """
+        matches = np.nonzero(self.column_indices == int(global_index))[0]
+        if matches.size == 0:
+            raise ValueError(f"column {global_index} is not owned by block {self.block_id}")
+        local = int(matches[0])
+        self.F[local] = self.G[local]
+        self._selected[local] = True
+        return complex(self.F[local])
+
+    def owns(self, global_index: int) -> bool:
+        """True if the given delay column lives in this block."""
+        return bool(np.any(self.column_indices == int(global_index)))
+
+    # ------------------------------------------------------------------ #
+    def coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (global column indices, committed F values) for this block."""
+        return self.column_indices.copy(), self.F.copy()

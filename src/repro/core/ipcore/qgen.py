@@ -1,0 +1,56 @@
+"""The q-gen block: global arg-max reduction over the FC blocks' candidates.
+
+Steps 13-14 of the algorithm: among all delays not yet selected, find the one
+with the largest decision variable Q, and forward its index and temporary
+coefficient G back to the FC blocks for commitment and for the next
+iteration's interference cancellation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QGenBlock", "QGenDecision"]
+
+
+@dataclass(frozen=True)
+class QGenDecision:
+    """The winning candidate of one iteration."""
+
+    index: int
+    decision_value: float
+    coefficient: complex
+
+
+@dataclass
+class QGenBlock:
+    """Compares per-block candidates and tracks the already-selected set."""
+
+    selected_indices: list[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Clear the selected-index history (start of a new estimation)."""
+        self.selected_indices.clear()
+
+    def select(self, candidates: list[tuple[int, float, complex]]) -> QGenDecision:
+        """Pick the best candidate among those offered by the FC blocks.
+
+        Each candidate is ``(global delay index, Q value, G value)``.  Indices
+        that were already selected in earlier iterations are skipped — the FC
+        blocks also mask them locally, but the q-gen performs the check again
+        because a block whose every column has been selected still submits a
+        (masked, -inf) candidate.
+        """
+        if not candidates:
+            raise ValueError("q-gen received no candidates")
+        best: QGenDecision | None = None
+        for index, q_value, g_value in candidates:
+            if index in self.selected_indices:
+                continue
+            if best is None or q_value > best.decision_value:
+                best = QGenDecision(index=int(index), decision_value=float(q_value),
+                                    coefficient=complex(g_value))
+        if best is None:
+            raise ValueError("all candidate delays have already been selected")
+        self.selected_indices.append(best.index)
+        return best

@@ -1,0 +1,195 @@
+"""The assembled IP core: FC blocks + q-gen + control.
+
+:class:`IPCoreSimulator` is the software twin of the Figure 5 architecture.
+It produces exactly the same estimate structure as the reference algorithm
+(:func:`repro.core.matching_pursuit.matching_pursuit`) — the datapath is the
+same mathematics, merely partitioned across FC blocks and quantised to the
+configured word length — plus a cycle count from the control unit's schedule,
+which is what the timing column of Table 2 is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ipcore.control import ControlUnit, ScheduleBreakdown
+from repro.core.ipcore.fc_block import FilterAndCancelBlock
+from repro.core.ipcore.qgen import QGenBlock
+from repro.core.matching_pursuit import MatchingPursuitResult
+from repro.dsp.signal_matrix import SignalMatrices
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["IPCoreConfig", "IPCoreRun", "IPCoreSimulator"]
+
+
+@dataclass(frozen=True)
+class IPCoreConfig:
+    """Static configuration of an IP core instance.
+
+    Parameters
+    ----------
+    num_fc_blocks:
+        Level of parallelism P (1 = fully serial, Ns = fully parallel); must
+        divide the number of delay columns.
+    word_length:
+        Datapath width in bits.
+    num_paths:
+        Number of MP iterations Nf.
+    """
+
+    num_fc_blocks: int = 112
+    word_length: int = 8
+    num_paths: int = 6
+
+    def __post_init__(self) -> None:
+        check_integer("num_fc_blocks", self.num_fc_blocks, minimum=1)
+        check_integer("word_length", self.word_length, minimum=2, maximum=32)
+        check_integer("num_paths", self.num_paths, minimum=1)
+
+
+@dataclass
+class IPCoreRun:
+    """Result of one channel estimation on the simulated core."""
+
+    result: MatchingPursuitResult
+    schedule: ScheduleBreakdown
+
+    @property
+    def total_cycles(self) -> int:
+        """Clock cycles consumed by the estimation."""
+        return self.schedule.total_cycles
+
+
+class IPCoreSimulator:
+    """Software model of the Filter-and-Cancel IP core.
+
+    Parameters
+    ----------
+    matrices:
+        The pre-computed signal matrices (stored, quantised, in the FC blocks'
+        block RAM).
+    config:
+        Core geometry and word length.
+    control_overrides:
+        Optional keyword overrides forwarded to
+        :class:`~repro.core.ipcore.control.ControlUnit` (e.g. non-zero q-gen
+        latency for sensitivity studies).
+    """
+
+    def __init__(
+        self,
+        matrices: SignalMatrices,
+        config: IPCoreConfig | None = None,
+        **control_overrides: int,
+    ) -> None:
+        self.matrices = matrices
+        self.config = config if config is not None else IPCoreConfig()
+        num_delays = matrices.num_delays
+        if num_delays % self.config.num_fc_blocks != 0:
+            raise ValueError(
+                f"num_fc_blocks ({self.config.num_fc_blocks}) must divide the number of "
+                f"delay columns ({num_delays})"
+            )
+        if self.config.num_paths > num_delays:
+            raise ValueError("num_paths cannot exceed the number of delay columns")
+
+        self.control = ControlUnit(
+            num_delays=num_delays,
+            window_length=matrices.window_length,
+            num_fc_blocks=self.config.num_fc_blocks,
+            num_paths=self.config.num_paths,
+            **control_overrides,
+        )
+        self.qgen = QGenBlock()
+        self.blocks = self._build_blocks()
+
+    # ------------------------------------------------------------------ #
+    def _build_blocks(self) -> list[FilterAndCancelBlock]:
+        """Partition the delay columns across the FC blocks.
+
+        Columns are dealt out in contiguous slices, matching the paper's
+        description of doubling up memory contents per block as the design is
+        serialised.
+        """
+        num_delays = self.matrices.num_delays
+        per_block = num_delays // self.config.num_fc_blocks
+        blocks = []
+        for b in range(self.config.num_fc_blocks):
+            cols = np.arange(b * per_block, (b + 1) * per_block, dtype=np.int64)
+            blocks.append(
+                FilterAndCancelBlock(
+                    block_id=b,
+                    column_indices=cols,
+                    S_columns=self.matrices.S[:, cols],
+                    A_columns=self.matrices.A[:, cols],
+                    a_elements=self.matrices.a[cols],
+                    word_length=self.config.word_length,
+                )
+            )
+        return blocks
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, received: np.ndarray) -> IPCoreRun:
+        """Run one channel estimation and return the result plus cycle counts."""
+        received = ensure_1d_array(
+            "received", received, dtype=np.complex128, length=self.matrices.window_length
+        )
+        self.qgen.reset()
+        for block in self.blocks:
+            block.matched_filter(received)
+
+        num_delays = self.matrices.num_delays
+        coefficients = np.zeros(num_delays, dtype=np.complex128)
+        path_indices = np.empty(self.config.num_paths, dtype=np.int64)
+        path_gains = np.empty(self.config.num_paths, dtype=np.complex128)
+        decisions = np.empty(self.config.num_paths, dtype=np.float64)
+
+        previous_index: int | None = None
+        previous_coefficient: complex = 0.0 + 0.0j
+        for j in range(self.config.num_paths):
+            if previous_index is not None:
+                for block in self.blocks:
+                    block.cancel(previous_index, previous_coefficient)
+            for block in self.blocks:
+                block.update_decision()
+            candidates = [block.local_candidate() for block in self.blocks]
+            winner = self.qgen.select(candidates)
+            owner = next(block for block in self.blocks if block.owns(winner.index))
+            committed = owner.commit(winner.index)
+
+            coefficients[winner.index] = committed
+            path_indices[j] = winner.index
+            path_gains[j] = committed
+            decisions[j] = winner.decision_value
+            previous_index = winner.index
+            previous_coefficient = committed
+
+        result = MatchingPursuitResult(
+            coefficients=coefficients,
+            path_indices=path_indices,
+            path_gains=path_gains,
+            decision_history=decisions,
+        )
+        return IPCoreRun(result=result, schedule=self.control.schedule())
+
+    # ------------------------------------------------------------------ #
+    def cycle_count(self) -> int:
+        """Cycles per estimation without running the datapath (used by the DSE)."""
+        return self.control.total_cycles()
+
+    @property
+    def num_fc_blocks(self) -> int:
+        """Level of parallelism of this instance."""
+        return self.config.num_fc_blocks
+
+    @property
+    def dsp48_per_fc_block(self) -> int:
+        """Embedded multipliers per FC block (real + imaginary datapaths)."""
+        return 2
+
+    @property
+    def total_dsp48(self) -> int:
+        """Total DSP48 usage (the resource that rules out the Spartan-3 112-block design)."""
+        return self.dsp48_per_fc_block * self.config.num_fc_blocks

@@ -1,0 +1,76 @@
+"""Least-squares refinement of a Matching Pursuits estimate.
+
+Greedy MP commits, for each selected delay, the *single-path* least-squares
+coefficient ``G_q = V_q / A_qq`` computed against the current residual.  When
+the delayed waveform signatures are correlated (which they are — the composite
+waveform has autocorrelation sidelobes at multiples of the 7-chip m-sequence
+period), those per-path coefficients are biased by the interference the later
+iterations have not yet cancelled.
+
+The standard fix — used by the MP/GSIC estimator of Kim & Iltis [23] that the
+paper's algorithm descends from — is to re-solve, once the support is chosen,
+the small joint least-squares problem restricted to the selected columns:
+
+``f_hat[support] = argmin_x || r - S[:, support] x ||``
+
+This costs one ``Nf x Nf`` solve (Nf = 6), which is negligible next to the
+matched-filter bank, and measurably improves coefficient accuracy on
+correlated supports.  It is exposed both as a standalone function and as a
+drop-in wrapper usable as the receiver's channel-estimator backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matching_pursuit import MatchingPursuitResult, matching_pursuit
+from repro.dsp.signal_matrix import SignalMatrices
+from repro.utils.validation import ensure_1d_array, ensure_2d_array
+
+__all__ = ["refine_least_squares", "matching_pursuit_ls"]
+
+
+def refine_least_squares(
+    received: np.ndarray,
+    S: np.ndarray,
+    result: MatchingPursuitResult,
+) -> MatchingPursuitResult:
+    """Re-estimate the coefficients of ``result`` by joint least squares.
+
+    The selected support (path delays) is kept; only the complex gains change.
+    Returns a new :class:`MatchingPursuitResult` (the input is not modified).
+    """
+    S = ensure_2d_array("S", S, dtype=np.float64)
+    received = ensure_1d_array("received", received, dtype=np.complex128, length=S.shape[0])
+    support = np.asarray(result.path_indices, dtype=np.int64)
+    if support.size == 0:
+        raise ValueError("cannot refine an empty estimate")
+    if support.min() < 0 or support.max() >= S.shape[1]:
+        raise ValueError("estimate support outside the signal matrix")
+
+    sub_matrix = S[:, support]
+    gains, *_ = np.linalg.lstsq(sub_matrix.astype(np.complex128), received, rcond=None)
+
+    coefficients = np.zeros(S.shape[1], dtype=np.complex128)
+    coefficients[support] = gains
+    return MatchingPursuitResult(
+        coefficients=coefficients,
+        path_indices=support.copy(),
+        path_gains=gains,
+        decision_history=result.decision_history.copy(),
+    )
+
+
+def matching_pursuit_ls(
+    received: np.ndarray,
+    matrices: SignalMatrices,
+    num_paths: int = 6,
+) -> MatchingPursuitResult:
+    """Matching Pursuits followed by least-squares coefficient refinement.
+
+    Signature-compatible with :func:`repro.core.matching_pursuit.matching_pursuit`
+    so it can be plugged directly into :class:`repro.modem.receiver.Receiver`
+    as the ``estimator`` backend.
+    """
+    greedy = matching_pursuit(received, matrices, num_paths=num_paths)
+    return refine_least_squares(received, matrices.S, greedy)

@@ -1,0 +1,78 @@
+"""Matched filtering and correlation primitives.
+
+The first stage of the Matching Pursuits algorithm (steps 1-5 of Figure 3) is
+a bank of matched filters: the received vector is correlated against every
+column of the signal matrix ``S``.  These helpers provide the generic
+operations; the MP-specific vectorised form lives in
+:mod:`repro.core.matching_pursuit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d_array, ensure_2d_array
+
+__all__ = ["matched_filter", "correlate_full", "normalized_correlation", "filter_bank_outputs"]
+
+
+def matched_filter(received: np.ndarray, template: np.ndarray) -> complex:
+    """Single matched-filter output: inner product of ``received`` with ``template``.
+
+    The template is real for the AquaModem waveforms; the received signal is
+    complex baseband.  Returns ``template^T @ received``.
+    """
+    received = ensure_1d_array("received", received, dtype=np.complex128)
+    template = ensure_1d_array("template", template, dtype=np.float64)
+    if received.shape[0] != template.shape[0]:
+        raise ValueError(
+            f"length mismatch: received {received.shape[0]} vs template {template.shape[0]}"
+        )
+    return complex(np.dot(template, received))
+
+
+def filter_bank_outputs(received: np.ndarray, templates: np.ndarray) -> np.ndarray:
+    """Matched-filter outputs against every row of ``templates`` at once.
+
+    Vectorised equivalent of calling :func:`matched_filter` per row.
+    """
+    received = ensure_1d_array("received", received, dtype=np.complex128)
+    templates = ensure_2d_array("templates", templates, dtype=np.float64)
+    if templates.shape[1] != received.shape[0]:
+        raise ValueError(
+            f"template length {templates.shape[1]} does not match received length {received.shape[0]}"
+        )
+    return templates @ received
+
+
+def correlate_full(received: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Full sliding correlation of ``received`` against ``template``.
+
+    Returns the correlation at every alignment (length ``len(received) +
+    len(template) - 1``), using FFT-based convolution for long inputs.
+    """
+    received = ensure_1d_array("received", received, dtype=np.complex128)
+    template = ensure_1d_array("template", template, dtype=np.float64)
+    flipped = template[::-1].astype(np.complex128)
+    n = received.shape[0] + template.shape[0] - 1
+    if n >= 256:
+        size = int(2 ** np.ceil(np.log2(n)))
+        spectrum = np.fft.fft(received, size) * np.fft.fft(flipped, size)
+        return np.fft.ifft(spectrum)[:n]
+    return np.convolve(received, flipped)
+
+
+def normalized_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalised correlation coefficient between two vectors (0 for orthogonal).
+
+    The magnitude of the complex inner product divided by the product of the
+    norms; returns 0.0 when either vector is all-zero.
+    """
+    a = ensure_1d_array("a", a, dtype=np.complex128)
+    b = ensure_1d_array("b", b, dtype=np.complex128)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0.0:
+        return 0.0
+    return float(np.abs(np.vdot(a, b)) / denom)

@@ -1,0 +1,12 @@
+"""Baseband modulators/demodulators for the two signalling schemes the paper
+discusses: direct-sequence spread spectrum (DS-SS, the AquaModem scheme) and
+non-coherent frequency shift keying (FSK, the common baseline the paper says
+DS-SS outperforms).  Both operate on complex baseband sample streams so they
+can share the same channel simulator.
+"""
+
+from repro.dsp.modulation.base import Modulator, DemodulationResult
+from repro.dsp.modulation.dsss import DSSSModulator
+from repro.dsp.modulation.fsk import FSKModulator
+
+__all__ = ["Modulator", "DemodulationResult", "DSSSModulator", "FSKModulator"]

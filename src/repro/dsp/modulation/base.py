@@ -1,0 +1,55 @@
+"""Common interface for baseband modulators."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Modulator", "DemodulationResult"]
+
+
+@dataclass
+class DemodulationResult:
+    """Output of a demodulator.
+
+    Attributes
+    ----------
+    symbols:
+        Detected symbol indices.
+    scores:
+        Per-symbol decision statistics (shape ``(num_symbols, alphabet_size)``);
+        may be empty for schemes that do not expose them.
+    metadata:
+        Scheme-specific extras (e.g. the channel estimate used).
+    """
+
+    symbols: np.ndarray
+    scores: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    metadata: dict = field(default_factory=dict)
+
+
+class Modulator(abc.ABC):
+    """Abstract base class for a symbol-level modulator/demodulator pair."""
+
+    #: Number of distinct symbols in the alphabet.
+    alphabet_size: int
+    #: Number of baseband samples produced per symbol (including guard time).
+    samples_per_symbol: int
+
+    @abc.abstractmethod
+    def modulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Map symbol indices to a complex baseband sample stream."""
+
+    @abc.abstractmethod
+    def demodulate(self, samples: np.ndarray) -> DemodulationResult:
+        """Recover symbol indices from a received complex baseband stream."""
+
+    def bits_per_symbol(self) -> int:
+        """Number of bits conveyed by one symbol."""
+        return int(np.log2(self.alphabet_size))
+
+    def random_symbols(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` uniformly random symbol indices."""
+        return rng.integers(0, self.alphabet_size, size=count)

@@ -1,0 +1,117 @@
+"""Direct-sequence spread-spectrum modulator (the AquaModem signalling scheme).
+
+One of ``Nw`` orthogonal composite Walsh x m-sequence waveforms is transmitted
+per symbol, followed by a guard interval of equal duration for channel
+clearing (Table 1).  Demodulation correlates each receive window against the
+alphabet; when a multipath profile (from Matching Pursuits) is supplied the
+windows are RAKE-combined first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.detection import rake_combine, symbol_decision
+from repro.dsp.modulation.base import DemodulationResult, Modulator
+from repro.dsp.sampling import upsample_chips
+from repro.dsp.spreading import composite_waveform_set
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["DSSSModulator"]
+
+
+class DSSSModulator(Modulator):
+    """DS-SS modulator with orthogonal Walsh symbol alphabet.
+
+    Parameters
+    ----------
+    num_symbols:
+        Alphabet size ``Nw`` (power of two); 8 for the AquaModem.
+    spreading_length:
+        m-sequence length ``Lpn``; 7 for the AquaModem.
+    samples_per_chip:
+        Oversampling factor; 2 for the AquaModem (``Ts = Tc / 2``).
+    guard_factor:
+        Guard interval length as a multiple of the symbol duration; 1.0 for the
+        AquaModem (``Tg = Tsym``).
+    """
+
+    def __init__(
+        self,
+        num_symbols: int = 8,
+        spreading_length: int = 7,
+        samples_per_chip: int = 2,
+        guard_factor: float = 1.0,
+    ) -> None:
+        check_integer("num_symbols", num_symbols, minimum=2)
+        check_integer("spreading_length", spreading_length, minimum=1)
+        check_integer("samples_per_chip", samples_per_chip, minimum=1)
+        if guard_factor < 0:
+            raise ValueError(f"guard_factor must be >= 0, got {guard_factor}")
+        self.alphabet_size = num_symbols
+        self.spreading_length = spreading_length
+        self.samples_per_chip = samples_per_chip
+        self.guard_factor = float(guard_factor)
+
+        chip_waveforms = composite_waveform_set(num_symbols, spreading_length)
+        self.waveforms = np.vstack(
+            [upsample_chips(row, samples_per_chip) for row in chip_waveforms]
+        ).astype(np.float64)
+        self.symbol_samples = self.waveforms.shape[1]
+        self.guard_samples = int(round(self.symbol_samples * self.guard_factor))
+        self.samples_per_symbol = self.symbol_samples + self.guard_samples
+
+    # ------------------------------------------------------------------ #
+    def modulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Emit the waveform for each symbol followed by a silent guard interval."""
+        symbols = ensure_1d_array("symbols", symbols, dtype=np.int64)
+        if symbols.size and (symbols.min() < 0 or symbols.max() >= self.alphabet_size):
+            raise ValueError("symbol index out of range")
+        out = np.zeros(symbols.shape[0] * self.samples_per_symbol, dtype=np.complex128)
+        for i, sym in enumerate(symbols):
+            start = i * self.samples_per_symbol
+            out[start : start + self.symbol_samples] = self.waveforms[sym]
+        return out
+
+    def receive_windows(self, samples: np.ndarray) -> np.ndarray:
+        """Split a received stream into per-symbol windows (symbol + guard)."""
+        samples = ensure_1d_array("samples", samples, dtype=np.complex128)
+        num_symbols = samples.shape[0] // self.samples_per_symbol
+        usable = num_symbols * self.samples_per_symbol
+        return samples[:usable].reshape(num_symbols, self.samples_per_symbol)
+
+    def demodulate(
+        self,
+        samples: np.ndarray,
+        path_delays: np.ndarray | None = None,
+        path_gains: np.ndarray | None = None,
+    ) -> DemodulationResult:
+        """Detect symbols, optionally RAKE-combining over an estimated channel.
+
+        Without a channel estimate a single path at delay 0 with unit gain is
+        assumed (pure matched-filter detection).
+        """
+        windows = self.receive_windows(samples)
+        if path_delays is None or path_gains is None:
+            path_delays = np.array([0], dtype=np.int64)
+            path_gains = np.array([1.0 + 0.0j])
+        path_delays = ensure_1d_array("path_delays", path_delays, dtype=np.int64)
+        path_gains = ensure_1d_array("path_gains", path_gains, dtype=np.complex128)
+
+        decisions = np.empty(windows.shape[0], dtype=np.int64)
+        scores = np.empty((windows.shape[0], self.alphabet_size), dtype=np.float64)
+        for i, window in enumerate(windows):
+            combined = rake_combine(window, path_delays, path_gains, self.symbol_samples)
+            decisions[i], scores[i] = symbol_decision(combined, self.waveforms)
+        return DemodulationResult(symbols=decisions, scores=scores)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def walsh_length(self) -> int:
+        """Length of each Walsh code word (equals the alphabet size)."""
+        return self.alphabet_size
+
+    @property
+    def chips_per_symbol(self) -> int:
+        """Total number of chips per symbol (``Nw * Lpn``)."""
+        return self.walsh_length * self.spreading_length

@@ -1,0 +1,164 @@
+"""Maximal-length sequence (m-sequence) generation via LFSRs.
+
+The AquaModem spreads every Walsh chip by a 7-chip m-sequence (Table 1,
+``Lpn = 7``).  A length-``2**m - 1`` m-sequence is produced by an ``m``-stage
+linear feedback shift register whose feedback polynomial is primitive over
+GF(2).  m-sequences have the two properties the DS-SS waveform relies on:
+
+* a flat, nearly impulse-like periodic autocorrelation (values ``N`` at zero
+  lag and ``-1`` elsewhere), which gives the composite waveform its multipath
+  resolution;
+* balance (one more ``+1`` than ``-1`` per period).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "PRIMITIVE_POLYNOMIALS",
+    "LinearFeedbackShiftRegister",
+    "m_sequence",
+    "periodic_autocorrelation",
+    "is_balanced",
+]
+
+#: Primitive feedback tap sets (1-indexed stage numbers, Fibonacci form) for
+#: common register lengths.  ``taps = [m, k, ...]`` means the feedback bit is
+#: the XOR of stages ``m, k, ...``.
+PRIMITIVE_POLYNOMIALS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+}
+
+
+@dataclass
+class LinearFeedbackShiftRegister:
+    """A Fibonacci-form LFSR over GF(2).
+
+    Parameters
+    ----------
+    taps:
+        Feedback tap positions, 1-indexed from the output stage.  The highest
+        tap defines the register length.
+    state:
+        Initial register contents (list of 0/1, most significant stage first).
+        Defaults to all ones, which is never the forbidden all-zero state.
+    """
+
+    taps: tuple[int, ...]
+    state: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            raise ValueError("taps must not be empty")
+        taps = tuple(sorted({check_integer("tap", t, minimum=1) for t in self.taps}, reverse=True))
+        object.__setattr__(self, "taps", taps)
+        self.length = taps[0]
+        if not self.state:
+            self.state = [1] * self.length
+        if len(self.state) != self.length:
+            raise ValueError(
+                f"state length {len(self.state)} does not match register length {self.length}"
+            )
+        if any(bit not in (0, 1) for bit in self.state):
+            raise ValueError("state bits must be 0 or 1")
+        if not any(self.state):
+            raise ValueError("the all-zero LFSR state is forbidden (it never leaves zero)")
+
+    def step(self) -> int:
+        """Advance the register one step and return the output bit (0/1)."""
+        out = self.state[-1]
+        feedback = 0
+        for tap in self.taps:
+            feedback ^= self.state[tap - 1]
+        self.state = [feedback] + self.state[:-1]
+        return out
+
+    def run(self, num_bits: int) -> np.ndarray:
+        """Return ``num_bits`` successive output bits as an int8 array of 0/1."""
+        num_bits = check_integer("num_bits", num_bits, minimum=0)
+        return np.array([self.step() for _ in range(num_bits)], dtype=np.int8)
+
+    @property
+    def period(self) -> int:
+        """Maximal period of the register (``2**length - 1``)."""
+        return (1 << self.length) - 1
+
+
+def m_sequence(length: int, *, register_length: int | None = None, bipolar: bool = True) -> np.ndarray:
+    """Generate an m-sequence of the requested ``length``.
+
+    Parameters
+    ----------
+    length:
+        Desired sequence length.  Must equal ``2**m - 1`` for some supported
+        register length ``m`` (e.g. 7, 15, 31, ...), unless ``register_length``
+        is given explicitly, in which case the first ``length`` chips of that
+        register's maximal sequence are returned.
+    register_length:
+        Explicit register length (overrides the inference from ``length``).
+    bipolar:
+        If True (default) map bits {0, 1} to chips {+1, -1}.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int8`` array of chips.
+    """
+    length = check_integer("length", length, minimum=1)
+    if register_length is None:
+        m = int(np.log2(length + 1))
+        if (1 << m) - 1 != length:
+            raise ValueError(
+                f"length {length} is not 2**m - 1; pass register_length explicitly"
+            )
+        register_length = m
+    if register_length not in PRIMITIVE_POLYNOMIALS:
+        raise ValueError(
+            f"no primitive polynomial known for register length {register_length}"
+        )
+    lfsr = LinearFeedbackShiftRegister(PRIMITIVE_POLYNOMIALS[register_length])
+    bits = lfsr.run(length)
+    if not bipolar:
+        return bits
+    # map bit 1 -> +1 and bit 0 -> -1 so the m-sequence balance property
+    # (one more 1 than 0 per period) carries over to the bipolar chips
+    return (2 * bits - 1).astype(np.int8)
+
+
+def periodic_autocorrelation(sequence: np.ndarray) -> np.ndarray:
+    """Periodic (circular) autocorrelation of a ±1 sequence, all lags.
+
+    For an m-sequence of length ``N`` the result is ``N`` at lag 0 and ``-1``
+    at every other lag.
+    """
+    seq = np.asarray(sequence, dtype=np.float64)
+    if seq.ndim != 1:
+        raise ValueError(f"sequence must be 1-D, got shape {seq.shape}")
+    n = seq.shape[0]
+    spectrum = np.fft.fft(seq)
+    acf = np.fft.ifft(spectrum * np.conj(spectrum)).real
+    # guard against tiny imaginary leakage
+    return np.round(acf, decimals=9)[:n]
+
+
+def is_balanced(sequence: np.ndarray) -> bool:
+    """True if a ±1 sequence has exactly one more +1 than -1 (m-sequence balance)."""
+    seq = np.asarray(sequence)
+    plus = int(np.count_nonzero(seq > 0))
+    minus = int(np.count_nonzero(seq < 0))
+    return plus == minus + 1

@@ -1,0 +1,129 @@
+"""Construction of the Matching Pursuits input matrices S, A and a.
+
+Section III of the paper defines the MP inputs for the AquaModem waveform:
+
+* ``S`` (``2*Ns x Ns`` = 224 x 112): column ``k`` is the 112-sample composite
+  waveform delayed by ``k`` samples inside the 224-sample receive window
+  (symbol + guard interval), i.e. the hypothesised signature of a propagation
+  path with delay ``k * Ts``;
+* ``A = S^H S`` (``Ns x Ns`` = 112 x 112): the Gram matrix of those signatures,
+  used for successive interference cancellation;
+* ``a = 1 / diag(A)`` (``Ns x 1``): pre-computed reciprocals that let the
+  hardware avoid division.
+
+All three are static — they depend only on the waveform, not on the received
+data — and in hardware they are pre-computed and stored in block RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["SignalMatrices", "build_signal_matrices", "delayed_signature_matrix"]
+
+
+def delayed_signature_matrix(waveform: np.ndarray, window_length: int, num_delays: int) -> np.ndarray:
+    """Build the matrix of delayed copies of ``waveform``.
+
+    Column ``k`` contains ``waveform`` shifted down by ``k`` samples inside a
+    window of ``window_length`` samples, zero elsewhere.  Delays that would
+    push part of the waveform outside the window are rejected.
+    """
+    waveform = ensure_1d_array("waveform", waveform, dtype=np.float64)
+    window_length = check_integer("window_length", window_length, minimum=1)
+    num_delays = check_integer("num_delays", num_delays, minimum=1)
+    wf_len = waveform.shape[0]
+    if (num_delays - 1) + wf_len > window_length:
+        raise ValueError(
+            "window too short: largest delay "
+            f"{num_delays - 1} plus waveform length {wf_len} exceeds window {window_length}"
+        )
+    signature = np.zeros((window_length, num_delays), dtype=np.float64)
+    for k in range(num_delays):
+        signature[k : k + wf_len, k] = waveform
+    return signature
+
+
+@dataclass(frozen=True)
+class SignalMatrices:
+    """The static MP inputs for one waveform.
+
+    Attributes
+    ----------
+    S:
+        ``(2*Ns, Ns)`` delayed-signature matrix.
+    A:
+        ``(Ns, Ns)`` Gram matrix ``S^T S``.
+    a:
+        ``(Ns,)`` reciprocal of the diagonal of ``A``.
+    waveform:
+        The underlying sampled waveform (``Ns`` samples).
+    """
+
+    S: np.ndarray
+    A: np.ndarray
+    a: np.ndarray
+    waveform: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.S.shape
+        if self.A.shape != (n_cols, n_cols):
+            raise ValueError(
+                f"A must be ({n_cols}, {n_cols}), got {self.A.shape}"
+            )
+        if self.a.shape != (n_cols,):
+            raise ValueError(f"a must have shape ({n_cols},), got {self.a.shape}")
+
+    @property
+    def num_delays(self) -> int:
+        """Number of hypothesised path delays (columns of S)."""
+        return self.S.shape[1]
+
+    @property
+    def window_length(self) -> int:
+        """Receive-window length in samples (rows of S)."""
+        return self.S.shape[0]
+
+    def synthesize(self, coefficients: np.ndarray) -> np.ndarray:
+        """Reconstruct the noiseless receive vector ``S @ f`` for channel ``f``."""
+        coefficients = ensure_1d_array(
+            "coefficients", coefficients, dtype=np.complex128, length=self.num_delays
+        )
+        return self.S @ coefficients
+
+
+def build_signal_matrices(waveform: np.ndarray, window_length: int | None = None,
+                          num_delays: int | None = None) -> SignalMatrices:
+    """Build :class:`SignalMatrices` from a sampled waveform.
+
+    Parameters
+    ----------
+    waveform:
+        Sampled composite waveform (``Ns`` samples, e.g. 112 for the AquaModem).
+    window_length:
+        Receive-window length; defaults to ``2 * len(waveform)`` (symbol plus an
+        equal guard interval, as in Table 1).
+    num_delays:
+        Number of hypothesised delays; defaults to ``len(waveform)``.
+
+    Returns
+    -------
+    SignalMatrices
+    """
+    waveform = ensure_1d_array("waveform", waveform, dtype=np.float64)
+    ns = waveform.shape[0]
+    if window_length is None:
+        window_length = 2 * ns
+    if num_delays is None:
+        num_delays = ns
+    S = delayed_signature_matrix(waveform, window_length, num_delays)
+    A = S.T @ S
+    diag = np.diag(A)
+    if np.any(diag == 0.0):
+        raise ValueError("waveform has zero energy; diagonal of A contains zeros")
+    a = 1.0 / diag
+    return SignalMatrices(S=S, A=A, a=a, waveform=waveform)

@@ -1,0 +1,119 @@
+"""Composite Walsh x m-sequence spreading waveforms (Figure 4).
+
+Each AquaModem symbol is one of ``Nw`` orthogonal Walsh code words; every
+Walsh chip is further multiplied by an ``Lpn``-chip m-sequence, yielding a
+``Nw * Lpn`` chip composite waveform (8 x 7 = 56 chips for the AquaModem).
+The m-sequence layer spreads the symbol energy over the full bandwidth, which
+is what gives the waveform its robustness to frequency-selective multipath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.msequence import m_sequence
+from repro.dsp.walsh import walsh_codes
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["composite_waveform", "composite_waveform_set", "spread_symbols", "despread_chips"]
+
+
+def composite_waveform(walsh_code: np.ndarray, spreading_sequence: np.ndarray) -> np.ndarray:
+    """Spread one Walsh code word by the chip spreading sequence.
+
+    The result is the Kronecker product ``walsh ⊗ spreading``: every Walsh
+    chip is replaced by the full spreading sequence scaled by that chip.
+
+    Parameters
+    ----------
+    walsh_code:
+        ±1 Walsh code word of length ``Nw``.
+    spreading_sequence:
+        ±1 m-sequence of length ``Lpn``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``float64`` composite chip sequence of length ``Nw * Lpn``.
+    """
+    walsh_code = ensure_1d_array("walsh_code", walsh_code, dtype=np.float64)
+    spreading_sequence = ensure_1d_array(
+        "spreading_sequence", spreading_sequence, dtype=np.float64
+    )
+    return np.kron(walsh_code, spreading_sequence)
+
+
+def composite_waveform_set(
+    num_symbols: int = 8, spreading_length: int = 7, ordering: str = "sequency"
+) -> np.ndarray:
+    """Build the full symbol alphabet of composite waveforms.
+
+    Parameters
+    ----------
+    num_symbols:
+        Number of orthogonal symbols (``Nw``); must be a power of two.
+    spreading_length:
+        m-sequence length (``Lpn``), e.g. 7 for the AquaModem.
+    ordering:
+        Walsh row ordering passed to :func:`repro.dsp.walsh.walsh_codes`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_symbols, num_symbols * spreading_length)`` matrix of ±1 chips.
+        Rows remain mutually orthogonal because the same spreading sequence is
+        applied to every symbol.
+    """
+    check_integer("spreading_length", spreading_length, minimum=1)
+    walsh = walsh_codes(num_symbols, ordering=ordering)
+    pn = m_sequence(spreading_length)
+    return np.vstack([composite_waveform(row, pn) for row in walsh])
+
+
+def spread_symbols(symbol_indices: np.ndarray, waveforms: np.ndarray) -> np.ndarray:
+    """Map a sequence of symbol indices to a concatenated chip stream.
+
+    Parameters
+    ----------
+    symbol_indices:
+        Integer array of indices into the rows of ``waveforms``.
+    waveforms:
+        Symbol alphabet, as produced by :func:`composite_waveform_set`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Chip stream of length ``len(symbol_indices) * waveforms.shape[1]``.
+    """
+    symbol_indices = ensure_1d_array("symbol_indices", symbol_indices, dtype=np.int64)
+    waveforms = np.asarray(waveforms, dtype=np.float64)
+    if waveforms.ndim != 2:
+        raise ValueError(f"waveforms must be 2-D, got shape {waveforms.shape}")
+    if symbol_indices.size and (
+        symbol_indices.min() < 0 or symbol_indices.max() >= waveforms.shape[0]
+    ):
+        raise ValueError("symbol index out of range of the waveform alphabet")
+    if symbol_indices.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    return waveforms[symbol_indices].reshape(-1)
+
+
+def despread_chips(chips: np.ndarray, waveforms: np.ndarray) -> np.ndarray:
+    """Correlate a chip stream against the symbol alphabet, symbol by symbol.
+
+    The chip stream length must be a multiple of the waveform length.  Returns
+    a ``(num_received_symbols, num_alphabet_symbols)`` matrix of correlation
+    scores; the argmax along axis 1 is the maximum-likelihood symbol decision
+    for an AWGN channel.
+    """
+    chips = ensure_1d_array("chips", chips, dtype=np.complex128)
+    waveforms = np.asarray(waveforms, dtype=np.float64)
+    if waveforms.ndim != 2:
+        raise ValueError(f"waveforms must be 2-D, got shape {waveforms.shape}")
+    wf_len = waveforms.shape[1]
+    if chips.shape[0] % wf_len != 0:
+        raise ValueError(
+            f"chip stream length {chips.shape[0]} is not a multiple of the waveform length {wf_len}"
+        )
+    blocks = chips.reshape(-1, wf_len)
+    return blocks @ waveforms.T.astype(np.complex128)

@@ -1,0 +1,79 @@
+"""Walsh (Hadamard) orthogonal code generation.
+
+The AquaModem transmits one of eight mutually orthogonal composite waveforms
+per symbol (Section III, Figure 4).  The orthogonal layer of those waveforms
+is a set of Walsh functions — the rows of a Sylvester-construction Hadamard
+matrix, optionally re-ordered by sequency (number of sign changes), which is
+the conventional "Walsh ordering".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_power_of_two
+
+__all__ = ["walsh_matrix", "walsh_codes", "sequency", "is_orthogonal_set"]
+
+
+def _hadamard_sylvester(order: int) -> np.ndarray:
+    """Sylvester-construction Hadamard matrix of size ``order`` (power of two)."""
+    h = np.array([[1]], dtype=np.int8)
+    while h.shape[0] < order:
+        h = np.block([[h, h], [h, -h]])
+    return h.astype(np.int8)
+
+
+def sequency(row: np.ndarray) -> int:
+    """Number of sign changes along a ±1 code word (its 'sequency')."""
+    row = np.asarray(row)
+    if row.ndim != 1:
+        raise ValueError(f"sequency expects a 1-D code word, got shape {row.shape}")
+    return int(np.count_nonzero(np.diff(np.sign(row)) != 0))
+
+
+def walsh_matrix(order: int, ordering: str = "sequency") -> np.ndarray:
+    """Return an ``order`` x ``order`` matrix whose rows are Walsh codes.
+
+    Parameters
+    ----------
+    order:
+        Code length; must be a power of two.
+    ordering:
+        ``"sequency"`` (default) sorts rows by increasing number of sign
+        changes (true Walsh ordering); ``"hadamard"`` returns the natural
+        Sylvester ordering.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int8`` matrix with entries in {-1, +1}; rows are mutually orthogonal.
+    """
+    order = check_power_of_two("order", order)
+    h = _hadamard_sylvester(order)
+    if ordering == "hadamard":
+        return h
+    if ordering == "sequency":
+        keys = [sequency(row) for row in h]
+        return h[np.argsort(keys, kind="stable")]
+    raise ValueError(f"ordering must be 'sequency' or 'hadamard', got {ordering!r}")
+
+
+def walsh_codes(num_codes: int, ordering: str = "sequency") -> np.ndarray:
+    """Return ``num_codes`` Walsh code words of length ``num_codes``.
+
+    This is the AquaModem symbol alphabet generator: ``walsh_codes(8)`` yields
+    the eight orthogonal 8-chip codes that form the orthogonal layer of the
+    composite waveforms.
+    """
+    return walsh_matrix(num_codes, ordering=ordering)
+
+
+def is_orthogonal_set(codes: np.ndarray, tol: float = 1e-9) -> bool:
+    """Check that the rows of ``codes`` are mutually orthogonal."""
+    codes = np.asarray(codes, dtype=np.float64)
+    if codes.ndim != 2:
+        raise ValueError(f"codes must be 2-D, got shape {codes.shape}")
+    gram = codes @ codes.T
+    off_diag = gram - np.diag(np.diag(gram))
+    return bool(np.max(np.abs(off_diag)) <= tol)

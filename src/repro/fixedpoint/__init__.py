@@ -1,0 +1,40 @@
+"""Fixed-point arithmetic substrate.
+
+The paper's FPGA IP core uses fixed-point datapaths of 8, 12 and 16 bits
+(Section IV.C).  This subpackage provides the machinery to model those
+datapaths in software:
+
+* :class:`~repro.fixedpoint.fmt.FixedPointFormat` — a Q-format descriptor
+  (word length, fraction length, signedness) with range/resolution queries.
+* :func:`~repro.fixedpoint.quantize.quantize` — vectorised quantisation with
+  selectable rounding and overflow behaviour.
+* :class:`~repro.fixedpoint.array.FixedPointArray` — a light wrapper holding
+  integer raw values plus their format, supporting the arithmetic the FC-block
+  datapath needs (add, subtract, multiply, accumulate) with explicit result
+  formats.
+* :mod:`~repro.fixedpoint.metrics` — quantisation-error metrics (SQNR, max
+  error) used by the bit-width ablation (experiment E6).
+"""
+
+from repro.fixedpoint.fmt import FixedPointFormat
+from repro.fixedpoint.quantize import quantize, quantize_to_format, OverflowMode, RoundingMode
+from repro.fixedpoint.array import FixedPointArray
+from repro.fixedpoint.metrics import (
+    quantization_noise_power,
+    signal_to_quantization_noise_ratio,
+    max_abs_error,
+    dynamic_range_scale,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize",
+    "quantize_to_format",
+    "OverflowMode",
+    "RoundingMode",
+    "FixedPointArray",
+    "quantization_noise_power",
+    "signal_to_quantization_noise_ratio",
+    "max_abs_error",
+    "dynamic_range_scale",
+]

@@ -1,0 +1,157 @@
+"""A fixed-point array type used by the bit-accurate IP-core simulator.
+
+:class:`FixedPointArray` stores integer raw codes together with their
+:class:`~repro.fixedpoint.fmt.FixedPointFormat`.  Arithmetic is performed on
+the raw integers (exactly, using int64) and then requantised to an explicit
+result format, which is how the hardware datapath behaves: every multiplier
+and adder output in the FC block has a declared width, and results wider than
+that are rounded/saturated.
+
+Only the operations required by the Matching Pursuits datapath are provided:
+addition, subtraction, multiplication, dot products and scalar broadcasting.
+The class intentionally does not try to be a full ndarray subclass; it is a
+modelling tool, not a general-purpose numeric type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.fmt import FixedPointFormat
+from repro.fixedpoint.quantize import OverflowMode, RoundingMode, quantize, raw_values
+
+__all__ = ["FixedPointArray"]
+
+
+@dataclass(frozen=True)
+class FixedPointArray:
+    """Integer raw codes plus their fixed-point format.
+
+    Use :meth:`from_float` to construct from floating-point data and
+    :meth:`to_float` to convert back.
+    """
+
+    raw: np.ndarray
+    fmt: FixedPointFormat
+
+    def __post_init__(self) -> None:
+        raw = np.asarray(self.raw, dtype=np.int64)
+        if np.any(raw < self.fmt.raw_min) or np.any(raw > self.fmt.raw_max):
+            raise ValueError("raw codes outside the representable range of the format")
+        object.__setattr__(self, "raw", raw)
+
+    # ------------------------------------------------------------------ #
+    # Construction / conversion
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_float(
+        cls,
+        values: np.ndarray | float,
+        fmt: FixedPointFormat,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowMode = OverflowMode.SATURATE,
+    ) -> "FixedPointArray":
+        """Quantise floating-point ``values`` into a :class:`FixedPointArray`."""
+        return cls(raw_values(values, fmt, rounding, overflow), fmt)
+
+    def to_float(self) -> np.ndarray:
+        """Return the represented real values as float64."""
+        return self.raw.astype(np.float64) * self.fmt.resolution
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.raw.shape
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __getitem__(self, index) -> "FixedPointArray":
+        return FixedPointArray(np.atleast_1d(self.raw[index]), self.fmt)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic — exact on raw codes, then requantised to result_fmt
+    # ------------------------------------------------------------------ #
+    def _requantize(
+        self,
+        exact_values: np.ndarray,
+        result_fmt: FixedPointFormat | None,
+        default_fmt: FixedPointFormat,
+        rounding: RoundingMode,
+        overflow: OverflowMode,
+    ) -> "FixedPointArray":
+        fmt = result_fmt if result_fmt is not None else default_fmt
+        quantised = quantize(exact_values, fmt, rounding, overflow)
+        return FixedPointArray.from_float(quantised, fmt, rounding, overflow)
+
+    def add(
+        self,
+        other: "FixedPointArray",
+        result_fmt: FixedPointFormat | None = None,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowMode = OverflowMode.SATURATE,
+    ) -> "FixedPointArray":
+        """Element-wise sum; default result format has one growth bit."""
+        exact = self.to_float() + other.to_float()
+        return self._requantize(
+            exact, result_fmt, self.fmt.add_format(other.fmt), rounding, overflow
+        )
+
+    def subtract(
+        self,
+        other: "FixedPointArray",
+        result_fmt: FixedPointFormat | None = None,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowMode = OverflowMode.SATURATE,
+    ) -> "FixedPointArray":
+        """Element-wise difference; default result format has one growth bit."""
+        exact = self.to_float() - other.to_float()
+        return self._requantize(
+            exact, result_fmt, self.fmt.add_format(other.fmt), rounding, overflow
+        )
+
+    def multiply(
+        self,
+        other: "FixedPointArray",
+        result_fmt: FixedPointFormat | None = None,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowMode = OverflowMode.SATURATE,
+    ) -> "FixedPointArray":
+        """Element-wise product; default result format is the full-precision product."""
+        exact = self.to_float() * other.to_float()
+        return self._requantize(
+            exact, result_fmt, self.fmt.multiply_format(other.fmt), rounding, overflow
+        )
+
+    def dot(
+        self,
+        other: "FixedPointArray",
+        result_fmt: FixedPointFormat | None = None,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowMode = OverflowMode.SATURATE,
+    ) -> "FixedPointArray":
+        """Inner product of two 1-D fixed-point arrays (MAC chain of the FC block)."""
+        if self.raw.ndim != 1 or other.raw.ndim != 1:
+            raise ValueError("dot requires 1-D operands")
+        if self.raw.shape != other.raw.shape:
+            raise ValueError(
+                f"dot requires equal lengths, got {self.raw.shape} and {other.raw.shape}"
+            )
+        exact = float(np.dot(self.to_float(), other.to_float()))
+        prod_fmt = self.fmt.multiply_format(other.fmt)
+        default_fmt = prod_fmt.accumulate_format(max(1, self.raw.shape[0]))
+        return self._requantize(
+            np.asarray(exact), result_fmt, default_fmt, rounding, overflow
+        )
+
+    def scale(
+        self,
+        factor: float,
+        result_fmt: FixedPointFormat | None = None,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        overflow: OverflowMode = OverflowMode.SATURATE,
+    ) -> "FixedPointArray":
+        """Multiply by a floating-point scalar (e.g. the pre-computed 1/A_kk)."""
+        exact = self.to_float() * factor
+        return self._requantize(exact, result_fmt, self.fmt, rounding, overflow)

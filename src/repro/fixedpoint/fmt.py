@@ -1,0 +1,157 @@
+"""Fixed-point format descriptors (Q-format).
+
+A fixed-point number with word length ``w``, fraction length ``f`` and a sign
+bit represents the value ``raw * 2**-f`` where ``raw`` is a ``w``-bit signed
+(two's-complement) or unsigned integer.  This mirrors the Xilinx System
+Generator ``Fix``/``UFix`` types used by the paper's IP core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_integer
+
+__all__ = ["FixedPointFormat"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A fixed-point number format.
+
+    Parameters
+    ----------
+    word_length:
+        Total number of bits, including the sign bit when ``signed``.
+    fraction_length:
+        Number of fractional bits.  May exceed ``word_length`` (pure
+        fractions) or be negative (coarse integers), as in System Generator.
+    signed:
+        Whether the raw integer is two's complement.
+
+    Examples
+    --------
+    >>> fmt = FixedPointFormat(8, 6)
+    >>> fmt.resolution
+    0.015625
+    >>> fmt.max_value
+    1.984375
+    >>> fmt.min_value
+    -2.0
+    """
+
+    word_length: int
+    fraction_length: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        check_integer("word_length", self.word_length, minimum=1, maximum=64)
+        check_integer("fraction_length", self.fraction_length, minimum=-64, maximum=128)
+
+    # ------------------------------------------------------------------ #
+    # Derived properties
+    # ------------------------------------------------------------------ #
+    @property
+    def integer_length(self) -> int:
+        """Number of integer (non-fraction, non-sign) bits."""
+        return self.word_length - self.fraction_length - (1 if self.signed else 0)
+
+    @property
+    def resolution(self) -> float:
+        """The value of one least-significant bit."""
+        return 2.0 ** (-self.fraction_length)
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable raw integer."""
+        if self.signed:
+            return -(1 << (self.word_length - 1))
+        return 0
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable raw integer."""
+        if self.signed:
+            return (1 << (self.word_length - 1)) - 1
+        return (1 << self.word_length) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min * self.resolution
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max * self.resolution
+
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct representable values."""
+        return 1 << self.word_length
+
+    def contains(self, value: float) -> bool:
+        """Return True if ``value`` lies inside the representable range."""
+        return self.min_value <= value <= self.max_value
+
+    # ------------------------------------------------------------------ #
+    # Format algebra (result formats of exact arithmetic)
+    # ------------------------------------------------------------------ #
+    def multiply_format(self, other: "FixedPointFormat") -> "FixedPointFormat":
+        """Format of an exact (full-precision) product of two fixed-point numbers."""
+        signed = self.signed or other.signed
+        word = self.word_length + other.word_length
+        frac = self.fraction_length + other.fraction_length
+        return FixedPointFormat(word, frac, signed)
+
+    def add_format(self, other: "FixedPointFormat") -> "FixedPointFormat":
+        """Format of an exact sum of two fixed-point numbers (one growth bit)."""
+        signed = self.signed or other.signed
+        frac = max(self.fraction_length, other.fraction_length)
+        int_self = self.word_length - self.fraction_length
+        int_other = other.word_length - other.fraction_length
+        word = max(int_self, int_other) + frac + 1
+        return FixedPointFormat(min(word, 64), frac, signed)
+
+    def accumulate_format(self, terms: int) -> "FixedPointFormat":
+        """Format of an exact sum of ``terms`` values of this format."""
+        check_integer("terms", terms, minimum=1)
+        growth = max(1, int(terms - 1).bit_length())
+        return FixedPointFormat(min(self.word_length + growth, 64), self.fraction_length, self.signed)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_unit_range(cls, word_length: int, signed: bool = True) -> "FixedPointFormat":
+        """Format covering approximately [-1, 1) (or [0, 1) unsigned).
+
+        This is the natural format for normalised chip sequences (±1 values are
+        scaled by the dynamic-range scaler before quantisation, see
+        :func:`repro.fixedpoint.metrics.dynamic_range_scale`).
+        """
+        frac = word_length - 1 if signed else word_length
+        return cls(word_length, frac, signed)
+
+    @classmethod
+    def for_range(
+        cls, word_length: int, max_abs_value: float, signed: bool = True
+    ) -> "FixedPointFormat":
+        """Choose the fraction length that covers ``[-max_abs_value, max_abs_value]``.
+
+        The fraction length is the largest one (finest resolution) whose range
+        still covers the requested magnitude.
+        """
+        check_integer("word_length", word_length, minimum=1, maximum=64)
+        if max_abs_value <= 0:
+            raise ValueError(f"max_abs_value must be > 0, got {max_abs_value!r}")
+        # integer bits needed to represent max_abs_value
+        import math
+
+        int_bits = max(0, math.ceil(math.log2(max_abs_value + 2.0 ** -52)))
+        frac = word_length - int_bits - (1 if signed else 0)
+        return cls(word_length, frac, signed)
+
+    def __str__(self) -> str:
+        kind = "Fix" if self.signed else "UFix"
+        return f"{kind}{self.word_length}_{self.fraction_length}"

@@ -1,0 +1,75 @@
+"""Quantisation-error metrics used by the bit-width ablation (experiment E6).
+
+The paper (Section IV.C) cites Meng et al. [21] for the claim that 8-10 bits
+with optimal dynamic-range scaling are sufficient for accurate channel
+estimation.  These helpers quantify that claim on our own implementation:
+signal-to-quantisation-noise ratio of the quantised signal matrices, and the
+channel-estimation error as a function of word length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.units import power_ratio_to_db
+
+__all__ = [
+    "quantization_noise_power",
+    "signal_to_quantization_noise_ratio",
+    "max_abs_error",
+    "dynamic_range_scale",
+]
+
+
+def quantization_noise_power(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Mean squared error between the original and quantised arrays."""
+    original = np.asarray(original)
+    quantized = np.asarray(quantized)
+    if original.shape != quantized.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {quantized.shape}"
+        )
+    err = original - quantized
+    return float(np.mean(np.abs(err) ** 2))
+
+
+def signal_to_quantization_noise_ratio(
+    original: np.ndarray, quantized: np.ndarray
+) -> float:
+    """SQNR in dB.  Returns ``inf`` for an exact representation."""
+    original = np.asarray(original)
+    signal_power = float(np.mean(np.abs(original) ** 2))
+    noise_power = quantization_noise_power(original, quantized)
+    if signal_power == 0.0:
+        raise ValueError("signal power is zero; SQNR undefined")
+    if noise_power == 0.0:
+        return float("inf")
+    return power_ratio_to_db(signal_power / noise_power)
+
+
+def max_abs_error(original: np.ndarray, quantized: np.ndarray) -> float:
+    """Largest absolute element-wise quantisation error."""
+    original = np.asarray(original)
+    quantized = np.asarray(quantized)
+    if original.shape != quantized.shape:
+        raise ValueError(f"shape mismatch: {original.shape} vs {quantized.shape}")
+    return float(np.max(np.abs(original - quantized)))
+
+
+def dynamic_range_scale(values: np.ndarray) -> float:
+    """Return the power-of-two scale that maps ``values`` into [-1, 1).
+
+    Scaling by a power of two is free in hardware (a binary-point move), so the
+    IP core normalises each stored matrix by the smallest power of two that
+    covers its dynamic range before quantisation.  Returns 1.0 for an all-zero
+    input.
+    """
+    values = np.asarray(values)
+    if np.iscomplexobj(values):
+        peak = float(max(np.max(np.abs(values.real)), np.max(np.abs(values.imag))))
+    else:
+        peak = float(np.max(np.abs(values)))
+    if peak == 0.0:
+        return 1.0
+    exponent = int(np.ceil(np.log2(peak)))
+    return float(2.0 ** exponent)

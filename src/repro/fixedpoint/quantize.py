@@ -1,0 +1,117 @@
+"""Vectorised quantisation of floating-point arrays to fixed-point grids.
+
+The quantiser supports the rounding and overflow behaviours offered by the
+Xilinx System Generator blocks used in the paper's IP core: round-to-nearest
+vs. truncation, and saturation vs. two's-complement wrap-around.  Complex
+inputs are quantised component-wise (the IP core duplicates the datapath for
+real and imaginary parts, Section IV.A).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.fixedpoint.fmt import FixedPointFormat
+
+__all__ = ["RoundingMode", "OverflowMode", "quantize", "quantize_to_format", "raw_values"]
+
+
+class RoundingMode(str, Enum):
+    """How the infinite-precision value is mapped onto the fixed-point grid."""
+
+    NEAREST = "nearest"
+    TRUNCATE = "truncate"
+
+
+class OverflowMode(str, Enum):
+    """What happens when a value exceeds the representable range."""
+
+    SATURATE = "saturate"
+    WRAP = "wrap"
+
+
+def _round_raw(scaled: np.ndarray, rounding: RoundingMode) -> np.ndarray:
+    if rounding is RoundingMode.NEAREST:
+        return np.round(scaled)
+    return np.floor(scaled)
+
+
+def _apply_overflow(
+    raw: np.ndarray, fmt: FixedPointFormat, overflow: OverflowMode
+) -> np.ndarray:
+    if overflow is OverflowMode.SATURATE:
+        return np.clip(raw, fmt.raw_min, fmt.raw_max)
+    # two's-complement wrap
+    span = fmt.num_levels
+    wrapped = np.mod(raw - fmt.raw_min, span) + fmt.raw_min
+    return wrapped
+
+
+def raw_values(
+    values: np.ndarray | float,
+    fmt: FixedPointFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+) -> np.ndarray:
+    """Return the integer raw codes of ``values`` quantised to ``fmt``.
+
+    Real inputs only; complex inputs must be split by the caller.
+    """
+    arr = np.asarray(values)
+    if np.iscomplexobj(arr):
+        raise TypeError("raw_values operates on real arrays; split complex inputs first")
+    arr = arr.astype(np.float64, copy=False)
+    scaled = arr / fmt.resolution
+    raw = _round_raw(scaled, rounding)
+    raw = _apply_overflow(raw, fmt, overflow)
+    return raw.astype(np.int64)
+
+
+def quantize(
+    values: np.ndarray | float | complex,
+    fmt: FixedPointFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+) -> np.ndarray:
+    """Quantise ``values`` to the grid of ``fmt`` and return them as floats.
+
+    The returned array has the same shape as the input; complex inputs are
+    quantised component-wise.  The result is exactly representable in ``fmt``
+    (i.e. ``quantize(quantize(x)) == quantize(x)``).
+    """
+    arr = np.asarray(values)
+    if np.iscomplexobj(arr):
+        real = quantize(arr.real, fmt, rounding, overflow)
+        imag = quantize(arr.imag, fmt, rounding, overflow)
+        return real + 1j * imag
+    raw = raw_values(arr, fmt, rounding, overflow)
+    return raw.astype(np.float64) * fmt.resolution
+
+
+def quantize_to_format(
+    values: np.ndarray | float | complex,
+    word_length: int,
+    *,
+    max_abs_value: float | None = None,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+) -> tuple[np.ndarray, FixedPointFormat]:
+    """Quantise ``values`` choosing a fraction length that fits the data.
+
+    If ``max_abs_value`` is not given it is taken from the data (with complex
+    inputs, from the larger of the real/imaginary magnitudes).  Returns the
+    quantised values and the chosen format.  This implements the "optimal
+    dynamic range scaling" the paper attributes to Meng et al. [21].
+    """
+    arr = np.asarray(values)
+    if max_abs_value is None:
+        if np.iscomplexobj(arr):
+            max_abs_value = float(max(np.max(np.abs(arr.real)), np.max(np.abs(arr.imag))))
+        else:
+            max_abs_value = float(np.max(np.abs(arr)))
+        if max_abs_value == 0.0:
+            max_abs_value = 1.0
+    fmt = FixedPointFormat.for_range(word_length, max_abs_value)
+    return quantize(arr, fmt, rounding, overflow), fmt

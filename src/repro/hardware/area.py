@@ -1,0 +1,127 @@
+"""Area model: slices, DSP48 tiles and block RAM of an IP-core configuration.
+
+Calibration (DESIGN.md §2): the Table 2 area figures are reproduced exactly by
+
+``slices = ceil(P * slices_per_fc_block(device, bits))``
+
+with the per-device calibration tables stored on :class:`~repro.hardware.devices.FPGADevice`.
+Each FC block uses two dedicated multiplier tiles (one each for the real and
+imaginary datapaths), so the fully parallel design needs 224 DSP48s — which is
+why it cannot be placed on the Spartan-3 xc3s5000 (104 available), exactly as
+the paper notes under Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.devices import FPGADevice
+from repro.utils.validation import check_integer
+
+__all__ = ["AreaEstimate", "estimate_area", "is_feasible", "DSP48_PER_FC_BLOCK"]
+
+#: Dedicated multiplier tiles per FC block (real + imaginary datapath).
+DSP48_PER_FC_BLOCK = 2
+
+#: Number of values held in block RAM per delay column: one column of S
+#: (window samples), one column of A (num_delays values) and one element of a.
+def _storage_values_per_column(window_length: int, num_delays: int) -> int:
+    return window_length + num_delays + 1
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """Resource usage of one IP-core configuration on one device.
+
+    Attributes
+    ----------
+    slices:
+        Occupied logic slices.
+    dsp48:
+        Dedicated multiplier tiles used.
+    bram_blocks:
+        Block RAMs used for the S/A/a storage.
+    storage_bits:
+        Total bits of waveform-matrix storage (the 1208 kbit figure of
+        Section IV.C corresponds to 32-bit storage).
+    feasible:
+        True if every resource fits on the device.
+    limiting_resources:
+        Names of the resources that overflow (empty when feasible).
+    """
+
+    slices: int
+    dsp48: int
+    bram_blocks: int
+    storage_bits: int
+    feasible: bool
+    limiting_resources: tuple[str, ...] = ()
+
+
+def estimate_area(
+    device: FPGADevice,
+    num_fc_blocks: int,
+    word_length: int,
+    num_delays: int = 112,
+    window_length: int = 224,
+) -> AreaEstimate:
+    """Estimate the resources of an IP core with ``num_fc_blocks`` at ``word_length`` bits.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA.
+    num_fc_blocks:
+        Level of parallelism P.
+    word_length:
+        Datapath / storage width in bits.
+    num_delays, window_length:
+        Problem geometry (112 and 224 for the AquaModem).
+    """
+    check_integer("num_fc_blocks", num_fc_blocks, minimum=1)
+    check_integer("word_length", word_length, minimum=2, maximum=64)
+    check_integer("num_delays", num_delays, minimum=1)
+    check_integer("window_length", window_length, minimum=1)
+    if num_delays % num_fc_blocks != 0:
+        raise ValueError(
+            f"num_fc_blocks ({num_fc_blocks}) must divide num_delays ({num_delays})"
+        )
+
+    slices = math.ceil(num_fc_blocks * device.fc_block_slices(word_length))
+    dsp48 = DSP48_PER_FC_BLOCK * num_fc_blocks
+
+    storage_values = num_delays * _storage_values_per_column(window_length, num_delays)
+    storage_bits = storage_values * word_length
+    # Each FC block needs at least one BRAM for its private column storage;
+    # beyond that, capacity dictates the count.
+    capacity_blocks = math.ceil(storage_bits / (device.bram_kbits * 1024.0))
+    bram_blocks = max(num_fc_blocks, capacity_blocks)
+
+    limiting: list[str] = []
+    if slices > device.slices:
+        limiting.append("slices")
+    if dsp48 > device.dsp48:
+        limiting.append("dsp48")
+    if bram_blocks > device.bram_blocks:
+        limiting.append("bram")
+
+    return AreaEstimate(
+        slices=slices,
+        dsp48=dsp48,
+        bram_blocks=bram_blocks,
+        storage_bits=storage_bits,
+        feasible=not limiting,
+        limiting_resources=tuple(limiting),
+    )
+
+
+def is_feasible(
+    device: FPGADevice,
+    num_fc_blocks: int,
+    word_length: int,
+    num_delays: int = 112,
+    window_length: int = 224,
+) -> bool:
+    """True if the configuration fits on the device (slices, DSP48 and BRAM)."""
+    return estimate_area(device, num_fc_blocks, word_length, num_delays, window_length).feasible

@@ -1,0 +1,136 @@
+"""ASIC alternative: energy and cost model (the paper's Section VI discussion).
+
+The conclusion of the paper weighs a fourth platform: an ASIC "like
+reconfigurable hardware allows for a custom, highly parallel implementation
+that can also optimize for energy efficiency", but is "not reconfigurable and
+[is] not [a] commodity off the shelf part, making [it] an expensive option for
+a low-cost modem".  This module quantifies both halves of that sentence:
+
+* **Energy** — an ASIC implementation of the same Filter-and-Cancel
+  architecture at the same 90 nm node avoids the FPGA's configuration-fabric
+  overhead.  The standard rule of thumb (Kuon & Rose's measured FPGA-to-ASIC
+  gaps for 90 nm) is roughly 12x lower dynamic power, 3-4x higher clock and a
+  quiescent power dominated by leakage of a much smaller die; the model takes
+  those as parameters.
+* **Cost** — a mask set plus design effort (non-recurring engineering, NRE)
+  amortised over the production volume, against the FPGA's per-unit price.
+  The cross-over volume is what makes the ASIC "an expensive option" for the
+  10s-to-100s-of-nodes deployments the paper targets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.energy import EnergyEstimate
+from repro.hardware.fpga import FPGAImplementation
+from repro.utils.validation import check_integer, check_non_negative, check_positive
+
+__all__ = ["ASICModel", "ASICImplementation", "cost_crossover_volume"]
+
+
+@dataclass(frozen=True)
+class ASICModel:
+    """Scaling factors from an FPGA implementation to a same-node ASIC.
+
+    Parameters
+    ----------
+    dynamic_power_ratio:
+        FPGA dynamic power divided by ASIC dynamic power for the same logic
+        (Kuon & Rose measure ~12x at 90 nm).
+    clock_speedup:
+        ASIC clock frequency relative to the FPGA's (~3.5x).
+    quiescent_power_w:
+        ASIC leakage power (a few mW for a design of this size at 90 nm).
+    nre_cost_usd:
+        Non-recurring engineering cost: mask set + design/verification effort.
+    unit_cost_usd:
+        Per-die production cost at volume.
+    """
+
+    dynamic_power_ratio: float = 12.0
+    clock_speedup: float = 3.5
+    quiescent_power_w: float = 0.005
+    nre_cost_usd: float = 250_000.0
+    unit_cost_usd: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("dynamic_power_ratio", self.dynamic_power_ratio)
+        check_positive("clock_speedup", self.clock_speedup)
+        check_non_negative("quiescent_power_w", self.quiescent_power_w)
+        check_non_negative("nre_cost_usd", self.nre_cost_usd)
+        check_non_negative("unit_cost_usd", self.unit_cost_usd)
+
+
+@dataclass
+class ASICImplementation:
+    """An ASIC realisation derived from an FPGA design point.
+
+    The architecture (number of FC blocks, word length, cycle schedule) is
+    inherited from the FPGA implementation; only the circuit-level constants
+    change.
+    """
+
+    fpga: FPGAImplementation
+    model: ASICModel = ASICModel()
+
+    @property
+    def clock_frequency_hz(self) -> float:
+        """ASIC clock: the FPGA clock scaled by the speed-up factor."""
+        return self.fpga.timing.clock_frequency_hz * self.model.clock_speedup
+
+    @property
+    def execution_time_s(self) -> float:
+        """Same cycle count as the FPGA schedule, at the ASIC clock."""
+        return self.fpga.timing.cycles / self.clock_frequency_hz
+
+    @property
+    def power_w(self) -> float:
+        """ASIC processing power: scaled dynamic power plus leakage.
+
+        Dynamic power scales with the clock, so the ratio is applied to the
+        FPGA's dynamic power re-rated to the ASIC clock.
+        """
+        fpga_dynamic_at_asic_clock = (
+            self.fpga.power.dynamic_power_w * self.model.clock_speedup
+        )
+        return self.model.quiescent_power_w + fpga_dynamic_at_asic_clock / self.model.dynamic_power_ratio
+
+    @property
+    def energy(self) -> EnergyEstimate:
+        """Energy per channel estimation."""
+        return EnergyEstimate(
+            energy_j=self.power_w * self.execution_time_s,
+            power_w=self.power_w,
+            execution_time_s=self.execution_time_s,
+        )
+
+    @property
+    def label(self) -> str:
+        """Human-readable label derived from the FPGA design point."""
+        return f"ASIC ({self.fpga.num_fc_blocks}FC {self.fpga.word_length}bit)"
+
+    def unit_cost_usd(self, volume: int) -> float:
+        """Per-node cost at a given production volume (NRE amortised)."""
+        check_integer("volume", volume, minimum=1)
+        return self.model.unit_cost_usd + self.model.nre_cost_usd / volume
+
+
+def cost_crossover_volume(
+    asic: ASICImplementation,
+    fpga_unit_cost_usd: float,
+) -> int:
+    """Production volume at which the ASIC's per-node cost drops below the FPGA's.
+
+    The paper targets deployments of 10s-100s of nodes; the cross-over is
+    typically orders of magnitude beyond that, which is exactly why the paper
+    dismisses the ASIC for a low-cost modem.
+    """
+    check_positive("fpga_unit_cost_usd", fpga_unit_cost_usd)
+    margin = fpga_unit_cost_usd - asic.model.unit_cost_usd
+    if margin <= 0:
+        raise ValueError(
+            "the ASIC's marginal unit cost is not below the FPGA's; no cross-over exists"
+        )
+    return max(1, math.ceil(asic.model.nre_cost_usd / margin))

@@ -1,0 +1,151 @@
+"""Cross-platform comparison (the Table 3 experiment).
+
+Builds the energy comparison between the microcontroller (MicroBlaze), the
+DSP (TI C6713) and a selection of FPGA design points, reporting each
+platform's execution time, power and energy along with the energy-decrease
+factors relative to the microcontroller and the DSP — the paper's headline
+numbers are 210x and 52x for the fully parallel 8-bit Virtex-4 design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.fpga import FPGAImplementation
+from repro.hardware.processors import ProcessorImplementation, microblaze_soft_core, ti_c6713
+from repro.utils.tables import AsciiTable
+
+__all__ = ["PlatformResult", "PlatformComparison", "compare_platforms", "default_fpga_design_points"]
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """One platform's row of the comparison."""
+
+    label: str
+    time_us: float
+    power_w: float
+    energy_uj: float
+    energy_decrease_vs_microcontroller: float
+    energy_decrease_vs_dsp: float
+
+
+@dataclass
+class PlatformComparison:
+    """The full comparison: baselines plus FPGA design points."""
+
+    results: list[PlatformResult]
+
+    def by_label(self, label_fragment: str) -> PlatformResult:
+        """Return the first result whose label contains ``label_fragment``."""
+        for result in self.results:
+            if label_fragment.lower() in result.label.lower():
+                return result
+        raise KeyError(f"no platform result matching {label_fragment!r}")
+
+    def best_energy(self) -> PlatformResult:
+        """The platform with the lowest energy per estimation."""
+        return min(self.results, key=lambda r: r.energy_uj)
+
+    def render(self) -> str:
+        """ASCII rendering in the layout of Table 3."""
+        table = AsciiTable(
+            headers=[
+                "Platform",
+                "Time (us)",
+                "Power (W)",
+                "Energy (uJ)",
+                "Energy decrease (vs MicroBlaze)",
+                "Energy decrease (vs DSP)",
+            ],
+            title="Table 3 — platform comparison (modelled)",
+            float_format=".4g",
+        )
+        for r in self.results:
+            table.add_row(
+                r.label,
+                r.time_us,
+                r.power_w,
+                r.energy_uj,
+                f"{r.energy_decrease_vs_microcontroller:.2f}X",
+                f"{r.energy_decrease_vs_dsp:.2f}X",
+            )
+        return table.render()
+
+
+def default_fpga_design_points(num_paths: int = 6) -> list[FPGAImplementation]:
+    """The four FPGA rows of Table 3.
+
+    Least- and most-energy-consuming Virtex-4 and Spartan-3 IP core designs:
+    the serial (1 FC block) 16-bit points and the most parallel feasible
+    8-bit points (112 blocks on the Virtex-4, 14 on the Spartan-3).
+    """
+    from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+
+    return [
+        FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=1, word_length=16, num_paths=num_paths),
+        FPGAImplementation(SPARTAN3_XC3S5000, num_fc_blocks=1, word_length=16, num_paths=num_paths),
+        FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=112, word_length=8, num_paths=num_paths),
+        FPGAImplementation(SPARTAN3_XC3S5000, num_fc_blocks=14, word_length=8, num_paths=num_paths),
+    ]
+
+
+def compare_platforms(
+    fpga_designs: list[FPGAImplementation] | None = None,
+    num_paths: int = 6,
+    num_delays: int = 112,
+    window_length: int = 224,
+) -> PlatformComparison:
+    """Build the Table 3 comparison.
+
+    Parameters
+    ----------
+    fpga_designs:
+        FPGA design points to include; defaults to the four points of Table 3.
+    num_paths, num_delays, window_length:
+        Workload geometry for the processor baselines (and the default FPGA
+        points).
+    """
+    if fpga_designs is None:
+        fpga_designs = default_fpga_design_points(num_paths=num_paths)
+
+    microcontroller = ProcessorImplementation(
+        microblaze_soft_core(), num_delays=num_delays,
+        window_length=window_length, num_paths=num_paths,
+    )
+    dsp = ProcessorImplementation(
+        ti_c6713(), num_delays=num_delays,
+        window_length=window_length, num_paths=num_paths,
+    )
+
+    mb_energy = microcontroller.energy.energy_uj
+    dsp_energy = dsp.energy.energy_uj
+
+    results: list[PlatformResult] = []
+
+    def add(label: str, time_us: float, power_w: float, energy_uj: float) -> None:
+        results.append(
+            PlatformResult(
+                label=label,
+                time_us=time_us,
+                power_w=power_w,
+                energy_uj=energy_uj,
+                energy_decrease_vs_microcontroller=mb_energy / energy_uj,
+                energy_decrease_vs_dsp=dsp_energy / energy_uj,
+            )
+        )
+
+    add(microcontroller.label, microcontroller.execution_time_us,
+        microcontroller.power_w, mb_energy)
+    add(dsp.label, dsp.execution_time_us, dsp.power_w, dsp_energy)
+    for design in fpga_designs:
+        if not design.is_feasible:
+            continue
+        add(
+            design.label,
+            design.timing.execution_time_us,
+            design.power.total_power_w,
+            design.energy.energy_uj,
+        )
+
+    return PlatformComparison(results=results)

@@ -1,0 +1,221 @@
+"""FPGA device database.
+
+The paper evaluates the largest members of two 90 nm Xilinx families:
+
+* **Virtex-4 xc4vsx55** — the DSP-oriented Virtex-4 part: plenty of DSP48
+  multiply-accumulate tiles (512) and block RAM, faster fabric, higher
+  quiescent power (0.723 W per the paper's Figure 6 discussion).
+* **Spartan-3 xc3s5000** — the low-cost family flagship: far fewer dedicated
+  multipliers (104), slower fabric, much lower quiescent power (0.335 W).
+
+Each :class:`FPGADevice` carries the resource totals used by the feasibility
+check, the quiescent power, a per-slice dynamic-power coefficient and a
+clock-frequency calibration table (per datapath bit width), all calibrated so
+that the area/timing/power models reproduce the paper's Table 2, Table 3 and
+Figure 6 (see DESIGN.md §2 and ``tests/hardware/test_paper_calibration.py``).
+
+A couple of additional family members are included so the DSE engine can be
+exercised beyond the paper's two devices (smaller parts mostly demonstrate
+the feasibility constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "FPGADevice",
+    "VIRTEX4_XC4VSX55",
+    "SPARTAN3_XC3S5000",
+    "VIRTEX4_XC4VSX25",
+    "SPARTAN3_XC3S1500",
+    "DEVICE_LIBRARY",
+    "get_device",
+]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Static description of one FPGA device.
+
+    Parameters
+    ----------
+    name:
+        Device part name (e.g. ``"xc4vsx55"``).
+    family:
+        Device family (e.g. ``"Virtex-4"``).
+    technology_nm:
+        Process node in nanometres.
+    slices:
+        Number of logic slices available.
+    dsp48:
+        Number of dedicated multiply-accumulate tiles (DSP48s on Virtex-4,
+        18x18 multipliers on Spartan-3 — the paper refers to both as DSP48
+        resources).
+    bram_blocks:
+        Number of 18 kbit block RAMs.
+    bram_kbits:
+        Capacity of one block RAM in kbit.
+    quiescent_power_w:
+        Static power drawn with the device configured but idle.
+    dynamic_power_per_slice_hz:
+        Dynamic-power coefficient kappa in W per (occupied slice x Hz of
+        clock); calibrated against the paper's reported design-point powers.
+    slices_per_fc_block:
+        Calibration table: slices consumed by one Filter-and-Cancel block at
+        each characterised datapath bit width.
+    clock_frequency_hz:
+        Calibration table: achievable clock frequency at each characterised
+        datapath bit width (the critical path runs through the multiplier and
+        grows with operand width).
+    """
+
+    name: str
+    family: str
+    technology_nm: int
+    slices: int
+    dsp48: int
+    bram_blocks: int
+    bram_kbits: float
+    quiescent_power_w: float
+    dynamic_power_per_slice_hz: float
+    slices_per_fc_block: dict[int, float] = field(default_factory=dict)
+    clock_frequency_hz: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_integer("slices", self.slices, minimum=1)
+        check_integer("dsp48", self.dsp48, minimum=0)
+        check_integer("bram_blocks", self.bram_blocks, minimum=0)
+        check_positive("bram_kbits", self.bram_kbits)
+        check_positive("quiescent_power_w", self.quiescent_power_w)
+        check_positive("dynamic_power_per_slice_hz", self.dynamic_power_per_slice_hz)
+        if not self.slices_per_fc_block:
+            raise ValueError("slices_per_fc_block calibration table must not be empty")
+        if not self.clock_frequency_hz:
+            raise ValueError("clock_frequency_hz calibration table must not be empty")
+
+    # ------------------------------------------------------------------ #
+    def _interpolate(self, table: dict[int, float], bits: int) -> float:
+        """Piecewise-linear interpolation / extrapolation over a calibration table."""
+        points = sorted(table.items())
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        if bits <= xs[0]:
+            if len(xs) == 1:
+                return ys[0]
+            slope = (ys[1] - ys[0]) / (xs[1] - xs[0])
+            return ys[0] + slope * (bits - xs[0])
+        if bits >= xs[-1]:
+            if len(xs) == 1:
+                return ys[-1]
+            slope = (ys[-1] - ys[-2]) / (xs[-1] - xs[-2])
+            return ys[-1] + slope * (bits - xs[-1])
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            if x0 <= bits <= x1:
+                t = (bits - x0) / (x1 - x0)
+                return y0 + t * (y1 - y0)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fc_block_slices(self, word_length: int) -> float:
+        """Slices consumed by one FC block at the given datapath width."""
+        check_integer("word_length", word_length, minimum=2, maximum=64)
+        return max(self._interpolate(self.slices_per_fc_block, word_length), 1.0)
+
+    def max_clock_hz(self, word_length: int) -> float:
+        """Achievable clock frequency at the given datapath width.
+
+        Interpolation is done on the critical-path *delay* (1/f), which grows
+        roughly linearly with multiplier operand width.
+        """
+        check_integer("word_length", word_length, minimum=2, maximum=64)
+        delay_table = {bits: 1.0 / f for bits, f in self.clock_frequency_hz.items()}
+        delay = self._interpolate(delay_table, word_length)
+        if delay <= 0:
+            raise ValueError(f"extrapolated clock delay is non-positive for {word_length} bits")
+        return 1.0 / delay
+
+    @property
+    def bram_bits(self) -> float:
+        """Total on-chip block RAM capacity in bits."""
+        return self.bram_blocks * self.bram_kbits * 1024.0
+
+
+# --------------------------------------------------------------------------- #
+# Calibrated devices (see DESIGN.md §2 for the derivation of the constants)
+# --------------------------------------------------------------------------- #
+VIRTEX4_XC4VSX55 = FPGADevice(
+    name="xc4vsx55",
+    family="Virtex-4",
+    technology_nm=90,
+    slices=24_576,
+    dsp48=512,
+    bram_blocks=320,
+    bram_kbits=18.0,
+    quiescent_power_w=0.723,
+    dynamic_power_per_slice_hz=2.3225e-12,
+    slices_per_fc_block={8: 102.75, 12: 150.75, 16: 198.75},
+    clock_frequency_hz={8: 62.75e6, 12: 60.45e6, 16: 57.39e6},
+)
+
+SPARTAN3_XC3S5000 = FPGADevice(
+    name="xc3s5000",
+    family="Spartan-3",
+    technology_nm=90,
+    slices=33_280,
+    dsp48=104,
+    bram_blocks=104,
+    bram_kbits=18.0,
+    quiescent_power_w=0.335,
+    dynamic_power_per_slice_hz=2.536e-12,
+    slices_per_fc_block={8: 135.5, 12: 198.75, 16: 261.75},
+    clock_frequency_hz={8: 40.54e6, 12: 39.80e6, 16: 37.68e6},
+)
+
+#: A mid-size Virtex-4 SX part: same fabric speed and per-slice power as the
+#: flagship but half the DSP48s — useful for exercising feasibility limits.
+VIRTEX4_XC4VSX25 = FPGADevice(
+    name="xc4vsx25",
+    family="Virtex-4",
+    technology_nm=90,
+    slices=10_240,
+    dsp48=128,
+    bram_blocks=128,
+    bram_kbits=18.0,
+    quiescent_power_w=0.45,
+    dynamic_power_per_slice_hz=2.3225e-12,
+    slices_per_fc_block={8: 102.75, 12: 150.75, 16: 198.75},
+    clock_frequency_hz={8: 62.75e6, 12: 60.45e6, 16: 57.39e6},
+)
+
+#: A mid-size Spartan-3 part.
+SPARTAN3_XC3S1500 = FPGADevice(
+    name="xc3s1500",
+    family="Spartan-3",
+    technology_nm=90,
+    slices=13_312,
+    dsp48=32,
+    bram_blocks=32,
+    bram_kbits=18.0,
+    quiescent_power_w=0.18,
+    dynamic_power_per_slice_hz=2.536e-12,
+    slices_per_fc_block={8: 135.5, 12: 198.75, 16: 261.75},
+    clock_frequency_hz={8: 40.54e6, 12: 39.80e6, 16: 37.68e6},
+)
+
+#: Devices addressable by name through :func:`get_device`.
+DEVICE_LIBRARY: dict[str, FPGADevice] = {
+    device.name: device
+    for device in (VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000, VIRTEX4_XC4VSX25, SPARTAN3_XC3S1500)
+}
+
+
+def get_device(name: str) -> FPGADevice:
+    """Look a device up by part name (case-insensitive)."""
+    key = name.lower()
+    if key not in DEVICE_LIBRARY:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {sorted(DEVICE_LIBRARY)}"
+        )
+    return DEVICE_LIBRARY[key]

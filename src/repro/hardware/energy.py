@@ -1,0 +1,69 @@
+"""Energy model: energy per channel estimation and duty-cycled average power.
+
+Following the paper (Figure 6 discussion), the energy of one channel
+estimation is simply ``power x execution time``, under the assumption that the
+processor drops into an idle / power-down mode immediately after processing
+(and neglecting reconfiguration energy at power-up — both assumptions are
+stated explicitly in the paper and therefore retained here).
+
+For the sensor-network extension (experiment E9) a duty-cycled view is also
+provided: a node that performs ``estimations_per_second`` channel estimations
+spends the rest of the time in an idle state drawing ``idle_power_w``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.power import PowerEstimate
+from repro.hardware.timing import TimingEstimate
+from repro.utils.validation import check_non_negative
+
+__all__ = ["EnergyEstimate", "estimate_energy", "duty_cycled_average_power"]
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one channel estimation on one design point."""
+
+    energy_j: float
+    power_w: float
+    execution_time_s: float
+
+    @property
+    def energy_uj(self) -> float:
+        """Energy in microjoules (the paper's Figure 6 / Table 3 unit)."""
+        return self.energy_j * 1e6
+
+
+def estimate_energy(power: PowerEstimate | float, timing: TimingEstimate | float) -> EnergyEstimate:
+    """Energy per estimation: total processing power times execution time.
+
+    Accepts either the estimate objects or raw floats (watts / seconds).
+    """
+    power_w = power.total_power_w if isinstance(power, PowerEstimate) else float(power)
+    time_s = (
+        timing.execution_time_s if isinstance(timing, TimingEstimate) else float(timing)
+    )
+    check_non_negative("power_w", power_w)
+    check_non_negative("time_s", time_s)
+    return EnergyEstimate(energy_j=power_w * time_s, power_w=power_w, execution_time_s=time_s)
+
+
+def duty_cycled_average_power(
+    energy_per_estimation_j: float,
+    estimations_per_second: float,
+    idle_power_w: float = 0.0,
+) -> float:
+    """Average power of a node performing periodic channel estimations.
+
+    ``idle_power_w`` is drawn during the fraction of time the processor is not
+    actively estimating; the active energy is amortised over the period.  If
+    the requested rate cannot be sustained (active time per estimation exceeds
+    the period) a ``ValueError`` is raised by the caller's timing check — this
+    helper only does the energy arithmetic.
+    """
+    check_non_negative("energy_per_estimation_j", energy_per_estimation_j)
+    check_non_negative("estimations_per_second", estimations_per_second)
+    check_non_negative("idle_power_w", idle_power_w)
+    return energy_per_estimation_j * estimations_per_second + idle_power_w

@@ -1,0 +1,136 @@
+"""One-stop evaluation of an FPGA design point.
+
+:class:`FPGAImplementation` bundles the area, timing, power and energy models
+for a (device, parallelism, bit-width) triple.  This is the object the
+design-space exploration engine enumerates, and its report rows are what the
+Table 2 / Figure 6 / Table 3 benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.area import AreaEstimate, estimate_area
+from repro.hardware.devices import FPGADevice
+from repro.hardware.energy import EnergyEstimate, estimate_energy
+from repro.hardware.power import PowerEstimate, estimate_power
+from repro.hardware.timing import TimingEstimate, estimate_timing
+from repro.utils.validation import check_integer
+
+__all__ = ["FPGAImplementation"]
+
+
+@dataclass
+class FPGAImplementation:
+    """An IP-core configuration mapped onto a specific FPGA device.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA.
+    num_fc_blocks:
+        Level of parallelism P.
+    word_length:
+        Datapath width in bits.
+    num_paths:
+        MP iterations Nf (6 for the AquaModem field configuration).
+    num_delays, window_length:
+        Problem geometry (112 / 224 for the AquaModem).
+    control_overrides:
+        Optional overrides of the cycle model constants.
+    """
+
+    device: FPGADevice
+    num_fc_blocks: int
+    word_length: int
+    num_paths: int = 6
+    num_delays: int = 112
+    window_length: int = 224
+    control_overrides: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_integer("num_fc_blocks", self.num_fc_blocks, minimum=1)
+        check_integer("word_length", self.word_length, minimum=2, maximum=64)
+        check_integer("num_paths", self.num_paths, minimum=1)
+        if self.num_delays % self.num_fc_blocks != 0:
+            raise ValueError(
+                f"num_fc_blocks ({self.num_fc_blocks}) must divide num_delays ({self.num_delays})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Model evaluations (each cached on first use)
+    # ------------------------------------------------------------------ #
+    @property
+    def area(self) -> AreaEstimate:
+        """Resource usage on the target device."""
+        if not hasattr(self, "_area"):
+            self._area = estimate_area(
+                self.device,
+                self.num_fc_blocks,
+                self.word_length,
+                num_delays=self.num_delays,
+                window_length=self.window_length,
+            )
+        return self._area
+
+    @property
+    def timing(self) -> TimingEstimate:
+        """Cycle count, clock frequency and execution time."""
+        if not hasattr(self, "_timing"):
+            self._timing = estimate_timing(
+                self.device,
+                self.num_fc_blocks,
+                self.word_length,
+                num_paths=self.num_paths,
+                num_delays=self.num_delays,
+                window_length=self.window_length,
+                **self.control_overrides,
+            )
+        return self._timing
+
+    @property
+    def power(self) -> PowerEstimate:
+        """Quiescent + dynamic power while processing."""
+        if not hasattr(self, "_power"):
+            self._power = estimate_power(
+                self.device, self.area, self.timing.clock_frequency_hz
+            )
+        return self._power
+
+    @property
+    def energy(self) -> EnergyEstimate:
+        """Energy per channel estimation."""
+        if not hasattr(self, "_energy"):
+            self._energy = estimate_energy(self.power, self.timing)
+        return self._energy
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_feasible(self) -> bool:
+        """True if the configuration fits on the device."""
+        return self.area.feasible
+
+    @property
+    def label(self) -> str:
+        """Human-readable design-point label, e.g. ``'Virtex-4 112FC 8bit'``."""
+        return f"{self.device.family} {self.num_fc_blocks}FC {self.word_length}bit"
+
+    def report_row(self) -> dict[str, float | int | str | bool]:
+        """Flat dictionary of every modelled quantity (one table row)."""
+        return {
+            "device": self.device.family,
+            "part": self.device.name,
+            "fc_blocks": self.num_fc_blocks,
+            "word_length": self.word_length,
+            "feasible": self.is_feasible,
+            "slices": self.area.slices,
+            "dsp48": self.area.dsp48,
+            "bram": self.area.bram_blocks,
+            "cycles": self.timing.cycles,
+            "clock_mhz": self.timing.clock_frequency_hz / 1e6,
+            "time_us": self.timing.execution_time_us,
+            "throughput_per_us": self.timing.throughput_per_us,
+            "power_w": self.power.total_power_w,
+            "dynamic_power_w": self.power.dynamic_power_w,
+            "energy_uj": self.energy.energy_uj,
+        }

@@ -1,0 +1,105 @@
+"""Operation counts of the Matching Pursuits workload.
+
+The DSP and microcontroller models estimate execution time from the number of
+arithmetic, comparison and memory operations the algorithm performs on a
+sequential processor.  The counts below follow the straight-line
+transcription of Figure 3 (see
+:func:`repro.core.matching_pursuit.matching_pursuit_naive`) for a *complex*
+received vector and *real* signal matrices — the data layout the paper's
+implementations use:
+
+* matched filter (steps 1-5): ``num_delays * window_length`` complex-by-real
+  MAC operations, i.e. 2 real multiplies + 2 real additions each, with two
+  operand loads per term;
+* each of the ``num_paths`` iterations walks all ``num_delays`` columns doing
+  the cancellation (2 mul + 2 add), the temporary coefficient (2 mul), the
+  decision variable (2 mul + 1 add) and the running arg-max (1 compare),
+  with about six memory accesses per column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_integer
+
+__all__ = ["OperationCounts", "matching_pursuit_operation_counts"]
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Primitive operation counts of one workload execution."""
+
+    multiplies: int
+    additions: int
+    comparisons: int
+    memory_accesses: int
+    inner_loop_iterations: int
+
+    @property
+    def arithmetic_operations(self) -> int:
+        """Multiplies plus additions."""
+        return self.multiplies + self.additions
+
+    @property
+    def total_operations(self) -> int:
+        """Every counted operation (arithmetic + comparisons + memory)."""
+        return self.arithmetic_operations + self.comparisons + self.memory_accesses
+
+    def scaled(self, factor: int) -> "OperationCounts":
+        """Return counts multiplied by an integer factor (e.g. per-packet workloads)."""
+        check_integer("factor", factor, minimum=0)
+        return OperationCounts(
+            multiplies=self.multiplies * factor,
+            additions=self.additions * factor,
+            comparisons=self.comparisons * factor,
+            memory_accesses=self.memory_accesses * factor,
+            inner_loop_iterations=self.inner_loop_iterations * factor,
+        )
+
+
+def matching_pursuit_operation_counts(
+    num_delays: int = 112,
+    window_length: int = 224,
+    num_paths: int = 6,
+) -> OperationCounts:
+    """Operation counts of one MP channel estimation.
+
+    Parameters
+    ----------
+    num_delays:
+        Number of hypothesised delays (columns of S); 112 for the AquaModem.
+    window_length:
+        Receive-window length (rows of S); 224 for the AquaModem.
+    num_paths:
+        Number of MP iterations Nf.
+    """
+    d = check_integer("num_delays", num_delays, minimum=1)
+    w = check_integer("window_length", window_length, minimum=1)
+    nf = check_integer("num_paths", num_paths, minimum=1)
+
+    # Matched filter: complex r x real S -> 2 mul + 2 add per term.
+    mf_terms = d * w
+    mf_multiplies = 2 * mf_terms
+    mf_additions = 2 * mf_terms
+    mf_memory = 2 * mf_terms          # load S[n, i] and r[n]
+    mf_iterations = mf_terms
+
+    # Per iteration, per column:
+    #   cancel   V[k] -= A[k, q] * F[q]   : 2 mul, 2 add, 3 mem (A, V load; V store)
+    #   G[k] = V[k] * a[k]                : 2 mul,        2 mem (a load, G store)
+    #   Q[k] = Re{conj(G[k]) V[k]}        : 2 mul, 1 add, 1 mem (Q store)
+    #   running arg-max                   : 1 compare
+    per_column_multiplies = 6
+    per_column_additions = 3
+    per_column_compares = 1
+    per_column_memory = 6
+    iter_columns = nf * d
+
+    return OperationCounts(
+        multiplies=mf_multiplies + per_column_multiplies * iter_columns,
+        additions=mf_additions + per_column_additions * iter_columns,
+        comparisons=per_column_compares * iter_columns,
+        memory_accesses=mf_memory + per_column_memory * iter_columns,
+        inner_loop_iterations=mf_iterations + iter_columns,
+    )

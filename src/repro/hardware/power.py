@@ -1,0 +1,80 @@
+"""Power model: quiescent plus activity-proportional dynamic power.
+
+The model is
+
+``P_total = P_quiescent(device) + kappa(device) * slices * f_clk``
+
+i.e. the dynamic power of the synthesised design is proportional to the
+amount of switching logic (occupied slices) times the clock frequency, with a
+per-device coefficient ``kappa`` that absorbs node capacitance, supply voltage
+and average switching activity.  This is the standard CV^2 f abstraction, and
+its two coefficients are calibrated against the four design-point powers the
+paper reports in Table 3 (reproduced within ~3 %, see
+``tests/hardware/test_paper_calibration.py``), which also reproduces the
+qualitative Figure 6 behaviour: power rises with parallelism and with bit
+width, the Virtex-4 always burns more than the Spartan-3, and the most serial
+designs sit just above the quiescent floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.area import AreaEstimate
+from repro.hardware.devices import FPGADevice
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["PowerEstimate", "estimate_power"]
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Power breakdown of one design point."""
+
+    quiescent_power_w: float
+    dynamic_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Total (quiescent + dynamic) power while processing."""
+        return self.quiescent_power_w + self.dynamic_power_w
+
+    @property
+    def dynamic_fraction(self) -> float:
+        """Share of the total power that is dynamic (0 for an idle design)."""
+        total = self.total_power_w
+        return self.dynamic_power_w / total if total > 0 else 0.0
+
+
+def estimate_power(
+    device: FPGADevice,
+    area: AreaEstimate | int,
+    clock_frequency_hz: float,
+    activity_factor: float = 1.0,
+) -> PowerEstimate:
+    """Estimate the power of a design point.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA (supplies the quiescent power and the dynamic coefficient).
+    area:
+        Either an :class:`~repro.hardware.area.AreaEstimate` or a raw slice count.
+    clock_frequency_hz:
+        Operating clock frequency.
+    activity_factor:
+        Relative switching activity (1.0 = the calibrated MP datapath
+        activity); exposed for ablations.
+    """
+    slices = area.slices if isinstance(area, AreaEstimate) else int(area)
+    if slices < 0:
+        raise ValueError(f"slices must be >= 0, got {slices}")
+    check_positive("clock_frequency_hz", clock_frequency_hz)
+    check_non_negative("activity_factor", activity_factor)
+    dynamic = (
+        device.dynamic_power_per_slice_hz * slices * clock_frequency_hz * activity_factor
+    )
+    return PowerEstimate(
+        quiescent_power_w=device.quiescent_power_w,
+        dynamic_power_w=dynamic,
+    )

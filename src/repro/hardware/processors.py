@@ -1,0 +1,232 @@
+"""Cycle-cost models of the sequential processor baselines.
+
+Two baselines appear in Table 3:
+
+* the **TI TMS320C6713** floating-point VLIW DSP (the AquaModem's original
+  processor), whose execution time the paper measured as ~78 us per estimated
+  coefficient and whose power TI's spreadsheet estimator put at 1.07 W;
+* a **MicroBlaze** 32-bit soft-core microprocessor, whose execution time was
+  measured with an embedded timer at 6341.84 us.
+
+Neither processor is available here, so each is modelled as a sequential
+machine with per-operation cycle costs applied to the operation counts of
+:func:`repro.hardware.opcounts.matching_pursuit_operation_counts`:
+
+``cycles = sum_op count_op * cost_op + inner_loop_iterations * loop_overhead``
+
+The cost constants are chosen from the architectures (the C6713 dual-issues
+floating-point MACs, so arithmetic costs ~0.5 cycles; the MicroBlaze performs
+floating point in multi-cycle software/FPU sequences) and land within ~1 % of
+the paper's measured times for the AquaModem workload — see
+``tests/hardware/test_paper_calibration.py``.
+
+Note on MicroBlaze power: Table 3 lists 0.38 W but also lists 2000.40 uJ for
+6341.84 us, which implies 0.3155 W; the 210.57x headline ratio is derived from
+the energy number, so the model is calibrated to the energy-consistent power
+and the discrepancy is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.energy import EnergyEstimate
+from repro.hardware.opcounts import OperationCounts, matching_pursuit_operation_counts
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "ProcessorModel",
+    "ProcessorImplementation",
+    "ti_c6713",
+    "microblaze_soft_core",
+]
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """A sequential processor characterised by per-operation cycle costs.
+
+    Parameters
+    ----------
+    name:
+        Human-readable platform name.
+    clock_hz:
+        Core clock frequency.
+    cycles_per_multiply, cycles_per_addition, cycles_per_comparison,
+    cycles_per_memory_access:
+        Average cost of each primitive operation (fractional values model
+        multi-issue pipelines).
+    cycles_per_loop_iteration:
+        Loop control / branch overhead charged once per inner-loop iteration.
+    active_power_w:
+        Power drawn while executing the workload.
+    idle_power_w:
+        Power drawn in the post-processing idle mode.
+    word_length:
+        Native arithmetic width (bits) — informational, used in reports.
+    """
+
+    name: str
+    clock_hz: float
+    cycles_per_multiply: float
+    cycles_per_addition: float
+    cycles_per_comparison: float
+    cycles_per_memory_access: float
+    cycles_per_loop_iteration: float
+    active_power_w: float
+    idle_power_w: float = 0.0
+    word_length: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("clock_hz", self.clock_hz)
+        check_non_negative("cycles_per_multiply", self.cycles_per_multiply)
+        check_non_negative("cycles_per_addition", self.cycles_per_addition)
+        check_non_negative("cycles_per_comparison", self.cycles_per_comparison)
+        check_non_negative("cycles_per_memory_access", self.cycles_per_memory_access)
+        check_non_negative("cycles_per_loop_iteration", self.cycles_per_loop_iteration)
+        check_positive("active_power_w", self.active_power_w)
+        check_non_negative("idle_power_w", self.idle_power_w)
+
+    # ------------------------------------------------------------------ #
+    def cycles(self, ops: OperationCounts) -> float:
+        """Estimated cycles to execute a workload with the given operation counts."""
+        return (
+            ops.multiplies * self.cycles_per_multiply
+            + ops.additions * self.cycles_per_addition
+            + ops.comparisons * self.cycles_per_comparison
+            + ops.memory_accesses * self.cycles_per_memory_access
+            + ops.inner_loop_iterations * self.cycles_per_loop_iteration
+        )
+
+    def execution_time_s(self, ops: OperationCounts) -> float:
+        """Estimated execution time in seconds."""
+        return self.cycles(ops) / self.clock_hz
+
+    def energy(self, ops: OperationCounts) -> EnergyEstimate:
+        """Energy to execute the workload once (idle mode afterwards)."""
+        time_s = self.execution_time_s(ops)
+        return EnergyEstimate(
+            energy_j=self.active_power_w * time_s,
+            power_w=self.active_power_w,
+            execution_time_s=time_s,
+        )
+
+
+@dataclass
+class ProcessorImplementation:
+    """A processor model applied to the MP workload (the Table 3 rows).
+
+    Parameters
+    ----------
+    model:
+        The processor.
+    num_delays, window_length, num_paths:
+        Workload geometry (AquaModem defaults).
+    """
+
+    model: ProcessorModel
+    num_delays: int = 112
+    window_length: int = 224
+    num_paths: int = 6
+
+    @property
+    def operation_counts(self) -> OperationCounts:
+        """The MP operation counts for this workload geometry."""
+        if not hasattr(self, "_ops"):
+            self._ops = matching_pursuit_operation_counts(
+                self.num_delays, self.window_length, self.num_paths
+            )
+        return self._ops
+
+    @property
+    def execution_time_s(self) -> float:
+        """Execution time of one channel estimation."""
+        return self.model.execution_time_s(self.operation_counts)
+
+    @property
+    def execution_time_us(self) -> float:
+        """Execution time in microseconds."""
+        return self.execution_time_s * 1e6
+
+    @property
+    def time_per_coefficient_us(self) -> float:
+        """Average time per estimated coefficient (the paper's DSP measurement unit)."""
+        return self.execution_time_us / self.num_paths
+
+    @property
+    def power_w(self) -> float:
+        """Active power while processing."""
+        return self.model.active_power_w
+
+    @property
+    def energy(self) -> EnergyEstimate:
+        """Energy per channel estimation."""
+        return self.model.energy(self.operation_counts)
+
+    @property
+    def label(self) -> str:
+        """Human-readable platform label."""
+        return f"{self.model.name} {self.model.word_length}bit"
+
+    def report_row(self) -> dict[str, float | str | int]:
+        """Flat dictionary of the modelled quantities (one Table 3 row)."""
+        return {
+            "platform": self.model.name,
+            "word_length": self.model.word_length,
+            "clock_mhz": self.model.clock_hz / 1e6,
+            "time_us": self.execution_time_us,
+            "power_w": self.power_w,
+            "energy_uj": self.energy.energy_uj,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Calibrated baselines
+# --------------------------------------------------------------------------- #
+def ti_c6713(clock_hz: float = 225e6, active_power_w: float = 1.07) -> ProcessorModel:
+    """The TI TMS320C6713 floating-point DSP baseline.
+
+    The C6713 issues up to two floating-point multiplies and two adds per
+    cycle from its eight functional units, hence the 0.5-cycle average costs;
+    the 1-cycle per-iteration overhead covers loop control and the imperfect
+    software pipelining of the measured implementation.
+    """
+    return ProcessorModel(
+        name="TI C6713 DSP",
+        clock_hz=clock_hz,
+        cycles_per_multiply=0.5,
+        cycles_per_addition=0.5,
+        cycles_per_comparison=0.5,
+        cycles_per_memory_access=0.5,
+        cycles_per_loop_iteration=1.0,
+        active_power_w=active_power_w,
+        idle_power_w=0.15,
+        word_length=32,
+    )
+
+
+def microblaze_soft_core(clock_hz: float = 100e6, active_power_w: float = 0.3155) -> ProcessorModel:
+    """The MicroBlaze 32-bit soft-core baseline.
+
+    Floating-point operations take multiple cycles (the measured design used
+    the single-precision sequences typical of the soft core), memory accesses
+    go over the LMB at one cycle each, and every inner-loop iteration pays a
+    two-cycle branch penalty — the paper attributes the platform's very high
+    latency to exactly this lack of specialised DSP hardware.
+
+    The default ``active_power_w`` of 0.3155 W is the value consistent with
+    the paper's reported 2000.40 uJ / 6341.84 us (Table 3 also prints 0.38 W;
+    see the module docstring).
+    """
+    return ProcessorModel(
+        name="MicroBlaze",
+        clock_hz=clock_hz,
+        cycles_per_multiply=6.0,
+        cycles_per_addition=4.0,
+        cycles_per_comparison=1.0,
+        cycles_per_memory_access=1.0,
+        cycles_per_loop_iteration=2.0,
+        active_power_w=active_power_w,
+        idle_power_w=0.10,
+        word_length=32,
+    )

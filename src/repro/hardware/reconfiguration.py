@@ -1,0 +1,133 @@
+"""FPGA reconfiguration (bitstream load) energy and its amortisation.
+
+The paper's Figure 6 assumptions explicitly exclude "the cost of
+reconfiguration on power up": a duty-cycled node that powers the FPGA down
+between processing bursts must reload the configuration bitstream before the
+next burst, which costs time and energy that the DSP and microcontroller do
+not pay.  This module models that cost so the exclusion can be quantified:
+
+* bitstream size is proportional to the device's configuration memory (a
+  per-device constant, roughly proportional to logic capacity);
+* configuration time = bitstream bits / configuration throughput (SelectMAP /
+  slave-serial interfaces of the period move tens of Mbit/s);
+* configuration energy = configuration time x (configuration controller power
+  + device inrush/startup power).
+
+From these, :func:`amortized_energy_per_estimation` answers the design
+question the paper leaves open: after how many back-to-back channel
+estimations per power-up does the FPGA still beat the DSP / microcontroller
+once the reconfiguration energy is charged?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.devices import FPGADevice
+from repro.utils.validation import check_integer, check_non_negative, check_positive
+
+__all__ = [
+    "ReconfigurationModel",
+    "amortized_energy_per_estimation",
+    "break_even_estimations",
+]
+
+#: Approximate full-bitstream sizes (bits) for the two evaluated devices.
+#: (Virtex-4 SX55: ~22.7 Mbit; Spartan-3 5000: ~13.3 Mbit — datasheet-order
+#: values; exposed as defaults and overridable per model instance.)
+DEFAULT_BITSTREAM_BITS: dict[str, float] = {
+    "xc4vsx55": 22.7e6,
+    "xc3s5000": 13.3e6,
+}
+
+
+@dataclass(frozen=True)
+class ReconfigurationModel:
+    """Energy/time cost of one full configuration of a device.
+
+    Parameters
+    ----------
+    device:
+        Target FPGA.
+    bitstream_bits:
+        Full configuration bitstream size; defaults to a per-device estimate.
+    configuration_throughput_bps:
+        Configuration interface throughput (50 Mbit/s ~ 8-bit SelectMAP at
+        ~6 MHz, a conservative period-typical value).
+    configuration_power_w:
+        Power drawn during configuration (controller + device inrush),
+        in addition to the device's quiescent power.
+    """
+
+    device: FPGADevice
+    bitstream_bits: float | None = None
+    configuration_throughput_bps: float = 50e6
+    configuration_power_w: float = 0.35
+
+    def __post_init__(self) -> None:
+        check_positive("configuration_throughput_bps", self.configuration_throughput_bps)
+        check_non_negative("configuration_power_w", self.configuration_power_w)
+        if self.bitstream_bits is not None:
+            check_positive("bitstream_bits", self.bitstream_bits)
+
+    @property
+    def effective_bitstream_bits(self) -> float:
+        """The bitstream size used by the model (explicit or per-device default)."""
+        if self.bitstream_bits is not None:
+            return self.bitstream_bits
+        return DEFAULT_BITSTREAM_BITS.get(self.device.name, 15e6)
+
+    @property
+    def configuration_time_s(self) -> float:
+        """Time to load the full bitstream."""
+        return self.effective_bitstream_bits / self.configuration_throughput_bps
+
+    @property
+    def configuration_energy_j(self) -> float:
+        """Energy of one configuration (quiescent + configuration overhead)."""
+        power = self.device.quiescent_power_w + self.configuration_power_w
+        return power * self.configuration_time_s
+
+
+def amortized_energy_per_estimation(
+    processing_energy_j: float,
+    reconfiguration: ReconfigurationModel,
+    estimations_per_power_up: int,
+) -> float:
+    """Average energy per estimation once the bitstream load is amortised.
+
+    ``estimations_per_power_up`` is the number of channel estimations the node
+    performs between powering the FPGA up and shutting it down again.
+    """
+    check_non_negative("processing_energy_j", processing_energy_j)
+    check_integer("estimations_per_power_up", estimations_per_power_up, minimum=1)
+    overhead = reconfiguration.configuration_energy_j / estimations_per_power_up
+    return processing_energy_j + overhead
+
+
+def break_even_estimations(
+    fpga_processing_energy_j: float,
+    competitor_energy_j: float,
+    reconfiguration: ReconfigurationModel,
+) -> int:
+    """Estimations per power-up needed before the FPGA still beats a competitor.
+
+    Returns the smallest integer ``n`` such that
+
+    ``fpga_processing_energy + reconfiguration_energy / n <= competitor_energy``.
+
+    Raises ``ValueError`` if the FPGA cannot win even with infinite
+    amortisation (i.e. its per-estimation energy alone already exceeds the
+    competitor's).
+    """
+    check_non_negative("fpga_processing_energy_j", fpga_processing_energy_j)
+    check_positive("competitor_energy_j", competitor_energy_j)
+    margin = competitor_energy_j - fpga_processing_energy_j
+    if margin <= 0:
+        raise ValueError(
+            "the FPGA design's per-estimation energy already exceeds the competitor's; "
+            "no amount of amortisation breaks even"
+        )
+    import math
+
+    return max(1, math.ceil(reconfiguration.configuration_energy_j / margin))

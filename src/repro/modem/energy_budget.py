@@ -1,0 +1,137 @@
+"""Per-packet modem energy budget.
+
+The paper's argument is that the signal-processing platform's energy matters
+for the overall modem budget.  This module puts the platform's
+energy-per-channel-estimation (from :mod:`repro.hardware`) next to the other
+per-packet costs — transmit acoustic power, receive front-end power — so the
+sensor-network lifetime experiment (E9) can attribute node energy to its
+components and show how the platform choice changes deployment lifetime.
+
+All costs are parameterised; defaults are representative of a short-range,
+low-power modem of the class the paper targets (fractions of a watt of
+electrical transmit power over a few hundred metres, tens of milliwatts of
+receive electronics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.modem.config import AquaModemConfig
+from repro.utils.validation import check_integer, check_non_negative
+
+__all__ = ["PacketEnergyBreakdown", "ModemEnergyBudget"]
+
+
+@dataclass(frozen=True)
+class PacketEnergyBreakdown:
+    """Energy of one packet transaction, split by component (joules)."""
+
+    transmit_j: float
+    receive_frontend_j: float
+    processing_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total packet energy."""
+        return self.transmit_j + self.receive_frontend_j + self.processing_j
+
+    @property
+    def processing_fraction(self) -> float:
+        """Share of the packet energy spent in signal processing."""
+        total = self.total_j
+        return self.processing_j / total if total > 0 else 0.0
+
+
+@dataclass
+class ModemEnergyBudget:
+    """Energy accounting for one modem design.
+
+    Parameters
+    ----------
+    config:
+        Waveform configuration (sets symbol durations).
+    transmit_power_w:
+        Electrical power while transmitting (transducer + power amplifier).
+    receive_frontend_power_w:
+        Power of the analog receive front end (pre-amp, ADC) while listening.
+    processing_energy_per_estimation_j:
+        Energy of one channel estimation on the chosen hardware platform
+        (from :mod:`repro.hardware`).
+    processing_idle_power_w:
+        Idle power of the processing platform while the node listens.
+    estimations_per_symbol:
+        Channel estimations run per received symbol (1 = re-estimate every
+        symbol, the conservative mode; smaller effective values can be
+        modelled by scaling).
+    """
+
+    config: AquaModemConfig = field(default_factory=AquaModemConfig)
+    transmit_power_w: float = 2.0
+    receive_frontend_power_w: float = 0.05
+    processing_energy_per_estimation_j: float = 9.5e-6
+    processing_idle_power_w: float = 0.01
+    estimations_per_symbol: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("transmit_power_w", self.transmit_power_w)
+        check_non_negative("receive_frontend_power_w", self.receive_frontend_power_w)
+        check_non_negative(
+            "processing_energy_per_estimation_j", self.processing_energy_per_estimation_j
+        )
+        check_non_negative("processing_idle_power_w", self.processing_idle_power_w)
+        check_non_negative("estimations_per_symbol", self.estimations_per_symbol)
+
+    # ------------------------------------------------------------------ #
+    def packet_duration_s(self, num_symbols: int) -> float:
+        """Airtime of a packet of ``num_symbols`` symbols (including guard times)."""
+        check_integer("num_symbols", num_symbols, minimum=1)
+        return num_symbols * self.config.total_symbol_period_s
+
+    def transmit_energy_j(self, num_symbols: int) -> float:
+        """Energy to transmit a packet of ``num_symbols`` symbols."""
+        return self.transmit_power_w * self.packet_duration_s(num_symbols)
+
+    def receive_energy_j(self, num_symbols: int) -> PacketEnergyBreakdown:
+        """Energy to receive (and process) a packet of ``num_symbols`` symbols.
+
+        The front end listens for the whole packet duration; the processing
+        platform performs ``estimations_per_symbol`` channel estimations per
+        symbol and idles otherwise.
+        """
+        duration = self.packet_duration_s(num_symbols)
+        frontend = self.receive_frontend_power_w * duration
+        estimations = self.estimations_per_symbol * num_symbols
+        processing = (
+            estimations * self.processing_energy_per_estimation_j
+            + self.processing_idle_power_w * duration
+        )
+        return PacketEnergyBreakdown(
+            transmit_j=0.0,
+            receive_frontend_j=frontend,
+            processing_j=processing,
+        )
+
+    def packet_transaction_energy_j(
+        self, num_symbols: int, transmit: bool, receive: bool
+    ) -> PacketEnergyBreakdown:
+        """Energy for one node's role in one packet (transmit and/or receive)."""
+        tx = self.transmit_energy_j(num_symbols) if transmit else 0.0
+        rx = (
+            self.receive_energy_j(num_symbols)
+            if receive
+            else PacketEnergyBreakdown(0.0, 0.0, 0.0)
+        )
+        return PacketEnergyBreakdown(
+            transmit_j=tx,
+            receive_frontend_j=rx.receive_frontend_j,
+            processing_j=rx.processing_j,
+        )
+
+    def idle_power_w(self) -> float:
+        """Node power while neither transmitting nor receiving a packet.
+
+        The front end stays on (the node must be able to hear incoming
+        packets) and the processing platform idles.
+        """
+        return self.receive_frontend_power_w + self.processing_idle_power_w

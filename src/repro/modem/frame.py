@@ -1,0 +1,65 @@
+"""Bit <-> symbol packing for the M-ary modem alphabet.
+
+The AquaModem alphabet carries 3 bits per symbol (8 orthogonal waveforms).
+These helpers pack a bit stream into symbol indices and back, padding with
+zero bits when the stream length is not a multiple of the symbol size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["bits_to_symbols", "symbols_to_bits", "random_bits", "bit_errors"]
+
+
+def bits_to_symbols(bits: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Pack a 0/1 bit array into symbol indices (MSB first), zero-padded.
+
+    Parameters
+    ----------
+    bits:
+        Array of 0/1 values.
+    bits_per_symbol:
+        Number of bits per symbol (3 for the 8-ary AquaModem alphabet).
+    """
+    bits = ensure_1d_array("bits", bits, dtype=np.int64)
+    check_integer("bits_per_symbol", bits_per_symbol, minimum=1)
+    if bits.size and not np.all(np.isin(bits, (0, 1))):
+        raise ValueError("bits must contain only 0 and 1")
+    remainder = bits.shape[0] % bits_per_symbol
+    if remainder:
+        bits = np.concatenate([bits, np.zeros(bits_per_symbol - remainder, dtype=np.int64)])
+    if bits.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    groups = bits.reshape(-1, bits_per_symbol)
+    weights = 1 << np.arange(bits_per_symbol - 1, -1, -1)
+    return (groups * weights).sum(axis=1).astype(np.int64)
+
+
+def symbols_to_bits(symbols: np.ndarray, bits_per_symbol: int) -> np.ndarray:
+    """Unpack symbol indices back into a 0/1 bit array (MSB first)."""
+    symbols = ensure_1d_array("symbols", symbols, dtype=np.int64)
+    check_integer("bits_per_symbol", bits_per_symbol, minimum=1)
+    if symbols.size and (symbols.min() < 0 or symbols.max() >= (1 << bits_per_symbol)):
+        raise ValueError("symbol index out of range for the given bits_per_symbol")
+    if symbols.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    shifts = np.arange(bits_per_symbol - 1, -1, -1)
+    return ((symbols[:, None] >> shifts) & 1).reshape(-1).astype(np.int64)
+
+
+def random_bits(count: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Draw ``count`` uniformly random bits."""
+    check_integer("count", count, minimum=0)
+    rng = as_rng(rng)
+    return rng.integers(0, 2, size=count).astype(np.int64)
+
+
+def bit_errors(sent: np.ndarray, received: np.ndarray) -> int:
+    """Count differing positions between two equal-length bit arrays."""
+    sent = ensure_1d_array("sent", sent, dtype=np.int64)
+    received = ensure_1d_array("received", received, dtype=np.int64, length=sent.shape[0])
+    return int(np.count_nonzero(sent != received))

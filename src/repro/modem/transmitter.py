@@ -1,0 +1,94 @@
+"""DS-SS transmit chain.
+
+Bits -> 8-ary symbols -> composite Walsh x m-sequence waveforms (with a
+silent guard interval after every symbol) -> complex baseband sample stream.
+A known pilot symbol can be prepended; the receiver uses its receive window
+for channel estimation before detecting the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dsp.modulation.dsss import DSSSModulator
+from repro.modem.config import AquaModemConfig
+from repro.modem.frame import bits_to_symbols
+from repro.utils.validation import check_integer, ensure_1d_array
+
+__all__ = ["Transmitter", "TransmitFrame"]
+
+
+@dataclass
+class TransmitFrame:
+    """A transmitted frame: the sample stream plus the bookkeeping the tests need."""
+
+    samples: np.ndarray
+    symbols: np.ndarray
+    pilot_symbol: int | None
+
+    @property
+    def num_payload_symbols(self) -> int:
+        """Number of payload (non-pilot) symbols."""
+        return int(self.symbols.shape[0])
+
+
+@dataclass
+class Transmitter:
+    """DS-SS transmitter for the AquaModem waveform.
+
+    Parameters
+    ----------
+    config:
+        Waveform configuration (Table 1 defaults).
+    pilot_symbol:
+        Index of the known pilot symbol prepended to every frame for channel
+        estimation; ``None`` disables the pilot.
+    """
+
+    config: AquaModemConfig = field(default_factory=AquaModemConfig)
+    pilot_symbol: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.pilot_symbol is not None:
+            check_integer("pilot_symbol", self.pilot_symbol, minimum=0,
+                          maximum=self.config.walsh_symbols - 1)
+        self.modulator = DSSSModulator(
+            num_symbols=self.config.walsh_symbols,
+            spreading_length=self.config.spreading_chips,
+            samples_per_chip=self.config.samples_per_chip,
+            guard_factor=self.config.guard_factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def samples_per_symbol_period(self) -> int:
+        """Samples per symbol including the guard interval (= Rv = 224)."""
+        return self.modulator.samples_per_symbol
+
+    def transmit_symbols(self, symbols: np.ndarray) -> TransmitFrame:
+        """Modulate a symbol sequence (prepending the pilot if configured)."""
+        symbols = ensure_1d_array("symbols", symbols, dtype=np.int64)
+        if self.pilot_symbol is not None:
+            full = np.concatenate([[self.pilot_symbol], symbols]).astype(np.int64)
+        else:
+            full = symbols
+        samples = self.modulator.modulate(full)
+        return TransmitFrame(samples=samples, symbols=symbols, pilot_symbol=self.pilot_symbol)
+
+    def transmit_bits(self, bits: np.ndarray) -> TransmitFrame:
+        """Pack bits into symbols and modulate them."""
+        symbols = bits_to_symbols(bits, self.config.bits_per_symbol)
+        return self.transmit_symbols(symbols)
+
+    def reference_waveform(self, symbol: int | None = None) -> np.ndarray:
+        """The sampled waveform of one symbol (the MP signal-matrix template).
+
+        Defaults to the pilot symbol's waveform, which is what the receiver's
+        channel estimator correlates against.
+        """
+        if symbol is None:
+            symbol = self.pilot_symbol if self.pilot_symbol is not None else 0
+        check_integer("symbol", symbol, minimum=0, maximum=self.config.walsh_symbols - 1)
+        return self.modulator.waveforms[symbol].astype(np.float64)

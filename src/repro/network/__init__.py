@@ -1,0 +1,51 @@
+"""Underwater sensor-network substrate.
+
+The paper's motivation (Section I) is a small, dense underwater sensor
+network — tens to hundreds of nodes, a few hundred metres apart — whose
+deployment lifetime is limited by each node's energy budget.  This subpackage
+provides the network-level machinery needed to turn the per-estimation energy
+numbers of :mod:`repro.hardware` into deployment lifetimes (experiment E9):
+
+* :mod:`repro.network.events` — a minimal discrete-event scheduler;
+* :mod:`repro.network.node` — batteries and sensor nodes with per-component
+  energy accounting;
+* :mod:`repro.network.topology` — grid / random deployments and the
+  connectivity graph (networkx) induced by the acoustic range;
+* :mod:`repro.network.routing` — static shortest-path routing to the sink;
+* :mod:`repro.network.mac` — TDMA and slotted-ALOHA medium-access models;
+* :mod:`repro.network.traffic` — periodic sensing traffic;
+* :mod:`repro.network.simulator` — the event-driven network simulator;
+* :mod:`repro.network.lifetime` — analytical lifetime estimation (a fast
+  cross-check of the simulator).
+"""
+
+from repro.network.events import Event, EventQueue, Scheduler
+from repro.network.node import Battery, SensorNode, NodeEnergyReport
+from repro.network.topology import Deployment, grid_deployment, random_deployment, connectivity_graph
+from repro.network.routing import shortest_path_routing, RoutingTable
+from repro.network.mac import TDMASchedule, SlottedAloha
+from repro.network.traffic import PeriodicTraffic
+from repro.network.simulator import NetworkSimulator, NetworkSimulationResult
+from repro.network.lifetime import analytical_node_lifetime, lifetime_by_platform
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Scheduler",
+    "Battery",
+    "SensorNode",
+    "NodeEnergyReport",
+    "Deployment",
+    "grid_deployment",
+    "random_deployment",
+    "connectivity_graph",
+    "shortest_path_routing",
+    "RoutingTable",
+    "TDMASchedule",
+    "SlottedAloha",
+    "PeriodicTraffic",
+    "NetworkSimulator",
+    "NetworkSimulationResult",
+    "analytical_node_lifetime",
+    "lifetime_by_platform",
+]

@@ -1,0 +1,121 @@
+"""A minimal discrete-event scheduler.
+
+The network simulator schedules packet generation, transmission and reception
+events on a priority queue keyed by simulation time.  Ties are broken by a
+monotonically increasing sequence number so event ordering is deterministic,
+which keeps the whole network simulation reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["Event", "EventQueue", "Scheduler"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Events order by ``(time, sequence)``; the payload and callback do not
+    participate in the ordering.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[["Scheduler", Any], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it is popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable, payload: Any = None) -> Event:
+        """Add an event at ``time``; returns the event (for cancellation)."""
+        check_non_negative("time", time)
+        event = Event(time=time, sequence=next(self._counter), callback=callback, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class Scheduler:
+    """Drives an :class:`EventQueue` forward in time."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+
+    def schedule_at(self, time: float, callback: Callable, payload: Any = None) -> Event:
+        """Schedule an event at an absolute time (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule event at {time} before current time {self.now}")
+        return self.queue.push(time, callback, payload)
+
+    def schedule_after(self, delay: float, callback: Callable, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` seconds from now."""
+        check_non_negative("delay", delay)
+        return self.queue.push(self.now + delay, callback, payload)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be after this time (the clock is
+            advanced to ``until``).
+        max_events:
+            Safety limit on the number of events processed.
+        """
+        while self.queue:
+            if max_events is not None and self.events_processed >= max_events:
+                break
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.now = until
+                return
+            event = self.queue.pop()
+            if event is None:
+                break
+            self.now = event.time
+            self.events_processed += 1
+            event.callback(self, event.payload)
+        if until is not None and self.now < until:
+            self.now = until

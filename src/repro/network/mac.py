@@ -1,0 +1,115 @@
+"""Medium-access control models: TDMA and slotted ALOHA.
+
+The MAC layer sits above the modem (Figure 1) and determines how often a
+packet must be retransmitted — which multiplies the per-packet energy.  Two
+simple models bracket the design space:
+
+* **TDMA** — every node owns a slot; transmissions never collide, but a node
+  must wait for its slot (latency, not energy, is affected).
+* **Slotted ALOHA** — nodes transmit in a random slot; collisions force
+  retransmissions.  The expected number of attempts per delivered packet is
+  ``exp(G)`` for offered load ``G`` per slot (the classical result), which the
+  simulator uses as an energy multiplier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_integer, check_non_negative, check_positive
+
+__all__ = ["TDMASchedule", "SlottedAloha"]
+
+
+@dataclass(frozen=True)
+class TDMASchedule:
+    """A fixed TDMA schedule.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of transmitting nodes sharing the frame.
+    slot_duration_s:
+        Length of one slot; must be at least one packet airtime.
+    """
+
+    num_nodes: int
+    slot_duration_s: float
+
+    def __post_init__(self) -> None:
+        check_integer("num_nodes", self.num_nodes, minimum=1)
+        check_positive("slot_duration_s", self.slot_duration_s)
+
+    @property
+    def frame_duration_s(self) -> float:
+        """One full TDMA frame (every node gets one slot)."""
+        return self.num_nodes * self.slot_duration_s
+
+    def slot_start(self, node_index: int, frame_index: int = 0) -> float:
+        """Absolute start time of ``node_index``'s slot in ``frame_index``."""
+        check_integer("node_index", node_index, minimum=0, maximum=self.num_nodes - 1)
+        check_integer("frame_index", frame_index, minimum=0)
+        return frame_index * self.frame_duration_s + node_index * self.slot_duration_s
+
+    def expected_transmissions_per_packet(self) -> float:
+        """TDMA never collides, so exactly one transmission per packet."""
+        return 1.0
+
+    def wait_time_s(self, node_index: int, ready_time_s: float) -> float:
+        """Time a packet ready at ``ready_time_s`` waits for its owner's next slot."""
+        check_non_negative("ready_time_s", ready_time_s)
+        frame = int(ready_time_s // self.frame_duration_s)
+        slot = self.slot_start(node_index, frame)
+        if slot < ready_time_s:
+            slot = self.slot_start(node_index, frame + 1)
+        return slot - ready_time_s
+
+
+@dataclass(frozen=True)
+class SlottedAloha:
+    """Slotted-ALOHA contention model.
+
+    Parameters
+    ----------
+    offered_load:
+        Average number of packets offered to the channel per slot (G).
+    max_attempts:
+        Retransmission cap per packet.
+    """
+
+    offered_load: float
+    max_attempts: int = 10
+
+    def __post_init__(self) -> None:
+        check_non_negative("offered_load", self.offered_load)
+        check_integer("max_attempts", self.max_attempts, minimum=1)
+
+    @property
+    def success_probability(self) -> float:
+        """Probability a given slot's transmission does not collide (e^-G)."""
+        return math.exp(-self.offered_load)
+
+    @property
+    def throughput(self) -> float:
+        """Classical slotted-ALOHA throughput ``G e^-G`` (packets per slot)."""
+        return self.offered_load * self.success_probability
+
+    def expected_transmissions_per_packet(self) -> float:
+        """Expected attempts until success, truncated at ``max_attempts``.
+
+        For success probability p the untruncated expectation is 1/p; the
+        truncated value is ``sum_{k=1..N} k p (1-p)^{k-1} + N (1-p)^N``.
+        """
+        p = self.success_probability
+        if p >= 1.0:
+            return 1.0
+        n = self.max_attempts
+        expected = sum(k * p * (1 - p) ** (k - 1) for k in range(1, n + 1))
+        expected += n * (1 - p) ** n
+        return expected
+
+    def delivery_probability(self) -> float:
+        """Probability a packet is delivered within ``max_attempts`` tries."""
+        p = self.success_probability
+        return 1.0 - (1.0 - p) ** self.max_attempts

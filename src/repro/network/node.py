@@ -1,0 +1,154 @@
+"""Sensor nodes and their energy accounting.
+
+Each node owns a battery (a finite energy store), a modem energy budget
+(:class:`repro.modem.energy_budget.ModemEnergyBudget`) and counters that
+attribute every joule drawn to transmit, receive-front-end, signal-processing
+or idle consumption — which is exactly the attribution the platform-choice
+argument of the paper needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.modem.energy_budget import ModemEnergyBudget, PacketEnergyBreakdown
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["Battery", "NodeEnergyReport", "SensorNode"]
+
+
+@dataclass
+class Battery:
+    """A finite energy store.
+
+    Parameters
+    ----------
+    capacity_j:
+        Total usable energy in joules.
+    """
+
+    capacity_j: float
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_j", self.capacity_j)
+        self.remaining_j: float = self.capacity_j
+
+    def draw(self, energy_j: float) -> float:
+        """Draw energy; returns the amount actually supplied (clipped at empty)."""
+        check_non_negative("energy_j", energy_j)
+        supplied = min(energy_j, self.remaining_j)
+        self.remaining_j -= supplied
+        return supplied
+
+    @property
+    def is_empty(self) -> bool:
+        """True once the battery can no longer supply energy."""
+        return self.remaining_j <= 0.0
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining fraction of the original capacity (0..1)."""
+        return self.remaining_j / self.capacity_j
+
+
+@dataclass
+class NodeEnergyReport:
+    """Cumulative per-component energy drawn by one node (joules)."""
+
+    transmit_j: float = 0.0
+    receive_frontend_j: float = 0.0
+    processing_j: float = 0.0
+    idle_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        """Total energy drawn."""
+        return self.transmit_j + self.receive_frontend_j + self.processing_j + self.idle_j
+
+    def fraction(self, component: str) -> float:
+        """Share of the total drawn by one component ('transmit', 'processing', ...)."""
+        total = self.total_j
+        if total == 0.0:
+            return 0.0
+        value = getattr(self, f"{component}_j")
+        return value / total
+
+
+@dataclass
+class SensorNode:
+    """One node of the underwater sensor network.
+
+    Parameters
+    ----------
+    node_id:
+        Unique integer identifier (0 is conventionally the sink).
+    position:
+        (x, y) coordinates in metres.
+    battery:
+        The node's energy store.
+    energy_budget:
+        The modem energy model used to price packet transactions.
+    is_sink:
+        Sinks are externally powered: they account energy but never die.
+    """
+
+    node_id: int
+    position: tuple[float, float]
+    battery: Battery
+    energy_budget: ModemEnergyBudget
+    is_sink: bool = False
+    report: NodeEnergyReport = field(default_factory=NodeEnergyReport)
+    packets_sent: int = 0
+    packets_received: int = 0
+    packets_forwarded: int = 0
+    last_accounted_time: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_alive(self) -> bool:
+        """Sinks never die; other nodes die when their battery empties."""
+        return self.is_sink or not self.battery.is_empty
+
+    def _draw(self, breakdown: PacketEnergyBreakdown) -> None:
+        total = breakdown.total_j
+        if not self.is_sink:
+            self.battery.draw(total)
+        self.report.transmit_j += breakdown.transmit_j
+        self.report.receive_frontend_j += breakdown.receive_frontend_j
+        self.report.processing_j += breakdown.processing_j
+
+    # ------------------------------------------------------------------ #
+    def account_transmit(self, num_symbols: int) -> None:
+        """Charge the node for transmitting one packet."""
+        breakdown = self.energy_budget.packet_transaction_energy_j(
+            num_symbols, transmit=True, receive=False
+        )
+        self._draw(breakdown)
+        self.packets_sent += 1
+
+    def account_receive(self, num_symbols: int, forwarded: bool = False) -> None:
+        """Charge the node for receiving (and processing) one packet."""
+        breakdown = self.energy_budget.packet_transaction_energy_j(
+            num_symbols, transmit=False, receive=True
+        )
+        self._draw(breakdown)
+        self.packets_received += 1
+        if forwarded:
+            self.packets_forwarded += 1
+
+    def account_idle(self, duration_s: float) -> None:
+        """Charge the node for ``duration_s`` of idle listening."""
+        check_non_negative("duration_s", duration_s)
+        energy = self.energy_budget.idle_power_w() * duration_s
+        if not self.is_sink:
+            self.battery.draw(energy)
+        self.report.idle_j += energy
+
+    def advance_time(self, now_s: float) -> None:
+        """Accrue idle energy for the interval since the last accounting instant."""
+        if now_s < self.last_accounted_time:
+            raise ValueError(
+                f"time moved backwards: {now_s} < {self.last_accounted_time}"
+            )
+        self.account_idle(now_s - self.last_accounted_time)
+        self.last_accounted_time = now_s

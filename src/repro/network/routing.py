@@ -1,0 +1,67 @@
+"""Static shortest-path routing toward the sink.
+
+Routing protocols are out of scope for the paper (they live in the layers
+above the modem, Figure 1), so a simple static scheme is sufficient: every
+node forwards toward the sink along the minimum-total-distance path computed
+once over the connectivity graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["RoutingTable", "shortest_path_routing"]
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Next-hop table toward a single sink.
+
+    Attributes
+    ----------
+    sink_id:
+        Destination of every route.
+    next_hop:
+        Mapping from node id to the neighbour it forwards to (the sink maps to
+        itself).
+    paths:
+        Full node-id path from each node to the sink (inclusive).
+    """
+
+    sink_id: int
+    next_hop: dict[int, int]
+    paths: dict[int, list[int]]
+
+    def hops(self, node_id: int) -> int:
+        """Number of transmissions needed to move a packet from ``node_id`` to the sink."""
+        return len(self.paths[node_id]) - 1
+
+    def route(self, node_id: int) -> list[int]:
+        """The full path from ``node_id`` to the sink."""
+        return list(self.paths[node_id])
+
+    @property
+    def max_hops(self) -> int:
+        """Depth of the routing tree."""
+        return max(self.hops(n) for n in self.paths)
+
+
+def shortest_path_routing(graph: nx.Graph, sink_id: int) -> RoutingTable:
+    """Compute minimum-distance routes from every node to the sink.
+
+    Uses Dijkstra over the distance-weighted connectivity graph.
+    """
+    if sink_id not in graph:
+        raise ValueError(f"sink id {sink_id} is not a node of the graph")
+    paths = nx.shortest_path(graph, target=sink_id, weight="weight")
+    next_hop: dict[int, int] = {}
+    full_paths: dict[int, list[int]] = {}
+    for node, path in paths.items():
+        full_paths[node] = list(path)
+        next_hop[node] = path[1] if len(path) > 1 else sink_id
+    missing = set(graph.nodes) - set(full_paths)
+    if missing:
+        raise ValueError(f"nodes {sorted(missing)} have no route to the sink")
+    return RoutingTable(sink_id=sink_id, next_hop=next_hop, paths=full_paths)

@@ -1,0 +1,222 @@
+"""Event-driven simulation of an underwater sensor network deployment.
+
+Each sensor node periodically generates a report packet that is forwarded
+hop-by-hop along the static routing tree to the sink.  Every hop charges the
+transmitter its transmit energy and the receiver its front-end plus
+signal-processing energy (with the processing cost set by the chosen hardware
+platform); idle listening energy accrues continuously; ALOHA-style contention
+is modelled as an expected-retransmission multiplier.  The simulation runs
+until a stop condition (first node death or a maximum simulated time) and
+reports per-node energy attribution and the
+deployment lifetime — the quantity experiment E9 compares across hardware
+platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.modem.energy_budget import ModemEnergyBudget
+from repro.network.events import Scheduler
+from repro.network.mac import SlottedAloha, TDMASchedule
+from repro.network.node import Battery, NodeEnergyReport, SensorNode
+from repro.network.routing import RoutingTable, shortest_path_routing
+from repro.network.topology import Deployment, connectivity_graph
+from repro.network.traffic import PeriodicTraffic
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["NetworkSimulationResult", "NetworkSimulator"]
+
+
+@dataclass
+class NetworkSimulationResult:
+    """Outcome of one network simulation."""
+
+    first_death_time_s: float | None
+    simulated_time_s: float
+    packets_generated: int
+    packets_delivered: int
+    node_reports: dict[int, NodeEnergyReport]
+    node_alive: dict[int, bool]
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of generated packets that reached the sink."""
+        if self.packets_generated == 0:
+            return 0.0
+        return self.packets_delivered / self.packets_generated
+
+    @property
+    def lifetime_days(self) -> float | None:
+        """Deployment lifetime (first node death) in days, None if no node died."""
+        if self.first_death_time_s is None:
+            return None
+        return self.first_death_time_s / 86_400.0
+
+    def total_energy_by_component(self) -> dict[str, float]:
+        """Network-wide energy attribution (joules) summed over all nodes."""
+        totals = {"transmit_j": 0.0, "receive_frontend_j": 0.0, "processing_j": 0.0, "idle_j": 0.0}
+        for report in self.node_reports.values():
+            totals["transmit_j"] += report.transmit_j
+            totals["receive_frontend_j"] += report.receive_frontend_j
+            totals["processing_j"] += report.processing_j
+            totals["idle_j"] += report.idle_j
+        return totals
+
+
+@dataclass
+class NetworkSimulator:
+    """Simulates a data-collection sensor network.
+
+    Parameters
+    ----------
+    deployment:
+        Node positions and the sink.
+    energy_budget:
+        Per-packet modem energy model (shared by every node); the processing
+        energy inside it is what distinguishes hardware platforms.
+    traffic:
+        Report generation pattern.
+    communication_range_m:
+        Acoustic range used to build the connectivity graph.
+    battery_capacity_j:
+        Usable battery energy per node (e.g. ~10 kJ for a small alkaline pack,
+        ~200 kJ for a D-cell lithium pack).
+    mac:
+        Either a :class:`~repro.network.mac.TDMASchedule` or
+        :class:`~repro.network.mac.SlottedAloha`; only the expected number of
+        transmissions per packet is used.
+    rng:
+        Seed or generator for traffic jitter.
+    """
+
+    deployment: Deployment
+    energy_budget: ModemEnergyBudget
+    traffic: PeriodicTraffic = field(default_factory=PeriodicTraffic)
+    communication_range_m: float = 300.0
+    battery_capacity_j: float = 50_000.0
+    mac: TDMASchedule | SlottedAloha | None = None
+    rng: np.random.Generator | int | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("communication_range_m", self.communication_range_m)
+        check_positive("battery_capacity_j", self.battery_capacity_j)
+        self.rng = as_rng(self.rng)
+        self.graph = connectivity_graph(self.deployment, self.communication_range_m)
+        self.routing: RoutingTable = shortest_path_routing(self.graph, self.deployment.sink_id)
+        self.nodes: dict[int, SensorNode] = {
+            node_id: SensorNode(
+                node_id=node_id,
+                position=position,
+                battery=Battery(self.battery_capacity_j),
+                energy_budget=self.energy_budget,
+                is_sink=(node_id == self.deployment.sink_id),
+            )
+            for node_id, position in self.deployment.positions.items()
+        }
+        self._tx_multiplier = (
+            self.mac.expected_transmissions_per_packet() if self.mac is not None else 1.0
+        )
+        self._packets_generated = 0
+        self._packets_delivered = 0
+        self._first_death: float | None = None
+
+    # ------------------------------------------------------------------ #
+    def _record_deaths(self, now: float) -> None:
+        """Record the first battery depletion among the sensor nodes."""
+        if self._first_death is not None:
+            return
+        for node in self.nodes.values():
+            if not node.is_sink and node.battery.is_empty:
+                self._first_death = now
+                return
+
+    def _advance_all(self, now: float) -> None:
+        for node in self.nodes.values():
+            if node.is_alive:
+                node.advance_time(now)
+        self._record_deaths(now)
+
+    def _deliver_packet(self, scheduler: Scheduler, source_id: int) -> None:
+        """Forward one packet hop-by-hop from ``source_id`` to the sink."""
+        path = self.routing.route(source_id)
+        symbols = self.traffic.packet_symbols
+        attempts = self._tx_multiplier
+        delivered = True
+        for sender_id, receiver_id in zip(path, path[1:]):
+            sender = self.nodes[sender_id]
+            receiver = self.nodes[receiver_id]
+            if not sender.is_alive or not receiver.is_alive:
+                delivered = False
+                break
+            # the MAC multiplier charges the expected retransmissions
+            for _ in range(int(np.ceil(attempts))):
+                sender.account_transmit(symbols)
+                receiver.account_receive(symbols, forwarded=(receiver_id != self.routing.sink_id))
+            if sender.battery.is_empty and not sender.is_sink and self._first_death is None:
+                self._first_death = scheduler.now
+            if receiver.battery.is_empty and not receiver.is_sink and self._first_death is None:
+                self._first_death = scheduler.now
+        if delivered:
+            self._packets_delivered += 1
+
+    def _on_report(self, scheduler: Scheduler, node_id: int) -> None:
+        self._advance_all(scheduler.now)
+        node = self.nodes[node_id]
+        if node.is_alive:
+            self._packets_generated += 1
+            self._deliver_packet(scheduler, node_id)
+            if node.battery.is_empty and not node.is_sink and self._first_death is None:
+                self._first_death = scheduler.now
+        # schedule the next report regardless (dead nodes simply skip)
+        delay = self.traffic.next_interval(self.rng)
+        scheduler.schedule_after(delay, self._on_report, node_id)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        max_time_s: float = 30.0 * 86_400.0,
+        stop_at_first_death: bool = True,
+        max_events: int = 500_000,
+    ) -> NetworkSimulationResult:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        max_time_s:
+            Simulation horizon.
+        stop_at_first_death:
+            Stop as soon as any sensor node's battery empties (the usual
+            deployment-lifetime definition); otherwise run to ``max_time_s``.
+        max_events:
+            Safety cap on processed events.
+        """
+        check_positive("max_time_s", max_time_s)
+        scheduler = Scheduler()
+        sensor_ids = [n for n in self.nodes if n != self.deployment.sink_id]
+        for index, node_id in enumerate(sensor_ids):
+            offset = self.traffic.first_offset(index, len(sensor_ids))
+            scheduler.schedule_at(offset, self._on_report, node_id)
+
+        while scheduler.queue and scheduler.events_processed < max_events:
+            next_time = scheduler.queue.peek_time()
+            if next_time is None or next_time > max_time_s:
+                break
+            scheduler.run(until=next_time, max_events=scheduler.events_processed + 1)
+            if stop_at_first_death and self._first_death is not None:
+                break
+
+        end_time = min(scheduler.now, max_time_s) if scheduler.now > 0 else scheduler.now
+        self._advance_all(end_time)
+
+        return NetworkSimulationResult(
+            first_death_time_s=self._first_death,
+            simulated_time_s=end_time,
+            packets_generated=self._packets_generated,
+            packets_delivered=self._packets_delivered,
+            node_reports={nid: node.report for nid, node in self.nodes.items()},
+            node_alive={nid: node.is_alive for nid, node in self.nodes.items()},
+        )

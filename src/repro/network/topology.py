@@ -1,0 +1,145 @@
+"""Deployment geometries and acoustic connectivity graphs.
+
+The paper targets deployments of "10s to 100s of nodes spaced a relatively
+small distance apart (up to a few hundred meters)".  Two deployment
+generators are provided — a regular grid and a uniform random scatter over a
+rectangular area — plus the connectivity graph induced by a maximum acoustic
+communication range (built with networkx, so routing can reuse its
+shortest-path machinery).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = ["Deployment", "grid_deployment", "random_deployment", "connectivity_graph"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A set of node positions plus the designated sink.
+
+    Attributes
+    ----------
+    positions:
+        Mapping from node id to (x, y) position in metres.
+    sink_id:
+        The node acting as the data sink / gateway.
+    """
+
+    positions: dict[int, tuple[float, float]]
+    sink_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sink_id not in self.positions:
+            raise ValueError(f"sink id {self.sink_id} is not among the deployed nodes")
+        if len(self.positions) < 2:
+            raise ValueError("a deployment needs at least two nodes (sink + one sensor)")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of deployed nodes, sink included."""
+        return len(self.positions)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes in metres."""
+        xa, ya = self.positions[a]
+        xb, yb = self.positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def max_pairwise_distance(self) -> float:
+        """Largest node-to-node distance (the deployment's diameter)."""
+        ids = list(self.positions)
+        return max(
+            self.distance(a, b) for i, a in enumerate(ids) for b in ids[i + 1 :]
+        )
+
+
+def grid_deployment(
+    rows: int,
+    cols: int,
+    spacing_m: float = 200.0,
+    sink_id: int = 0,
+) -> Deployment:
+    """Regular ``rows x cols`` grid with ``spacing_m`` between neighbours.
+
+    Node ids are assigned row-major starting at 0; the sink defaults to node 0
+    (a grid corner).
+    """
+    check_integer("rows", rows, minimum=1)
+    check_integer("cols", cols, minimum=1)
+    check_positive("spacing_m", spacing_m)
+    if rows * cols < 2:
+        raise ValueError("grid must contain at least two nodes")
+    positions = {
+        r * cols + c: (c * spacing_m, r * spacing_m)
+        for r in range(rows)
+        for c in range(cols)
+    }
+    return Deployment(positions=positions, sink_id=sink_id)
+
+
+def random_deployment(
+    num_nodes: int,
+    area_m: tuple[float, float] = (1000.0, 1000.0),
+    rng: np.random.Generator | int | None = None,
+    sink_at_center: bool = True,
+) -> Deployment:
+    """Uniform random scatter of ``num_nodes`` nodes over a rectangle.
+
+    The sink (node 0) is placed at the centre of the area by default, which is
+    the usual gateway placement for a moored buoy.
+    """
+    check_integer("num_nodes", num_nodes, minimum=2)
+    width, height = area_m
+    check_positive("area width", width)
+    check_positive("area height", height)
+    rng = as_rng(rng)
+    positions: dict[int, tuple[float, float]] = {}
+    start = 0
+    if sink_at_center:
+        positions[0] = (width / 2.0, height / 2.0)
+        start = 1
+    for node_id in range(start, num_nodes):
+        positions[node_id] = (float(rng.uniform(0, width)), float(rng.uniform(0, height)))
+    return Deployment(positions=positions, sink_id=0)
+
+
+def connectivity_graph(deployment: Deployment, communication_range_m: float) -> nx.Graph:
+    """Build the connectivity graph: an edge joins nodes within acoustic range.
+
+    Edge weights carry the inter-node distance (metres), which the routing
+    layer uses as its path metric.
+
+    Raises
+    ------
+    ValueError
+        If the resulting graph leaves any node disconnected from the sink —
+        an unusable deployment for a data-collection network.
+    """
+    check_positive("communication_range_m", communication_range_m)
+    graph = nx.Graph()
+    graph.add_nodes_from(deployment.positions)
+    ids = list(deployment.positions)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            distance = deployment.distance(a, b)
+            if distance <= communication_range_m:
+                graph.add_edge(a, b, weight=distance)
+    unreachable = [
+        n for n in graph.nodes
+        if n != deployment.sink_id and not nx.has_path(graph, n, deployment.sink_id)
+    ]
+    if unreachable:
+        raise ValueError(
+            f"nodes {unreachable} cannot reach the sink with range {communication_range_m} m; "
+            "increase the range or densify the deployment"
+        )
+    return graph

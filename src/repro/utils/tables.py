@@ -1,0 +1,89 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness regenerates the paper's tables; these helpers render the
+resulting rows as aligned ASCII tables (the same representation is reused by
+the examples and by EXPERIMENTS.md generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["AsciiTable", "format_table"]
+
+
+def _render_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+@dataclass
+class AsciiTable:
+    """An accumulating ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    title:
+        Optional title rendered above the table.
+    float_format:
+        ``format()`` spec applied to float cells (default ``.4g``).
+    """
+
+    headers: Sequence[str]
+    title: str = ""
+    float_format: str = ".4g"
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; the number of values must match the header count."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} values per row, got {len(values)}"
+            )
+        self.rows.append([_render_cell(v, self.float_format) for v in values])
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append several rows at once."""
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        """Render the table as a string with aligned columns."""
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+        sep = "-+-".join("-" * width for width in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(headers))
+        lines.append(sep)
+        lines.extend(fmt_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+    float_format: str = ".4g",
+) -> str:
+    """One-shot helper: build and render an :class:`AsciiTable`."""
+    table = AsciiTable(headers=headers, title=title, float_format=float_format)
+    table.add_rows(rows)
+    return table.render()

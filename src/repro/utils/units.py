@@ -1,0 +1,152 @@
+"""Unit conversions used throughout the energy / acoustics models.
+
+Conventions
+-----------
+* Internally everything is SI: seconds, watts, joules, hertz, metres.
+* The paper reports microseconds, microjoules and MHz; the conversion helpers
+  here keep that translation in one place so tables can be rendered in the
+  paper's units without sprinkling ``1e6`` factors around the codebase.
+* "dB" helpers come in two flavours: amplitude ratios (20 log10) and power
+  ratios (10 log10).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "db_to_power_ratio",
+    "power_ratio_to_db",
+    "joules_to_microjoules",
+    "microjoules_to_joules",
+    "seconds_to_microseconds",
+    "microseconds_to_seconds",
+    "seconds_to_milliseconds",
+    "milliseconds_to_seconds",
+    "watts_to_milliwatts",
+    "milliwatts_to_watts",
+    "hz_to_mhz",
+    "mhz_to_hz",
+    "hz_to_khz",
+    "khz_to_hz",
+    "format_si",
+]
+
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+
+
+def db_to_linear(db: float) -> float:
+    """Convert an amplitude gain in dB to a linear amplitude ratio (20 log10)."""
+    return 10.0 ** (db / 20.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear amplitude ratio to dB (20 log10)."""
+    if ratio <= 0:
+        raise ValueError(f"amplitude ratio must be > 0, got {ratio!r}")
+    return 20.0 * math.log10(ratio)
+
+
+def db_to_power_ratio(db: float) -> float:
+    """Convert a power gain in dB to a linear power ratio (10 log10)."""
+    return 10.0 ** (db / 10.0)
+
+
+def power_ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB (10 log10)."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def joules_to_microjoules(joules: float) -> float:
+    """Convert joules to microjoules."""
+    return joules / MICRO
+
+
+def microjoules_to_joules(microjoules: float) -> float:
+    """Convert microjoules to joules."""
+    return microjoules * MICRO
+
+
+def seconds_to_microseconds(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / MICRO
+
+
+def microseconds_to_seconds(microseconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return microseconds * MICRO
+
+
+def seconds_to_milliseconds(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLI
+
+
+def milliseconds_to_seconds(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds * MILLI
+
+
+def watts_to_milliwatts(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLI
+
+
+def milliwatts_to_watts(milliwatts: float) -> float:
+    """Convert milliwatts to watts."""
+    return milliwatts * MILLI
+
+
+def hz_to_mhz(hz: float) -> float:
+    """Convert hertz to megahertz."""
+    return hz / MEGA
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert megahertz to hertz."""
+    return mhz * MEGA
+
+
+def hz_to_khz(hz: float) -> float:
+    """Convert hertz to kilohertz."""
+    return hz / KILO
+
+
+def khz_to_hz(khz: float) -> float:
+    """Convert kilohertz to hertz."""
+    return khz * KILO
+
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+]
+
+
+def format_si(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(3.95e-6, 's') == '3.95 us'``.
+
+    Zero and non-finite values are formatted without a prefix.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:.{precision}g} {unit}".rstrip()
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            return f"{value / factor:.{precision}g} {prefix}{unit}".rstrip()
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{precision}g} {prefix}{unit}".rstrip()

@@ -1,0 +1,58 @@
+"""Unit tests for the CSV/JSON experiment exporter."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import export_all, write_csv
+
+
+class TestWriteCsv:
+    def test_creates_directories_and_content(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "file.csv", ["a", "b"], [(1, 2), (3, 4)])
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2"]
+        assert len(rows) == 3
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        output_dir = tmp_path_factory.mktemp("export")
+        return output_dir, export_all(output_dir)
+
+    def test_all_artefacts_written(self, exported):
+        output_dir, written = exported
+        assert set(written) == {"table1", "table2", "figure6", "table3", "summary"}
+        for path in written.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_table2_row_count(self, exported):
+        _, written = exported
+        with written["table2"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 18
+        slices = {row["slices"] for row in rows}
+        assert "11508" in slices
+
+    def test_summary_headline(self, exported):
+        _, written = exported
+        summary = json.loads(written["summary"].read_text())
+        assert summary["table1_matches"] is True
+        assert summary["headline_energy_decrease_vs_microcontroller"] == pytest.approx(213.0, rel=0.05)
+        assert summary["paper_headline_vs_dsp"] == pytest.approx(52.71)
+        assert summary["table2_infeasible_points"] == 3
+
+    def test_figure6_csv_has_paper_anchors(self, exported):
+        _, written = exported
+        with written["figure6"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        anchored = [r for r in rows if r["paper_power_w"] not in ("", "None")]
+        assert len(anchored) == 4

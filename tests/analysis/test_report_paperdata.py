@@ -1,0 +1,54 @@
+"""Tests for the published-data module and the combined report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.report import comparison_report
+
+
+class TestPaperDataConsistency:
+    def test_table2_row_count(self):
+        # 3 bit widths x (3 Virtex-4 + 2 Spartan-3 rows) = 15 published rows
+        assert len(paper_data.TABLE2_ROWS) == 15
+
+    def test_table3_row_count(self):
+        assert len(paper_data.TABLE3_ROWS) == 6
+
+    def test_headline_ratio_derivable_from_table3(self):
+        microblaze_energy = paper_data.TABLE3_ROWS["MicroBlaze 32bit"][2]
+        dsp_energy = paper_data.TABLE3_ROWS["DSP 32bit"][2]
+        best_energy = paper_data.TABLE3_ROWS["Virtex-4 112FC 8bit"][2]
+        assert microblaze_energy / best_energy == pytest.approx(
+            paper_data.HEADLINE_ENERGY_DECREASE["vs_microcontroller"], rel=0.001
+        )
+        assert dsp_energy / best_energy == pytest.approx(
+            paper_data.HEADLINE_ENERGY_DECREASE["vs_dsp"], rel=0.001
+        )
+
+    def test_table2_energy_consistency_between_tables(self):
+        """Table 3's timing for the FPGA rows matches the Table 2 timing column."""
+        assert paper_data.TABLE3_ROWS["Virtex-4 112FC 8bit"][0] == paper_data.TABLE2_ROWS[(8, 112, "Virtex-4")][1]
+        assert paper_data.TABLE3_ROWS["Spartan-3 14FC 8bit"][0] == paper_data.TABLE2_ROWS[(8, 14, "Spartan-3")][1]
+
+    def test_table1_values(self):
+        assert paper_data.TABLE1_PARAMETERS["total_receive_vector_samples"][0] == 224
+        assert paper_data.REAL_TIME_DEADLINE_MS == pytest.approx(22.4)
+        assert paper_data.AQUAMODEM_NUM_PATHS == 6
+
+
+class TestComparisonReport:
+    def test_report_mentions_every_artefact(self):
+        text = comparison_report()
+        assert "Table 1" in text
+        assert "Figure 4" in text
+        assert "Table 2" in text
+        assert "Figure 6" in text
+        assert "Table 3" in text
+        assert "Headline" in text
+
+    def test_report_quotes_paper_headline(self):
+        text = comparison_report()
+        assert "210" in text
+        assert "52.7" in text

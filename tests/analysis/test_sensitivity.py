@@ -1,0 +1,54 @@
+"""Unit tests for the calibration-sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PERTURBABLE_PARAMETERS,
+    headline_sensitivity,
+)
+
+
+class TestHeadlineSensitivity:
+    def test_zero_perturbation_reproduces_headline(self):
+        point = headline_sensitivity("fpga_quiescent_power", 0.0)
+        assert point.energy_decrease_vs_microcontroller == pytest.approx(213.0, rel=0.02)
+        assert point.energy_decrease_vs_dsp == pytest.approx(53.3, rel=0.02)
+
+    @pytest.mark.parametrize("parameter", PERTURBABLE_PARAMETERS)
+    @pytest.mark.parametrize("change", [-0.2, 0.2])
+    def test_conclusion_survives_20_percent_perturbations(self, parameter, change):
+        """The qualitative claim (orders of magnitude) is robust to calibration error."""
+        point = headline_sensitivity(parameter, change)
+        assert point.energy_decrease_vs_microcontroller > 100.0
+        assert point.energy_decrease_vs_dsp > 25.0
+
+    def test_directionality_fpga_quiescent(self):
+        up = headline_sensitivity("fpga_quiescent_power", 0.2)
+        down = headline_sensitivity("fpga_quiescent_power", -0.2)
+        assert up.fpga_energy_uj > down.fpga_energy_uj
+        assert up.energy_decrease_vs_dsp < down.energy_decrease_vs_dsp
+
+    def test_directionality_microblaze_power_only_affects_its_ratio(self):
+        up = headline_sensitivity("microblaze_active_power", 0.2)
+        base = headline_sensitivity("microblaze_active_power", 0.0)
+        assert up.energy_decrease_vs_microcontroller == pytest.approx(
+            1.2 * base.energy_decrease_vs_microcontroller, rel=1e-6
+        )
+        assert up.energy_decrease_vs_dsp == pytest.approx(base.energy_decrease_vs_dsp, rel=1e-9)
+
+    def test_fpga_clock_perturbation_moves_time_and_power_together(self):
+        # a faster clock raises power but shortens time; energy (and hence the
+        # ratios) moves only through the quiescent share, so the effect is small
+        up = headline_sensitivity("fpga_clock_frequency", 0.2)
+        base = headline_sensitivity("fpga_clock_frequency", 0.0)
+        assert abs(up.energy_decrease_vs_dsp - base.energy_decrease_vs_dsp) / base.energy_decrease_vs_dsp < 0.1
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            headline_sensitivity("gpu_power", 0.1)
+
+    def test_out_of_range_change_rejected(self):
+        with pytest.raises(ValueError):
+            headline_sensitivity("fpga_quiescent_power", -0.95)

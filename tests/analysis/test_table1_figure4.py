@@ -1,0 +1,58 @@
+"""Tests for the Table 1 and Figure 4 reproductions (experiments E1-E2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figure4 import reproduce_figure4
+from repro.analysis.table1 import render_table1, reproduce_table1
+from repro.modem.config import AquaModemConfig
+
+
+class TestTable1Reproduction:
+    def test_every_parameter_matches_exactly(self):
+        rows = reproduce_table1()
+        assert len(rows) == 9
+        for row in rows:
+            assert row.matches, f"{row.quantity}: paper {row.paper_value} vs {row.reproduced_value}"
+
+    def test_render_contains_all_quantities(self):
+        text = render_table1()
+        assert "samples_per_symbol" in text
+        assert "224" in text
+
+    def test_modified_config_is_detected(self):
+        rows = reproduce_table1(AquaModemConfig(chip_duration_s=0.3e-3))
+        assert not all(row.matches for row in rows)
+
+
+class TestFigure4Reproduction:
+    @pytest.fixture(scope="class")
+    def waveforms(self):
+        return reproduce_figure4()
+
+    def test_eight_waveforms_of_56_chips(self, waveforms):
+        assert waveforms.num_waveforms == 8
+        assert waveforms.chips_per_waveform == 56
+        assert waveforms.samples_per_waveform == 112
+        assert waveforms.chip_waveforms.shape == (8, 56)
+        assert waveforms.sampled_waveforms.shape == (8, 112)
+
+    def test_structural_properties(self, waveforms):
+        assert waveforms.orthogonal
+        assert waveforms.constant_envelope
+
+    def test_sampled_waveform_is_chip_repetition(self, waveforms):
+        np.testing.assert_array_equal(
+            waveforms.sampled_waveforms[:, ::2], waveforms.chip_waveforms
+        )
+        np.testing.assert_array_equal(
+            waveforms.sampled_waveforms[:, 1::2], waveforms.chip_waveforms
+        )
+
+    def test_alternative_config(self):
+        result = reproduce_figure4(AquaModemConfig(walsh_symbols=4, spreading_chips=15))
+        assert result.num_waveforms == 4
+        assert result.chips_per_waveform == 60
+        assert result.orthogonal

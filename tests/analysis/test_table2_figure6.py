@@ -1,0 +1,96 @@
+"""Tests for the Table 2 and Figure 6 reproductions (experiments E3-E4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.figure6 import render_figure6, reproduce_figure6
+from repro.analysis.table2 import render_table2, reproduce_table2
+
+
+class TestTable2Reproduction:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return reproduce_table2()
+
+    def test_eighteen_rows_with_three_infeasible(self, rows):
+        assert len(rows) == 18
+        infeasible = [r for r in rows if not r.feasible]
+        assert len(infeasible) == 3
+        assert all(r.device_family == "Spartan-3" and r.num_fc_blocks == 112 for r in infeasible)
+
+    def test_every_published_row_present(self, rows):
+        published = {
+            (r.word_length, r.num_fc_blocks, r.device_family)
+            for r in rows
+            if r.paper_slices is not None
+        }
+        assert published == set(paper_data.TABLE2_ROWS)
+
+    def test_area_reproduced_exactly(self, rows):
+        for row in rows:
+            if row.paper_slices is not None:
+                assert row.slices == row.paper_slices
+                assert row.slice_error == 0.0
+
+    def test_timing_within_half_percent(self, rows):
+        for row in rows:
+            if row.paper_time_us is not None:
+                assert row.time_error < 0.005
+
+    def test_infeasible_rows_have_no_error_numbers(self, rows):
+        for row in rows:
+            if not row.feasible:
+                assert row.slice_error is None and row.time_error is None
+
+    def test_render(self, rows):
+        text = render_table2(rows)
+        assert "11508" in text
+        assert "Spartan-3" in text
+
+
+class TestFigure6Reproduction:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return reproduce_figure6()
+
+    def test_point_count(self, points):
+        assert len(points) == 18
+
+    def test_quiescent_power_annotation(self, points):
+        for point in points:
+            assert point.quiescent_power_w == paper_data.FIGURE6_QUIESCENT_POWER_W[point.device_family]
+            if point.feasible:
+                assert point.power_w > point.quiescent_power_w
+
+    def test_published_anchors_within_four_percent(self, points):
+        anchored = [p for p in points if p.paper_power_w is not None]
+        assert len(anchored) == 4
+        for p in anchored:
+            assert p.power_w == pytest.approx(p.paper_power_w, rel=0.04)
+            assert p.energy_uj == pytest.approx(p.paper_energy_uj, rel=0.04)
+
+    def test_shape_power_rises_energy_falls_with_parallelism(self, points):
+        for family in ("Virtex-4", "Spartan-3"):
+            for bits in (8, 12, 16):
+                series = {
+                    p.num_fc_blocks: p
+                    for p in points
+                    if p.device_family == family and p.word_length == bits and p.feasible
+                }
+                levels = sorted(series)
+                powers = [series[p].power_w for p in levels]
+                energies = [series[p].energy_uj for p in levels]
+                assert powers == sorted(powers)
+                assert energies == sorted(energies, reverse=True)
+
+    def test_serial_designs_sit_near_quiescent_floor(self, points):
+        """Figure 6 observation: the 1-FC designs draw little more than quiescent power."""
+        for p in points:
+            if p.num_fc_blocks == 1:
+                assert p.power_w - p.quiescent_power_w < 0.05
+
+    def test_render(self, points):
+        text = render_figure6(points)
+        assert "Energy (uJ)" in text

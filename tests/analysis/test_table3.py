@@ -1,0 +1,54 @@
+"""Tests for the Table 3 reproduction (experiment E5, the headline result)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table3 import render_table3, reproduce_table3
+
+
+class TestTable3Reproduction:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return reproduce_table3()
+
+    def test_six_rows_all_matched_to_paper(self, rows):
+        assert len(rows) == 6
+        assert all(row.paper_energy_uj is not None for row in rows)
+
+    def test_energy_within_four_percent_of_paper(self, rows):
+        for row in rows:
+            assert row.energy_error is not None and row.energy_error < 0.04, row.label
+
+    def test_energy_decrease_ratios_match_paper(self, rows):
+        for row in rows:
+            assert row.energy_decrease_vs_microcontroller == pytest.approx(
+                row.paper_decrease_vs_microcontroller, rel=0.06
+            )
+            assert row.energy_decrease_vs_dsp == pytest.approx(
+                row.paper_decrease_vs_dsp, rel=0.06
+            )
+
+    def test_headline_result(self, rows):
+        headline = next(r for r in rows if "112FC" in r.label)
+        assert headline.energy_decrease_vs_microcontroller == pytest.approx(210.57, rel=0.05)
+        assert headline.energy_decrease_vs_dsp == pytest.approx(52.71, rel=0.05)
+
+    def test_ordering_matches_paper_conclusion(self, rows):
+        """Every FPGA point beats both processors; parallel beats serial."""
+        by_label = {r.label: r for r in rows}
+        fpga_labels = [l for l in by_label if "FC" in l]
+        for label in fpga_labels:
+            assert by_label[label].energy_decrease_vs_dsp > 1.0
+            assert by_label[label].energy_decrease_vs_microcontroller > 1.0
+        assert (
+            by_label["Virtex-4 112FC 8bit"].energy_uj
+            < by_label["Spartan-3 14FC 8bit"].energy_uj
+            < by_label["Spartan-3 1FC 16bit"].energy_uj
+            < by_label["Virtex-4 1FC 16bit"].energy_uj
+        )
+
+    def test_render(self, rows):
+        text = render_table3(rows)
+        assert "MicroBlaze" in text
+        assert "210" in text or "213" in text

@@ -1,0 +1,105 @@
+"""Unit tests for repro.channel.geometry (image-method multipath)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.channel.geometry import ShallowWaterGeometry, image_method_paths
+
+
+@pytest.fixture()
+def geometry() -> ShallowWaterGeometry:
+    return ShallowWaterGeometry(
+        water_depth_m=20.0,
+        source_depth_m=10.0,
+        receiver_depth_m=10.0,
+        range_m=200.0,
+    )
+
+
+class TestShallowWaterGeometry:
+    def test_direct_path_delay(self, geometry):
+        assert geometry.direct_path_delay_s == pytest.approx(200.0 / 1500.0)
+
+    def test_depth_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ShallowWaterGeometry(water_depth_m=20.0, source_depth_m=25.0)
+
+    def test_negative_reflection_loss_rejected(self):
+        with pytest.raises(ValueError):
+            ShallowWaterGeometry(surface_reflection_loss_db=-1.0)
+
+
+class TestImageMethodPaths:
+    def test_first_path_is_direct(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=2)
+        direct = paths[0]
+        assert direct.total_bounces == 0
+        assert direct.length_m == pytest.approx(200.0)
+        assert direct.delay_s == pytest.approx(geometry.direct_path_delay_s)
+
+    def test_delays_sorted_and_positive(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=3)
+        delays = [p.delay_s for p in paths]
+        assert delays == sorted(delays)
+        assert all(d > 0 for d in delays)
+
+    def test_single_bounce_path_lengths(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=1)
+        # with source and receiver both at mid-depth, the surface- and
+        # bottom-bounce paths have the same length sqrt(range^2 + (2*10)^2)
+        expected = math.hypot(200.0, 20.0)
+        single_bounce = [p for p in paths if p.total_bounces == 1]
+        assert len(single_bounce) == 2
+        for p in single_bounce:
+            assert p.length_m == pytest.approx(expected)
+
+    def test_surface_bounce_flips_phase(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=1)
+        surface = next(p for p in paths if p.surface_bounces == 1 and p.bottom_bounces == 0)
+        bottom = next(p for p in paths if p.bottom_bounces == 1 and p.surface_bounces == 0)
+        assert surface.amplitude < 0
+        assert bottom.amplitude > 0
+
+    def test_bounce_count_respected(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=2)
+        assert all(p.total_bounces <= 2 for p in paths)
+
+    def test_more_bounces_never_removes_paths(self, geometry):
+        few = image_method_paths(geometry, max_bounces=1)
+        many = image_method_paths(geometry, max_bounces=3)
+        assert len(many) >= len(few)
+
+    def test_direct_path_is_strongest(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=3)
+        amplitudes = [abs(p.amplitude) for p in paths]
+        assert amplitudes[0] == pytest.approx(max(amplitudes))
+
+    def test_weak_paths_filtered(self, geometry):
+        all_paths = image_method_paths(geometry, max_bounces=3, min_relative_amplitude=0.0)
+        filtered = image_method_paths(geometry, max_bounces=3, min_relative_amplitude=0.5)
+        assert len(filtered) <= len(all_paths)
+        direct_amp = abs(filtered[0].amplitude)
+        assert all(abs(p.amplitude) >= 0.5 * direct_amp for p in filtered)
+
+    def test_delay_spread_within_10ms_for_paper_geometry(self, geometry):
+        # the waveform design assumes ~10 ms multipath spread in shallow water
+        paths = image_method_paths(geometry, max_bounces=3)
+        spread = paths[-1].delay_s - paths[0].delay_s
+        assert spread < 10e-3
+
+    def test_zero_bounces_only_direct(self, geometry):
+        paths = image_method_paths(geometry, max_bounces=0)
+        assert len(paths) == 1
+        assert paths[0].total_bounces == 0
+
+    def test_reflection_loss_reduces_amplitude(self):
+        lossless = ShallowWaterGeometry(surface_reflection_loss_db=0.0, bottom_reflection_loss_db=0.0)
+        lossy = ShallowWaterGeometry(surface_reflection_loss_db=6.0, bottom_reflection_loss_db=10.0)
+        amp_lossless = [abs(p.amplitude) for p in image_method_paths(lossless, max_bounces=1)]
+        amp_lossy = [abs(p.amplitude) for p in image_method_paths(lossy, max_bounces=1)]
+        # direct path unchanged, bounced paths weaker
+        assert amp_lossy[0] == pytest.approx(amp_lossless[0])
+        assert sum(amp_lossy) < sum(amp_lossless)

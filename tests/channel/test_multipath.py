@@ -1,0 +1,152 @@
+"""Unit tests for repro.channel.multipath."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.geometry import ShallowWaterGeometry
+from repro.channel.multipath import MultipathChannel, random_sparse_channel
+
+
+class TestMultipathChannelConstruction:
+    def test_basic_properties(self):
+        channel = MultipathChannel(
+            delays=np.array([0, 5, 20]),
+            gains=np.array([1.0, 0.5j, -0.25 + 0.1j]),
+        )
+        assert channel.num_paths == 3
+        assert channel.delay_spread == 20
+        assert channel.total_power == pytest.approx(1.0 + 0.25 + 0.0725)
+        delay, gain = channel.strongest_path()
+        assert delay == 0 and gain == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultipathChannel(delays=np.array([0, 0]), gains=np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            MultipathChannel(delays=np.array([5, 2]), gains=np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            MultipathChannel(delays=np.array([-1]), gains=np.array([1.0]))
+        with pytest.raises(ValueError):
+            MultipathChannel(delays=np.array([0, 1]), gains=np.array([1.0]))
+        with pytest.raises(ValueError):
+            MultipathChannel(delays=np.array([], dtype=int), gains=np.array([]))
+
+
+class TestConversions:
+    def test_impulse_response(self):
+        channel = MultipathChannel(delays=np.array([0, 3]), gains=np.array([1.0, 0.5j]))
+        h = channel.impulse_response()
+        assert h.shape == (4,)
+        assert h[0] == 1.0 and h[3] == 0.5j and h[1] == 0.0
+
+    def test_impulse_response_with_padding(self):
+        channel = MultipathChannel(delays=np.array([1]), gains=np.array([1.0]))
+        assert channel.impulse_response(10).shape == (10,)
+
+    def test_coefficient_vector_roundtrip(self):
+        channel = MultipathChannel(delays=np.array([2, 7]), gains=np.array([0.8, -0.3j]))
+        f = channel.coefficient_vector(12)
+        back = MultipathChannel.from_coefficient_vector(f)
+        np.testing.assert_array_equal(back.delays, channel.delays)
+        np.testing.assert_allclose(back.gains, channel.gains)
+
+    def test_coefficient_vector_out_of_grid(self):
+        channel = MultipathChannel(delays=np.array([20]), gains=np.array([1.0]))
+        with pytest.raises(ValueError):
+            channel.coefficient_vector(10)
+
+    def test_from_coefficient_vector_threshold(self):
+        f = np.array([1.0, 0.01, 0.0, 0.5])
+        channel = MultipathChannel.from_coefficient_vector(f, magnitude_threshold=0.1)
+        np.testing.assert_array_equal(channel.delays, [0, 3])
+
+    def test_from_all_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathChannel.from_coefficient_vector(np.zeros(5))
+
+
+class TestApply:
+    def test_single_unit_tap_is_identity(self):
+        channel = MultipathChannel(delays=np.array([0]), gains=np.array([1.0]))
+        x = np.arange(6, dtype=complex)
+        np.testing.assert_allclose(channel.apply(x), x)
+
+    def test_pure_delay(self):
+        channel = MultipathChannel(delays=np.array([2]), gains=np.array([1.0]))
+        x = np.array([1.0, 2.0, 3.0, 4.0], dtype=complex)
+        np.testing.assert_allclose(channel.apply(x), [0, 0, 1.0, 2.0])
+
+    def test_matches_full_convolution_prefix(self):
+        rng = np.random.default_rng(0)
+        channel = MultipathChannel(
+            delays=np.array([0, 4, 11]),
+            gains=np.array([1.0, 0.5 - 0.2j, -0.3j]),
+        )
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        full = np.convolve(x, channel.impulse_response())[:64]
+        np.testing.assert_allclose(channel.apply(x), full, atol=1e-12)
+
+    def test_taps_beyond_signal_ignored(self):
+        channel = MultipathChannel(delays=np.array([0, 100]), gains=np.array([1.0, 1.0]))
+        x = np.ones(10, dtype=complex)
+        np.testing.assert_allclose(channel.apply(x), x)
+
+
+class TestFromGeometry:
+    def test_direct_tap_at_zero_and_unit_peak(self):
+        geometry = ShallowWaterGeometry()
+        channel = MultipathChannel.from_geometry(geometry, sampling_interval_s=1e-4)
+        assert channel.delays[0] == 0
+        assert np.max(np.abs(channel.gains)) == pytest.approx(1.0)
+
+    def test_max_delay_cap(self):
+        geometry = ShallowWaterGeometry(range_m=50.0)
+        channel = MultipathChannel.from_geometry(
+            geometry, sampling_interval_s=1e-4, max_delay_samples=30
+        )
+        assert channel.delays.max() < 30
+
+    def test_delay_spread_fits_aquamodem_grid(self):
+        geometry = ShallowWaterGeometry()
+        channel = MultipathChannel.from_geometry(geometry, sampling_interval_s=1e-4)
+        assert channel.delay_spread < 112
+
+
+class TestRandomSparseChannel:
+    def test_requested_paths_and_direct_tap(self):
+        channel = random_sparse_channel(num_paths=4, max_delay=80, rng=0)
+        assert channel.num_paths == 4
+        assert channel.delays[0] == 0
+
+    def test_peak_normalised(self):
+        channel = random_sparse_channel(num_paths=5, max_delay=100, rng=1)
+        assert np.max(np.abs(channel.gains)) == pytest.approx(1.0)
+
+    def test_min_separation_respected(self):
+        channel = random_sparse_channel(num_paths=6, max_delay=100, rng=2, min_separation=5)
+        assert np.min(np.diff(channel.delays)) >= 5
+
+    def test_reproducible(self):
+        a = random_sparse_channel(3, 50, rng=9)
+        b = random_sparse_channel(3, 50, rng=9)
+        np.testing.assert_array_equal(a.delays, b.delays)
+        np.testing.assert_allclose(a.gains, b.gains)
+
+    def test_impossible_placement_rejected(self):
+        with pytest.raises(ValueError):
+            random_sparse_channel(num_paths=10, max_delay=5, min_separation=3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_paths=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_delays_within_bounds_property(self, num_paths, seed):
+        channel = random_sparse_channel(num_paths=num_paths, max_delay=100, rng=seed)
+        assert channel.num_paths == num_paths
+        assert channel.delays.min() >= 0
+        assert channel.delays.max() < 100
+        assert np.all(np.diff(channel.delays) > 0)

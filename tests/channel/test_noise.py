@@ -1,0 +1,96 @@
+"""Unit tests for repro.channel.noise."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import (
+    ambient_noise_psd_db,
+    complex_awgn,
+    noise_power_for_snr,
+    shipping_noise_psd_db,
+    thermal_noise_psd_db,
+    total_noise_level_db,
+    turbulence_noise_psd_db,
+    wind_noise_psd_db,
+)
+
+
+class TestNoiseComponents:
+    def test_turbulence_dominates_at_very_low_frequency(self):
+        f = 0.02
+        turbulence = turbulence_noise_psd_db(f)
+        assert turbulence > wind_noise_psd_db(f)
+        assert turbulence > thermal_noise_psd_db(f)
+
+    def test_thermal_dominates_at_very_high_frequency(self):
+        f = 300.0
+        thermal = thermal_noise_psd_db(f)
+        assert thermal > turbulence_noise_psd_db(f)
+        assert thermal > shipping_noise_psd_db(f)
+        assert thermal > wind_noise_psd_db(f)
+
+    def test_wind_increases_noise(self):
+        assert wind_noise_psd_db(24.0, 15.0) > wind_noise_psd_db(24.0, 0.0)
+
+    def test_shipping_increases_noise(self):
+        assert shipping_noise_psd_db(1.0, 1.0) > shipping_noise_psd_db(1.0, 0.0)
+
+    def test_shipping_factor_validated(self):
+        with pytest.raises(ValueError):
+            shipping_noise_psd_db(1.0, 1.5)
+
+
+class TestAmbientNoise:
+    def test_total_exceeds_every_component(self):
+        f = 24.0
+        total = ambient_noise_psd_db(f)
+        assert total >= turbulence_noise_psd_db(f)
+        assert total >= wind_noise_psd_db(f)
+        assert total >= thermal_noise_psd_db(f)
+
+    def test_decreases_with_frequency_in_modem_band(self):
+        # in the 10-100 kHz band the ambient noise falls with frequency
+        assert ambient_noise_psd_db(10.0) > ambient_noise_psd_db(50.0)
+
+    def test_band_level_scales_with_bandwidth(self):
+        narrow = total_noise_level_db(24.0, 1000.0)
+        wide = total_noise_level_db(24.0, 10_000.0)
+        assert wide - narrow == pytest.approx(10.0)
+
+
+class TestNoisePowerForSnr:
+    def test_zero_db_means_equal_power(self):
+        assert noise_power_for_snr(2.0, 0.0) == pytest.approx(2.0)
+
+    def test_ten_db(self):
+        assert noise_power_for_snr(1.0, 10.0) == pytest.approx(0.1)
+
+    def test_negative_snr(self):
+        assert noise_power_for_snr(1.0, -10.0) == pytest.approx(10.0)
+
+
+class TestComplexAwgn:
+    def test_power_matches_request(self):
+        noise = complex_awgn(200_000, 2.5, rng=0)
+        assert float(np.mean(np.abs(noise) ** 2)) == pytest.approx(2.5, rel=0.02)
+
+    def test_circular_symmetry(self):
+        noise = complex_awgn(200_000, 1.0, rng=1)
+        assert float(np.mean(noise.real**2)) == pytest.approx(0.5, rel=0.03)
+        assert float(np.mean(noise.imag**2)) == pytest.approx(0.5, rel=0.03)
+        assert abs(float(np.mean(noise.real * noise.imag))) < 0.01
+
+    def test_shape_tuple(self):
+        assert complex_awgn((3, 4), 1.0, rng=0).shape == (3, 4)
+
+    def test_zero_power(self):
+        np.testing.assert_array_equal(complex_awgn(10, 0.0, rng=0), np.zeros(10))
+
+    def test_reproducible_with_seed(self):
+        np.testing.assert_array_equal(complex_awgn(16, 1.0, rng=7), complex_awgn(16, 1.0, rng=7))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            complex_awgn(10, -1.0)

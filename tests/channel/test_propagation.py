@@ -1,0 +1,104 @@
+"""Unit tests for repro.channel.propagation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.propagation import (
+    propagation_delay,
+    received_level_db,
+    snr_db,
+    sound_speed_mackenzie,
+    spreading_loss_db,
+    thorp_absorption_db_per_km,
+    transmission_loss_db,
+)
+
+
+class TestThorpAbsorption:
+    def test_increases_with_frequency(self):
+        assert thorp_absorption_db_per_km(10.0) < thorp_absorption_db_per_km(30.0)
+        assert thorp_absorption_db_per_km(30.0) < thorp_absorption_db_per_km(100.0)
+
+    def test_reference_magnitudes(self):
+        # well-known ballpark values: a few dB/km in the tens of kHz
+        assert 1.0 < thorp_absorption_db_per_km(24.0) < 10.0
+        assert thorp_absorption_db_per_km(1.0) < 0.2
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            thorp_absorption_db_per_km(0.0)
+
+    @given(st.floats(min_value=0.1, max_value=500.0))
+    def test_always_positive_property(self, frequency_khz):
+        assert thorp_absorption_db_per_km(frequency_khz) > 0.0
+
+
+class TestSpreadingLoss:
+    def test_practical_spreading_at_1km(self):
+        assert spreading_loss_db(1000.0, 1.5) == pytest.approx(45.0)
+
+    def test_spherical_vs_cylindrical(self):
+        assert spreading_loss_db(500.0, 2.0) > spreading_loss_db(500.0, 1.0)
+
+    def test_sub_metre_distance_clamps_to_zero(self):
+        assert spreading_loss_db(0.5) == pytest.approx(0.0)
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            spreading_loss_db(100.0, 3.0)
+
+
+class TestTransmissionLoss:
+    def test_monotone_in_distance(self):
+        losses = [transmission_loss_db(d, 24.0) for d in (50, 100, 200, 400, 800)]
+        assert losses == sorted(losses)
+
+    def test_absorption_dominates_at_long_range_high_frequency(self):
+        tl_low = transmission_loss_db(5000.0, 10.0)
+        tl_high = transmission_loss_db(5000.0, 100.0)
+        assert tl_high - tl_low > 100.0  # absorption term grows enormously
+
+    def test_received_level(self):
+        sl = 180.0
+        rl = received_level_db(sl, 200.0, 24.0)
+        assert rl == pytest.approx(sl - transmission_loss_db(200.0, 24.0))
+
+
+class TestSonarEquation:
+    def test_snr_decreases_with_range(self):
+        snrs = [snr_db(180.0, d, 24.0, noise_level_db=70.0) for d in (100, 300, 1000)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_directivity_adds_directly(self):
+        base = snr_db(180.0, 200.0, 24.0, 70.0)
+        with_di = snr_db(180.0, 200.0, 24.0, 70.0, directivity_index_db=3.0)
+        assert with_di == pytest.approx(base + 3.0)
+
+
+class TestSoundSpeed:
+    def test_standard_conditions(self):
+        # ~1500 m/s for typical coastal water
+        assert 1480.0 < sound_speed_mackenzie(12.0, 35.0, 20.0) < 1520.0
+
+    def test_increases_with_temperature(self):
+        assert sound_speed_mackenzie(20.0) > sound_speed_mackenzie(5.0)
+
+    def test_increases_with_depth(self):
+        assert sound_speed_mackenzie(depth_m=1000.0) > sound_speed_mackenzie(depth_m=10.0)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            sound_speed_mackenzie(temperature_c=80.0)
+
+
+class TestPropagationDelay:
+    def test_200m_at_1500ms(self):
+        assert propagation_delay(200.0, 1500.0) == pytest.approx(0.1333, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            propagation_delay(0.0)
+        with pytest.raises(ValueError):
+            propagation_delay(100.0, 0.0)

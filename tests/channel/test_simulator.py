@@ -1,0 +1,79 @@
+"""Unit tests for repro.channel.simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel
+from repro.channel.simulator import (
+    ChannelSimulator,
+    add_noise_for_snr,
+    apply_channel,
+    measure_signal_power,
+)
+
+
+@pytest.fixture()
+def simple_channel() -> MultipathChannel:
+    return MultipathChannel(delays=np.array([0, 3]), gains=np.array([1.0, 0.5j]))
+
+
+class TestMeasureSignalPower:
+    def test_constant_signal(self):
+        x = np.full(100, 2.0, dtype=complex)
+        assert measure_signal_power(x) == pytest.approx(4.0)
+
+    def test_zeros_ignored_by_default(self):
+        x = np.concatenate([np.full(50, 2.0), np.zeros(50)]).astype(complex)
+        assert measure_signal_power(x) == pytest.approx(4.0)
+        assert measure_signal_power(x, ignore_zeros=False) == pytest.approx(2.0)
+
+    def test_all_zero_signal(self):
+        assert measure_signal_power(np.zeros(10, dtype=complex)) == 0.0
+
+
+class TestAddNoiseForSnr:
+    def test_measured_snr_close_to_target(self):
+        rng = np.random.default_rng(0)
+        signal = np.exp(1j * rng.uniform(0, 2 * np.pi, 100_000))  # unit power
+        noisy = add_noise_for_snr(signal, 10.0, rng=1)
+        noise = noisy - signal
+        measured_snr = 10 * np.log10(1.0 / np.mean(np.abs(noise) ** 2))
+        assert measured_snr == pytest.approx(10.0, abs=0.2)
+
+    def test_explicit_signal_power_reference(self):
+        signal = np.zeros(1000, dtype=complex)
+        noisy = add_noise_for_snr(signal, 0.0, rng=0, signal_power=1.0)
+        assert np.mean(np.abs(noisy) ** 2) == pytest.approx(1.0, rel=0.1)
+
+    def test_reproducible(self):
+        signal = np.ones(64, dtype=complex)
+        np.testing.assert_array_equal(
+            add_noise_for_snr(signal, 5.0, rng=3), add_noise_for_snr(signal, 5.0, rng=3)
+        )
+
+
+class TestApplyChannel:
+    def test_delegates_to_channel(self, simple_channel):
+        x = np.arange(8, dtype=complex)
+        np.testing.assert_allclose(apply_channel(x, simple_channel), simple_channel.apply(x))
+
+
+class TestChannelSimulator:
+    def test_noiseless_mode(self, simple_channel):
+        sim = ChannelSimulator(channel=simple_channel, snr_db=None)
+        x = np.ones(16, dtype=complex)
+        np.testing.assert_allclose(sim.transmit(x), simple_channel.apply(x))
+
+    def test_noisy_mode_changes_signal(self, simple_channel):
+        sim = ChannelSimulator(channel=simple_channel, snr_db=10.0, rng=0)
+        x = np.ones(64, dtype=complex)
+        noisy = sim.transmit(x)
+        clean = sim.transmit_noiseless(x)
+        assert not np.allclose(noisy, clean)
+
+    def test_high_snr_approaches_noiseless(self, simple_channel):
+        sim = ChannelSimulator(channel=simple_channel, snr_db=80.0, rng=0)
+        x = np.ones(64, dtype=complex)
+        np.testing.assert_allclose(sim.transmit(x), sim.transmit_noiseless(x), atol=1e-2)

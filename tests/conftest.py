@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the full 224x112 AquaModem signal matrices, the IP-core
+simulators) are session-scoped so the cost is paid once; everything stochastic
+is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablations import aquamodem_signal_matrices
+from repro.channel.multipath import MultipathChannel, random_sparse_channel
+from repro.dsp.signal_matrix import SignalMatrices, build_signal_matrices
+from repro.dsp.sampling import upsample_chips
+from repro.dsp.spreading import composite_waveform_set
+from repro.modem.config import AquaModemConfig
+
+
+@pytest.fixture(scope="session")
+def aquamodem_config() -> AquaModemConfig:
+    """The paper's Table 1 configuration."""
+    return AquaModemConfig()
+
+
+@pytest.fixture(scope="session")
+def aquamodem_matrices() -> SignalMatrices:
+    """The full 224 x 112 S/A/a matrices of the AquaModem pilot waveform."""
+    return aquamodem_signal_matrices()
+
+
+@pytest.fixture(scope="session")
+def small_matrices() -> SignalMatrices:
+    """A reduced geometry (4 symbols x 3 chips, 24 x 12 S matrix) for fast tests."""
+    config = AquaModemConfig(walsh_symbols=4, spreading_chips=3)
+    chips = composite_waveform_set(config.walsh_symbols, config.spreading_chips)[0]
+    waveform = upsample_chips(chips, config.samples_per_chip).astype(np.float64)
+    return build_signal_matrices(waveform)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def sparse_channel(rng: np.random.Generator) -> MultipathChannel:
+    """A 3-path channel within the AquaModem delay grid."""
+    return random_sparse_channel(num_paths=3, max_delay=100, rng=rng, min_separation=5)

@@ -1,0 +1,141 @@
+"""Unit tests for the design-space exploration engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dse import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    PAPER_BIT_WIDTHS,
+    PAPER_PARALLELISM_LEVELS,
+    REAL_TIME_DEADLINE_S,
+    divisors,
+)
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+
+
+class TestDivisors:
+    def test_divisors_of_112(self):
+        assert divisors(112) == [1, 2, 4, 7, 8, 14, 16, 28, 56, 112]
+
+    def test_divisors_of_one(self):
+        assert divisors(1) == [1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+
+class TestDesignSpaceExplorer:
+    @pytest.fixture(scope="class")
+    def explorer(self) -> DesignSpaceExplorer:
+        return DesignSpaceExplorer(include_infeasible=True)
+
+    @pytest.fixture(scope="class")
+    def evaluations(self, explorer):
+        return explorer.explore()
+
+    def test_point_count(self, evaluations):
+        # 3 bit widths x 3 parallelism levels x 2 devices
+        assert len(evaluations) == 18
+
+    def test_infeasible_points_are_the_spartan3_fully_parallel_ones(self, evaluations):
+        infeasible = [e for e in evaluations if not e.feasible]
+        assert len(infeasible) == 3
+        assert all(e.point.device.family == "Spartan-3" for e in infeasible)
+        assert all(e.point.num_fc_blocks == 112 for e in infeasible)
+        assert all("dsp48" in e.implementation.area.limiting_resources for e in infeasible)
+
+    def test_feasible_only_filtering(self):
+        explorer = DesignSpaceExplorer(include_infeasible=False)
+        assert len(explorer.explore()) == 15
+
+    def test_all_points_meet_realtime_deadline(self, evaluations):
+        # Section V: even the most serial design is well within 22.4 ms
+        assert all(e.meets_deadline for e in evaluations)
+        assert all(e.time_us < REAL_TIME_DEADLINE_S * 1e6 for e in evaluations)
+
+    def test_power_increases_with_parallelism(self, evaluations):
+        for device in ("Virtex-4", "Spartan-3"):
+            for bits in PAPER_BIT_WIDTHS:
+                powers = {
+                    e.point.num_fc_blocks: e.power_w
+                    for e in evaluations
+                    if e.point.device.family == device
+                    and e.point.word_length == bits
+                    and e.feasible
+                }
+                levels = sorted(powers)
+                assert [powers[p] for p in levels] == sorted(powers[p] for p in levels)
+
+    def test_energy_decreases_with_parallelism(self, evaluations):
+        for device in ("Virtex-4", "Spartan-3"):
+            for bits in PAPER_BIT_WIDTHS:
+                energies = {
+                    e.point.num_fc_blocks: e.energy_uj
+                    for e in evaluations
+                    if e.point.device.family == device
+                    and e.point.word_length == bits
+                    and e.feasible
+                }
+                levels = sorted(energies)
+                assert [energies[p] for p in levels] == sorted(
+                    (energies[p] for p in levels), reverse=True
+                )
+
+    def test_virtex4_draws_more_power_than_spartan3(self, evaluations):
+        """Figure 6: the Virtex-4 consumes more power at every comparable point."""
+        for bits in PAPER_BIT_WIDTHS:
+            for p in (1, 14):
+                v4 = next(
+                    e for e in evaluations
+                    if e.point.device.family == "Virtex-4"
+                    and e.point.word_length == bits and e.point.num_fc_blocks == p
+                )
+                s3 = next(
+                    e for e in evaluations
+                    if e.point.device.family == "Spartan-3"
+                    and e.point.word_length == bits and e.point.num_fc_blocks == p
+                )
+                assert v4.power_w > s3.power_w
+
+    def test_minimum_energy_point_is_fully_parallel_8bit_virtex4(self, explorer, evaluations):
+        best = explorer.minimum_energy_point(evaluations)
+        assert best.point.device.family == "Virtex-4"
+        assert best.point.num_fc_blocks == 112
+        assert best.point.word_length == 8
+
+    def test_pareto_front_is_nondominated_and_sorted(self, explorer, evaluations):
+        front = explorer.pareto_front(evaluations)
+        assert front
+        slices = [e.slices for e in front]
+        assert slices == sorted(slices)
+        feasible = [e for e in evaluations if e.feasible]
+        for member in front:
+            assert not any(other.dominates(member) for other in feasible)
+
+    def test_render_table_contains_every_point(self, explorer, evaluations):
+        text = explorer.render_table(evaluations)
+        assert text.count("Virtex-4") == 9
+        assert text.count("Spartan-3") == 9
+
+    def test_non_divisor_level_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(parallelism_levels=(13,))
+
+    def test_evaluate_point_direct(self):
+        explorer = DesignSpaceExplorer()
+        point = DesignPoint(VIRTEX4_XC4VSX55, num_fc_blocks=112, word_length=8)
+        evaluation = explorer.evaluate_point(point)
+        assert evaluation.feasible
+        assert evaluation.slices == 11508
+        assert "Virtex-4" in str(point)
+
+    def test_custom_sweep_axes(self):
+        explorer = DesignSpaceExplorer(
+            devices=(SPARTAN3_XC3S5000,),
+            parallelism_levels=(1, 2, 4),
+            bit_widths=(8,),
+        )
+        assert len(explorer.explore()) == 3

@@ -1,0 +1,109 @@
+"""Unit tests for the fixed-point Matching Pursuits datapath model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import random_sparse_channel
+from repro.channel.simulator import add_noise_for_snr
+from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.matching_pursuit import matching_pursuit
+from repro.core.metrics import normalized_channel_error
+
+
+@pytest.fixture(scope="module")
+def noiseless_case(request):
+    return None
+
+
+class TestFixedPointMatchingPursuit:
+    @pytest.mark.parametrize("bits", [8, 12, 16])
+    def test_single_path_recovery(self, aquamodem_matrices, bits):
+        f_true = np.zeros(112, dtype=complex)
+        f_true[42] = 0.7 - 0.2j
+        received = aquamodem_matrices.synthesize(f_true)
+        estimator = FixedPointMatchingPursuit(aquamodem_matrices, word_length=bits, num_paths=1)
+        result = estimator.estimate(received)
+        assert result.path_indices[0] == 42
+        assert abs(result.path_gains[0] - (0.7 - 0.2j)) < 0.05
+
+    @pytest.mark.parametrize(
+        "bits, tolerance",
+        [(8, 0.30), (12, 0.15), (16, 0.10)],
+    )
+    def test_close_to_float_reference(self, aquamodem_matrices, bits, tolerance):
+        """Deviation from the float reference shrinks as the word length grows.
+
+        At 8 bits the weakest (noise-level) taps can swap, so the tolerance is
+        looser; what matters for the paper's claim is the true-channel error,
+        checked separately in ``test_paper_claim_8_bits_sufficient``.
+        """
+        channel = random_sparse_channel(num_paths=3, max_delay=90, rng=1, min_separation=8)
+        received = add_noise_for_snr(
+            aquamodem_matrices.synthesize(channel.coefficient_vector(112)), 25.0, rng=2
+        )
+        reference = matching_pursuit(received, aquamodem_matrices, num_paths=6)
+        fixed = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=bits, num_paths=6
+        ).estimate(received)
+        error = normalized_channel_error(reference.coefficients, fixed.coefficients)
+        assert error < tolerance
+
+    def test_paper_claim_8_bits_sufficient(self, aquamodem_matrices):
+        """Section IV.C: 8-10 bits with dynamic-range scaling give accurate estimates."""
+        errors = {}
+        for bits in (4, 8):
+            per_trial = []
+            for seed in range(5):
+                channel = random_sparse_channel(
+                    num_paths=3, max_delay=90, rng=100 + seed, min_separation=8
+                )
+                f_true = channel.coefficient_vector(112)
+                received = aquamodem_matrices.synthesize(f_true)
+                estimate = FixedPointMatchingPursuit(
+                    aquamodem_matrices, word_length=bits, num_paths=6
+                ).estimate(received)
+                per_trial.append(normalized_channel_error(f_true, estimate.coefficients))
+            errors[bits] = float(np.mean(per_trial))
+        # 8-bit estimation is accurate; 4-bit is clearly degraded
+        assert errors[8] < 0.15
+        assert errors[4] > 2 * errors[8]
+
+    def test_low_precision_degrades_gracefully(self, aquamodem_matrices):
+        f_true = np.zeros(112, dtype=complex)
+        f_true[10] = 1.0
+        received = aquamodem_matrices.synthesize(f_true)
+        result = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=3, num_paths=1
+        ).estimate(received)
+        # even at 3 bits the strongest single path should still be located
+        assert result.path_indices[0] == 10
+
+    def test_num_nonzero_equals_num_paths(self, aquamodem_matrices, rng):
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        result = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=8, num_paths=5
+        ).estimate(received)
+        assert np.count_nonzero(result.coefficients) == 5
+        assert len(set(result.path_indices.tolist())) == 5
+
+    def test_storage_bits_matches_paper_figure(self, aquamodem_matrices):
+        """Section IV.C quotes 1208 kbit for 32-bit storage of S, A and a."""
+        estimator = FixedPointMatchingPursuit(aquamodem_matrices, word_length=32)
+        assert estimator.storage_bits == pytest.approx(1208e3, rel=0.01)
+        eight_bit = FixedPointMatchingPursuit(aquamodem_matrices, word_length=8)
+        assert eight_bit.storage_bits == estimator.storage_bits // 4
+
+    def test_validation(self, aquamodem_matrices):
+        with pytest.raises(ValueError):
+            FixedPointMatchingPursuit(aquamodem_matrices, word_length=1)
+        with pytest.raises(ValueError):
+            FixedPointMatchingPursuit(aquamodem_matrices, num_paths=0)
+        with pytest.raises(ValueError):
+            FixedPointMatchingPursuit(aquamodem_matrices, num_paths=200)
+
+    def test_received_length_validated(self, aquamodem_matrices):
+        estimator = FixedPointMatchingPursuit(aquamodem_matrices, word_length=8)
+        with pytest.raises(ValueError):
+            estimator.estimate(np.zeros(100, dtype=complex))

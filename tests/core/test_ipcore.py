@@ -1,0 +1,181 @@
+"""Unit tests for the Filter-and-Cancel IP core simulator (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import random_sparse_channel
+from repro.channel.simulator import add_noise_for_snr
+from repro.core.ipcore import ControlUnit, IPCoreConfig, IPCoreSimulator, QGenBlock
+from repro.core.ipcore.fc_block import FilterAndCancelBlock
+from repro.core.matching_pursuit import matching_pursuit
+
+
+class TestControlUnitCycleModel:
+    def test_fully_parallel_cycle_count(self):
+        control = ControlUnit(num_delays=112, window_length=224, num_fc_blocks=112, num_paths=6)
+        assert control.columns_per_block == 1
+        assert control.total_cycles() == 248  # 224 + 6 * 4
+
+    def test_serial_cycle_count(self):
+        control = ControlUnit(num_delays=112, window_length=224, num_fc_blocks=1, num_paths=6)
+        assert control.total_cycles() == 112 * 248
+
+    def test_cycles_scale_with_serialization(self):
+        cycles = {
+            p: ControlUnit(112, 224, p, 6).total_cycles() for p in (1, 2, 4, 8, 14, 28, 56, 112)
+        }
+        for p, c in cycles.items():
+            assert c == cycles[112] * (112 // p)
+
+    def test_schedule_breakdown_sums_to_total(self):
+        control = ControlUnit(112, 224, 14, 6, drain_cycles=5)
+        breakdown = control.schedule()
+        assert breakdown.total_cycles == (
+            breakdown.matched_filter_cycles + breakdown.iteration_cycles + breakdown.drain_cycles
+        )
+        assert breakdown.as_dict()["total"] == breakdown.total_cycles
+
+    def test_non_divisor_parallelism_rejected(self):
+        with pytest.raises(ValueError):
+            ControlUnit(num_delays=112, window_length=224, num_fc_blocks=13, num_paths=6)
+
+    def test_qgen_latency_adds_per_iteration(self):
+        base = ControlUnit(112, 224, 112, 6).total_cycles()
+        with_qgen = ControlUnit(112, 224, 112, 6, qgen_cycles_per_iteration=7).total_cycles()
+        assert with_qgen == base + 6 * 7
+
+
+class TestQGenBlock:
+    def test_selects_maximum(self):
+        qgen = QGenBlock()
+        decision = qgen.select([(0, 1.0, 1.0 + 0j), (5, 3.0, 2.0 + 0j), (9, 2.0, 0.5 + 0j)])
+        assert decision.index == 5
+        assert decision.coefficient == 2.0 + 0j
+
+    def test_excludes_already_selected(self):
+        qgen = QGenBlock()
+        qgen.select([(5, 3.0, 1.0 + 0j), (2, 1.0, 1.0 + 0j)])
+        second = qgen.select([(5, 3.0, 1.0 + 0j), (2, 1.0, 1.0 + 0j)])
+        assert second.index == 2
+
+    def test_reset_clears_history(self):
+        qgen = QGenBlock()
+        qgen.select([(1, 1.0, 1.0 + 0j)])
+        qgen.reset()
+        assert qgen.select([(1, 1.0, 1.0 + 0j)]).index == 1
+
+    def test_all_selected_raises(self):
+        qgen = QGenBlock()
+        qgen.select([(1, 1.0, 1.0 + 0j)])
+        with pytest.raises(ValueError):
+            qgen.select([(1, 1.0, 1.0 + 0j)])
+
+    def test_empty_candidates_raises(self):
+        with pytest.raises(ValueError):
+            QGenBlock().select([])
+
+
+class TestFilterAndCancelBlock:
+    def test_matched_filter_matches_direct_computation(self, small_matrices, rng):
+        cols = np.arange(small_matrices.num_delays, dtype=np.int64)
+        block = FilterAndCancelBlock(
+            0, cols, small_matrices.S, small_matrices.A, small_matrices.a, word_length=16
+        )
+        received = rng.standard_normal(small_matrices.window_length) * 0.1 + 0j
+        block.matched_filter(received)
+        expected = small_matrices.S.T @ received
+        np.testing.assert_allclose(block.V, expected, rtol=1e-2, atol=1e-3)
+
+    def test_commit_and_ownership(self, small_matrices):
+        cols = np.array([2, 3], dtype=np.int64)
+        block = FilterAndCancelBlock(
+            1, cols, small_matrices.S[:, cols], small_matrices.A[:, cols],
+            small_matrices.a[cols], word_length=12,
+        )
+        assert block.owns(3)
+        assert not block.owns(0)
+        with pytest.raises(ValueError):
+            block.commit(0)
+
+    def test_reset_clears_registers(self, small_matrices):
+        cols = np.array([0], dtype=np.int64)
+        block = FilterAndCancelBlock(
+            0, cols, small_matrices.S[:, cols], small_matrices.A[:, cols],
+            small_matrices.a[cols], word_length=8,
+        )
+        block.matched_filter(np.ones(small_matrices.window_length, dtype=complex))
+        block.reset()
+        assert np.all(block.V == 0) and np.all(block.F == 0)
+
+    def test_empty_column_set_rejected(self, small_matrices):
+        with pytest.raises(ValueError):
+            FilterAndCancelBlock(
+                0, np.array([], dtype=np.int64),
+                small_matrices.S[:, :0], small_matrices.A[:, :0],
+                small_matrices.a[:0], word_length=8,
+            )
+
+
+class TestIPCoreSimulator:
+    @pytest.mark.parametrize("num_fc_blocks", [1, 14, 112])
+    def test_functional_equivalence_to_reference(self, aquamodem_matrices, num_fc_blocks):
+        """The partitioned datapath must select the same paths as the reference MP."""
+        channel = random_sparse_channel(num_paths=3, max_delay=100, rng=3, min_separation=8)
+        received = add_noise_for_snr(
+            aquamodem_matrices.synthesize(channel.coefficient_vector(112)), 25.0, rng=4
+        )
+        core = IPCoreSimulator(
+            aquamodem_matrices,
+            IPCoreConfig(num_fc_blocks=num_fc_blocks, word_length=16, num_paths=6),
+        )
+        run = core.estimate(received)
+        reference = matching_pursuit(received, aquamodem_matrices, num_paths=6)
+        np.testing.assert_array_equal(
+            np.sort(run.result.path_indices), np.sort(reference.path_indices)
+        )
+        np.testing.assert_allclose(
+            run.result.coefficients, reference.coefficients, rtol=0.05, atol=1e-3
+        )
+
+    def test_parallelism_does_not_change_result(self, aquamodem_matrices):
+        """The level of parallelism is a scheduling choice; the estimate is identical."""
+        channel = random_sparse_channel(num_paths=4, max_delay=100, rng=8, min_separation=6)
+        received = aquamodem_matrices.synthesize(channel.coefficient_vector(112))
+        results = []
+        for p in (1, 14, 112):
+            core = IPCoreSimulator(
+                aquamodem_matrices, IPCoreConfig(num_fc_blocks=p, word_length=8, num_paths=6)
+            )
+            results.append(core.estimate(received).result)
+        for other in results[1:]:
+            np.testing.assert_allclose(results[0].coefficients, other.coefficients, atol=1e-12)
+            np.testing.assert_array_equal(results[0].path_indices, other.path_indices)
+
+    def test_cycle_counts_match_control_unit(self, aquamodem_matrices):
+        for p in (1, 14, 112):
+            core = IPCoreSimulator(aquamodem_matrices, IPCoreConfig(num_fc_blocks=p))
+            run = core.estimate(np.ones(224, dtype=complex))
+            assert run.total_cycles == core.cycle_count()
+            assert run.total_cycles == 248 * (112 // p)
+
+    def test_dsp48_usage(self, aquamodem_matrices):
+        core = IPCoreSimulator(aquamodem_matrices, IPCoreConfig(num_fc_blocks=112))
+        assert core.total_dsp48 == 224  # the paper's stated requirement
+        serial = IPCoreSimulator(aquamodem_matrices, IPCoreConfig(num_fc_blocks=1))
+        assert serial.total_dsp48 == 2
+
+    def test_non_divisor_parallelism_rejected(self, aquamodem_matrices):
+        with pytest.raises(ValueError):
+            IPCoreSimulator(aquamodem_matrices, IPCoreConfig(num_fc_blocks=13))
+
+    def test_too_many_paths_rejected(self, small_matrices):
+        with pytest.raises(ValueError):
+            IPCoreSimulator(small_matrices, IPCoreConfig(num_fc_blocks=1, num_paths=1000))
+
+    def test_column_partition_covers_all_delays(self, aquamodem_matrices):
+        core = IPCoreSimulator(aquamodem_matrices, IPCoreConfig(num_fc_blocks=14))
+        covered = np.concatenate([b.column_indices for b in core.blocks])
+        np.testing.assert_array_equal(np.sort(covered), np.arange(112))
+        assert all(b.num_columns == 8 for b in core.blocks)

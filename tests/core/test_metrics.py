@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    coefficient_mse,
+    normalized_channel_error,
+    residual_energy_ratio,
+    support_recovery_rate,
+)
+
+
+class TestCoefficientMse:
+    def test_zero_for_identical(self):
+        f = np.array([1.0, 0.5j, 0.0])
+        assert coefficient_mse(f, f) == 0.0
+
+    def test_known_value(self):
+        a = np.array([1.0 + 0j, 0.0])
+        b = np.array([0.0 + 0j, 0.0])
+        assert coefficient_mse(a, b) == pytest.approx(0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            coefficient_mse(np.zeros(3, dtype=complex), np.zeros(4, dtype=complex))
+
+
+class TestNormalizedChannelError:
+    def test_zero_for_identical(self):
+        f = np.array([1.0, 0.5j])
+        assert normalized_channel_error(f, f) == 0.0
+
+    def test_one_for_zero_estimate(self):
+        f = np.array([1.0, 0.5j])
+        assert normalized_channel_error(f, np.zeros(2, dtype=complex)) == pytest.approx(1.0)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_channel_error(np.zeros(2, dtype=complex), np.ones(2, dtype=complex))
+
+
+class TestSupportRecoveryRate:
+    def test_perfect_recovery(self):
+        assert support_recovery_rate(np.array([3, 10]), np.array([10, 3])) == 1.0
+
+    def test_partial_recovery(self):
+        assert support_recovery_rate(np.array([3, 10]), np.array([3, 50])) == 0.5
+
+    def test_tolerance(self):
+        assert support_recovery_rate(np.array([10]), np.array([11]), tolerance=1) == 1.0
+        assert support_recovery_rate(np.array([10]), np.array([12]), tolerance=1) == 0.0
+
+    def test_each_estimate_used_once(self):
+        # one estimated delay cannot satisfy two true delays
+        assert support_recovery_rate(np.array([10, 11]), np.array([10]), tolerance=1) == 0.5
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            support_recovery_rate(np.array([], dtype=int), np.array([1]))
+
+    def test_empty_estimate_gives_zero(self):
+        assert support_recovery_rate(np.array([5]), np.array([], dtype=int)) == 0.0
+
+
+class TestResidualEnergyRatio:
+    def test_zero_for_exact_model(self, small_matrices):
+        f = np.zeros(small_matrices.num_delays, dtype=complex)
+        f[2] = 1.0 - 0.5j
+        received = small_matrices.synthesize(f)
+        assert residual_energy_ratio(received, small_matrices.S, f) == pytest.approx(0.0, abs=1e-15)
+
+    def test_one_for_zero_estimate(self, small_matrices):
+        f = np.zeros(small_matrices.num_delays, dtype=complex)
+        f[2] = 1.0
+        received = small_matrices.synthesize(f)
+        zero = np.zeros_like(f)
+        assert residual_energy_ratio(received, small_matrices.S, zero) == pytest.approx(1.0)
+
+    def test_zero_received_rejected(self, small_matrices):
+        with pytest.raises(ValueError):
+            residual_energy_ratio(
+                np.zeros(small_matrices.window_length, dtype=complex),
+                small_matrices.S,
+                np.zeros(small_matrices.num_delays, dtype=complex),
+            )
+
+    def test_shape_validation(self, small_matrices):
+        with pytest.raises(ValueError):
+            residual_energy_ratio(
+                np.ones(5, dtype=complex),
+                small_matrices.S,
+                np.zeros(small_matrices.num_delays, dtype=complex),
+            )

@@ -1,0 +1,90 @@
+"""Unit tests for the least-squares refinement of MP estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import random_sparse_channel
+from repro.channel.simulator import add_noise_for_snr
+from repro.core.matching_pursuit import matching_pursuit
+from repro.core.metrics import coefficient_mse, residual_energy_ratio
+from repro.core.refinement import matching_pursuit_ls, refine_least_squares
+
+
+class TestRefineLeastSquares:
+    def test_support_preserved(self, aquamodem_matrices, rng):
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        greedy = matching_pursuit(received, aquamodem_matrices, num_paths=6)
+        refined = refine_least_squares(received, aquamodem_matrices.S, greedy)
+        np.testing.assert_array_equal(refined.path_indices, greedy.path_indices)
+        assert np.count_nonzero(refined.coefficients) <= 6
+
+    def test_noiseless_refinement_is_exact_on_true_support(self, aquamodem_matrices):
+        channel = random_sparse_channel(num_paths=3, max_delay=100, rng=1, min_separation=10)
+        f_true = channel.coefficient_vector(112)
+        received = aquamodem_matrices.synthesize(f_true)
+        greedy = matching_pursuit(received, aquamodem_matrices, num_paths=6)
+        refined = refine_least_squares(received, aquamodem_matrices.S, greedy)
+        # once the true support is included, the joint LS solve reproduces the
+        # exact channel (remaining picks get ~zero coefficients)
+        if set(channel.delays.tolist()).issubset(set(greedy.path_indices.tolist())):
+            assert coefficient_mse(f_true, refined.coefficients) < 1e-12
+
+    def test_refinement_never_increases_residual(self, aquamodem_matrices):
+        for seed in range(5):
+            channel = random_sparse_channel(num_paths=4, max_delay=100, rng=seed, min_separation=4)
+            received = add_noise_for_snr(
+                aquamodem_matrices.synthesize(channel.coefficient_vector(112)), 15.0,
+                rng=seed + 100,
+            )
+            greedy = matching_pursuit(received, aquamodem_matrices, num_paths=6)
+            refined = refine_least_squares(received, aquamodem_matrices.S, greedy)
+            res_greedy = residual_energy_ratio(received, aquamodem_matrices.S, greedy.coefficients)
+            res_refined = residual_energy_ratio(received, aquamodem_matrices.S, refined.coefficients)
+            assert res_refined <= res_greedy + 1e-12
+
+    def test_refinement_improves_correlated_support_case(self, aquamodem_matrices):
+        """Closely-spaced taps: greedy per-path coefficients are biased, LS is not."""
+        f_true = np.zeros(112, dtype=complex)
+        f_true[20] = 1.0
+        f_true[22] = 0.8 * np.exp(1j * 0.4)
+        received = aquamodem_matrices.synthesize(f_true)
+        greedy = matching_pursuit(received, aquamodem_matrices, num_paths=2)
+        refined = refine_least_squares(received, aquamodem_matrices.S, greedy)
+        if set(greedy.path_indices.tolist()) == {20, 22}:
+            assert coefficient_mse(f_true, refined.coefficients) < coefficient_mse(
+                f_true, greedy.coefficients
+            )
+
+    def test_validation(self, aquamodem_matrices, rng):
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        greedy = matching_pursuit(received, aquamodem_matrices, num_paths=2)
+        with pytest.raises(ValueError):
+            refine_least_squares(received[:100], aquamodem_matrices.S, greedy)
+
+
+class TestMatchingPursuitLs:
+    def test_wrapper_signature_compatible_with_receiver(self, aquamodem_matrices):
+        channel = random_sparse_channel(num_paths=3, max_delay=80, rng=3, min_separation=8)
+        received = add_noise_for_snr(
+            aquamodem_matrices.synthesize(channel.coefficient_vector(112)), 20.0, rng=4
+        )
+        result = matching_pursuit_ls(received, aquamodem_matrices, num_paths=6)
+        assert result.num_paths == 6
+        assert residual_energy_ratio(received, aquamodem_matrices.S, result.coefficients) < 0.1
+
+    def test_usable_as_receiver_backend(self, aquamodem_matrices):
+        from repro.channel.simulator import apply_channel
+        from repro.modem.receiver import Receiver
+        from repro.modem.transmitter import Transmitter
+
+        tx = Transmitter()
+        rx = Receiver(estimator=lambda w, m, n: matching_pursuit_ls(w, m, num_paths=n))
+        channel = random_sparse_channel(num_paths=3, max_delay=60, rng=5, min_separation=6)
+        symbols = np.array([1, 6, 3, 0, 7])
+        received = add_noise_for_snr(
+            apply_channel(tx.transmit_symbols(symbols).samples, channel), 18.0, rng=6
+        )
+        output = rx.receive(received)
+        np.testing.assert_array_equal(output.symbols, symbols)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.dsp.matched_filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.matched_filter import (
+    correlate_full,
+    filter_bank_outputs,
+    matched_filter,
+    normalized_correlation,
+)
+
+
+class TestMatchedFilter:
+    def test_matched_template_yields_energy(self):
+        template = np.array([1.0, -1.0, 1.0, 1.0])
+        received = template.astype(complex)
+        assert matched_filter(received, template) == pytest.approx(4.0)
+
+    def test_orthogonal_template_yields_zero(self):
+        received = np.array([1.0, 1.0, 0.0, 0.0], dtype=complex)
+        template = np.array([0.0, 0.0, 1.0, 1.0])
+        assert matched_filter(received, template) == pytest.approx(0.0)
+
+    def test_complex_gain_recovered(self):
+        template = np.array([1.0, -1.0, 1.0, -1.0])
+        gain = 0.5 - 0.25j
+        assert matched_filter(gain * template, template) == pytest.approx(gain * 4.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            matched_filter(np.zeros(3, dtype=complex), np.zeros(4))
+
+
+class TestFilterBank:
+    def test_matches_individual_filters(self):
+        rng = np.random.default_rng(0)
+        templates = rng.choice([-1.0, 1.0], size=(5, 16))
+        received = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        bank = filter_bank_outputs(received, templates)
+        individual = [matched_filter(received, t) for t in templates]
+        np.testing.assert_allclose(bank, individual)
+
+    def test_shape(self):
+        out = filter_bank_outputs(np.zeros(8, dtype=complex), np.ones((3, 8)))
+        assert out.shape == (3,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            filter_bank_outputs(np.zeros(8, dtype=complex), np.ones((3, 9)))
+
+
+class TestCorrelateFull:
+    def test_peak_at_correct_delay(self):
+        template = np.array([1.0, -1.0, 1.0, 1.0, -1.0])
+        delay = 7
+        received = np.zeros(32, dtype=complex)
+        received[delay : delay + 5] = template
+        corr = correlate_full(received, template)
+        # peak index of the correlation corresponds to end of the aligned template
+        assert int(np.argmax(np.abs(corr))) == delay + len(template) - 1
+
+    def test_fft_and_direct_paths_agree(self):
+        rng = np.random.default_rng(1)
+        template = rng.choice([-1.0, 1.0], size=10)
+        short = rng.standard_normal(50) + 1j * rng.standard_normal(50)
+        long = np.concatenate([short, np.zeros(300)])
+        direct = correlate_full(short, template)          # short path (direct convolve)
+        fft = correlate_full(long, template)[: len(direct)]  # long path (FFT)
+        np.testing.assert_allclose(direct, fft, atol=1e-9)
+
+    def test_output_length(self):
+        corr = correlate_full(np.zeros(20, dtype=complex), np.ones(5))
+        assert corr.shape == (24,)
+
+
+class TestNormalizedCorrelation:
+    def test_identical_vectors(self):
+        x = np.array([1.0, 2.0, -1.0], dtype=complex)
+        assert normalized_correlation(x, x) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert normalized_correlation(
+            np.array([1.0, 0.0], dtype=complex), np.array([0.0, 1.0], dtype=complex)
+        ) == pytest.approx(0.0)
+
+    def test_scaling_invariance(self):
+        x = np.array([1.0, 2.0, 3.0], dtype=complex)
+        assert normalized_correlation(x, 5.0 * x) == pytest.approx(1.0)
+
+    def test_zero_vector_returns_zero(self):
+        assert normalized_correlation(np.zeros(3, dtype=complex), np.ones(3, dtype=complex)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_correlation(np.zeros(3, dtype=complex), np.zeros(4, dtype=complex))

@@ -1,0 +1,102 @@
+"""Unit tests for repro.dsp.modulation (DS-SS and FSK modulators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.modulation.dsss import DSSSModulator
+from repro.dsp.modulation.fsk import FSKModulator
+
+
+class TestDSSSModulator:
+    def test_aquamodem_geometry(self):
+        mod = DSSSModulator(num_symbols=8, spreading_length=7, samples_per_chip=2)
+        assert mod.alphabet_size == 8
+        assert mod.chips_per_symbol == 56
+        assert mod.symbol_samples == 112
+        assert mod.guard_samples == 112
+        assert mod.samples_per_symbol == 224
+        assert mod.bits_per_symbol() == 3
+
+    def test_modulate_length_and_guard_silence(self):
+        mod = DSSSModulator()
+        samples = mod.modulate(np.array([0, 5]))
+        assert samples.shape == (2 * 224,)
+        # guard interval after each symbol is silent
+        np.testing.assert_allclose(samples[112:224], 0.0)
+        np.testing.assert_allclose(samples[336:448], 0.0)
+
+    def test_roundtrip_noiseless(self):
+        mod = DSSSModulator()
+        symbols = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        result = mod.demodulate(mod.modulate(symbols))
+        np.testing.assert_array_equal(result.symbols, symbols)
+
+    def test_roundtrip_with_known_multipath(self):
+        mod = DSSSModulator()
+        symbols = np.array([3, 6, 1])
+        tx = mod.modulate(symbols)
+        delays = np.array([0, 9])
+        gains = np.array([1.0 + 0j, 0.5j])
+        rx = np.zeros_like(tx)
+        for d, g in zip(delays, gains):
+            rx[d:] += g * tx[: len(tx) - d]
+        result = mod.demodulate(rx, path_delays=delays, path_gains=gains)
+        np.testing.assert_array_equal(result.symbols, symbols)
+
+    def test_symbol_out_of_range(self):
+        mod = DSSSModulator()
+        with pytest.raises(ValueError):
+            mod.modulate(np.array([8]))
+
+    def test_receive_windows_shape(self):
+        mod = DSSSModulator()
+        windows = mod.receive_windows(np.zeros(3 * 224 + 17, dtype=complex))
+        assert windows.shape == (3, 224)
+
+    def test_guard_factor_zero(self):
+        mod = DSSSModulator(guard_factor=0.0)
+        assert mod.samples_per_symbol == mod.symbol_samples
+
+    def test_random_symbols_helper(self):
+        mod = DSSSModulator()
+        rng = np.random.default_rng(0)
+        symbols = mod.random_symbols(100, rng)
+        assert symbols.min() >= 0 and symbols.max() < 8
+
+
+class TestFSKModulator:
+    def test_geometry(self):
+        mod = FSKModulator(num_tones=8, samples_per_symbol=112, guard_samples=112)
+        assert mod.alphabet_size == 8
+        assert mod.samples_per_symbol == 224
+        assert mod.tones.shape == (8, 112)
+
+    def test_tones_are_orthogonal(self):
+        mod = FSKModulator(num_tones=8, samples_per_symbol=112)
+        gram = mod.tones @ np.conj(mod.tones.T)
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.max(np.abs(off_diag)) < 1e-9
+
+    def test_roundtrip_noiseless(self):
+        mod = FSKModulator(num_tones=8, samples_per_symbol=112, guard_samples=112)
+        symbols = np.array([0, 7, 3, 5, 1])
+        result = mod.demodulate(mod.modulate(symbols))
+        np.testing.assert_array_equal(result.symbols, symbols)
+
+    def test_noncoherent_detection_is_phase_invariant(self):
+        mod = FSKModulator(num_tones=4, samples_per_symbol=64, guard_samples=0)
+        symbols = np.array([2, 0, 3])
+        tx = mod.modulate(symbols) * np.exp(1j * 1.234)
+        result = mod.demodulate(tx)
+        np.testing.assert_array_equal(result.symbols, symbols)
+
+    def test_symbol_out_of_range(self):
+        mod = FSKModulator(num_tones=4, samples_per_symbol=64)
+        with pytest.raises(ValueError):
+            mod.modulate(np.array([4]))
+
+    def test_alphabet_cannot_exceed_samples(self):
+        with pytest.raises(ValueError):
+            FSKModulator(num_tones=16, samples_per_symbol=8)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.dsp.msequence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.msequence import (
+    PRIMITIVE_POLYNOMIALS,
+    LinearFeedbackShiftRegister,
+    is_balanced,
+    m_sequence,
+    periodic_autocorrelation,
+)
+
+
+class TestLFSR:
+    def test_period_is_maximal_for_length_3(self):
+        lfsr = LinearFeedbackShiftRegister(PRIMITIVE_POLYNOMIALS[3])
+        bits = lfsr.run(14)
+        # maximal sequence of period 7 repeats exactly after 7 steps
+        np.testing.assert_array_equal(bits[:7], bits[7:14])
+        assert lfsr.period == 7
+
+    def test_all_nonzero_states_visited(self):
+        lfsr = LinearFeedbackShiftRegister(PRIMITIVE_POLYNOMIALS[4])
+        states = set()
+        for _ in range(15):
+            states.add(tuple(lfsr.state))
+            lfsr.step()
+        assert len(states) == 15  # every non-zero 4-bit state
+
+    def test_all_zero_state_rejected(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            LinearFeedbackShiftRegister((3, 2), state=[0, 0, 0])
+
+    def test_state_length_must_match(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister((3, 2), state=[1, 0])
+
+    def test_state_bits_validated(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister((3, 2), state=[1, 0, 2])
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister(())
+
+
+class TestMSequence:
+    def test_aquamodem_length_7(self):
+        seq = m_sequence(7)
+        assert seq.shape == (7,)
+        assert set(np.unique(seq)) == {-1, 1}
+
+    @pytest.mark.parametrize("length", [7, 15, 31, 63])
+    def test_balance_property(self, length):
+        assert is_balanced(m_sequence(length))
+
+    @pytest.mark.parametrize("length", [7, 15, 31])
+    def test_autocorrelation_is_two_valued(self, length):
+        seq = m_sequence(length)
+        acf = periodic_autocorrelation(seq)
+        assert acf[0] == pytest.approx(length)
+        np.testing.assert_allclose(acf[1:], -1.0, atol=1e-9)
+
+    def test_binary_output_option(self):
+        bits = m_sequence(7, bipolar=False)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_invalid_length_without_register_hint(self):
+        with pytest.raises(ValueError, match="2\\*\\*m - 1"):
+            m_sequence(10)
+
+    def test_explicit_register_length_truncates(self):
+        seq = m_sequence(10, register_length=4)
+        assert seq.shape == (10,)
+
+    def test_unknown_register_length(self):
+        with pytest.raises(ValueError):
+            m_sequence(10, register_length=20)
+
+
+class TestPeriodicAutocorrelation:
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            periodic_autocorrelation(np.ones((2, 2)))
+
+    def test_zero_lag_equals_energy(self):
+        seq = np.array([1.0, -1.0, 1.0, 1.0])
+        acf = periodic_autocorrelation(seq)
+        assert acf[0] == pytest.approx(4.0)

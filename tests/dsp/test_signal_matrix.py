@@ -1,0 +1,105 @@
+"""Unit tests for repro.dsp.signal_matrix (the S/A/a construction of Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.signal_matrix import (
+    SignalMatrices,
+    build_signal_matrices,
+    delayed_signature_matrix,
+)
+
+
+class TestDelayedSignatureMatrix:
+    def test_column_k_is_waveform_delayed_by_k(self):
+        waveform = np.array([1.0, -1.0, 1.0])
+        S = delayed_signature_matrix(waveform, window_length=6, num_delays=4)
+        assert S.shape == (6, 4)
+        np.testing.assert_array_equal(S[:3, 0], waveform)
+        np.testing.assert_array_equal(S[2:5, 2], waveform)
+        assert S[0, 2] == 0.0 and S[5, 2] == 0.0
+
+    def test_rejects_window_too_short(self):
+        with pytest.raises(ValueError, match="window too short"):
+            delayed_signature_matrix(np.ones(3), window_length=4, num_delays=3)
+
+    def test_columns_have_equal_energy(self):
+        waveform = np.array([1.0, -1.0, 1.0, 1.0])
+        S = delayed_signature_matrix(waveform, 10, 7)
+        np.testing.assert_allclose(np.sum(S**2, axis=0), 4.0)
+
+
+class TestBuildSignalMatrices:
+    def test_aquamodem_dimensions(self, aquamodem_matrices):
+        assert aquamodem_matrices.S.shape == (224, 112)
+        assert aquamodem_matrices.A.shape == (112, 112)
+        assert aquamodem_matrices.a.shape == (112,)
+        assert aquamodem_matrices.num_delays == 112
+        assert aquamodem_matrices.window_length == 224
+
+    def test_A_is_gram_matrix(self, small_matrices):
+        np.testing.assert_allclose(
+            small_matrices.A, small_matrices.S.T @ small_matrices.S
+        )
+
+    def test_A_is_symmetric_positive_semidefinite(self, aquamodem_matrices):
+        A = aquamodem_matrices.A
+        np.testing.assert_allclose(A, A.T)
+        eigenvalues = np.linalg.eigvalsh(A)
+        assert eigenvalues.min() >= -1e-9
+
+    def test_a_is_reciprocal_diagonal(self, aquamodem_matrices):
+        np.testing.assert_allclose(
+            aquamodem_matrices.a, 1.0 / np.diag(aquamodem_matrices.A)
+        )
+
+    def test_aquamodem_diagonal_is_waveform_energy(self, aquamodem_matrices):
+        # ±1 chips upsampled to 112 samples -> every column has energy 112
+        np.testing.assert_allclose(np.diag(aquamodem_matrices.A), 112.0)
+        np.testing.assert_allclose(aquamodem_matrices.a, 1.0 / 112.0)
+
+    def test_defaults_double_window(self):
+        waveform = np.ones(5)
+        matrices = build_signal_matrices(waveform)
+        assert matrices.window_length == 10
+        assert matrices.num_delays == 5
+
+    def test_custom_geometry(self):
+        matrices = build_signal_matrices(np.ones(4), window_length=12, num_delays=6)
+        assert matrices.S.shape == (12, 6)
+
+    def test_zero_energy_waveform_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            build_signal_matrices(np.zeros(4))
+
+    def test_shape_validation_in_dataclass(self):
+        S = np.zeros((6, 3))
+        with pytest.raises(ValueError):
+            SignalMatrices(S=S, A=np.zeros((2, 2)), a=np.zeros(3), waveform=np.ones(3))
+        with pytest.raises(ValueError):
+            SignalMatrices(S=S, A=np.zeros((3, 3)), a=np.zeros(2), waveform=np.ones(3))
+
+
+class TestSynthesize:
+    def test_single_path_is_shifted_waveform(self, small_matrices):
+        f = np.zeros(small_matrices.num_delays, dtype=complex)
+        f[3] = 2.0 - 1.0j
+        received = small_matrices.synthesize(f)
+        expected = (2.0 - 1.0j) * small_matrices.S[:, 3]
+        np.testing.assert_allclose(received, expected)
+
+    def test_superposition(self, small_matrices):
+        f1 = np.zeros(small_matrices.num_delays, dtype=complex)
+        f2 = np.zeros(small_matrices.num_delays, dtype=complex)
+        f1[0] = 1.0
+        f2[5] = -0.5j
+        combined = small_matrices.synthesize(f1 + f2)
+        np.testing.assert_allclose(
+            combined, small_matrices.synthesize(f1) + small_matrices.synthesize(f2)
+        )
+
+    def test_length_validation(self, small_matrices):
+        with pytest.raises(ValueError):
+            small_matrices.synthesize(np.zeros(small_matrices.num_delays + 1, dtype=complex))

@@ -1,0 +1,92 @@
+"""Unit tests for repro.dsp.spreading (the Figure 4 waveform structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dsp.msequence import m_sequence
+from repro.dsp.spreading import (
+    composite_waveform,
+    composite_waveform_set,
+    despread_chips,
+    spread_symbols,
+)
+from repro.dsp.walsh import is_orthogonal_set, walsh_codes
+
+
+class TestCompositeWaveform:
+    def test_aquamodem_chip_count(self):
+        walsh = walsh_codes(8)[3]
+        pn = m_sequence(7)
+        waveform = composite_waveform(walsh, pn)
+        assert waveform.shape == (56,)
+
+    def test_kronecker_structure(self):
+        walsh = np.array([1, -1])
+        pn = np.array([1, 1, -1])
+        waveform = composite_waveform(walsh, pn)
+        np.testing.assert_array_equal(waveform, [1, 1, -1, -1, -1, 1])
+
+    def test_constant_envelope(self):
+        waveform = composite_waveform(walsh_codes(8)[5], m_sequence(7))
+        np.testing.assert_allclose(np.abs(waveform), 1.0)
+
+
+class TestCompositeWaveformSet:
+    def test_aquamodem_set_shape(self):
+        waveforms = composite_waveform_set(8, 7)
+        assert waveforms.shape == (8, 56)
+
+    def test_set_remains_orthogonal(self):
+        # spreading every symbol by the same m-sequence preserves orthogonality
+        waveforms = composite_waveform_set(8, 7)
+        assert is_orthogonal_set(waveforms)
+
+    def test_each_waveform_energy(self):
+        waveforms = composite_waveform_set(8, 7)
+        np.testing.assert_allclose(np.sum(waveforms**2, axis=1), 56.0)
+
+    def test_other_sizes(self):
+        waveforms = composite_waveform_set(4, 3)
+        assert waveforms.shape == (4, 12)
+        assert is_orthogonal_set(waveforms)
+
+
+class TestSpreadSymbols:
+    def test_concatenation(self):
+        waveforms = composite_waveform_set(4, 3)
+        chips = spread_symbols(np.array([0, 2, 1]), waveforms)
+        assert chips.shape == (36,)
+        np.testing.assert_array_equal(chips[:12], waveforms[0])
+        np.testing.assert_array_equal(chips[12:24], waveforms[2])
+
+    def test_empty_input(self):
+        waveforms = composite_waveform_set(4, 3)
+        assert spread_symbols(np.array([], dtype=int), waveforms).shape == (0,)
+
+    def test_out_of_range_symbol(self):
+        waveforms = composite_waveform_set(4, 3)
+        with pytest.raises(ValueError):
+            spread_symbols(np.array([4]), waveforms)
+        with pytest.raises(ValueError):
+            spread_symbols(np.array([-1]), waveforms)
+
+
+class TestDespreadChips:
+    def test_recovers_symbols_noiseless(self):
+        waveforms = composite_waveform_set(8, 7)
+        symbols = np.array([0, 3, 7, 5, 1])
+        chips = spread_symbols(symbols, waveforms)
+        scores = despread_chips(chips.astype(complex), waveforms)
+        np.testing.assert_array_equal(np.argmax(scores.real, axis=1), symbols)
+
+    def test_score_matrix_shape(self):
+        waveforms = composite_waveform_set(4, 3)
+        chips = spread_symbols(np.array([0, 1]), waveforms)
+        assert despread_chips(chips.astype(complex), waveforms).shape == (2, 4)
+
+    def test_rejects_partial_symbol(self):
+        waveforms = composite_waveform_set(4, 3)
+        with pytest.raises(ValueError, match="multiple"):
+            despread_chips(np.zeros(13, dtype=complex), waveforms)

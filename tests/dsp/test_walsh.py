@@ -1,0 +1,79 @@
+"""Unit tests for repro.dsp.walsh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp.walsh import is_orthogonal_set, sequency, walsh_codes, walsh_matrix
+
+
+class TestWalshMatrix:
+    @pytest.mark.parametrize("order", [2, 4, 8, 16])
+    def test_rows_are_orthogonal(self, order):
+        matrix = walsh_matrix(order)
+        assert is_orthogonal_set(matrix)
+
+    @pytest.mark.parametrize("order", [2, 4, 8, 16])
+    def test_entries_are_plus_minus_one(self, order):
+        matrix = walsh_matrix(order)
+        assert set(np.unique(matrix)) == {-1, 1}
+
+    def test_gram_matrix_is_scaled_identity(self):
+        matrix = walsh_matrix(8).astype(float)
+        np.testing.assert_allclose(matrix @ matrix.T, 8 * np.eye(8))
+
+    def test_sequency_ordering_is_monotone(self):
+        matrix = walsh_matrix(8, ordering="sequency")
+        sequencies = [sequency(row) for row in matrix]
+        assert sequencies == sorted(sequencies)
+        assert sequencies == list(range(8))
+
+    def test_hadamard_ordering_first_row_all_ones(self):
+        matrix = walsh_matrix(8, ordering="hadamard")
+        np.testing.assert_array_equal(matrix[0], np.ones(8))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            walsh_matrix(6)
+
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ValueError):
+            walsh_matrix(8, ordering="natural")
+
+    @given(st.sampled_from([2, 4, 8, 16, 32]))
+    def test_orderings_contain_same_row_set_property(self, order):
+        seq = {tuple(row) for row in walsh_matrix(order, "sequency")}
+        had = {tuple(row) for row in walsh_matrix(order, "hadamard")}
+        assert seq == had
+
+
+class TestSequency:
+    def test_constant_row_has_zero_sequency(self):
+        assert sequency(np.ones(8)) == 0
+
+    def test_alternating_row_has_maximum_sequency(self):
+        row = np.array([1, -1, 1, -1, 1, -1, 1, -1])
+        assert sequency(row) == 7
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sequency(np.ones((2, 2)))
+
+
+class TestWalshCodes:
+    def test_aquamodem_alphabet(self):
+        codes = walsh_codes(8)
+        assert codes.shape == (8, 8)
+        assert is_orthogonal_set(codes)
+
+
+class TestIsOrthogonalSet:
+    def test_detects_non_orthogonal(self):
+        codes = np.array([[1.0, 1.0], [1.0, 0.5]])
+        assert not is_orthogonal_set(codes)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            is_orthogonal_set(np.ones(4))

@@ -1,0 +1,81 @@
+"""Unit tests for repro.fixedpoint.array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.array import FixedPointArray
+from repro.fixedpoint.fmt import FixedPointFormat
+
+FMT = FixedPointFormat(8, 6)
+
+
+class TestConstruction:
+    def test_from_float_roundtrip(self):
+        values = np.array([0.25, -0.5, 1.0])
+        arr = FixedPointArray.from_float(values, FMT)
+        np.testing.assert_allclose(arr.to_float(), values)
+
+    def test_raw_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointArray(np.array([1000]), FMT)
+
+    def test_len_shape_getitem(self):
+        arr = FixedPointArray.from_float(np.array([0.0, 0.5, -0.5]), FMT)
+        assert len(arr) == 3
+        assert arr.shape == (3,)
+        assert arr[1].to_float()[0] == pytest.approx(0.5)
+
+
+class TestArithmetic:
+    def test_add_exact_for_representable_values(self):
+        a = FixedPointArray.from_float(np.array([0.25, 0.5]), FMT)
+        b = FixedPointArray.from_float(np.array([0.5, -0.25]), FMT)
+        result = a.add(b)
+        np.testing.assert_allclose(result.to_float(), [0.75, 0.25])
+
+    def test_subtract(self):
+        a = FixedPointArray.from_float(np.array([1.0]), FMT)
+        b = FixedPointArray.from_float(np.array([0.25]), FMT)
+        assert a.subtract(b).to_float()[0] == pytest.approx(0.75)
+
+    def test_multiply_full_precision_default(self):
+        a = FixedPointArray.from_float(np.array([0.5]), FMT)
+        b = FixedPointArray.from_float(np.array([0.25]), FMT)
+        result = a.multiply(b)
+        assert result.to_float()[0] == pytest.approx(0.125)
+        assert result.fmt.word_length == 16
+
+    def test_multiply_with_narrow_result_format_quantises(self):
+        narrow = FixedPointFormat(4, 3)
+        a = FixedPointArray.from_float(np.array([0.30]), FMT)
+        b = FixedPointArray.from_float(np.array([0.30]), FMT)
+        result = a.multiply(b, result_fmt=narrow)
+        # exact product ~0.09 is not representable at 3 fraction bits -> 0.125 or 0.0
+        assert result.to_float()[0] in (0.0, 0.125)
+
+    def test_dot_matches_float_dot_for_representable_inputs(self):
+        rng = np.random.default_rng(3)
+        values_a = np.round(rng.uniform(-1, 1, 16) * 64) / 64
+        values_b = np.round(rng.uniform(-1, 1, 16) * 64) / 64
+        a = FixedPointArray.from_float(values_a, FMT)
+        b = FixedPointArray.from_float(values_b, FMT)
+        result = a.dot(b)
+        assert result.to_float()[()] == pytest.approx(float(values_a @ values_b), abs=1e-6)
+
+    def test_dot_requires_1d_equal_length(self):
+        a = FixedPointArray.from_float(np.array([0.5, 0.5]), FMT)
+        b = FixedPointArray.from_float(np.array([0.5]), FMT)
+        with pytest.raises(ValueError):
+            a.dot(b)
+
+    def test_scale_by_float(self):
+        a = FixedPointArray.from_float(np.array([0.5]), FMT)
+        assert a.scale(0.5).to_float()[0] == pytest.approx(0.25)
+
+    def test_saturating_addition(self):
+        narrow = FixedPointFormat(4, 2)  # max 1.75
+        a = FixedPointArray.from_float(np.array([1.75]), narrow)
+        result = a.add(a, result_fmt=narrow)
+        assert result.to_float()[0] == pytest.approx(narrow.max_value)

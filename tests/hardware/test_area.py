@@ -1,0 +1,98 @@
+"""Unit tests for the FPGA area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.area import DSP48_PER_FC_BLOCK, estimate_area, is_feasible
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX25, VIRTEX4_XC4VSX55
+
+
+class TestSliceModel:
+    @pytest.mark.parametrize(
+        "bits, blocks, expected",
+        [
+            (8, 112, 11508), (8, 14, 1439), (8, 1, 103),
+            (12, 112, 16884), (12, 14, 2111), (12, 1, 151),
+            (16, 112, 22260), (16, 14, 2783), (16, 1, 199),
+        ],
+    )
+    def test_virtex4_table2_slices_exact(self, bits, blocks, expected):
+        area = estimate_area(VIRTEX4_XC4VSX55, blocks, bits)
+        assert area.slices == expected
+
+    @pytest.mark.parametrize(
+        "bits, blocks, expected",
+        [
+            (8, 14, 1897), (8, 1, 136),
+            (12, 14, 2783), (12, 1, 199),
+            (16, 14, 3665), (16, 1, 262),
+        ],
+    )
+    def test_spartan3_table2_slices_exact(self, bits, blocks, expected):
+        area = estimate_area(SPARTAN3_XC3S5000, blocks, bits)
+        assert area.slices == expected
+
+    def test_slices_scale_roughly_linearly_with_parallelism(self):
+        a1 = estimate_area(VIRTEX4_XC4VSX55, 1, 8).slices
+        a56 = estimate_area(VIRTEX4_XC4VSX55, 56, 8).slices
+        assert a56 == pytest.approx(56 * a1, rel=0.01)
+
+
+class TestDsp48Model:
+    def test_two_per_fc_block(self):
+        assert DSP48_PER_FC_BLOCK == 2
+        assert estimate_area(VIRTEX4_XC4VSX55, 112, 8).dsp48 == 224
+        assert estimate_area(VIRTEX4_XC4VSX55, 1, 8).dsp48 == 2
+
+    def test_fully_parallel_spartan3_infeasible(self):
+        """The paper: the 112-block design needs 224 DSP48s; the Spartan-3 has 104."""
+        area = estimate_area(SPARTAN3_XC3S5000, 112, 8)
+        assert not area.feasible
+        assert "dsp48" in area.limiting_resources
+        assert not is_feasible(SPARTAN3_XC3S5000, 112, 8)
+
+    def test_fully_parallel_virtex4_feasible(self):
+        assert is_feasible(VIRTEX4_XC4VSX55, 112, 8)
+        assert is_feasible(VIRTEX4_XC4VSX55, 112, 16)
+
+    def test_largest_feasible_spartan3_parallelism(self):
+        # 2 DSP48 per block and 104 available -> up to 52 blocks; among the
+        # divisors of 112 that means 28 blocks.
+        assert is_feasible(SPARTAN3_XC3S5000, 28, 8)
+        assert not is_feasible(SPARTAN3_XC3S5000, 56, 8)
+
+    def test_smaller_virtex4_part_runs_out_of_dsp48(self):
+        assert not is_feasible(VIRTEX4_XC4VSX25, 112, 8)
+        assert is_feasible(VIRTEX4_XC4VSX25, 56, 8)
+
+
+class TestBramAndStorage:
+    def test_storage_bits_match_section_ivc(self):
+        """Section IV.C: storing S, A and a at 32 bits takes ~1208 kbit."""
+        area = estimate_area(VIRTEX4_XC4VSX55, 1, 32)
+        assert area.storage_bits == pytest.approx(1208e3, rel=0.01)
+
+    def test_storage_scales_with_word_length(self):
+        a8 = estimate_area(VIRTEX4_XC4VSX55, 14, 8).storage_bits
+        a16 = estimate_area(VIRTEX4_XC4VSX55, 14, 16).storage_bits
+        assert a16 == 2 * a8
+
+    def test_bram_at_least_one_per_block(self):
+        area = estimate_area(VIRTEX4_XC4VSX55, 112, 8)
+        assert area.bram_blocks >= 112
+
+    def test_bram_capacity_bound(self):
+        area = estimate_area(VIRTEX4_XC4VSX55, 1, 32)
+        # 1208 kbit / 18 kbit blocks -> at least 66 blocks even for one FC block
+        assert area.bram_blocks >= 66
+
+
+class TestValidation:
+    def test_non_divisor_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_area(VIRTEX4_XC4VSX55, 13, 8)
+
+    def test_word_length_bounds(self):
+        with pytest.raises(ValueError):
+            estimate_area(VIRTEX4_XC4VSX55, 1, 1)

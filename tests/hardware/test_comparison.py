@@ -1,0 +1,75 @@
+"""Unit tests for the Table 3 platform comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.comparison import compare_platforms, default_fpga_design_points
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.hardware.fpga import FPGAImplementation
+
+
+class TestDefaultDesignPoints:
+    def test_four_points_matching_table3(self):
+        points = default_fpga_design_points()
+        labels = [p.label for p in points]
+        assert "Virtex-4 1FC 16bit" in labels
+        assert "Spartan-3 1FC 16bit" in labels
+        assert "Virtex-4 112FC 8bit" in labels
+        assert "Spartan-3 14FC 8bit" in labels
+
+
+class TestComparePlatforms:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_platforms()
+
+    def test_six_rows(self, comparison):
+        assert len(comparison.results) == 6
+
+    def test_baseline_ratios_are_unity(self, comparison):
+        microblaze = comparison.by_label("MicroBlaze")
+        dsp = comparison.by_label("C6713")
+        assert microblaze.energy_decrease_vs_microcontroller == pytest.approx(1.0)
+        assert dsp.energy_decrease_vs_dsp == pytest.approx(1.0)
+
+    def test_headline_ratios_match_paper(self, comparison):
+        """The paper's headline: 210X vs the microcontroller, 52X vs the DSP."""
+        best = comparison.by_label("112FC")
+        assert best.energy_decrease_vs_microcontroller == pytest.approx(210.57, rel=0.05)
+        assert best.energy_decrease_vs_dsp == pytest.approx(52.71, rel=0.05)
+
+    def test_spartan3_parallel_ratios_match_paper(self, comparison):
+        spartan = comparison.by_label("Spartan-3 14FC")
+        assert spartan.energy_decrease_vs_microcontroller == pytest.approx(77.47, rel=0.05)
+        assert spartan.energy_decrease_vs_dsp == pytest.approx(19.39, rel=0.05)
+
+    def test_every_fpga_point_beats_both_baselines(self, comparison):
+        """Section VI: every reconfigurable design saves energy over the DSP and uC."""
+        for result in comparison.results:
+            if "FC" in result.label:
+                assert result.energy_decrease_vs_microcontroller > 1.0
+                assert result.energy_decrease_vs_dsp > 1.0
+
+    def test_best_energy_is_fully_parallel_virtex4(self, comparison):
+        assert "112FC" in comparison.best_energy().label
+
+    def test_render_contains_all_rows(self, comparison):
+        text = comparison.render()
+        for result in comparison.results:
+            assert result.label in text
+
+    def test_unknown_label_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.by_label("GPU")
+
+    def test_infeasible_designs_excluded(self):
+        infeasible = FPGAImplementation(SPARTAN3_XC3S5000, num_fc_blocks=112, word_length=8)
+        comparison = compare_platforms(fpga_designs=[infeasible])
+        assert len(comparison.results) == 2  # only the two processor baselines
+
+    def test_custom_design_list(self):
+        designs = [FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=28, word_length=12)]
+        comparison = compare_platforms(fpga_designs=designs)
+        assert len(comparison.results) == 3
+        assert comparison.results[-1].energy_decrease_vs_dsp > 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for the FPGA device database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.devices import (
+    DEVICE_LIBRARY,
+    FPGADevice,
+    SPARTAN3_XC3S5000,
+    VIRTEX4_XC4VSX55,
+    get_device,
+)
+
+
+class TestDeviceDatabase:
+    def test_paper_devices_present(self):
+        assert "xc4vsx55" in DEVICE_LIBRARY
+        assert "xc3s5000" in DEVICE_LIBRARY
+
+    def test_get_device_case_insensitive(self):
+        assert get_device("XC4VSX55") is VIRTEX4_XC4VSX55
+        assert get_device("xc3s5000") is SPARTAN3_XC3S5000
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("xc7z020")
+
+    def test_paper_resource_counts(self):
+        # the paper: Virtex-4 has 512 DSP48s, Spartan-3 has 104
+        assert VIRTEX4_XC4VSX55.dsp48 == 512
+        assert SPARTAN3_XC3S5000.dsp48 == 104
+
+    def test_paper_quiescent_power(self):
+        assert VIRTEX4_XC4VSX55.quiescent_power_w == pytest.approx(0.723)
+        assert SPARTAN3_XC3S5000.quiescent_power_w == pytest.approx(0.335)
+
+    def test_both_are_90nm(self):
+        assert VIRTEX4_XC4VSX55.technology_nm == 90
+        assert SPARTAN3_XC3S5000.technology_nm == 90
+
+
+class TestClockCalibration:
+    def test_calibrated_frequencies(self):
+        assert VIRTEX4_XC4VSX55.max_clock_hz(8) == pytest.approx(62.75e6)
+        assert VIRTEX4_XC4VSX55.max_clock_hz(16) == pytest.approx(57.39e6)
+        assert SPARTAN3_XC3S5000.max_clock_hz(8) == pytest.approx(40.54e6)
+
+    def test_clock_decreases_with_word_length(self):
+        for device in (VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000):
+            clocks = [device.max_clock_hz(b) for b in (8, 10, 12, 14, 16, 20)]
+            assert clocks == sorted(clocks, reverse=True)
+
+    def test_virtex4_faster_than_spartan3(self):
+        for bits in (8, 12, 16):
+            assert VIRTEX4_XC4VSX55.max_clock_hz(bits) > SPARTAN3_XC3S5000.max_clock_hz(bits)
+
+    def test_interpolation_between_calibration_points(self):
+        f10 = VIRTEX4_XC4VSX55.max_clock_hz(10)
+        assert VIRTEX4_XC4VSX55.max_clock_hz(12) < f10 < VIRTEX4_XC4VSX55.max_clock_hz(8)
+
+    def test_word_length_validated(self):
+        with pytest.raises(ValueError):
+            VIRTEX4_XC4VSX55.max_clock_hz(1)
+
+
+class TestAreaCalibration:
+    def test_calibrated_slices_per_fc(self):
+        assert VIRTEX4_XC4VSX55.fc_block_slices(8) == pytest.approx(102.75)
+        assert VIRTEX4_XC4VSX55.fc_block_slices(16) == pytest.approx(198.75)
+        assert SPARTAN3_XC3S5000.fc_block_slices(8) == pytest.approx(135.5)
+
+    def test_slices_grow_with_word_length(self):
+        for device in (VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000):
+            sizes = [device.fc_block_slices(b) for b in (6, 8, 12, 16, 20)]
+            assert sizes == sorted(sizes)
+
+    def test_spartan3_fc_block_larger_than_virtex4(self):
+        # the Spartan-3 has no DSP48 adders, so more fabric is used per block
+        for bits in (8, 12, 16):
+            assert SPARTAN3_XC3S5000.fc_block_slices(bits) > VIRTEX4_XC4VSX55.fc_block_slices(bits)
+
+
+class TestDeviceValidation:
+    def test_empty_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            FPGADevice(
+                name="bad", family="X", technology_nm=90, slices=10, dsp48=1,
+                bram_blocks=1, bram_kbits=18.0, quiescent_power_w=0.1,
+                dynamic_power_per_slice_hz=1e-12,
+                slices_per_fc_block={}, clock_frequency_hz={8: 1e6},
+            )
+
+    def test_bram_bits(self):
+        assert VIRTEX4_XC4VSX55.bram_bits == pytest.approx(320 * 18 * 1024)

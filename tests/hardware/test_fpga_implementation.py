@@ -1,0 +1,54 @@
+"""Unit tests for the FPGAImplementation design-point wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.hardware.fpga import FPGAImplementation
+
+
+class TestFPGAImplementation:
+    def test_headline_design_point(self):
+        impl = FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=112, word_length=8)
+        assert impl.is_feasible
+        assert impl.area.slices == 11508
+        assert impl.timing.execution_time_us == pytest.approx(3.95, rel=0.005)
+        assert impl.power.total_power_w == pytest.approx(2.40, rel=0.02)
+        assert impl.energy.energy_uj == pytest.approx(9.5, rel=0.02)
+
+    def test_label(self):
+        impl = FPGAImplementation(SPARTAN3_XC3S5000, num_fc_blocks=14, word_length=8)
+        assert impl.label == "Spartan-3 14FC 8bit"
+
+    def test_report_row_keys(self):
+        impl = FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=14, word_length=12)
+        row = impl.report_row()
+        for key in ("device", "slices", "time_us", "power_w", "energy_uj", "feasible"):
+            assert key in row
+
+    def test_models_are_cached(self):
+        impl = FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=14, word_length=12)
+        assert impl.area is impl.area
+        assert impl.timing is impl.timing
+        assert impl.power is impl.power
+        assert impl.energy is impl.energy
+
+    def test_infeasible_point_flagged(self):
+        impl = FPGAImplementation(SPARTAN3_XC3S5000, num_fc_blocks=112, word_length=8)
+        assert not impl.is_feasible
+        assert not impl.report_row()["feasible"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=13, word_length=8)
+        with pytest.raises(ValueError):
+            FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=14, word_length=1)
+
+    def test_control_overrides_affect_timing(self):
+        base = FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=112, word_length=8)
+        slower = FPGAImplementation(
+            VIRTEX4_XC4VSX55, num_fc_blocks=112, word_length=8,
+            control_overrides={"qgen_cycles_per_iteration": 10},
+        )
+        assert slower.timing.cycles > base.timing.cycles

@@ -1,0 +1,57 @@
+"""Unit tests for the MP operation-count model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.opcounts import OperationCounts, matching_pursuit_operation_counts
+
+
+class TestOperationCounts:
+    def test_aquamodem_matched_filter_dominates(self):
+        ops = matching_pursuit_operation_counts(112, 224, 6)
+        # matched filter alone: 2 * 112 * 224 = 50176 multiplies
+        assert ops.multiplies == 50176 + 6 * 6 * 112
+        assert ops.additions == 50176 + 6 * 3 * 112
+        assert ops.comparisons == 6 * 112
+        assert ops.inner_loop_iterations == 112 * 224 + 6 * 112
+
+    def test_totals_and_helpers(self):
+        ops = matching_pursuit_operation_counts(4, 8, 2)
+        assert ops.arithmetic_operations == ops.multiplies + ops.additions
+        assert ops.total_operations == (
+            ops.multiplies + ops.additions + ops.comparisons + ops.memory_accesses
+        )
+
+    def test_scaled(self):
+        ops = matching_pursuit_operation_counts(4, 8, 2)
+        doubled = ops.scaled(2)
+        assert doubled.multiplies == 2 * ops.multiplies
+        assert doubled.inner_loop_iterations == 2 * ops.inner_loop_iterations
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            matching_pursuit_operation_counts(4, 8, 2).scaled(-1)
+
+    def test_linear_in_num_paths_beyond_matched_filter(self):
+        base = matching_pursuit_operation_counts(112, 224, 1)
+        more = matching_pursuit_operation_counts(112, 224, 7)
+        assert more.comparisons == 7 * base.comparisons
+        assert (more.multiplies - 50176) == 7 * (base.multiplies - 50176)
+
+    @given(
+        d=st.integers(min_value=1, max_value=256),
+        w=st.integers(min_value=1, max_value=512),
+        nf=st.integers(min_value=1, max_value=16),
+    )
+    def test_counts_positive_and_monotone_property(self, d, w, nf):
+        ops = matching_pursuit_operation_counts(d, w, nf)
+        assert ops.multiplies > 0 and ops.additions > 0
+        bigger = matching_pursuit_operation_counts(d, w, nf + 1)
+        assert bigger.multiplies > ops.multiplies
+        assert bigger.total_operations > ops.total_operations
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matching_pursuit_operation_counts(0, 224, 6)

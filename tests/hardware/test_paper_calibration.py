@@ -1,0 +1,128 @@
+"""Calibration tests: the hardware models against every number the paper prints.
+
+These are the tests that pin the substitution described in DESIGN.md §2: since
+we cannot run Xilinx ISE / XPower / TI's estimator, the analytical models must
+reproduce the published Table 2, Table 3 and Figure 6 values within tight
+tolerances, so that the benchmark harness regenerates the paper's results
+rather than arbitrary numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.hardware.area import estimate_area
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.hardware.energy import estimate_energy
+from repro.hardware.fpga import FPGAImplementation
+from repro.hardware.power import estimate_power
+from repro.hardware.processors import ProcessorImplementation, microblaze_soft_core, ti_c6713
+from repro.hardware.timing import estimate_timing
+
+_DEVICES = {"Virtex-4": VIRTEX4_XC4VSX55, "Spartan-3": SPARTAN3_XC3S5000}
+
+
+class TestTable2Calibration:
+    @pytest.mark.parametrize("key", sorted(paper_data.TABLE2_ROWS))
+    def test_area_exact(self, key):
+        bits, blocks, family = key
+        paper_slices, _, _ = paper_data.TABLE2_ROWS[key]
+        area = estimate_area(_DEVICES[family], blocks, bits)
+        assert area.slices == paper_slices
+
+    @pytest.mark.parametrize("key", sorted(paper_data.TABLE2_ROWS))
+    def test_timing_within_half_percent(self, key):
+        bits, blocks, family = key
+        _, paper_time_us, _ = paper_data.TABLE2_ROWS[key]
+        timing = estimate_timing(_DEVICES[family], blocks, bits, num_paths=6)
+        assert timing.execution_time_us == pytest.approx(paper_time_us, rel=0.005)
+
+    @pytest.mark.parametrize("key", sorted(paper_data.TABLE2_ROWS))
+    def test_throughput_consistent_with_timing(self, key):
+        bits, blocks, family = key
+        _, _, paper_throughput = paper_data.TABLE2_ROWS[key]
+        timing = estimate_timing(_DEVICES[family], blocks, bits, num_paths=6)
+        # the paper rounds throughput to three decimals; allow that rounding
+        assert timing.throughput_per_us == pytest.approx(paper_throughput, abs=6e-4)
+
+
+class TestFigure6Calibration:
+    def test_quiescent_powers(self):
+        assert VIRTEX4_XC4VSX55.quiescent_power_w == pytest.approx(
+            paper_data.FIGURE6_QUIESCENT_POWER_W["Virtex-4"]
+        )
+        assert SPARTAN3_XC3S5000.quiescent_power_w == pytest.approx(
+            paper_data.FIGURE6_QUIESCENT_POWER_W["Spartan-3"]
+        )
+
+    @pytest.mark.parametrize(
+        "family, blocks, bits, paper_power, paper_energy",
+        [
+            ("Virtex-4", 112, 8, 2.40, 9.50),
+            ("Spartan-3", 14, 8, 0.53, 25.82),
+            ("Virtex-4", 1, 16, 0.74, 360.52),
+            ("Spartan-3", 1, 16, 0.35, 260.92),
+        ],
+    )
+    def test_published_power_energy_anchors(self, family, blocks, bits, paper_power, paper_energy):
+        device = _DEVICES[family]
+        area = estimate_area(device, blocks, bits)
+        timing = estimate_timing(device, blocks, bits)
+        power = estimate_power(device, area, timing.clock_frequency_hz)
+        energy = estimate_energy(power, timing)
+        assert power.total_power_w == pytest.approx(paper_power, rel=0.04)
+        assert energy.energy_uj == pytest.approx(paper_energy, rel=0.04)
+
+
+class TestTable3Calibration:
+    def test_fully_parallel_design_requires_224_dsp48(self):
+        area = estimate_area(VIRTEX4_XC4VSX55, 112, 8)
+        assert area.dsp48 == paper_data.FULLY_PARALLEL_DSP48_REQUIRED
+
+    def test_dsp_row(self):
+        paper_time, paper_power, paper_energy, _, _ = paper_data.TABLE3_ROWS["DSP 32bit"]
+        impl = ProcessorImplementation(ti_c6713())
+        assert impl.execution_time_us == pytest.approx(paper_time, rel=0.02)
+        assert impl.power_w == pytest.approx(paper_power, rel=0.01)
+        assert impl.energy.energy_uj == pytest.approx(paper_energy, rel=0.02)
+
+    def test_microblaze_row_energy(self):
+        paper_time, _, paper_energy, _, _ = paper_data.TABLE3_ROWS["MicroBlaze 32bit"]
+        impl = ProcessorImplementation(microblaze_soft_core())
+        assert impl.execution_time_us == pytest.approx(paper_time, rel=0.02)
+        assert impl.energy.energy_uj == pytest.approx(paper_energy, rel=0.02)
+
+    def test_microblaze_paper_inconsistency_documented(self):
+        """Table 3 prints 0.38 W but energy/time implies ~0.3155 W; we calibrate to energy."""
+        paper_time, paper_power, paper_energy, _, _ = paper_data.TABLE3_ROWS["MicroBlaze 32bit"]
+        assert paper_power * paper_time != pytest.approx(paper_energy, rel=0.05)
+        assert paper_energy / paper_time == pytest.approx(0.3155, rel=0.01)
+
+    def test_headline_ratios(self):
+        """210.57x vs the microcontroller and 52.71x vs the DSP for the best FPGA design."""
+        fpga = FPGAImplementation(VIRTEX4_XC4VSX55, num_fc_blocks=112, word_length=8)
+        microblaze = ProcessorImplementation(microblaze_soft_core())
+        dsp = ProcessorImplementation(ti_c6713())
+        vs_mb = microblaze.energy.energy_uj / fpga.energy.energy_uj
+        vs_dsp = dsp.energy.energy_uj / fpga.energy.energy_uj
+        assert vs_mb == pytest.approx(
+            paper_data.HEADLINE_ENERGY_DECREASE["vs_microcontroller"], rel=0.05
+        )
+        assert vs_dsp == pytest.approx(paper_data.HEADLINE_ENERGY_DECREASE["vs_dsp"], rel=0.05)
+
+    @pytest.mark.parametrize(
+        "family, blocks, bits, label",
+        [
+            ("Virtex-4", 1, 16, "Virtex-4 1FC 16bit"),
+            ("Spartan-3", 1, 16, "Spartan-3 1FC 16bit"),
+            ("Virtex-4", 112, 8, "Virtex-4 112FC 8bit"),
+            ("Spartan-3", 14, 8, "Spartan-3 14FC 8bit"),
+        ],
+    )
+    def test_fpga_rows(self, family, blocks, bits, label):
+        paper_time, paper_power, paper_energy, _, _ = paper_data.TABLE3_ROWS[label]
+        impl = FPGAImplementation(_DEVICES[family], num_fc_blocks=blocks, word_length=bits)
+        assert impl.timing.execution_time_us == pytest.approx(paper_time, rel=0.01)
+        assert impl.power.total_power_w == pytest.approx(paper_power, rel=0.04)
+        assert impl.energy.energy_uj == pytest.approx(paper_energy, rel=0.04)

@@ -1,0 +1,98 @@
+"""Unit tests for the FPGA power and energy models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.area import estimate_area
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.hardware.energy import duty_cycled_average_power, estimate_energy
+from repro.hardware.power import estimate_power
+from repro.hardware.timing import estimate_timing
+
+
+class TestPowerModel:
+    def test_quiescent_floor(self):
+        power = estimate_power(VIRTEX4_XC4VSX55, 0, 62.75e6)
+        assert power.total_power_w == pytest.approx(0.723)
+        assert power.dynamic_fraction == 0.0
+
+    def test_dynamic_power_proportional_to_slices(self):
+        p1 = estimate_power(VIRTEX4_XC4VSX55, 1000, 62.75e6).dynamic_power_w
+        p2 = estimate_power(VIRTEX4_XC4VSX55, 2000, 62.75e6).dynamic_power_w
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_dynamic_power_proportional_to_clock(self):
+        p1 = estimate_power(VIRTEX4_XC4VSX55, 1000, 30e6).dynamic_power_w
+        p2 = estimate_power(VIRTEX4_XC4VSX55, 1000, 60e6).dynamic_power_w
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_activity_factor_scales_dynamic_only(self):
+        full = estimate_power(VIRTEX4_XC4VSX55, 1000, 60e6, activity_factor=1.0)
+        half = estimate_power(VIRTEX4_XC4VSX55, 1000, 60e6, activity_factor=0.5)
+        assert half.dynamic_power_w == pytest.approx(full.dynamic_power_w / 2)
+        assert half.quiescent_power_w == full.quiescent_power_w
+
+    def test_accepts_area_estimate_object(self):
+        area = estimate_area(VIRTEX4_XC4VSX55, 112, 8)
+        power = estimate_power(VIRTEX4_XC4VSX55, area, 62.75e6)
+        assert power.total_power_w == pytest.approx(2.40, rel=0.01)
+
+    def test_table3_power_anchors(self):
+        cases = [
+            (VIRTEX4_XC4VSX55, 112, 8, 2.40),
+            (SPARTAN3_XC3S5000, 14, 8, 0.53),
+            (VIRTEX4_XC4VSX55, 1, 16, 0.74),
+            (SPARTAN3_XC3S5000, 1, 16, 0.35),
+        ]
+        for device, blocks, bits, expected in cases:
+            area = estimate_area(device, blocks, bits)
+            timing = estimate_timing(device, blocks, bits)
+            power = estimate_power(device, area, timing.clock_frequency_hz)
+            assert power.total_power_w == pytest.approx(expected, rel=0.04)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_power(VIRTEX4_XC4VSX55, 100, 0.0)
+        with pytest.raises(ValueError):
+            estimate_power(VIRTEX4_XC4VSX55, 100, 1e6, activity_factor=-1.0)
+
+
+class TestEnergyModel:
+    def test_energy_is_power_times_time(self):
+        energy = estimate_energy(2.0, 1e-3)
+        assert energy.energy_j == pytest.approx(2e-3)
+        assert energy.energy_uj == pytest.approx(2000.0)
+
+    def test_accepts_estimate_objects(self):
+        area = estimate_area(VIRTEX4_XC4VSX55, 112, 8)
+        timing = estimate_timing(VIRTEX4_XC4VSX55, 112, 8)
+        power = estimate_power(VIRTEX4_XC4VSX55, area, timing.clock_frequency_hz)
+        energy = estimate_energy(power, timing)
+        assert energy.energy_uj == pytest.approx(9.5, rel=0.02)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_energy(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            estimate_energy(1.0, -1.0)
+
+
+class TestDutyCycledAveragePower:
+    def test_zero_rate_is_idle_power(self):
+        assert duty_cycled_average_power(1e-3, 0.0, idle_power_w=0.05) == pytest.approx(0.05)
+
+    def test_linear_in_rate(self):
+        p1 = duty_cycled_average_power(1e-3, 10.0)
+        p2 = duty_cycled_average_power(1e-3, 20.0)
+        assert p2 == pytest.approx(2 * p1)
+
+    def test_platform_ranking_preserved(self):
+        """Processing energy per estimation dominates the average listening power
+        when estimating continuously (one estimation per 22.4 ms frame)."""
+        rate = 1.0 / 22.4e-3
+        microblaze = duty_cycled_average_power(2000.40e-6, rate)
+        dsp = duty_cycled_average_power(500.76e-6, rate)
+        fpga = duty_cycled_average_power(9.50e-6, rate)
+        assert microblaze > dsp > fpga
+        assert microblaze / fpga == pytest.approx(210.6, rel=0.01)

@@ -1,0 +1,96 @@
+"""Unit tests for the DSP and MicroBlaze processor models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.opcounts import matching_pursuit_operation_counts
+from repro.hardware.processors import (
+    ProcessorImplementation,
+    ProcessorModel,
+    microblaze_soft_core,
+    ti_c6713,
+)
+
+
+class TestProcessorModel:
+    def test_cycles_sum_components(self):
+        model = ProcessorModel(
+            name="toy", clock_hz=1e6,
+            cycles_per_multiply=2.0, cycles_per_addition=1.0,
+            cycles_per_comparison=1.0, cycles_per_memory_access=1.0,
+            cycles_per_loop_iteration=1.0, active_power_w=1.0,
+        )
+        ops = matching_pursuit_operation_counts(2, 4, 1)
+        expected = (
+            2.0 * ops.multiplies + ops.additions + ops.comparisons
+            + ops.memory_accesses + ops.inner_loop_iterations
+        )
+        assert model.cycles(ops) == pytest.approx(expected)
+        assert model.execution_time_s(ops) == pytest.approx(expected / 1e6)
+
+    def test_energy_uses_active_power(self):
+        model = ti_c6713()
+        ops = matching_pursuit_operation_counts()
+        energy = model.energy(ops)
+        assert energy.energy_j == pytest.approx(model.active_power_w * model.execution_time_s(ops))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorModel(
+                name="bad", clock_hz=0.0, cycles_per_multiply=1, cycles_per_addition=1,
+                cycles_per_comparison=1, cycles_per_memory_access=1,
+                cycles_per_loop_iteration=1, active_power_w=1.0,
+            )
+        with pytest.raises(ValueError):
+            ProcessorModel(
+                name="bad", clock_hz=1e6, cycles_per_multiply=-1, cycles_per_addition=1,
+                cycles_per_comparison=1, cycles_per_memory_access=1,
+                cycles_per_loop_iteration=1, active_power_w=1.0,
+            )
+
+
+class TestCalibratedBaselines:
+    def test_dsp_execution_time_matches_paper(self):
+        """Table 3: the C6713 takes ~468 us (78 us per coefficient x 6)."""
+        impl = ProcessorImplementation(ti_c6713())
+        assert impl.execution_time_us == pytest.approx(468.0, rel=0.02)
+        assert impl.time_per_coefficient_us == pytest.approx(78.0, rel=0.02)
+
+    def test_dsp_energy_matches_paper(self):
+        impl = ProcessorImplementation(ti_c6713())
+        assert impl.energy.energy_uj == pytest.approx(500.76, rel=0.02)
+        assert impl.power_w == pytest.approx(1.07)
+
+    def test_microblaze_execution_time_matches_paper(self):
+        """Table 3: the MicroBlaze takes 6341.84 us."""
+        impl = ProcessorImplementation(microblaze_soft_core())
+        assert impl.execution_time_us == pytest.approx(6341.84, rel=0.02)
+
+    def test_microblaze_energy_matches_paper(self):
+        impl = ProcessorImplementation(microblaze_soft_core())
+        assert impl.energy.energy_uj == pytest.approx(2000.40, rel=0.02)
+
+    def test_microblaze_much_slower_than_dsp(self):
+        """The paper attributes the MicroBlaze's energy to its very high latency."""
+        mb = ProcessorImplementation(microblaze_soft_core())
+        dsp = ProcessorImplementation(ti_c6713())
+        assert mb.execution_time_us > 10 * dsp.execution_time_us
+        assert mb.power_w < dsp.power_w          # lower power ...
+        assert mb.energy.energy_uj > dsp.energy.energy_uj  # ... but higher energy
+
+    def test_report_rows(self):
+        row = ProcessorImplementation(ti_c6713()).report_row()
+        assert row["platform"] == "TI C6713 DSP"
+        assert row["word_length"] == 32
+        assert row["time_us"] == pytest.approx(468.0, rel=0.02)
+
+    def test_workload_scaling(self):
+        """Halving the number of estimated paths roughly shaves the per-path share."""
+        full = ProcessorImplementation(ti_c6713(), num_paths=6)
+        half = ProcessorImplementation(ti_c6713(), num_paths=3)
+        assert half.execution_time_us < full.execution_time_us
+        assert half.execution_time_us > 0.5 * full.execution_time_us  # matched filter is fixed cost
+
+    def test_labels(self):
+        assert ProcessorImplementation(microblaze_soft_core()).label == "MicroBlaze 32bit"

@@ -1,0 +1,66 @@
+"""Unit tests for the FPGA timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.hardware.timing import estimate_timing, max_clock_frequency
+
+
+class TestTimingModel:
+    @pytest.mark.parametrize(
+        "device, blocks, bits, expected_us",
+        [
+            (VIRTEX4_XC4VSX55, 112, 8, 3.95),
+            (VIRTEX4_XC4VSX55, 14, 8, 31.63),
+            (VIRTEX4_XC4VSX55, 1, 8, 442.80),
+            (SPARTAN3_XC3S5000, 14, 8, 48.94),
+            (SPARTAN3_XC3S5000, 1, 8, 685.17),
+            (VIRTEX4_XC4VSX55, 112, 12, 4.10),
+            (VIRTEX4_XC4VSX55, 1, 12, 459.65),
+            (SPARTAN3_XC3S5000, 14, 12, 49.85),
+            (VIRTEX4_XC4VSX55, 112, 16, 4.32),
+            (VIRTEX4_XC4VSX55, 14, 16, 34.59),
+            (SPARTAN3_XC3S5000, 1, 16, 737.07),
+        ],
+    )
+    def test_table2_timing_within_half_percent(self, device, blocks, bits, expected_us):
+        timing = estimate_timing(device, blocks, bits, num_paths=6)
+        assert timing.execution_time_us == pytest.approx(expected_us, rel=0.005)
+
+    def test_timing_scales_as_inverse_parallelism(self):
+        t1 = estimate_timing(VIRTEX4_XC4VSX55, 1, 8).execution_time_s
+        t14 = estimate_timing(VIRTEX4_XC4VSX55, 14, 8).execution_time_s
+        t112 = estimate_timing(VIRTEX4_XC4VSX55, 112, 8).execution_time_s
+        assert t1 / t112 == pytest.approx(112.0, rel=1e-6)
+        assert t1 / t14 == pytest.approx(14.0, rel=1e-6)
+        assert t14 / t112 == pytest.approx(8.0, rel=1e-6)
+
+    def test_throughput_definition(self):
+        timing = estimate_timing(VIRTEX4_XC4VSX55, 112, 8)
+        assert timing.throughput_hz == pytest.approx(
+            timing.clock_frequency_hz / timing.cycles
+        )
+        assert timing.throughput_per_us == pytest.approx(0.253, rel=0.01)
+
+    def test_every_paper_point_meets_the_22ms_deadline(self):
+        for device in (VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000):
+            for blocks in (1, 14):
+                for bits in (8, 12, 16):
+                    assert estimate_timing(device, blocks, bits).meets_deadline(22.4e-3)
+
+    def test_more_paths_takes_longer(self):
+        t6 = estimate_timing(VIRTEX4_XC4VSX55, 112, 8, num_paths=6).execution_time_s
+        t12 = estimate_timing(VIRTEX4_XC4VSX55, 112, 8, num_paths=12).execution_time_s
+        assert t12 > t6
+
+    def test_control_override_plumbs_through(self):
+        base = estimate_timing(VIRTEX4_XC4VSX55, 112, 8).cycles
+        slower = estimate_timing(
+            VIRTEX4_XC4VSX55, 112, 8, qgen_cycles_per_iteration=7
+        ).cycles
+        assert slower == base + 42
+
+    def test_max_clock_frequency_helper(self):
+        assert max_clock_frequency(VIRTEX4_XC4VSX55, 8) == pytest.approx(62.75e6)

@@ -1,0 +1,148 @@
+"""Cross-module property-based tests of the library's core invariants.
+
+These hypothesis tests pin the mathematical properties the rest of the system
+relies on, across module boundaries:
+
+* linearity of the channel and of the signal-matrix synthesis,
+* scaling behaviour of the MP estimator,
+* monotonicity of the hardware models along the design axes,
+* consistency between the analytical energy model and the platform comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.multipath import random_sparse_channel
+from repro.core.matching_pursuit import matching_pursuit
+from repro.core.dse import divisors
+from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
+from repro.hardware.fpga import FPGAImplementation
+from repro.hardware.opcounts import matching_pursuit_operation_counts
+from repro.hardware.processors import ProcessorImplementation, microblaze_soft_core, ti_c6713
+
+
+class TestChannelLinearity:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_channel_apply_is_linear(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        channel = random_sparse_channel(num_paths=3, max_delay=20, rng=seed)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        y = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        combined = channel.apply(scale * x + y)
+        np.testing.assert_allclose(
+            combined, scale * channel.apply(x) + channel.apply(y), atol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_synthesis_matches_channel_apply_on_pilot(self, aquamodem_matrices, seed):
+        """S @ f equals convolving the pilot waveform with the channel taps."""
+        channel = random_sparse_channel(num_paths=3, max_delay=100, rng=seed)
+        f = channel.coefficient_vector(112)
+        synthesized = aquamodem_matrices.synthesize(f)
+        pilot = np.zeros(224, dtype=complex)
+        pilot[:112] = aquamodem_matrices.waveform
+        convolved = channel.apply(pilot)
+        np.testing.assert_allclose(synthesized, convolved, atol=1e-9)
+
+
+class TestMatchingPursuitInvariances:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           scale=st.floats(min_value=0.05, max_value=20.0))
+    def test_estimate_scales_linearly_with_received(self, aquamodem_matrices, seed, scale):
+        """MP(α r) selects the same delays and scales the coefficients by α."""
+        rng = np.random.default_rng(seed)
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        base = matching_pursuit(received, aquamodem_matrices, num_paths=4)
+        scaled = matching_pursuit(scale * received, aquamodem_matrices, num_paths=4)
+        np.testing.assert_array_equal(base.path_indices, scaled.path_indices)
+        np.testing.assert_allclose(
+            scaled.coefficients, scale * base.coefficients, rtol=1e-9, atol=1e-12
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           phase=st.floats(min_value=-np.pi, max_value=np.pi))
+    def test_global_phase_rotation_rotates_coefficients(self, aquamodem_matrices, seed, phase):
+        rng = np.random.default_rng(seed)
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        rotation = np.exp(1j * phase)
+        base = matching_pursuit(received, aquamodem_matrices, num_paths=3)
+        rotated = matching_pursuit(rotation * received, aquamodem_matrices, num_paths=3)
+        np.testing.assert_array_equal(base.path_indices, rotated.path_indices)
+        np.testing.assert_allclose(
+            rotated.coefficients, rotation * base.coefficients, rtol=1e-9, atol=1e-12
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           num_paths=st.integers(min_value=1, max_value=12))
+    def test_exactly_requested_number_of_paths(self, aquamodem_matrices, seed, num_paths):
+        rng = np.random.default_rng(seed)
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        result = matching_pursuit(received, aquamodem_matrices, num_paths=num_paths)
+        assert np.count_nonzero(result.coefficients) == num_paths
+        assert len(set(result.path_indices.tolist())) == num_paths
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_prefix_consistency_of_greedy_selection(self, aquamodem_matrices, seed):
+        """Running MP for more iterations never changes the earlier picks."""
+        rng = np.random.default_rng(seed)
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        short = matching_pursuit(received, aquamodem_matrices, num_paths=3)
+        long = matching_pursuit(received, aquamodem_matrices, num_paths=8)
+        np.testing.assert_array_equal(short.path_indices, long.path_indices[:3])
+
+
+class TestHardwareModelMonotonicity:
+    @pytest.mark.parametrize("device", [VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000])
+    @pytest.mark.parametrize("bits", [8, 12, 16])
+    def test_time_down_area_up_with_parallelism(self, device, bits):
+        feasible_levels = [
+            p for p in divisors(112)
+            if FPGAImplementation(device, p, bits).is_feasible
+        ]
+        times = [FPGAImplementation(device, p, bits).timing.execution_time_s for p in feasible_levels]
+        areas = [FPGAImplementation(device, p, bits).area.slices for p in feasible_levels]
+        assert times == sorted(times, reverse=True)
+        assert areas == sorted(areas)
+
+    @pytest.mark.parametrize("device", [VIRTEX4_XC4VSX55, SPARTAN3_XC3S5000])
+    @pytest.mark.parametrize("blocks", [1, 14])
+    def test_everything_grows_with_word_length(self, device, blocks):
+        widths = (6, 8, 10, 12, 16, 20)
+        implementations = [FPGAImplementation(device, blocks, b) for b in widths]
+        areas = [i.area.slices for i in implementations]
+        times = [i.timing.execution_time_s for i in implementations]
+        energies = [i.energy.energy_j for i in implementations]
+        assert areas == sorted(areas)
+        assert times == sorted(times)
+        assert energies == sorted(energies)
+
+    @given(nf=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_processor_energy_grows_with_workload(self, nf):
+        smaller = ProcessorImplementation(ti_c6713(), num_paths=nf)
+        larger = ProcessorImplementation(ti_c6713(), num_paths=nf + 1)
+        assert larger.energy.energy_j > smaller.energy.energy_j
+
+    @given(nf=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_fpga_advantage_holds_for_any_workload_size(self, nf):
+        """The platform ranking is not an artefact of Nf = 6."""
+        fpga = FPGAImplementation(VIRTEX4_XC4VSX55, 112, 8, num_paths=nf)
+        dsp = ProcessorImplementation(ti_c6713(), num_paths=nf)
+        microblaze = ProcessorImplementation(microblaze_soft_core(), num_paths=nf)
+        assert fpga.energy.energy_j < dsp.energy.energy_j < microblaze.energy.energy_j
+
+    def test_opcount_consistency_with_naive_loop_structure(self):
+        """The op-count model's inner-loop count matches the naive implementation."""
+        ops = matching_pursuit_operation_counts(num_delays=12, window_length=24, num_paths=4)
+        assert ops.inner_loop_iterations == 12 * 24 + 4 * 12

@@ -1,0 +1,71 @@
+"""Unit tests for the per-packet modem energy budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modem.config import AquaModemConfig
+from repro.modem.energy_budget import ModemEnergyBudget, PacketEnergyBreakdown
+
+
+class TestPacketEnergyBreakdown:
+    def test_total_and_fraction(self):
+        breakdown = PacketEnergyBreakdown(transmit_j=1.0, receive_frontend_j=0.5, processing_j=0.5)
+        assert breakdown.total_j == pytest.approx(2.0)
+        assert breakdown.processing_fraction == pytest.approx(0.25)
+
+    def test_zero_total(self):
+        assert PacketEnergyBreakdown(0.0, 0.0, 0.0).processing_fraction == 0.0
+
+
+class TestModemEnergyBudget:
+    @pytest.fixture(scope="class")
+    def budget(self) -> ModemEnergyBudget:
+        return ModemEnergyBudget(
+            transmit_power_w=2.0,
+            receive_frontend_power_w=0.05,
+            processing_energy_per_estimation_j=9.5e-6,
+            processing_idle_power_w=0.01,
+        )
+
+    def test_packet_duration(self, budget):
+        # 32 symbols x 22.4 ms
+        assert budget.packet_duration_s(32) == pytest.approx(0.7168)
+
+    def test_transmit_energy(self, budget):
+        assert budget.transmit_energy_j(32) == pytest.approx(2.0 * 0.7168)
+
+    def test_receive_energy_components(self, budget):
+        breakdown = budget.receive_energy_j(32)
+        assert breakdown.transmit_j == 0.0
+        assert breakdown.receive_frontend_j == pytest.approx(0.05 * 0.7168)
+        expected_processing = 32 * 9.5e-6 + 0.01 * 0.7168
+        assert breakdown.processing_j == pytest.approx(expected_processing)
+
+    def test_processing_energy_scales_with_platform(self):
+        config = AquaModemConfig()
+        fpga = ModemEnergyBudget(config=config, processing_energy_per_estimation_j=9.5e-6)
+        microblaze = ModemEnergyBudget(config=config, processing_energy_per_estimation_j=2000.4e-6)
+        fpga_rx = fpga.receive_energy_j(32).processing_j
+        mb_rx = microblaze.receive_energy_j(32).processing_j
+        assert mb_rx > fpga_rx
+        # the per-estimation part scales by the Table 3 ratio
+        idle = 0.01 * fpga.packet_duration_s(32)
+        assert (mb_rx - idle) / (fpga_rx - idle) == pytest.approx(2000.4 / 9.5, rel=1e-6)
+
+    def test_transaction_roles(self, budget):
+        tx_only = budget.packet_transaction_energy_j(16, transmit=True, receive=False)
+        rx_only = budget.packet_transaction_energy_j(16, transmit=False, receive=True)
+        both = budget.packet_transaction_energy_j(16, transmit=True, receive=True)
+        assert tx_only.receive_frontend_j == 0.0 and tx_only.processing_j == 0.0
+        assert rx_only.transmit_j == 0.0
+        assert both.total_j == pytest.approx(tx_only.total_j + rx_only.total_j)
+
+    def test_idle_power(self, budget):
+        assert budget.idle_power_w() == pytest.approx(0.06)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModemEnergyBudget(transmit_power_w=-1.0)
+        with pytest.raises(ValueError):
+            ModemEnergyBudget().packet_duration_s(0)

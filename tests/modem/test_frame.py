@@ -1,0 +1,72 @@
+"""Unit tests for bit/symbol packing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.modem.frame import bit_errors, bits_to_symbols, random_bits, symbols_to_bits
+
+
+class TestBitsToSymbols:
+    def test_msb_first_packing(self):
+        bits = np.array([1, 0, 1, 0, 1, 1])
+        np.testing.assert_array_equal(bits_to_symbols(bits, 3), [5, 3])
+
+    def test_padding_with_zeros(self):
+        bits = np.array([1, 1])
+        np.testing.assert_array_equal(bits_to_symbols(bits, 3), [6])
+
+    def test_empty(self):
+        assert bits_to_symbols(np.array([], dtype=int), 3).shape == (0,)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            bits_to_symbols(np.array([0, 2]), 3)
+
+
+class TestSymbolsToBits:
+    def test_unpacking(self):
+        np.testing.assert_array_equal(symbols_to_bits(np.array([5, 3]), 3), [1, 0, 1, 0, 1, 1])
+
+    def test_out_of_range_symbol(self):
+        with pytest.raises(ValueError):
+            symbols_to_bits(np.array([8]), 3)
+
+    def test_empty(self):
+        assert symbols_to_bits(np.array([], dtype=int), 3).shape == (0,)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=7), min_size=0, max_size=64),
+    )
+    def test_roundtrip_property(self, symbols):
+        symbols_arr = np.array(symbols, dtype=np.int64)
+        bits = symbols_to_bits(symbols_arr, 3)
+        back = bits_to_symbols(bits, 3)
+        np.testing.assert_array_equal(back, symbols_arr)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=3, max_size=60))
+    def test_bits_roundtrip_up_to_padding_property(self, bits):
+        bits_arr = np.array(bits, dtype=np.int64)
+        symbols = bits_to_symbols(bits_arr, 3)
+        recovered = symbols_to_bits(symbols, 3)
+        np.testing.assert_array_equal(recovered[: len(bits_arr)], bits_arr)
+        # padding bits are always zero
+        assert np.all(recovered[len(bits_arr):] == 0)
+
+
+class TestRandomBitsAndErrors:
+    def test_random_bits_binary_and_reproducible(self):
+        a = random_bits(100, rng=0)
+        b = random_bits(100, rng=0)
+        np.testing.assert_array_equal(a, b)
+        assert set(np.unique(a)) <= {0, 1}
+
+    def test_bit_errors(self):
+        assert bit_errors(np.array([0, 1, 1, 0]), np.array([0, 0, 1, 1])) == 2
+        assert bit_errors(np.array([1, 1]), np.array([1, 1])) == 0
+
+    def test_bit_errors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_errors(np.array([0, 1]), np.array([0]))

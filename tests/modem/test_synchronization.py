@@ -1,0 +1,103 @@
+"""Unit tests for frame synchronisation (pilot acquisition)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel
+from repro.channel.simulator import add_noise_for_snr, apply_channel
+from repro.modem.config import AquaModemConfig
+from repro.modem.receiver import Receiver
+from repro.modem.synchronization import FrameSynchronizer
+from repro.modem.transmitter import Transmitter
+
+
+@pytest.fixture(scope="module")
+def transmitter() -> Transmitter:
+    return Transmitter(config=AquaModemConfig())
+
+
+@pytest.fixture(scope="module")
+def synchronizer(transmitter) -> FrameSynchronizer:
+    return FrameSynchronizer(pilot_waveform=transmitter.reference_waveform())
+
+
+def _frame_with_offset(transmitter, symbols, offset, rng=None, snr_db=None):
+    frame = transmitter.transmit_symbols(symbols)
+    stream = np.concatenate([np.zeros(offset, dtype=complex), frame.samples])
+    if snr_db is not None:
+        stream = add_noise_for_snr(stream, snr_db, rng=rng,
+                                   signal_power=1.0)
+    return stream
+
+
+class TestAcquisition:
+    def test_exact_offset_recovered_noiseless(self, transmitter, synchronizer):
+        for offset in (0, 1, 17, 250, 999):
+            stream = _frame_with_offset(transmitter, np.array([3, 5]), offset)
+            result = synchronizer.acquire(stream)
+            assert result.detected
+            assert result.start_index == offset
+            assert result.peak_metric == pytest.approx(1.0, abs=1e-6)
+
+    def test_offset_recovered_with_noise(self, transmitter, synchronizer):
+        stream = _frame_with_offset(transmitter, np.array([1, 2, 3]), 321, rng=0, snr_db=10.0)
+        result = synchronizer.acquire(stream)
+        assert result.detected
+        assert abs(result.start_index - 321) <= 1
+
+    def test_noise_only_is_not_detected(self, synchronizer):
+        rng = np.random.default_rng(1)
+        noise = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        result = synchronizer.acquire(noise)
+        assert not result.detected
+        assert result.peak_metric < synchronizer.detection_threshold
+
+    def test_multipath_peak_at_first_strong_arrival(self, transmitter, synchronizer):
+        channel = MultipathChannel(delays=np.array([0, 9]), gains=np.array([1.0, 0.45]))
+        frame = transmitter.transmit_symbols(np.array([2]))
+        stream = np.concatenate([np.zeros(100, dtype=complex), apply_channel(frame.samples, channel)])
+        result = synchronizer.acquire(stream)
+        assert result.detected
+        assert abs(result.start_index - 100) <= 1
+
+    def test_profile_length(self, transmitter, synchronizer):
+        stream = _frame_with_offset(transmitter, np.array([0]), 10)
+        profile = synchronizer.correlation_profile(stream)
+        assert profile.shape[0] == stream.shape[0] - 112 + 1
+
+    def test_stream_shorter_than_pilot_rejected(self, synchronizer):
+        with pytest.raises(ValueError):
+            synchronizer.acquire(np.zeros(10, dtype=complex))
+
+
+class TestAlign:
+    def test_align_then_receive_recovers_symbols(self, transmitter, synchronizer):
+        symbols = np.array([4, 1, 6, 7, 2])
+        stream = _frame_with_offset(transmitter, symbols, 137, rng=2, snr_db=15.0)
+        aligned = synchronizer.align(stream)
+        receiver = Receiver(config=AquaModemConfig())
+        output = receiver.receive(aligned)
+        np.testing.assert_array_equal(output.symbols[: len(symbols)], symbols)
+
+    def test_align_raises_without_detection(self, synchronizer):
+        rng = np.random.default_rng(3)
+        noise = rng.standard_normal(1000) + 1j * rng.standard_normal(1000)
+        with pytest.raises(ValueError, match="no pilot detected"):
+            synchronizer.align(noise)
+
+
+class TestValidation:
+    def test_zero_energy_pilot_rejected(self):
+        with pytest.raises(ValueError):
+            FrameSynchronizer(pilot_waveform=np.zeros(16))
+
+    def test_threshold_range(self, transmitter):
+        with pytest.raises(ValueError):
+            FrameSynchronizer(pilot_waveform=transmitter.reference_waveform(),
+                              detection_threshold=1.5)
+
+    def test_short_pilot_rejected(self):
+        with pytest.raises(ValueError):
+            FrameSynchronizer(pilot_waveform=np.array([1.0]))

@@ -1,0 +1,144 @@
+"""Unit and integration tests for the DS-SS transmitter and receiver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import MultipathChannel, random_sparse_channel
+from repro.channel.simulator import add_noise_for_snr, apply_channel
+from repro.modem.config import AquaModemConfig
+from repro.modem.frame import random_bits
+from repro.modem.receiver import Receiver
+from repro.modem.transmitter import Transmitter
+
+
+@pytest.fixture(scope="module")
+def config() -> AquaModemConfig:
+    return AquaModemConfig()
+
+
+@pytest.fixture(scope="module")
+def transmitter(config) -> Transmitter:
+    return Transmitter(config=config)
+
+
+@pytest.fixture(scope="module")
+def receiver(config) -> Receiver:
+    return Receiver(config=config)
+
+
+class TestTransmitter:
+    def test_frame_length_includes_pilot(self, transmitter):
+        frame = transmitter.transmit_symbols(np.array([1, 2, 3]))
+        assert frame.samples.shape == ((3 + 1) * 224,)
+        assert frame.num_payload_symbols == 3
+
+    def test_no_pilot_mode(self, config):
+        tx = Transmitter(config=config, pilot_symbol=None)
+        frame = tx.transmit_symbols(np.array([1, 2]))
+        assert frame.samples.shape == (2 * 224,)
+        assert frame.pilot_symbol is None
+
+    def test_transmit_bits_packs_three_per_symbol(self, transmitter):
+        frame = transmitter.transmit_bits(random_bits(9, rng=0))
+        assert frame.num_payload_symbols == 3
+
+    def test_reference_waveform_matches_modulator(self, transmitter):
+        waveform = transmitter.reference_waveform()
+        assert waveform.shape == (112,)
+        np.testing.assert_array_equal(waveform, transmitter.modulator.waveforms[0])
+
+    def test_invalid_pilot(self, config):
+        with pytest.raises(ValueError):
+            Transmitter(config=config, pilot_symbol=8)
+
+
+class TestReceiverNoiseless:
+    def test_identity_channel_roundtrip(self, transmitter, receiver):
+        symbols = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        frame = transmitter.transmit_symbols(symbols)
+        output = receiver.receive(frame.samples)
+        np.testing.assert_array_equal(output.symbols, symbols)
+        assert output.channel_estimate is not None
+        # identity channel: a single dominant tap at delay 0
+        strongest = output.channel_estimate.path_indices[0]
+        assert strongest == 0
+
+    def test_bits_roundtrip(self, transmitter, receiver):
+        bits = random_bits(30, rng=1)
+        frame = transmitter.transmit_bits(bits)
+        output = receiver.receive(frame.samples)
+        np.testing.assert_array_equal(output.bits[: len(bits)], bits)
+
+    def test_known_multipath_roundtrip(self, transmitter, receiver):
+        symbols = np.array([3, 1, 4, 1, 5, 2, 6])
+        frame = transmitter.transmit_symbols(symbols)
+        channel = MultipathChannel(
+            delays=np.array([0, 7, 30]),
+            gains=np.array([1.0, 0.6 * np.exp(1j * 0.5), 0.35 * np.exp(-1j * 1.2)]),
+        )
+        received = apply_channel(frame.samples, channel)
+        output = receiver.receive(received)
+        np.testing.assert_array_equal(output.symbols, symbols)
+        # the receiver's channel estimate should find the true taps
+        est = output.channel_estimate
+        found = set(est.path_indices.tolist())
+        assert set(channel.delays.tolist()).issubset(found)
+
+    def test_short_stream_rejected(self, receiver):
+        with pytest.raises(ValueError):
+            receiver.receive(np.zeros(10, dtype=complex))
+
+
+class TestReceiverNoisy:
+    @pytest.mark.parametrize("snr_db", [10.0, 20.0])
+    def test_multipath_with_noise(self, transmitter, receiver, snr_db):
+        rng = np.random.default_rng(42)
+        symbols = rng.integers(0, 8, size=12)
+        frame = transmitter.transmit_symbols(symbols)
+        channel = random_sparse_channel(num_paths=3, max_delay=60, rng=7, min_separation=6)
+        received = apply_channel(frame.samples, channel)
+        received = add_noise_for_snr(received, snr_db, rng=8)
+        output = receiver.receive(received)
+        errors = int(np.count_nonzero(output.symbols != symbols))
+        assert errors <= 1  # at 10+ dB post-spreading SNR the link is essentially error free
+
+    def test_phase_rotated_channel(self, transmitter, receiver):
+        symbols = np.array([2, 5, 7, 0])
+        frame = transmitter.transmit_symbols(symbols)
+        channel = MultipathChannel(
+            delays=np.array([0]), gains=np.array([np.exp(1j * 2.3)])
+        )
+        received = apply_channel(frame.samples, channel)
+        output = receiver.receive(received)
+        np.testing.assert_array_equal(output.symbols, symbols)
+
+
+class TestReceiverConfiguration:
+    def test_custom_estimator_hook(self, config, transmitter):
+        calls = []
+
+        def spy_estimator(received, matrices, num_paths):
+            from repro.core.matching_pursuit import matching_pursuit
+
+            calls.append(received.shape)
+            return matching_pursuit(received, matrices, num_paths=num_paths)
+
+        receiver = Receiver(config=config, estimator=spy_estimator)
+        frame = transmitter.transmit_symbols(np.array([1, 2]))
+        receiver.receive(frame.samples)
+        assert calls == [(224,)]
+
+    def test_no_pilot_receiver_skips_estimation(self, config):
+        tx = Transmitter(config=config, pilot_symbol=None)
+        rx = Receiver(config=config, pilot_symbol=None)
+        symbols = np.array([4, 2, 6])
+        output = rx.receive(tx.transmit_symbols(symbols).samples)
+        np.testing.assert_array_equal(output.symbols, symbols)
+        assert output.channel_estimate is None
+
+    def test_estimate_channel_requires_pilot(self, config):
+        rx = Receiver(config=config, pilot_symbol=None)
+        with pytest.raises(ValueError):
+            rx.estimate_channel(np.zeros(224, dtype=complex))

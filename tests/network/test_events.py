@@ -1,0 +1,106 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.events import EventQueue, Scheduler
+
+
+class TestEventQueue:
+    def test_fifo_for_equal_times(self):
+        queue = EventQueue()
+        order = []
+        queue.push(1.0, lambda s, p: order.append(p), "first")
+        queue.push(1.0, lambda s, p: order.append(p), "second")
+        a = queue.pop()
+        b = queue.pop()
+        assert a.payload == "first" and b.payload == "second"
+
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda s, p: None, "late")
+        queue.push(1.0, lambda s, p: None, "early")
+        assert queue.pop().payload == "early"
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s, p: None, "cancel-me")
+        queue.push(2.0, lambda s, p: None, "keep")
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.pop().payload == "keep"
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda s, p: None)
+        queue.push(3.0, lambda s, p: None)
+        event.cancel()
+        assert queue.peek_time() == 3.0
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+        assert not queue
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, lambda s, p: None)
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = Scheduler()
+        times = []
+        scheduler.schedule_at(2.0, lambda s, p: times.append(s.now))
+        scheduler.schedule_at(1.0, lambda s, p: times.append(s.now))
+        scheduler.run()
+        assert times == [1.0, 2.0]
+        assert scheduler.events_processed == 2
+
+    def test_schedule_after_relative_delay(self):
+        scheduler = Scheduler()
+        seen = []
+
+        def chain(s: Scheduler, payload):
+            seen.append(s.now)
+            if len(seen) < 3:
+                s.schedule_after(10.0, chain)
+
+        scheduler.schedule_at(0.0, chain)
+        scheduler.run()
+        assert seen == [0.0, 10.0, 20.0]
+
+    def test_run_until_stops_and_advances_clock(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule_at(5.0, lambda s, p: fired.append(s.now))
+        scheduler.schedule_at(50.0, lambda s, p: fired.append(s.now))
+        scheduler.run(until=10.0)
+        assert fired == [5.0]
+        assert scheduler.now == 10.0
+        scheduler.run()
+        assert fired == [5.0, 50.0]
+
+    def test_max_events_cap(self):
+        scheduler = Scheduler()
+
+        def endless(s: Scheduler, payload):
+            s.schedule_after(1.0, endless)
+
+        scheduler.schedule_at(0.0, endless)
+        scheduler.run(max_events=25)
+        assert scheduler.events_processed == 25
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = Scheduler()
+        scheduler.schedule_at(1.0, lambda s, p: None)
+        scheduler.run()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(0.5, lambda s, p: None)
+
+    def test_run_until_with_no_events_advances_clock(self):
+        scheduler = Scheduler()
+        scheduler.run(until=7.0)
+        assert scheduler.now == 7.0

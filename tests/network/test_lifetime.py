@@ -1,0 +1,98 @@
+"""Unit tests for the analytical lifetime model (experiment E9 support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modem.energy_budget import ModemEnergyBudget
+from repro.network.lifetime import analytical_node_lifetime, lifetime_by_platform
+from repro.network.routing import shortest_path_routing
+from repro.network.topology import connectivity_graph, grid_deployment
+from repro.network.traffic import PeriodicTraffic
+
+
+@pytest.fixture(scope="module")
+def routing():
+    deployment = grid_deployment(3, 3, spacing_m=200.0)
+    graph = connectivity_graph(deployment, communication_range_m=250.0)
+    return shortest_path_routing(graph, deployment.sink_id)
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return PeriodicTraffic(report_interval_s=120.0, packet_symbols=16, jitter_fraction=0.0)
+
+
+class TestAnalyticalNodeLifetime:
+    def test_every_sensor_node_estimated(self, routing, traffic):
+        estimates = analytical_node_lifetime(
+            routing, ModemEnergyBudget(), traffic, battery_capacity_j=50_000.0
+        )
+        assert set(estimates) == {n for n in routing.next_hop if n != routing.sink_id}
+        assert all(e.lifetime_s > 0 for e in estimates.values())
+
+    def test_relay_nodes_die_first(self, routing, traffic):
+        estimates = analytical_node_lifetime(
+            routing, ModemEnergyBudget(), traffic, battery_capacity_j=50_000.0
+        )
+        bottleneck = min(estimates.values(), key=lambda e: e.lifetime_s)
+        leaf = estimates[8]  # far corner: forwards nothing
+        assert bottleneck.transmissions_per_interval > leaf.transmissions_per_interval
+        assert bottleneck.lifetime_s <= leaf.lifetime_s
+
+    def test_lifetime_scales_with_battery(self, routing, traffic):
+        small = analytical_node_lifetime(routing, ModemEnergyBudget(), traffic, 10_000.0)
+        large = analytical_node_lifetime(routing, ModemEnergyBudget(), traffic, 20_000.0)
+        for node in small:
+            assert large[node].lifetime_s == pytest.approx(2 * small[node].lifetime_s)
+
+    def test_mac_retransmissions_shorten_lifetime(self, routing, traffic):
+        clean = analytical_node_lifetime(routing, ModemEnergyBudget(), traffic, 50_000.0)
+        retry = analytical_node_lifetime(
+            routing, ModemEnergyBudget(), traffic, 50_000.0, mac_transmissions_per_packet=2.0
+        )
+        assert min(r.lifetime_s for r in retry.values()) < min(
+            c.lifetime_s for c in clean.values()
+        )
+
+    def test_validation(self, routing, traffic):
+        with pytest.raises(ValueError):
+            analytical_node_lifetime(routing, ModemEnergyBudget(), traffic, 0.0)
+
+
+class TestLifetimeByPlatform:
+    def test_fpga_platform_outlives_microblaze(self, routing, traffic):
+        lifetimes = lifetime_by_platform(
+            routing,
+            traffic,
+            battery_capacity_j=50_000.0,
+            platform_processing_energy_j={
+                "MicroBlaze": 2000.40e-6,
+                "Virtex-4 112FC 8bit": 9.50e-6,
+            },
+            platform_idle_power_w={
+                # continuous-detection listening power: one estimation per 22.4 ms
+                "MicroBlaze": 2000.40e-6 / 22.4e-3,
+                "Virtex-4 112FC 8bit": 9.50e-6 / 22.4e-3,
+            },
+        )
+        assert lifetimes["Virtex-4 112FC 8bit"] > lifetimes["MicroBlaze"]
+
+    def test_ordering_follows_processing_energy(self, routing, traffic):
+        platforms = {
+            "MicroBlaze": 2000.40e-6,
+            "DSP": 500.76e-6,
+            "FPGA serial": 360.52e-6,
+            "FPGA parallel": 9.50e-6,
+        }
+        idle = {k: v / 22.4e-3 for k, v in platforms.items()}
+        lifetimes = lifetime_by_platform(
+            routing, traffic, 50_000.0, platforms, platform_idle_power_w=idle
+        )
+        ordered = sorted(platforms, key=platforms.get)
+        values = [lifetimes[name] for name in ordered]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_platform_dict_rejected(self, routing, traffic):
+        with pytest.raises(ValueError):
+            lifetime_by_platform(routing, traffic, 1000.0, {})

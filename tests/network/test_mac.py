@@ -1,0 +1,79 @@
+"""Unit tests for the TDMA and slotted-ALOHA MAC models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.mac import SlottedAloha, TDMASchedule
+
+
+class TestTDMASchedule:
+    def test_frame_duration(self):
+        mac = TDMASchedule(num_nodes=10, slot_duration_s=0.8)
+        assert mac.frame_duration_s == pytest.approx(8.0)
+
+    def test_slot_start_times(self):
+        mac = TDMASchedule(num_nodes=4, slot_duration_s=1.0)
+        assert mac.slot_start(0) == 0.0
+        assert mac.slot_start(3) == 3.0
+        assert mac.slot_start(1, frame_index=2) == pytest.approx(9.0)
+
+    def test_no_collisions(self):
+        assert TDMASchedule(8, 1.0).expected_transmissions_per_packet() == 1.0
+
+    def test_wait_time(self):
+        mac = TDMASchedule(num_nodes=4, slot_duration_s=1.0)
+        assert mac.wait_time_s(2, ready_time_s=0.5) == pytest.approx(1.5)
+        # if the slot already passed this frame, wait for the next frame
+        assert mac.wait_time_s(0, ready_time_s=0.5) == pytest.approx(3.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TDMASchedule(0, 1.0)
+        with pytest.raises(ValueError):
+            TDMASchedule(4, 1.0).slot_start(4)
+
+
+class TestSlottedAloha:
+    def test_success_probability(self):
+        mac = SlottedAloha(offered_load=0.5)
+        assert mac.success_probability == pytest.approx(math.exp(-0.5))
+
+    def test_peak_throughput_at_load_one(self):
+        assert SlottedAloha(1.0).throughput == pytest.approx(1.0 / math.e)
+        assert SlottedAloha(0.2).throughput < SlottedAloha(1.0).throughput
+        assert SlottedAloha(4.0).throughput < SlottedAloha(1.0).throughput
+
+    def test_expected_transmissions_zero_load(self):
+        assert SlottedAloha(0.0).expected_transmissions_per_packet() == 1.0
+
+    def test_expected_transmissions_increase_with_load(self):
+        low = SlottedAloha(0.1).expected_transmissions_per_packet()
+        high = SlottedAloha(1.5).expected_transmissions_per_packet()
+        assert high > low > 1.0
+
+    def test_expected_transmissions_close_to_untruncated_for_small_load(self):
+        mac = SlottedAloha(0.3, max_attempts=50)
+        assert mac.expected_transmissions_per_packet() == pytest.approx(
+            1.0 / mac.success_probability, rel=1e-3
+        )
+
+    def test_delivery_probability(self):
+        mac = SlottedAloha(1.0, max_attempts=1)
+        assert mac.delivery_probability() == pytest.approx(math.exp(-1.0))
+        assert SlottedAloha(1.0, max_attempts=20).delivery_probability() > 0.99
+
+    @given(load=st.floats(min_value=0.0, max_value=5.0))
+    def test_expected_attempts_bounded_by_cap_property(self, load):
+        mac = SlottedAloha(load, max_attempts=10)
+        expected = mac.expected_transmissions_per_packet()
+        assert 1.0 <= expected <= 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlottedAloha(-0.1)
+        with pytest.raises(ValueError):
+            SlottedAloha(0.5, max_attempts=0)

@@ -1,0 +1,110 @@
+"""Unit tests for batteries and sensor nodes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modem.energy_budget import ModemEnergyBudget
+from repro.network.node import Battery, SensorNode
+
+
+@pytest.fixture()
+def budget() -> ModemEnergyBudget:
+    return ModemEnergyBudget(
+        transmit_power_w=2.0,
+        receive_frontend_power_w=0.05,
+        processing_energy_per_estimation_j=10e-6,
+        processing_idle_power_w=0.01,
+    )
+
+
+def make_node(budget, capacity=100.0, node_id=1, is_sink=False) -> SensorNode:
+    return SensorNode(
+        node_id=node_id,
+        position=(0.0, 0.0),
+        battery=Battery(capacity),
+        energy_budget=budget,
+        is_sink=is_sink,
+    )
+
+
+class TestBattery:
+    def test_draw_and_state_of_charge(self):
+        battery = Battery(10.0)
+        assert battery.draw(4.0) == 4.0
+        assert battery.remaining_j == pytest.approx(6.0)
+        assert battery.state_of_charge == pytest.approx(0.6)
+        assert not battery.is_empty
+
+    def test_draw_clips_at_empty(self):
+        battery = Battery(1.0)
+        assert battery.draw(5.0) == 1.0
+        assert battery.is_empty
+        assert battery.draw(1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+        with pytest.raises(ValueError):
+            Battery(1.0).draw(-1.0)
+
+
+class TestSensorNodeAccounting:
+    def test_transmit_draws_battery_and_attributes(self, budget):
+        node = make_node(budget)
+        node.account_transmit(num_symbols=10)
+        expected = budget.transmit_energy_j(10)
+        assert node.report.transmit_j == pytest.approx(expected)
+        assert node.battery.remaining_j == pytest.approx(100.0 - expected)
+        assert node.packets_sent == 1
+
+    def test_receive_attributes_frontend_and_processing(self, budget):
+        node = make_node(budget)
+        node.account_receive(num_symbols=10, forwarded=True)
+        breakdown = budget.receive_energy_j(10)
+        assert node.report.receive_frontend_j == pytest.approx(breakdown.receive_frontend_j)
+        assert node.report.processing_j == pytest.approx(breakdown.processing_j)
+        assert node.packets_received == 1
+        assert node.packets_forwarded == 1
+
+    def test_idle_accounting(self, budget):
+        node = make_node(budget)
+        node.account_idle(100.0)
+        assert node.report.idle_j == pytest.approx(100.0 * budget.idle_power_w())
+
+    def test_advance_time_accrues_idle(self, budget):
+        node = make_node(budget)
+        node.advance_time(50.0)
+        node.advance_time(75.0)
+        assert node.report.idle_j == pytest.approx(75.0 * budget.idle_power_w())
+        with pytest.raises(ValueError):
+            node.advance_time(10.0)
+
+    def test_death_when_battery_empty(self, budget):
+        node = make_node(budget, capacity=0.5)
+        assert node.is_alive
+        node.account_transmit(num_symbols=32)  # costs ~1.4 J > 0.5 J
+        assert not node.is_alive
+
+    def test_sink_never_dies(self, budget):
+        sink = make_node(budget, capacity=0.5, node_id=0, is_sink=True)
+        sink.account_transmit(num_symbols=32)
+        sink.account_transmit(num_symbols=32)
+        assert sink.is_alive
+        # but its energy is still attributed
+        assert sink.report.transmit_j > 0.0
+
+    def test_report_total_and_fraction(self, budget):
+        node = make_node(budget)
+        node.account_transmit(10)
+        node.account_receive(10)
+        node.account_idle(10.0)
+        report = node.report
+        assert report.total_j == pytest.approx(
+            report.transmit_j + report.receive_frontend_j + report.processing_j + report.idle_j
+        )
+        assert 0.0 < report.fraction("transmit") < 1.0
+        fractions = sum(
+            report.fraction(c) for c in ("transmit", "receive_frontend", "processing", "idle")
+        )
+        assert fractions == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Unit and integration tests for the network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modem.energy_budget import ModemEnergyBudget
+from repro.network.mac import SlottedAloha, TDMASchedule
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import grid_deployment
+from repro.network.traffic import PeriodicTraffic
+
+
+def make_simulator(
+    battery_capacity_j: float = 5_000.0,
+    processing_energy_j: float = 9.5e-6,
+    mac=None,
+    grid=(3, 3),
+    report_interval_s: float = 60.0,
+) -> NetworkSimulator:
+    return NetworkSimulator(
+        deployment=grid_deployment(*grid, spacing_m=200.0),
+        energy_budget=ModemEnergyBudget(
+            transmit_power_w=2.0,
+            receive_frontend_power_w=0.05,
+            processing_energy_per_estimation_j=processing_energy_j,
+            processing_idle_power_w=0.01,
+        ),
+        traffic=PeriodicTraffic(report_interval_s=report_interval_s, packet_symbols=16,
+                                jitter_fraction=0.0),
+        communication_range_m=250.0,
+        battery_capacity_j=battery_capacity_j,
+        mac=mac,
+        rng=0,
+    )
+
+
+class TestNetworkSimulator:
+    def test_short_run_collects_packets(self):
+        simulator = make_simulator()
+        result = simulator.run(max_time_s=600.0, stop_at_first_death=False)
+        assert result.packets_generated > 0
+        assert result.packets_delivered > 0
+        assert result.delivery_ratio == pytest.approx(1.0)
+        assert result.first_death_time_s is None
+        assert all(result.node_alive.values())
+
+    def test_energy_attributed_to_components(self):
+        simulator = make_simulator()
+        result = simulator.run(max_time_s=600.0, stop_at_first_death=False)
+        totals = result.total_energy_by_component()
+        assert totals["transmit_j"] > 0.0
+        assert totals["receive_frontend_j"] > 0.0
+        assert totals["processing_j"] > 0.0
+        assert totals["idle_j"] > 0.0
+
+    def test_nodes_near_sink_forward_more(self):
+        simulator = make_simulator()
+        result = simulator.run(max_time_s=1200.0, stop_at_first_death=False)
+        # node 1 is adjacent to the corner sink on the 3x3 grid and relays traffic,
+        # node 8 is the far corner and only sends its own reports
+        relay = result.node_reports[1]
+        leaf = result.node_reports[8]
+        assert relay.transmit_j > leaf.transmit_j
+        assert relay.receive_frontend_j > leaf.receive_frontend_j
+
+    def test_small_battery_leads_to_death(self):
+        simulator = make_simulator(battery_capacity_j=40.0, report_interval_s=30.0)
+        result = simulator.run(max_time_s=10 * 86_400.0, stop_at_first_death=True)
+        assert result.first_death_time_s is not None
+        assert result.lifetime_days is not None
+        assert result.lifetime_days < 10.0
+        assert not all(result.node_alive.values())
+
+    def test_higher_processing_energy_shortens_lifetime(self):
+        cheap = make_simulator(battery_capacity_j=100.0, processing_energy_j=9.5e-6,
+                               report_interval_s=20.0)
+        expensive = make_simulator(battery_capacity_j=100.0, processing_energy_j=2000.4e-6,
+                                   report_interval_s=20.0)
+        lifetime_cheap = cheap.run(max_time_s=5 * 86_400.0).first_death_time_s
+        lifetime_expensive = expensive.run(max_time_s=5 * 86_400.0).first_death_time_s
+        assert lifetime_cheap is not None and lifetime_expensive is not None
+        assert lifetime_expensive <= lifetime_cheap
+
+    def test_aloha_mac_consumes_more_energy_than_tdma(self):
+        tdma = make_simulator(mac=TDMASchedule(num_nodes=8, slot_duration_s=1.0))
+        aloha = make_simulator(mac=SlottedAloha(offered_load=1.0))
+        tdma_result = tdma.run(max_time_s=600.0, stop_at_first_death=False)
+        aloha_result = aloha.run(max_time_s=600.0, stop_at_first_death=False)
+        assert (
+            aloha_result.total_energy_by_component()["transmit_j"]
+            > tdma_result.total_energy_by_component()["transmit_j"]
+        )
+
+    def test_sink_is_never_counted_dead(self):
+        simulator = make_simulator(battery_capacity_j=20.0, report_interval_s=30.0)
+        result = simulator.run(max_time_s=5 * 86_400.0, stop_at_first_death=False)
+        assert result.node_alive[simulator.deployment.sink_id]
+
+    def test_only_staggered_first_reports_within_short_horizon(self):
+        # reports are staggered over the interval; within 5 s only the first
+        # node's initial report (offset 0) fires
+        simulator = make_simulator(report_interval_s=10_000.0)
+        result = simulator.run(max_time_s=5.0, stop_at_first_death=False)
+        assert result.packets_generated == 1
+        assert result.delivery_ratio == 1.0
+
+    def test_delivery_ratio_zero_when_no_packets(self):
+        from repro.network.simulator import NetworkSimulationResult
+
+        empty = NetworkSimulationResult(
+            first_death_time_s=None, simulated_time_s=1.0,
+            packets_generated=0, packets_delivered=0,
+            node_reports={}, node_alive={},
+        )
+        assert empty.delivery_ratio == 0.0
+        assert empty.lifetime_days is None

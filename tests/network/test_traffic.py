@@ -1,0 +1,37 @@
+"""Unit tests for the periodic traffic model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.traffic import PeriodicTraffic
+
+
+class TestPeriodicTraffic:
+    def test_reports_per_day(self):
+        assert PeriodicTraffic(report_interval_s=300.0).reports_per_day() == pytest.approx(288.0)
+
+    def test_first_offset_staggers_nodes(self):
+        traffic = PeriodicTraffic(report_interval_s=100.0)
+        offsets = [traffic.first_offset(i, 4) for i in range(4)]
+        assert offsets == [0.0, 25.0, 50.0, 75.0]
+
+    def test_next_interval_without_jitter(self):
+        traffic = PeriodicTraffic(report_interval_s=60.0, jitter_fraction=0.0)
+        assert traffic.next_interval() == 60.0
+
+    def test_next_interval_with_jitter_bounded(self):
+        traffic = PeriodicTraffic(report_interval_s=60.0, jitter_fraction=0.2)
+        rng = np.random.default_rng(0)
+        intervals = [traffic.next_interval(rng) for _ in range(200)]
+        assert all(48.0 <= value <= 72.0 for value in intervals)
+        assert np.mean(intervals) == pytest.approx(60.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicTraffic(report_interval_s=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTraffic(packet_symbols=0)
+        with pytest.raises(ValueError):
+            PeriodicTraffic(jitter_fraction=1.0)

@@ -1,0 +1,56 @@
+"""Unit tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_returns_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_rng(42).random(5)
+        b = as_rng(42).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_existing_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        gen = as_rng(ss)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_and_types(self):
+        rngs = spawn_rngs(0, 4)
+        assert len(rngs) == 4
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+    def test_streams_differ(self):
+        rngs = spawn_rngs(0, 3)
+        draws = [r.random(8).tolist() for r in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_reproducible_across_calls(self):
+        a = [r.random(4).tolist() for r in spawn_rngs(5, 3)]
+        b = [r.random(4).tolist() for r in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_generator_seed_supported(self):
+        gen = np.random.default_rng(1)
+        rngs = spawn_rngs(gen, 2)
+        assert len(rngs) == 2

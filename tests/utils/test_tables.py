@@ -1,0 +1,57 @@
+"""Unit tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import AsciiTable, format_table
+
+
+class TestAsciiTable:
+    def test_renders_headers_and_rows(self):
+        table = AsciiTable(headers=["a", "b"], title="T")
+        table.add_row(1, 2.5)
+        table.add_row("x", True)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "-+-" in lines[2]
+        assert "x" in text and "yes" in text
+
+    def test_row_length_mismatch_raises(self):
+        table = AsciiTable(headers=["a", "b"])
+        with pytest.raises(ValueError, match="expected 2 values"):
+            table.add_row(1)
+
+    def test_columns_are_aligned(self):
+        table = AsciiTable(headers=["name", "v"])
+        table.add_row("short", 1)
+        table.add_row("a-much-longer-name", 2)
+        lines = table.render().splitlines()
+        # all data/header lines have the same separator position
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_float_format_applied(self):
+        table = AsciiTable(headers=["v"], float_format=".2f")
+        table.add_row(3.14159)
+        assert "3.14" in table.render()
+        assert "3.14159" not in table.render()
+
+    def test_add_rows_bulk(self):
+        table = AsciiTable(headers=["a", "b"])
+        table.add_rows([(1, 2), (3, 4)])
+        assert len(table.rows) == 2
+
+    def test_no_title_renders_without_blank_line(self):
+        table = AsciiTable(headers=["a"])
+        table.add_row(1)
+        assert not table.render().startswith("\n")
+
+
+class TestFormatTable:
+    def test_one_shot(self):
+        text = format_table(["x", "y"], [(1, 2), (3, 4)], title="points")
+        assert text.startswith("points")
+        assert "3" in text and "4" in text

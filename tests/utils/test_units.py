@@ -1,0 +1,83 @@
+"""Unit tests for repro.utils.units."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import units
+
+
+class TestDbConversions:
+    def test_amplitude_roundtrip(self):
+        assert units.db_to_linear(20.0) == pytest.approx(10.0)
+        assert units.linear_to_db(10.0) == pytest.approx(20.0)
+
+    def test_power_roundtrip(self):
+        assert units.db_to_power_ratio(10.0) == pytest.approx(10.0)
+        assert units.power_ratio_to_db(100.0) == pytest.approx(20.0)
+
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+        assert units.db_to_power_ratio(0.0) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_ratios(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            units.power_ratio_to_db(-1.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_power_db_roundtrip_property(self, db):
+        assert units.power_ratio_to_db(units.db_to_power_ratio(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    def test_amplitude_db_roundtrip_property(self, db):
+        assert units.linear_to_db(units.db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+
+class TestScaleConversions:
+    def test_energy(self):
+        assert units.joules_to_microjoules(1e-6) == pytest.approx(1.0)
+        assert units.microjoules_to_joules(9.5) == pytest.approx(9.5e-6)
+
+    def test_time(self):
+        assert units.seconds_to_microseconds(3.95e-6) == pytest.approx(3.95)
+        assert units.microseconds_to_seconds(442.8) == pytest.approx(442.8e-6)
+        assert units.seconds_to_milliseconds(0.0224) == pytest.approx(22.4)
+        assert units.milliseconds_to_seconds(11.2) == pytest.approx(0.0112)
+
+    def test_power(self):
+        assert units.watts_to_milliwatts(0.335) == pytest.approx(335.0)
+        assert units.milliwatts_to_watts(50.0) == pytest.approx(0.05)
+
+    def test_frequency(self):
+        assert units.hz_to_mhz(62.75e6) == pytest.approx(62.75)
+        assert units.mhz_to_hz(225.0) == pytest.approx(225e6)
+        assert units.hz_to_khz(24_000.0) == pytest.approx(24.0)
+        assert units.khz_to_hz(5.0) == pytest.approx(5000.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_roundtrips_property(self, value):
+        assert units.microjoules_to_joules(units.joules_to_microjoules(value)) == pytest.approx(value)
+        assert units.microseconds_to_seconds(units.seconds_to_microseconds(value)) == pytest.approx(value)
+        assert units.mhz_to_hz(units.hz_to_mhz(value)) == pytest.approx(value)
+
+
+class TestFormatSi:
+    def test_typical_paper_quantities(self):
+        assert units.format_si(3.95e-6, "s") == "3.95 us"
+        assert units.format_si(9.5e-6, "J") == "9.5 uJ"
+        assert units.format_si(62.75e6, "Hz") == "62.8 MHz"
+
+    def test_zero_and_nonfinite(self):
+        assert units.format_si(0.0, "W") == "0 W"
+        assert "inf" in units.format_si(math.inf, "W")
+
+    def test_small_values_use_pico(self):
+        assert units.format_si(2.3e-12, "F").endswith("pF")
+
+    def test_negative_values_keep_sign(self):
+        assert units.format_si(-11.2e-3, "s").startswith("-11.2")
