@@ -1,0 +1,74 @@
+"""Sweep-engine throughput baseline: trials/sec, serial vs worker pool.
+
+Two measurements establish the engine's perf envelope:
+
+* **dispatch overhead** — a sweep over the analytic ``platform-energy``
+  scenario, whose trials are microseconds of work, so the measured
+  trials/sec is essentially the engine's own bookkeeping cost;
+* **parallel speedup** — a compute-bound ``modem-ser-vs-snr`` sweep (the
+  heaviest built-in trials: full transmit/channel/receive chains) run
+  serially and on a 4-worker pool over identical trials, printing the
+  speedup and asserting the two runs produce identical records (the
+  engine's core determinism guarantee under load).
+
+The speedup number is hardware-dependent (a single-core container can at
+best reach parity); the records-equality assertion is not.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments import get_scenario, run_sweep
+from repro.utils.tables import format_table
+
+JOBS = min(4, os.cpu_count() or 1) if (os.cpu_count() or 1) > 1 else 2
+
+
+def _link_spec():
+    return (
+        get_scenario("modem-ser-vs-snr").spec
+        .with_base(num_symbols=96, num_frames=4)
+        .with_seed(replicates=4)
+    )
+
+
+def test_bench_sweep_dispatch_overhead(benchmark):
+    spec = get_scenario("platform-energy").spec
+    result = benchmark(lambda: run_sweep(spec, jobs=1))
+    assert result.stats.num_trials == 5
+    print()
+    print(f"engine dispatch: {result.stats.trials_per_second:,.0f} trials/s "
+          f"on trivial (analytic) trials")
+
+
+def test_bench_sweep_serial_vs_parallel(benchmark):
+    spec = _link_spec()
+
+    started = time.perf_counter()
+    serial = run_sweep(spec, jobs=1)
+    serial_s = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(spec, jobs=JOBS), iterations=1, rounds=3
+    )
+    parallel_s = parallel.stats.elapsed_s
+
+    print()
+    print(
+        format_table(
+            ["Mode", "Trials", "Elapsed (s)", "Trials/s"],
+            [
+                ("serial", serial.stats.num_trials, serial_s,
+                 serial.stats.num_trials / serial_s),
+                (f"--jobs {JOBS}", parallel.stats.num_trials, parallel_s,
+                 parallel.stats.num_trials / parallel_s),
+            ],
+            title=f"Sweep engine throughput (speedup {serial_s / parallel_s:.2f}x)",
+        )
+    )
+
+    # identical records regardless of execution mode — the engine's core guarantee
+    assert parallel.records == serial.records
+    assert parallel.stats.jobs == JOBS

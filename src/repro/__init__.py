@@ -42,6 +42,16 @@ from repro.core.matching_pursuit import (
     matching_pursuit_naive,
 )
 from repro.dsp.signal_matrix import SignalMatrices, build_signal_matrices
+from repro.experiments import (
+    ResultCache,
+    ResultStore,
+    Scenario,
+    SeedPolicy,
+    SweepSpec,
+    get_scenario,
+    list_scenarios,
+    run_sweep,
+)
 from repro.hardware.comparison import compare_platforms
 from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55, get_device
 from repro.hardware.fpga import FPGAImplementation
@@ -81,6 +91,15 @@ __all__ = [
     "ti_c6713",
     "microblaze_soft_core",
     "compare_platforms",
+    # experiment orchestration
+    "SweepSpec",
+    "SeedPolicy",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "run_sweep",
+    "ResultCache",
+    "ResultStore",
     # modem / network
     "Transmitter",
     "Receiver",

@@ -17,23 +17,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.channel.multipath import random_sparse_channel
-from repro.channel.simulator import add_noise_for_snr
 from repro.core.dse import DesignSpaceExplorer, DesignPointEvaluation, divisors
-from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
-from repro.core.matching_pursuit import matching_pursuit
-from repro.core.metrics import normalized_channel_error, support_recovery_rate
-from repro.dsp.signal_matrix import SignalMatrices, build_signal_matrices
-from repro.dsp.spreading import composite_waveform_set
-from repro.dsp.sampling import upsample_chips
+from repro.dsp.signal_matrix import SignalMatrices, composite_signal_matrices
+from repro.experiments.cache import ResultCache
+from repro.experiments.registry import (
+    TABLE3_PLATFORM_ENERGIES_UJ,
+    config_params,
+    get_scenario,
+)
+from repro.experiments.runner import run_sweep
 from repro.hardware.devices import FPGADevice, SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
 from repro.modem.config import AquaModemConfig
-from repro.modem.energy_budget import ModemEnergyBudget
 from repro.modem.link import LinkResult, symbol_error_rate_curve
-from repro.network.lifetime import lifetime_by_platform
-from repro.network.routing import shortest_path_routing
-from repro.network.topology import connectivity_graph, grid_deployment
-from repro.network.traffic import PeriodicTraffic
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_integer
 
@@ -50,9 +45,9 @@ __all__ = [
 def aquamodem_signal_matrices(config: AquaModemConfig | None = None) -> SignalMatrices:
     """The S/A/a matrices for the AquaModem pilot waveform (224 x 112 geometry)."""
     config = config if config is not None else AquaModemConfig()
-    chips = composite_waveform_set(config.walsh_symbols, config.spreading_chips)[0]
-    waveform = upsample_chips(chips, config.samples_per_chip).astype(np.float64)
-    return build_signal_matrices(waveform)
+    return composite_signal_matrices(
+        config.walsh_symbols, config.spreading_chips, config.samples_per_chip
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -68,6 +63,15 @@ class BitwidthAccuracyResult:
     mean_error_vs_float: float
 
 
+def _as_base_seed(rng: np.random.Generator | int | None) -> int:
+    """Collapse the legacy ``rng`` argument into a deterministic base seed."""
+    if rng is None:
+        return int(as_rng(None).integers(0, 2**63 - 1))
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63 - 1))
+    return int(rng)
+
+
 def bitwidth_accuracy_ablation(
     word_lengths: tuple[int, ...] = (4, 6, 8, 10, 12, 16),
     num_trials: int = 20,
@@ -75,6 +79,8 @@ def bitwidth_accuracy_ablation(
     snr_db: float = 20.0,
     rng: np.random.Generator | int | None = 0,
     config: AquaModemConfig | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[BitwidthAccuracyResult]:
     """Channel-estimation accuracy of the fixed-point MP over word lengths.
 
@@ -83,49 +89,33 @@ def bitwidth_accuracy_ablation(
     and the fixed-point MP estimate the channel.  Reported per word length:
     the normalised error against the true channel, the support recovery rate,
     and the deviation of the fixed-point estimate from the float estimate.
+
+    Runs on the ``fixedpoint-bitwidth`` scenario of the experiment engine:
+    seeds are paired across word lengths (every word length sees the same
+    channels), and ``jobs``/``cache`` enable parallel and resumable runs.
     """
     check_integer("num_trials", num_trials, minimum=1)
     config = config if config is not None else AquaModemConfig()
-    rng = as_rng(rng)
-    matrices = aquamodem_signal_matrices(config)
-    estimators = {
-        bits: FixedPointMatchingPursuit(matrices, word_length=bits, num_paths=config.num_paths)
-        for bits in word_lengths
-    }
-
-    errors: dict[int, list[float]] = {bits: [] for bits in word_lengths}
-    supports: dict[int, list[float]] = {bits: [] for bits in word_lengths}
-    vs_float: dict[int, list[float]] = {bits: [] for bits in word_lengths}
-
-    for _ in range(num_trials):
-        channel = random_sparse_channel(
-            num_paths=num_channel_paths,
-            max_delay=config.multipath_spread_samples,
-            rng=rng,
-            min_separation=4,
+    spec = (
+        get_scenario("fixedpoint-bitwidth").spec
+        .with_axis("word_length", tuple(int(bits) for bits in word_lengths))
+        .with_base(
+            snr_db=float(snr_db),
+            num_channel_paths=int(num_channel_paths),
+            **config_params(config),
         )
-        true_f = channel.coefficient_vector(matrices.num_delays)
-        clean = matrices.synthesize(true_f)
-        received = add_noise_for_snr(clean, snr_db, rng=rng)
-        reference = matching_pursuit(received, matrices, num_paths=config.num_paths)
-        for bits in word_lengths:
-            estimate = estimators[bits].estimate(received)
-            errors[bits].append(normalized_channel_error(true_f, estimate.coefficients))
-            supports[bits].append(
-                support_recovery_rate(channel.delays, estimate.path_indices, tolerance=1)
-            )
-            vs_float[bits].append(
-                normalized_channel_error(reference.coefficients, estimate.coefficients)
-                if np.linalg.norm(reference.coefficients) > 0
-                else 0.0
-            )
-
+        .with_seed(base_seed=_as_base_seed(rng), replicates=num_trials)
+    )
+    result = run_sweep(spec, jobs=jobs, cache=cache)
+    errors = result.group_mean(by="word_length", metric="normalized_error")
+    supports = result.group_mean(by="word_length", metric="support_recovery")
+    vs_float = result.group_mean(by="word_length", metric="error_vs_float")
     return [
         BitwidthAccuracyResult(
             word_length=bits,
-            mean_normalized_error=float(np.mean(errors[bits])),
-            mean_support_recovery=float(np.mean(supports[bits])),
-            mean_error_vs_float=float(np.mean(vs_float[bits])),
+            mean_normalized_error=errors[bits],
+            mean_support_recovery=supports[bits],
+            mean_error_vs_float=vs_float[bits],
         )
         for bits in word_lengths
     ]
@@ -190,11 +180,16 @@ def network_lifetime_study(
     platform_energies_uj: dict[str, float] | None = None,
     continuous_detection: bool = True,
     config: AquaModemConfig | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
 ) -> dict[str, float]:
     """Deployment lifetime (days) for each candidate processing platform.
 
     ``platform_energies_uj`` defaults to the Table 3 energies (MicroBlaze,
-    DSP, serial and parallel FPGA points).
+    DSP, serial and parallel FPGA points).  Runs on the ``network-lifetime``
+    scenario of the experiment engine — platform label and energy travel as
+    zipped axes, the full ``config`` travels as flat base parameters — so
+    ``jobs``/``cache`` enable parallel and resumable runs.
 
     With ``continuous_detection`` (the realistic receive mode for an
     always-listening node) the processing platform runs one channel
@@ -206,34 +201,25 @@ def network_lifetime_study(
     estimations happen only while a packet is being received.
     """
     if platform_energies_uj is None:
-        platform_energies_uj = {
-            "MicroBlaze": 2000.40,
-            "TI C6713 DSP": 500.76,
-            "Virtex-4 1FC 16bit": 360.52,
-            "Spartan-3 14FC 8bit": 25.82,
-            "Virtex-4 112FC 8bit": 9.50,
-        }
+        platform_energies_uj = dict(TABLE3_PLATFORM_ENERGIES_UJ)
     config = config if config is not None else AquaModemConfig()
-    deployment = grid_deployment(*grid_size, spacing_m=spacing_m)
-    graph = connectivity_graph(deployment, communication_range_m)
-    routing = shortest_path_routing(graph, deployment.sink_id)
-    traffic = PeriodicTraffic(report_interval_s=report_interval_s, packet_symbols=packet_symbols)
-    base_budget = ModemEnergyBudget(config=config)
-    platform_idle_power_w: dict[str, float] | None = None
-    if continuous_detection:
-        platform_idle_power_w = {
-            label: base_budget.processing_idle_power_w
-            + (energy_uj * 1e-6) / config.total_symbol_period_s
-            for label, energy_uj in platform_energies_uj.items()
-        }
-    lifetimes_s = lifetime_by_platform(
-        routing=routing,
-        traffic=traffic,
-        battery_capacity_j=battery_capacity_j,
-        platform_processing_energy_j={
-            label: energy_uj * 1e-6 for label, energy_uj in platform_energies_uj.items()
-        },
-        platform_idle_power_w=platform_idle_power_w,
-        base_budget=base_budget,
+    spec = (
+        get_scenario("network-lifetime").spec
+        .with_axis("report_interval_s", (float(report_interval_s),))
+        .with_zipped({
+            "platform": tuple(platform_energies_uj),
+            "energy_uj": tuple(float(e) for e in platform_energies_uj.values()),
+        })
+        .with_base(
+            grid_rows=int(grid_size[0]),
+            grid_cols=int(grid_size[1]),
+            spacing_m=float(spacing_m),
+            communication_range_m=float(communication_range_m),
+            battery_capacity_j=float(battery_capacity_j),
+            packet_symbols=int(packet_symbols),
+            continuous_detection=bool(continuous_detection),
+            **config_params(config),
+        )
     )
-    return {label: seconds / 86_400.0 for label, seconds in lifetimes_s.items()}
+    result = run_sweep(spec, jobs=jobs, cache=cache)
+    return {record["platform"]: record["lifetime_days"] for record in result.records}

@@ -10,14 +10,19 @@ Usage (after ``pip install -e .``)::
     python -m repro bitwidth        # E6 ablation — accuracy vs word length
     python -m repro lifetime        # E9 extension — network lifetime by platform
     python -m repro estimate        # run one MP estimation on a random channel
+    python -m repro scenarios       # list the sweepable experiment scenarios
+    python -m repro sweep <name>    # run a scenario sweep (parallel + cached)
 
 Every command prints plain text to stdout; ``--num-paths`` changes the MP
-workload (Nf) where applicable.
+workload (Nf) where applicable.  ``sweep`` accepts ``--set axis=v1,v2,...``
+to override any parameter axis, ``--jobs N`` for a worker pool, and writes
+tidy JSONL/CSV results plus a manifest to ``--output``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -67,12 +72,37 @@ def build_parser() -> argparse.ArgumentParser:
     bitwidth = subparsers.add_parser("bitwidth", help="fixed-point accuracy ablation (E6)")
     bitwidth.add_argument("--trials", type=int, default=12, help="Monte-Carlo trials per word length")
     bitwidth.add_argument("--snr-db", type=float, default=25.0, help="per-sample SNR")
+    bitwidth.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
 
     lifetime = subparsers.add_parser("lifetime", help="network lifetime by platform (E9)")
     lifetime.add_argument("--grid", type=int, default=5, help="grid side length (grid x grid nodes)")
     lifetime.add_argument("--battery-kj", type=float, default=200.0, help="battery capacity in kJ")
     lifetime.add_argument("--report-interval-s", type=float, default=120.0,
                           help="sensing report interval per node")
+    lifetime.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
+
+    subparsers.add_parser(
+        "scenarios", help="list the sweepable experiment scenarios and their axes"
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative scenario sweep (parallel execution + result cache)"
+    )
+    sweep.add_argument("scenario", help="scenario name (see 'repro scenarios')")
+    sweep.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="AXIS=V1,V2,...",
+        help="override a parameter axis (repeatable); one value pins it, several sweep "
+        "it; on a zipped axis the values select rows (pairing kept)",
+    )
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes (default: serial)")
+    sweep.add_argument("--replicates", type=int, default=None,
+                       help="override the scenario's replicate count")
+    sweep.add_argument("--seed", type=int, default=None, help="override the base seed")
+    sweep.add_argument("--cache-dir", default=".repro_cache",
+                       help="result cache directory (default: .repro_cache)")
+    sweep.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    sweep.add_argument("--output", default=None,
+                       help="results directory (default: results/sweeps/<scenario>)")
 
     estimate = subparsers.add_parser("estimate", help="run one MP channel estimation")
     estimate.add_argument("--seed", type=int, default=0, help="channel / noise seed")
@@ -117,6 +147,7 @@ def _run_bitwidth(args: argparse.Namespace) -> str:
         num_trials=args.trials,
         snr_db=args.snr_db,
         rng=0,
+        jobs=args.jobs,
     )
     return format_table(
         ["Bits", "Error vs truth", "Support recovery", "Error vs float"],
@@ -133,12 +164,111 @@ def _run_lifetime(args: argparse.Namespace) -> str:
         grid_size=(args.grid, args.grid),
         battery_capacity_j=args.battery_kj * 1e3,
         report_interval_s=args.report_interval_s,
+        jobs=args.jobs,
     )
     return format_table(
         ["Platform", "Deployment lifetime (days)"],
         sorted(lifetimes.items(), key=lambda kv: kv[1]),
         title=f"{args.grid * args.grid}-node deployment lifetime by platform",
     )
+
+
+def _parse_axis_value(token: str) -> int | float | str | bool:
+    """Parse one ``--set`` value: int, then float, then bool, then string."""
+    for parser in (int, float):
+        try:
+            return parser(token)
+        except ValueError:
+            pass
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def _parse_set_option(option: str) -> tuple[str, tuple]:
+    """Split one ``--set axis=v1,v2,...`` option into (axis, values)."""
+    name, separator, values = option.partition("=")
+    if not separator or not name or not values:
+        raise ValueError(f"--set expects AXIS=V1,V2,..., got {option!r}")
+    return name, tuple(_parse_axis_value(token) for token in values.split(","))
+
+
+def _run_scenarios(args: argparse.Namespace) -> str:
+    from repro.experiments import list_scenarios
+
+    rows = []
+    for scenario in list_scenarios():
+        spec = scenario.spec
+        axes = ", ".join(
+            f"{name}[{len(values)}]"
+            for name, values in {**spec.grid, **spec.zipped}.items()
+        )
+        rows.append((scenario.name, "/".join(scenario.layers), spec.num_trials, axes,
+                     scenario.description))
+    return format_table(
+        ["Scenario", "Layers", "Trials", "Axes", "Description"],
+        rows,
+        title="Sweepable experiment scenarios (run with 'repro sweep <name>')",
+    )
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments import ResultCache, ResultStore, get_scenario, run_sweep
+    from repro.experiments.store import tidy_headers
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
+
+    spec = scenario.spec
+    try:
+        for option in args.overrides:
+            name, values = _parse_set_option(option)
+            known = set(spec.grid) | set(spec.zipped) | set(spec.base)
+            if name not in known:
+                raise ValueError(
+                    f"unknown axis {name!r} for scenario {scenario.name!r}; "
+                    f"known parameters: {', '.join(sorted(known))}"
+                )
+            if name in spec.zipped:
+                # zipped axes are paired data: select rows, keep the pairing
+                spec = spec.select_zipped(name, values)
+            else:
+                spec = spec.with_axis(name, values)
+        if args.seed is not None or args.replicates is not None:
+            spec = spec.with_seed(base_seed=args.seed, replicates=args.replicates)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    result = run_sweep(spec, jobs=args.jobs, cache=cache)
+    stats = result.stats
+
+    output_dir = args.output if args.output else f"results/sweeps/{scenario.name}"
+    written = ResultStore(output_dir).write(
+        result.records, spec=spec.to_dict(), stats=stats.to_dict()
+    )
+
+    headers = tidy_headers(result.records)
+    preview_limit = 12
+    preview = format_table(
+        headers,
+        [[record.get(column, "") for column in headers]
+         for record in result.records[:preview_limit]],
+        title=f"{scenario.name} — first {min(preview_limit, len(result.records))} "
+        f"of {len(result.records)} records",
+    )
+    lines = [
+        preview,
+        "",
+        f"trials: {stats.num_trials}  executed: {stats.executed}  "
+        f"cache hits: {stats.cache_hits} ({stats.cache_hit_rate:.0%})  "
+        f"jobs: {stats.jobs}  elapsed: {stats.elapsed_s:.2f}s  "
+        f"({stats.trials_per_second:.1f} trials/s)",
+    ]
+    lines.extend(f"{name}: {path}" for name, path in sorted(written.items()))
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -162,6 +292,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_lifetime(args)
     elif args.command == "estimate":
         output = _run_estimate(args)
+    elif args.command == "scenarios":
+        output = _run_scenarios(args)
+    elif args.command == "sweep":
+        output = _run_sweep(args)
     elif args.command == "export":
         from repro.analysis.export import export_all
 
@@ -170,7 +304,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
         return 2
-    print(output)
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. `repro sweep ... | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
     return 0
 
 

@@ -23,7 +23,12 @@ import numpy as np
 
 from repro.utils.validation import check_integer, ensure_1d_array
 
-__all__ = ["SignalMatrices", "build_signal_matrices", "delayed_signature_matrix"]
+__all__ = [
+    "SignalMatrices",
+    "build_signal_matrices",
+    "composite_signal_matrices",
+    "delayed_signature_matrix",
+]
 
 
 def delayed_signature_matrix(waveform: np.ndarray, window_length: int, num_delays: int) -> np.ndarray:
@@ -127,3 +132,21 @@ def build_signal_matrices(waveform: np.ndarray, window_length: int | None = None
         raise ValueError("waveform has zero energy; diagonal of A contains zeros")
     a = 1.0 / diag
     return SignalMatrices(S=S, A=A, a=a, waveform=waveform)
+
+
+def composite_signal_matrices(
+    walsh_symbols: int, spreading_chips: int, samples_per_chip: int
+) -> SignalMatrices:
+    """The S/A/a matrices of the composite Walsh/m-sequence pilot waveform.
+
+    The single canonical construction of the AquaModem-style matrices from
+    the three waveform-geometry parameters (224 x 112 for the Table 1
+    values); both the analysis helpers and the experiment registry build on
+    it.
+    """
+    from repro.dsp.sampling import upsample_chips
+    from repro.dsp.spreading import composite_waveform_set
+
+    chips = composite_waveform_set(walsh_symbols, spreading_chips)[0]
+    waveform = upsample_chips(chips, samples_per_chip).astype(np.float64)
+    return build_signal_matrices(waveform)

@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache for trial results.
+
+Each trial's identity is the stable hash of (scenario name + version, trial
+parameters, trial seed, code version tag) — nothing about the sweep it was
+part of — so a resumed sweep, a re-run, or a *larger* sweep that includes
+previously-computed points all hit the cache for the trials they share.
+
+Records are stored one-JSON-file-per-trial under a two-level fan-out
+(``<scenario>/<key[:2]>/<key>.json``) so directories stay small, and writes
+go through a same-directory temp file + :func:`os.replace` so an interrupted
+run never leaves a truncated record behind (the next run simply re-executes
+that trial).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import repro
+
+from repro.experiments.spec import canonical_json, stable_hash
+
+__all__ = ["ResultCache", "CacheStats", "trial_key", "code_version_tag"]
+
+
+def code_version_tag() -> str:
+    """The tag folded into every cache key; bump ``repro.__version__`` to
+    invalidate all cached results after a behaviour-changing code change."""
+    return f"repro-{repro.__version__}"
+
+
+def trial_key(
+    scenario: str,
+    scenario_version: str,
+    params: Mapping[str, Any],
+    seed: int,
+    code_tag: str | None = None,
+) -> str:
+    """Stable content address of one trial result."""
+    return stable_hash(
+        {
+            "scenario": scenario,
+            "scenario_version": scenario_version,
+            "params": dict(params),
+            "seed": int(seed),
+            "code": code_tag if code_tag is not None else code_version_tag(),
+        },
+        length=40,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """A content-addressed store of trial records under ``cache_dir``."""
+
+    cache_dir: Path | str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.cache_dir = Path(self.cache_dir)
+
+    def _path(self, scenario: str, key: str) -> Path:
+        return Path(self.cache_dir) / scenario / key[:2] / f"{key}.json"
+
+    def get(self, scenario: str, key: str) -> dict[str, Any] | None:
+        """The cached record for ``key``, or ``None`` (counts a hit/miss)."""
+        path = self._path(scenario, key)
+        try:
+            payload = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["record"]
+
+    def put(self, scenario: str, key: str, record: Mapping[str, Any]) -> Path:
+        """Atomically persist ``record`` under ``key`` and return its path."""
+        path = self._path(scenario, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = canonical_json({"key": key, "record": dict(record)})
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        self.stats.writes += 1
+        return path
+
+    def contains(self, scenario: str, key: str) -> bool:
+        """Whether ``key`` is cached (does not touch the hit/miss counters)."""
+        return self._path(scenario, key).is_file()
+
+    def count(self, scenario: str | None = None) -> int:
+        """Number of cached records (for one scenario or the whole cache)."""
+        root = Path(self.cache_dir) if scenario is None else Path(self.cache_dir) / scenario
+        if not root.exists():
+            return 0
+        return sum(1 for _ in root.rglob("*.json"))

@@ -1,0 +1,413 @@
+"""Scenario registry: named, sweepable experiments over the repro layers.
+
+A :class:`Scenario` couples a *trial function* — ``(params, seed) -> metrics``
+— with a default :class:`~repro.experiments.spec.SweepSpec` describing the
+interesting axes.  Scenarios are looked up by name (also from worker
+processes, so trial functions stay importable module-level callables) and the
+registry ships with five built-ins spanning every layer of the codebase:
+
+====================  =======================  ================================
+name                  layers                   sweeps
+====================  =======================  ================================
+modem-ser-vs-snr      modem, channel, dsp      DS-SS vs FSK symbol error rate
+fixedpoint-bitwidth   fixedpoint, core         MP accuracy vs word length
+platform-energy       hardware                 energy per estimation / packet
+mp-refinement         core, channel            greedy vs LS-refined MP vs Nf
+network-lifetime      network, modem           deployment lifetime by platform
+====================  =======================  ================================
+
+Each scenario carries a ``version`` string that is folded into cache keys, so
+changing a trial function's behaviour (bump the version) invalidates exactly
+that scenario's cached results.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.channel.multipath import random_sparse_channel
+from repro.channel.simulator import add_noise_for_snr
+from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.matching_pursuit import matching_pursuit
+from repro.core.metrics import normalized_channel_error, support_recovery_rate
+from repro.core.refinement import refine_least_squares
+from repro.dsp.signal_matrix import SignalMatrices, composite_signal_matrices
+from repro.experiments.spec import SeedPolicy, SweepSpec
+from repro.hardware.comparison import PlatformComparison, compare_platforms
+from repro.modem.config import AquaModemConfig
+from repro.modem.energy_budget import ModemEnergyBudget
+from repro.modem.link import LinkSimulator
+from repro.network.lifetime import lifetime_by_platform
+from repro.network.routing import shortest_path_routing
+from repro.network.topology import connectivity_graph, grid_deployment
+from repro.network.traffic import PeriodicTraffic
+
+__all__ = [
+    "Scenario",
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "TABLE3_PLATFORM_ENERGIES_UJ",
+]
+
+#: The Table 3 per-estimation energies (microjoules) used by the lifetime
+#: scenarios; platform label and energy are *paired* data, hence zipped axes.
+TABLE3_PLATFORM_ENERGIES_UJ: dict[str, float] = {
+    "MicroBlaze": 2000.40,
+    "TI C6713 DSP": 500.76,
+    "Virtex-4 1FC 16bit": 360.52,
+    "Spartan-3 14FC 8bit": 25.82,
+    "Virtex-4 112FC 8bit": 9.50,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, sweepable experiment."""
+
+    name: str
+    description: str
+    layers: tuple[str, ...]
+    version: str
+    run_trial: Callable[[Mapping[str, Any], int], Mapping[str, Any]]
+    default_spec: SweepSpec
+
+    @property
+    def spec(self) -> SweepSpec:
+        """The default sweep spec (safe to share: specs are immutable)."""
+        return self.default_spec
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry (replacing any same-named entry)."""
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name; raises ``KeyError`` listing what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; available: {available}") from None
+
+
+def list_scenarios() -> list[Scenario]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# shared (per-process, memoised) heavy objects
+#
+# Trials of the same sweep share expensive intermediates: the signal matrices,
+# the per-channel problem (channel draw + noisy receive vector) that paired
+# seeds make identical across axis values, and the floating-point reference
+# estimate.  Memoising them per process restores the sharing the old ad-hoc
+# loops had, without coupling trials to each other.
+# --------------------------------------------------------------------------- #
+
+#: Every :class:`AquaModemConfig` field, so a trial's parameters can carry a
+#: *complete* waveform configuration; absent parameters use Table 1 defaults.
+_CONFIG_FIELDS = tuple(AquaModemConfig.__dataclass_fields__)
+
+
+def _config_key(params: Mapping[str, Any]) -> tuple:
+    defaults = AquaModemConfig()
+    return tuple(params.get(name, getattr(defaults, name)) for name in _CONFIG_FIELDS)
+
+
+@functools.lru_cache(maxsize=32)
+def _config(key: tuple) -> AquaModemConfig:
+    return AquaModemConfig(**dict(zip(_CONFIG_FIELDS, key)))
+
+
+def _config_from(params: Mapping[str, Any]) -> AquaModemConfig:
+    return _config(_config_key(params))
+
+
+def config_params(config: AquaModemConfig) -> dict[str, Any]:
+    """``config`` as flat trial parameters (inverse of :func:`_config_from`)."""
+    return {name: getattr(config, name) for name in _CONFIG_FIELDS}
+
+
+@functools.lru_cache(maxsize=8)
+def _matrices(walsh_symbols: int, spreading_chips: int, samples_per_chip: int) -> SignalMatrices:
+    return composite_signal_matrices(walsh_symbols, spreading_chips, samples_per_chip)
+
+
+def _matrices_for(config: AquaModemConfig) -> SignalMatrices:
+    return _matrices(config.walsh_symbols, config.spreading_chips, config.samples_per_chip)
+
+
+@functools.lru_cache(maxsize=32)
+def _fixed_point_estimator(
+    config_key: tuple, word_length: int,
+) -> FixedPointMatchingPursuit:
+    config = _config(config_key)
+    return FixedPointMatchingPursuit(
+        _matrices_for(config), word_length=word_length, num_paths=config.num_paths
+    )
+
+
+@functools.lru_cache(maxsize=256)
+def _channel_problem(
+    config_key: tuple, num_channel_paths: int, snr_db: float, seed: int,
+):
+    """One estimation problem: (channel, true coefficients, noisy receive)."""
+    config = _config(config_key)
+    matrices = _matrices_for(config)
+    channel = random_sparse_channel(
+        num_paths=num_channel_paths,
+        max_delay=config.multipath_spread_samples,
+        rng=seed,
+        min_separation=4,
+    )
+    true_f = channel.coefficient_vector(matrices.num_delays)
+    received = add_noise_for_snr(matrices.synthesize(true_f), snr_db, rng=seed + 1)
+    return channel, true_f, received
+
+
+@functools.lru_cache(maxsize=256)
+def _float_estimate(
+    config_key: tuple, num_channel_paths: int, snr_db: float, seed: int, num_paths: int,
+):
+    """Floating-point MP estimate of one problem (shared across axis values)."""
+    config = _config(config_key)
+    _, _, received = _channel_problem(config_key, num_channel_paths, snr_db, seed)
+    return matching_pursuit(received, _matrices_for(config), num_paths=num_paths)
+
+
+@functools.lru_cache(maxsize=8)
+def _platform_comparison(num_paths: int) -> PlatformComparison:
+    return compare_platforms(num_paths=num_paths)
+
+
+@functools.lru_cache(maxsize=64)
+def _grid_routing(rows: int, cols: int, spacing_m: float, communication_range_m: float):
+    deployment = grid_deployment(rows, cols, spacing_m=spacing_m)
+    graph = connectivity_graph(deployment, communication_range_m)
+    return shortest_path_routing(graph, deployment.sink_id)
+
+
+# --------------------------------------------------------------------------- #
+# trial functions (module-level so worker processes can run them)
+# --------------------------------------------------------------------------- #
+def _modem_ser_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """One SER measurement of one scheme at one SNR point."""
+    simulator = LinkSimulator(
+        config=_config_from(params),
+        num_channel_paths=int(params["num_channel_paths"]),
+        rng=seed,
+    )
+    result = simulator.run(
+        str(params["scheme"]),
+        float(params["snr_db"]),
+        num_symbols=int(params["num_symbols"]),
+        num_frames=int(params["num_frames"]),
+    )
+    return {
+        "symbol_error_rate": result.symbol_error_rate,
+        "symbols_sent": result.symbols_sent,
+        "symbol_errors": result.symbol_errors,
+    }
+
+
+def _fixedpoint_bitwidth_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Fixed-point vs floating-point MP accuracy on one random channel."""
+    config_key = _config_key(params)
+    config = _config(config_key)
+    num_channel_paths = int(params["num_channel_paths"])
+    snr_db = float(params["snr_db"])
+    channel, true_f, received = _channel_problem(config_key, num_channel_paths, snr_db, seed)
+    reference = _float_estimate(config_key, num_channel_paths, snr_db, seed, config.num_paths)
+    estimator = _fixed_point_estimator(config_key, int(params["word_length"]))
+    estimate = estimator.estimate(received)
+    vs_float = (
+        normalized_channel_error(reference.coefficients, estimate.coefficients)
+        if np.linalg.norm(reference.coefficients) > 0
+        else 0.0
+    )
+    return {
+        "normalized_error": normalized_channel_error(true_f, estimate.coefficients),
+        "support_recovery": support_recovery_rate(
+            channel.delays, estimate.path_indices, tolerance=1
+        ),
+        "error_vs_float": vs_float,
+    }
+
+
+def _platform_energy_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Per-estimation and per-packet energy of one platform (analytic model)."""
+    comparison = _platform_comparison(int(params["num_paths"]))
+    result = comparison.by_label(str(params["platform"]))
+    packet_symbols = int(params["packet_symbols"])
+    return {
+        "time_us": result.time_us,
+        "power_w": result.power_w,
+        "energy_uj": result.energy_uj,
+        "energy_per_packet_uj": result.energy_uj * packet_symbols,
+        "energy_decrease_vs_microcontroller": result.energy_decrease_vs_microcontroller,
+        "energy_decrease_vs_dsp": result.energy_decrease_vs_dsp,
+    }
+
+
+def _mp_refinement_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Greedy vs LS-refined MP estimation quality at one Nf on one channel."""
+    config_key = _config_key(params)
+    matrices = _matrices_for(_config(config_key))
+    num_channel_paths = int(params["num_channel_paths"])
+    snr_db = float(params["snr_db"])
+    num_paths = int(params["num_paths"])
+    channel, true_f, received = _channel_problem(config_key, num_channel_paths, snr_db, seed)
+    # the memoised greedy estimate is shared by the 'greedy' and 'ls' trials
+    # of the same problem; refinement returns a new result, never mutates it
+    estimate = _float_estimate(config_key, num_channel_paths, snr_db, seed, num_paths)
+    if str(params["estimator"]) == "ls":
+        estimate = refine_least_squares(received, matrices.S, estimate)
+    residual = received - matrices.synthesize(estimate.coefficients)
+    return {
+        "normalized_error": normalized_channel_error(true_f, estimate.coefficients),
+        "support_recovery": support_recovery_rate(
+            channel.delays, estimate.path_indices, tolerance=1
+        ),
+        "relative_residual": float(
+            np.linalg.norm(residual) / max(np.linalg.norm(received), 1e-300)
+        ),
+    }
+
+
+def _network_lifetime_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Deployment lifetime (days) of one platform on one network configuration."""
+    config = _config_from(params)
+    platform = str(params["platform"])
+    energy_uj = float(params["energy_uj"])
+    routing = _grid_routing(
+        int(params["grid_rows"]), int(params["grid_cols"]),
+        float(params["spacing_m"]), float(params["communication_range_m"]),
+    )
+    traffic = PeriodicTraffic(
+        report_interval_s=float(params["report_interval_s"]),
+        packet_symbols=int(params["packet_symbols"]),
+    )
+    base_budget = ModemEnergyBudget(config=config)
+    idle_power_w = None
+    if bool(params["continuous_detection"]):
+        idle_power_w = {
+            platform: base_budget.processing_idle_power_w
+            + (energy_uj * 1e-6) / config.total_symbol_period_s
+        }
+    lifetimes_s = lifetime_by_platform(
+        routing=routing,
+        traffic=traffic,
+        battery_capacity_j=float(params["battery_capacity_j"]),
+        platform_processing_energy_j={platform: energy_uj * 1e-6},
+        platform_idle_power_w=idle_power_w,
+        base_budget=base_budget,
+    )
+    return {"lifetime_days": lifetimes_s[platform] / 86_400.0}
+
+
+# --------------------------------------------------------------------------- #
+# built-in scenario definitions
+# --------------------------------------------------------------------------- #
+register(Scenario(
+    name="modem-ser-vs-snr",
+    description="DS-SS vs FSK symbol error rate over an SNR sweep (experiment E7)",
+    layers=("modem", "channel", "dsp"),
+    version="1",
+    run_trial=_modem_ser_trial,
+    default_spec=SweepSpec(
+        scenario="modem-ser-vs-snr",
+        grid={"scheme": ("DSSS", "FSK"), "snr_db": (-6.0, -3.0, 0.0, 3.0, 6.0)},
+        base={"num_symbols": 48, "num_frames": 4, "num_channel_paths": 4},
+        # seeds paired across scheme and SNR (common random numbers): both
+        # schemes see the same channels, so the comparison is head-to-head
+        seed=SeedPolicy(base_seed=0, replicates=2),
+    ),
+))
+
+register(Scenario(
+    name="fixedpoint-bitwidth",
+    description="fixed-point MP channel-estimation accuracy vs word length (experiment E6)",
+    layers=("fixedpoint", "core"),
+    version="1",
+    run_trial=_fixedpoint_bitwidth_trial,
+    default_spec=SweepSpec(
+        scenario="fixedpoint-bitwidth",
+        grid={"word_length": (4, 6, 8, 10, 12, 16)},
+        base={
+            "snr_db": 25.0, "num_channel_paths": 4,
+            "walsh_symbols": 8, "spreading_chips": 7, "samples_per_chip": 2,
+            "num_paths": 6,
+        },
+        # paired: every word length estimates the same channels
+        seed=SeedPolicy(base_seed=0, replicates=12),
+    ),
+))
+
+register(Scenario(
+    name="platform-energy",
+    description="per-estimation and per-packet energy of each processing platform (Table 3)",
+    layers=("hardware",),
+    version="1",
+    run_trial=_platform_energy_trial,
+    default_spec=SweepSpec(
+        scenario="platform-energy",
+        grid={"platform": tuple(TABLE3_PLATFORM_ENERGIES_UJ)},
+        base={"num_paths": 6, "packet_symbols": 32},
+        seed=SeedPolicy(base_seed=0, replicates=1),
+    ),
+))
+
+register(Scenario(
+    name="mp-refinement",
+    description="greedy vs LS-refined Matching Pursuits quality over Nf (refinement study)",
+    layers=("core", "channel"),
+    version="1",
+    run_trial=_mp_refinement_trial,
+    default_spec=SweepSpec(
+        scenario="mp-refinement",
+        grid={"num_paths": (2, 4, 6, 8), "estimator": ("greedy", "ls")},
+        base={
+            "snr_db": 15.0, "num_channel_paths": 4,
+            "walsh_symbols": 8, "spreading_chips": 7, "samples_per_chip": 2,
+        },
+        seed=SeedPolicy(base_seed=0, replicates=6),
+    ),
+))
+
+register(Scenario(
+    name="network-lifetime",
+    description="deployment lifetime by platform over grid size and report interval (experiment E9)",
+    layers=("network", "modem"),
+    version="1",
+    run_trial=_network_lifetime_trial,
+    default_spec=SweepSpec(
+        scenario="network-lifetime",
+        grid={"report_interval_s": (60.0, 120.0, 300.0)},
+        zipped={
+            "platform": tuple(TABLE3_PLATFORM_ENERGIES_UJ),
+            "energy_uj": tuple(TABLE3_PLATFORM_ENERGIES_UJ.values()),
+        },
+        base={
+            "grid_rows": 5, "grid_cols": 5, "spacing_m": 200.0,
+            "communication_range_m": 300.0, "battery_capacity_j": 200_000.0,
+            "packet_symbols": 32, "continuous_detection": True,
+        },
+        seed=SeedPolicy(base_seed=0, replicates=1),
+    ),
+))

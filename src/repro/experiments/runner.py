@@ -1,0 +1,212 @@
+"""The sweep engine: expand a spec, execute its trials, cache the results.
+
+:func:`run_sweep` is the single entry point.  It expands a
+:class:`~repro.experiments.spec.SweepSpec` into trial points, skips any whose
+result is already in the :class:`~repro.experiments.cache.ResultCache`, and
+executes the rest — serially for small batches, or on a ``multiprocessing``
+pool with chunked dispatch for large ones.  Three properties the tests pin
+down:
+
+* **determinism** — per-trial seeds come from the seed policy, never from
+  execution order, and records are returned in canonical trial order, so a
+  serial run and a ``--jobs 8`` run of the same spec produce byte-identical
+  records;
+* **resumability** — each trial result is written to the cache the moment it
+  arrives, so an interrupted sweep re-runs only its unfinished trials;
+* **isolation** — workers resolve the scenario by name from the registry
+  (trial functions are module-level), so nothing unpicklable crosses the
+  process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.experiments.cache import ResultCache, code_version_tag, trial_key
+from repro.experiments.registry import get_scenario
+from repro.experiments.spec import SweepSpec, TrialPoint
+
+__all__ = ["SweepStats", "SweepResult", "run_sweep"]
+
+#: Below this many pending trials a worker pool costs more than it saves.
+MIN_TRIALS_FOR_POOL = 4
+
+#: Record keys written by the engine itself; trial params/metrics must not
+#: collide with them.
+IDENTITY_KEYS = ("scenario", "trial_index", "replicate", "seed")
+
+
+def _plain(value: Any) -> Any:
+    """Coerce a metric/param value to a plain JSON-serialisable scalar."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(
+        f"trial produced a non-scalar value {value!r} ({type(value).__name__}); "
+        "trial functions must return flat dicts of scalars"
+    )
+
+
+def _execute_trial(payload: tuple[str, int, int, int, Mapping[str, Any]]) -> tuple[int, dict[str, Any]]:
+    """Run one trial (possibly in a worker process) and build its tidy record."""
+    scenario_name, index, replicate, seed, params = payload
+    scenario = get_scenario(scenario_name)
+    metrics = scenario.run_trial(params, seed)
+    record: dict[str, Any] = {
+        "scenario": scenario_name,
+        "trial_index": index,
+        "replicate": replicate,
+        "seed": seed,
+    }
+    for source in (params, metrics):
+        for key, value in source.items():
+            if key in IDENTITY_KEYS or (key in record and source is metrics):
+                raise ValueError(
+                    f"scenario {scenario_name!r}: key {key!r} collides with an "
+                    "identity or parameter column"
+                )
+            record[key] = _plain(value)
+    return index, record
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Execution statistics of one :func:`run_sweep` call."""
+
+    num_trials: int
+    executed: int
+    cache_hits: int
+    jobs: int
+    elapsed_s: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.num_trials if self.num_trials else 0.0
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.num_trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "num_trials": self.num_trials,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "jobs": self.jobs,
+            "elapsed_s": self.elapsed_s,
+            "trials_per_second": self.trials_per_second,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Records (in canonical trial order) plus the spec and run statistics."""
+
+    spec: SweepSpec
+    records: list[dict[str, Any]] = field(default_factory=list)
+    stats: SweepStats | None = None
+
+    def column(self, name: str) -> list[Any]:
+        """The values of one record column, in trial order."""
+        return [record.get(name) for record in self.records]
+
+    def group_mean(self, by: str, metric: str) -> dict[Any, float]:
+        """Mean of ``metric`` grouped by the values of column ``by``."""
+        totals: dict[Any, list[float]] = {}
+        for record in self.records:
+            totals.setdefault(record[by], []).append(float(record[metric]))
+        return {key: sum(vals) / len(vals) for key, vals in totals.items()}
+
+
+def _chunk_size(pending: int, jobs: int) -> int:
+    """Chunked dispatch: ~4 chunks per worker balances latency and overhead."""
+    return max(1, pending // (jobs * 4))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    chunk_size: int | None = None,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+) -> SweepResult:
+    """Execute every trial of ``spec`` and return their tidy records.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run; its scenario must exist in the registry.
+    jobs:
+        Worker processes.  ``1`` (or a batch smaller than
+        ``MIN_TRIALS_FOR_POOL``) runs serially in-process.
+    cache:
+        Optional result cache; hits skip execution, fresh results are stored
+        as soon as they arrive so interrupted sweeps resume.
+    chunk_size:
+        Trials per pool task; defaults to ~4 chunks per worker.
+    mp_context:
+        Multiprocessing context override (``fork`` is the default on Linux;
+        with a ``spawn`` context only built-in scenarios resolve in workers).
+    """
+    scenario = get_scenario(spec.scenario)
+    trials = spec.expand()
+    started = time.perf_counter()
+    code_tag = code_version_tag()
+
+    records: dict[int, dict[str, Any]] = {}
+    pending: list[TrialPoint] = []
+    keys: dict[int, str] = {}
+    cache_hits = 0
+
+    for trial in trials:
+        if cache is not None:
+            key = trial_key(scenario.name, scenario.version, trial.params, trial.seed, code_tag)
+            keys[trial.index] = key
+            hit = cache.get(scenario.name, key)
+            if hit is not None:
+                # restamp the identity columns: the cached record may have been
+                # executed by a different sweep of the same trials
+                records[trial.index] = {
+                    **hit, "trial_index": trial.index, "replicate": trial.replicate,
+                }
+                cache_hits += 1
+                continue
+        pending.append(trial)
+
+    payloads = [
+        (scenario.name, trial.index, trial.replicate, trial.seed, trial.params)
+        for trial in pending
+    ]
+    effective_jobs = max(1, min(int(jobs), len(pending)))
+
+    def _collect(results: Iterable[tuple[int, dict[str, Any]]]) -> None:
+        for index, record in results:
+            records[index] = record
+            if cache is not None:
+                cache.put(scenario.name, keys[index], record)
+
+    if effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
+        effective_jobs = 1
+        _collect(map(_execute_trial, payloads))
+    else:
+        ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+        size = chunk_size if chunk_size is not None else _chunk_size(len(pending), effective_jobs)
+        with ctx.Pool(processes=effective_jobs) as pool:
+            _collect(pool.imap_unordered(_execute_trial, payloads, chunksize=size))
+
+    elapsed = time.perf_counter() - started
+    stats = SweepStats(
+        num_trials=len(trials),
+        executed=len(pending),
+        cache_hits=cache_hits,
+        jobs=effective_jobs,
+        elapsed_s=elapsed,
+    )
+    ordered = [records[trial.index] for trial in trials]
+    return SweepResult(spec=spec, records=ordered, stats=stats)

@@ -1,0 +1,95 @@
+"""Tidy on-disk results for sweeps: JSONL, CSV and a manifest.
+
+Every sweep writes three artefacts into its output directory:
+
+* ``results.jsonl`` — one tidy record per line, one line per trial (the
+  machine-readable source of truth; append-friendly);
+* ``results.csv`` — the same records as CSV (via
+  :func:`repro.analysis.export.write_csv`, so the format matches the rest of
+  the analysis exports and loads straight into pandas / a spreadsheet);
+* ``manifest.json`` — the sweep spec plus execution stats, so a results
+  directory is self-describing and the sweep can be re-run verbatim.
+
+Records are flat dicts: identity columns (scenario, trial index, replicate,
+seed), then the trial parameters, then the measured metrics.  Missing keys
+(scenarios whose metrics differ by parameter) become empty CSV cells.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.export import write_csv
+
+__all__ = ["ResultStore", "write_jsonl", "read_jsonl", "tidy_headers"]
+
+#: Columns that lead every CSV, in this order, when present in the records.
+IDENTITY_COLUMNS = ("scenario", "trial_index", "replicate", "seed")
+
+
+def write_jsonl(path: Path | str, records: Iterable[Mapping[str, Any]]) -> Path:
+    """Write records as JSON Lines (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: Path | str) -> list[dict[str, Any]]:
+    """Load a JSONL results file back into a list of records."""
+    records: list[dict[str, Any]] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def tidy_headers(records: Sequence[Mapping[str, Any]]) -> list[str]:
+    """Column order for a set of tidy records: identity first, rest sorted."""
+    keys: set[str] = set()
+    for record in records:
+        keys.update(record)
+    leading = [column for column in IDENTITY_COLUMNS if column in keys]
+    rest = sorted(keys - set(leading))
+    return leading + rest
+
+
+@dataclass
+class ResultStore:
+    """Writes one sweep's records and manifest under ``output_dir``."""
+
+    output_dir: Path | str
+
+    def __post_init__(self) -> None:
+        self.output_dir = Path(self.output_dir)
+
+    def write(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        spec: Mapping[str, Any] | None = None,
+        stats: Mapping[str, Any] | None = None,
+        basename: str = "results",
+    ) -> dict[str, Path]:
+        """Write JSONL + CSV (+ manifest when spec/stats given); return paths."""
+        out = Path(self.output_dir)
+        written: dict[str, Path] = {}
+        written["jsonl"] = write_jsonl(out / f"{basename}.jsonl", records)
+        headers = tidy_headers(records)
+        written["csv"] = write_csv(
+            out / f"{basename}.csv",
+            headers,
+            ([record.get(column, "") for column in headers] for record in records),
+        )
+        if spec is not None or stats is not None:
+            manifest = {"spec": dict(spec or {}), "stats": dict(stats or {})}
+            manifest_path = out / "manifest.json"
+            manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+            written["manifest"] = manifest_path
+        return written

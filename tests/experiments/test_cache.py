@@ -1,0 +1,75 @@
+"""Tests for the content-addressed result cache (hit/miss, keys, resume)."""
+
+from __future__ import annotations
+
+from repro.experiments import ResultCache, get_scenario, run_sweep, trial_key
+
+
+class TestTrialKey:
+    def test_stable_under_param_order(self):
+        a = trial_key("s", "1", {"x": 1, "y": 2}, seed=3, code_tag="t")
+        b = trial_key("s", "1", {"y": 2, "x": 1}, seed=3, code_tag="t")
+        assert a == b
+
+    def test_sensitive_to_every_component(self):
+        base = dict(scenario="s", scenario_version="1", params={"x": 1}, seed=3, code_tag="t")
+        key = trial_key(**base)
+        assert key != trial_key(**{**base, "scenario": "s2"})
+        assert key != trial_key(**{**base, "scenario_version": "2"})
+        assert key != trial_key(**{**base, "params": {"x": 2}})
+        assert key != trial_key(**{**base, "seed": 4})
+        assert key != trial_key(**{**base, "code_tag": "t2"})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("scn", "aa" + "0" * 38) is None
+        cache.put("scn", "aa" + "0" * 38, {"value": 1.5})
+        assert cache.get("scn", "aa" + "0" * 38) == {"value": 1.5}
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_contains_does_not_count(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("scn", "bb" + "0" * 38, {"value": 2})
+        assert cache.contains("scn", "bb" + "0" * 38)
+        assert not cache.contains("scn", "cc" + "0" * 38)
+        assert cache.stats.lookups == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("scn", "dd" + "0" * 38, {"value": 3})
+        path.write_text("{truncated")
+        assert cache.get("scn", "dd" + "0" * 38) is None
+
+
+class TestSweepCaching:
+    def test_rerun_hits_for_every_trial(self, tmp_path):
+        spec = get_scenario("platform-energy").spec
+        cache = ResultCache(tmp_path)
+        first = run_sweep(spec, cache=cache)
+        again = run_sweep(spec, cache=cache)
+        assert first.stats.cache_hits == 0
+        assert again.stats.cache_hits == again.stats.num_trials
+        assert again.stats.executed == 0
+        assert again.records == first.records
+
+    def test_resume_after_interrupt_runs_only_missing_trials(self, tmp_path):
+        """A partial run's cached trials survive; the full sweep picks them up."""
+        full = get_scenario("network-lifetime").spec
+        partial = full.with_axis("report_interval_s", (60.0,))
+        cache = ResultCache(tmp_path)
+        head = run_sweep(partial, cache=cache)  # the "interrupted" prefix
+        resumed = run_sweep(full, cache=cache)
+        assert resumed.stats.cache_hits == head.stats.num_trials
+        assert resumed.stats.executed == resumed.stats.num_trials - head.stats.num_trials
+        # the cached records appear verbatim in the resumed results
+        cached = [r for r in resumed.records if r["report_interval_s"] == 60.0]
+        assert cached == head.records
+
+    def test_no_cache_reexecutes(self, tmp_path):
+        spec = get_scenario("platform-energy").spec
+        first = run_sweep(spec)
+        second = run_sweep(spec)
+        assert second.stats.executed == second.stats.num_trials
+        assert second.records == first.records

@@ -1,0 +1,115 @@
+"""Tests for the scenario registry and the built-in scenarios."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import Scenario, get_scenario, list_scenarios, register, run_sweep
+from repro.experiments.spec import SeedPolicy, SweepSpec
+
+REQUIRED_SCENARIOS = {
+    "modem-ser-vs-snr",
+    "fixedpoint-bitwidth",
+    "platform-energy",
+    "mp-refinement",
+    "network-lifetime",
+}
+
+
+class TestRegistryCompleteness:
+    def test_at_least_five_builtin_scenarios(self):
+        assert REQUIRED_SCENARIOS.issubset({s.name for s in list_scenarios()})
+
+    def test_every_layer_is_covered(self):
+        layers = {layer for s in list_scenarios() for layer in s.layers}
+        assert {"core", "fixedpoint", "modem", "network", "hardware", "channel"} <= layers
+
+    def test_specs_reference_their_scenario_and_expand(self):
+        for scenario in list_scenarios():
+            assert scenario.spec.scenario == scenario.name
+            assert scenario.spec.num_trials > 0
+
+    def test_specs_round_trip_through_json(self):
+        for scenario in list_scenarios():
+            restored = SweepSpec.from_json(scenario.spec.to_json())
+            assert restored == scenario.spec
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="fixedpoint-bitwidth"):
+            get_scenario("nope")
+
+    def test_register_and_run_custom_scenario(self):
+        scenario = Scenario(
+            name="test-affine",
+            description="x -> a*x + seed parity",
+            layers=("test",),
+            version="1",
+            run_trial=lambda params, seed: {"y": params["a"] * params["x"] + (seed % 2)},
+            default_spec=SweepSpec(
+                scenario="test-affine",
+                grid={"x": (1, 2, 3)},
+                base={"a": 10},
+                seed=SeedPolicy(base_seed=0, replicates=1),
+            ),
+        )
+        register(scenario)
+        result = run_sweep(scenario.spec)  # serial path: lambda never crosses processes
+        assert [r["y"] - r["seed"] % 2 for r in result.records] == [10, 20, 30]
+
+
+class TestBuiltinTrials:
+    """Run one real trial per cheap scenario; heavier ones get a reduced spec."""
+
+    def test_platform_energy_full_default_sweep(self):
+        result = run_sweep(get_scenario("platform-energy").spec)
+        assert len(result.records) == 5
+        by_platform = {r["platform"]: r for r in result.records}
+        headline = by_platform["Virtex-4 112FC 8bit"]
+        assert headline["energy_uj"] < by_platform["MicroBlaze"]["energy_uj"] / 100
+        assert headline["energy_per_packet_uj"] == pytest.approx(
+            headline["energy_uj"] * 32
+        )
+
+    def test_network_lifetime_ordering(self):
+        spec = get_scenario("network-lifetime").spec.with_axis("report_interval_s", (120.0,))
+        result = run_sweep(spec)
+        lifetime = {r["platform"]: r["lifetime_days"] for r in result.records}
+        assert lifetime["Virtex-4 112FC 8bit"] > lifetime["MicroBlaze"]
+        assert all(days > 0 and math.isfinite(days) for days in lifetime.values())
+
+    def test_mp_refinement_ls_not_worse_on_residual(self):
+        spec = (
+            get_scenario("mp-refinement").spec
+            .with_axis("num_paths", (6,))
+            .with_seed(replicates=3)
+        )
+        result = run_sweep(spec)
+        greedy = result.group_mean(by="estimator", metric="relative_residual")["greedy"]
+        refined = result.group_mean(by="estimator", metric="relative_residual")["ls"]
+        # LS refinement minimises the residual on the selected support
+        assert refined <= greedy + 1e-12
+
+    def test_modem_ser_trial_smoke(self):
+        spec = (
+            get_scenario("modem-ser-vs-snr").spec
+            .with_axis("snr_db", (6.0,))
+            .with_axis("scheme", ("DSSS",))
+            .with_seed(replicates=1)
+            .with_base(num_symbols=12, num_frames=2)
+        )
+        result = run_sweep(spec)
+        (record,) = result.records
+        assert 0.0 <= record["symbol_error_rate"] <= 1.0
+        assert record["symbols_sent"] > 0
+
+    def test_fixedpoint_bitwidth_wider_is_closer_to_float(self):
+        spec = (
+            get_scenario("fixedpoint-bitwidth").spec
+            .with_axis("word_length", (4, 12))
+            .with_seed(replicates=3)
+        )
+        result = run_sweep(spec)
+        vs_float = result.group_mean(by="word_length", metric="error_vs_float")
+        assert vs_float[12] <= vs_float[4]

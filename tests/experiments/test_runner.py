@@ -1,0 +1,100 @@
+"""Tests for the sweep engine: determinism, parallelism, record hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ResultCache, get_scenario, run_sweep
+from repro.experiments.runner import _chunk_size, _plain
+from repro.experiments.store import read_jsonl, tidy_headers
+from repro.experiments.store import ResultStore
+
+
+@pytest.fixture(scope="module")
+def small_bitwidth_spec():
+    """A cheap but non-trivial spec: 2 word lengths x 3 replicates."""
+    return (
+        get_scenario("fixedpoint-bitwidth").spec
+        .with_axis("word_length", (6, 8))
+        .with_seed(replicates=3)
+    )
+
+
+class TestSerialExecution:
+    def test_records_in_canonical_order_with_identity_columns(self, small_bitwidth_spec):
+        result = run_sweep(small_bitwidth_spec, jobs=1)
+        assert [r["trial_index"] for r in result.records] == list(range(6))
+        assert all(r["scenario"] == "fixedpoint-bitwidth" for r in result.records)
+        assert result.stats.jobs == 1
+        assert result.stats.executed == 6
+
+    def test_metrics_are_plain_scalars(self, small_bitwidth_spec):
+        result = run_sweep(small_bitwidth_spec, jobs=1)
+        for record in result.records:
+            for value in record.values():
+                assert value is None or isinstance(value, (bool, int, float, str))
+
+    def test_deterministic_across_runs(self, small_bitwidth_spec):
+        assert run_sweep(small_bitwidth_spec).records == run_sweep(small_bitwidth_spec).records
+
+
+class TestParallelExecution:
+    def test_parallel_equals_serial(self, small_bitwidth_spec):
+        serial = run_sweep(small_bitwidth_spec, jobs=1)
+        parallel = run_sweep(small_bitwidth_spec, jobs=3)
+        assert parallel.records == serial.records
+        assert parallel.stats.jobs == 3
+
+    def test_small_batches_fall_back_to_serial(self):
+        spec = get_scenario("platform-energy").spec.with_axis(
+            "platform", ("MicroBlaze", "TI C6713 DSP")
+        )
+        result = run_sweep(spec, jobs=8)
+        assert result.stats.jobs == 1  # 2 trials < MIN_TRIALS_FOR_POOL
+
+    def test_parallel_with_cache_stores_all_trials(self, small_bitwidth_spec, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(small_bitwidth_spec, jobs=3, cache=cache)
+        assert cache.count("fixedpoint-bitwidth") == 6
+        rerun = run_sweep(small_bitwidth_spec, jobs=3, cache=cache)
+        assert rerun.stats.cache_hits == 6
+
+    def test_explicit_chunk_size(self, small_bitwidth_spec):
+        serial = run_sweep(small_bitwidth_spec, jobs=1)
+        chunked = run_sweep(small_bitwidth_spec, jobs=2, chunk_size=2)
+        assert chunked.records == serial.records
+
+
+class TestHelpers:
+    def test_chunk_size_targets_four_chunks_per_worker(self):
+        assert _chunk_size(pending=64, jobs=4) == 4
+        assert _chunk_size(pending=3, jobs=4) == 1
+
+    def test_plain_rejects_compound_values(self):
+        with pytest.raises(TypeError, match="flat dicts"):
+            _plain([1, 2, 3])
+
+    def test_unknown_scenario_raises(self):
+        from repro.experiments.spec import SweepSpec
+
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_sweep(SweepSpec(scenario="does-not-exist"))
+
+    def test_group_mean(self, small_bitwidth_spec):
+        result = run_sweep(small_bitwidth_spec)
+        means = result.group_mean(by="word_length", metric="normalized_error")
+        assert set(means) == {6, 8}
+        assert all(value >= 0 for value in means.values())
+
+
+class TestResultStore:
+    def test_writes_jsonl_csv_and_manifest(self, small_bitwidth_spec, tmp_path):
+        result = run_sweep(small_bitwidth_spec)
+        written = ResultStore(tmp_path).write(
+            result.records, spec=result.spec.to_dict(), stats=result.stats.to_dict()
+        )
+        assert set(written) == {"jsonl", "csv", "manifest"}
+        assert read_jsonl(written["jsonl"]) == result.records
+        header = written["csv"].read_text().splitlines()[0].split(",")
+        assert header == tidy_headers(result.records)
+        assert header[:4] == ["scenario", "trial_index", "replicate", "seed"]
