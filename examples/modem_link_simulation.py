@@ -9,12 +9,15 @@ Builds the full DS-SS physical layer the paper's kernel belongs to:
   20 m-deep, 300 m link, plus ambient-noise-derived SNR,
 * a receiver that estimates the channel with Matching Pursuits (choosing the
   floating-point, fixed-point or IP-core backend), RAKE-combines and detects,
-* a DS-SS vs FSK symbol-error-rate sweep (the Section III motivation).
+* a DS-SS vs FSK symbol-error-rate sweep (the Section III motivation) on the
+  batched link engine, cross-checked against the per-frame reference loop.
 
 Run with:  python examples/modem_link_simulation.py
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -69,18 +72,38 @@ def single_link() -> None:
 
 
 def ser_sweep() -> None:
-    """DS-SS vs FSK symbol error rate over random multipath channels."""
+    """DS-SS vs FSK symbol error rate over random multipath channels.
+
+    Runs on the batched engine (``batch=True`` is the default: the whole
+    Monte-Carlo batch goes through vectorised modulation, channel, noise,
+    Matching Pursuits and RAKE detection) and then cross-checks one curve
+    against the per-frame reference loop — same seed, same RNG stream,
+    identical error counts.
+    """
     snr_points = [-9.0, -6.0, -3.0, 0.0, 3.0]
+    t0 = time.perf_counter()
     dsss = symbol_error_rate_curve("DSSS", snr_points, num_symbols=120, rng=3)
     fsk = symbol_error_rate_curve("FSK", snr_points, num_symbols=120, rng=4)
+    batched_s = time.perf_counter() - t0
     print(format_table(
         ["SNR (dB)", "DS-SS SER", "FSK SER"],
         [
             (snr, round(d.symbol_error_rate, 4), round(f.symbol_error_rate, 4))
             for snr, d, f in zip(snr_points, dsss, fsk)
         ],
-        title="Symbol error rate: DS-SS (MP + RAKE) vs non-coherent FSK",
+        title="Symbol error rate: DS-SS (MP + RAKE) vs non-coherent FSK (batched engine)",
     ))
+
+    # seed-locked equivalence: the per-frame loop reproduces the same counts
+    t0 = time.perf_counter()
+    reference = symbol_error_rate_curve(
+        "DSSS", snr_points, num_symbols=120, rng=3, batch=False
+    )
+    reference_s = time.perf_counter() - t0
+    assert [r.symbol_errors for r in reference] == [r.symbol_errors for r in dsss]
+    print(f"Per-frame reference reproduces the DS-SS curve exactly "
+          f"(batched {batched_s:.3f}s for both schemes, per-frame {reference_s:.3f}s "
+          f"for DS-SS alone)")
 
 
 def main() -> None:

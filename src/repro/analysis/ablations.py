@@ -151,18 +151,26 @@ def dsss_vs_fsk_ablation(
     num_symbols: int = 120,
     rng: np.random.Generator | int | None = 0,
     config: AquaModemConfig | None = None,
+    batch: bool = True,
+    num_frames: int = 10,
 ) -> dict[str, list[LinkResult]]:
-    """Symbol-error-rate curves of the DS-SS and FSK schemes over the same SNR sweep."""
+    """Symbol-error-rate curves of the DS-SS and FSK schemes over the same SNR sweep.
+
+    Runs on the batched link engine by default; ``batch=False`` selects the
+    per-frame reference loop (identical counts for a given seed).
+    """
     config = config if config is not None else AquaModemConfig()
     rng = as_rng(rng)
     seed_dsss = int(rng.integers(0, 2**31 - 1))
     seed_fsk = int(rng.integers(0, 2**31 - 1))
     return {
         "DSSS": symbol_error_rate_curve(
-            "DSSS", list(snr_points_db), num_symbols=num_symbols, config=config, rng=seed_dsss
+            "DSSS", list(snr_points_db), num_symbols=num_symbols, config=config,
+            rng=seed_dsss, batch=batch, num_frames=num_frames,
         ),
         "FSK": symbol_error_rate_curve(
-            "FSK", list(snr_points_db), num_symbols=num_symbols, config=config, rng=seed_fsk
+            "FSK", list(snr_points_db), num_symbols=num_symbols, config=config,
+            rng=seed_fsk, batch=batch, num_frames=num_frames,
         ),
     }
 

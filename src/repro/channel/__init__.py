@@ -32,8 +32,18 @@ from repro.channel.noise import (
     complex_awgn,
 )
 from repro.channel.geometry import ShallowWaterGeometry, image_method_paths
-from repro.channel.multipath import MultipathChannel, random_sparse_channel
-from repro.channel.simulator import ChannelSimulator, apply_channel, add_noise_for_snr
+from repro.channel.multipath import (
+    MultipathChannel,
+    random_sparse_channel,
+    random_sparse_channel_batch,
+)
+from repro.channel.simulator import (
+    ChannelSimulator,
+    apply_channel,
+    apply_channel_batch,
+    add_noise_for_snr,
+    add_noise_for_snr_batch,
+)
 
 __all__ = [
     "thorp_absorption_db_per_km",
@@ -48,7 +58,10 @@ __all__ = [
     "image_method_paths",
     "MultipathChannel",
     "random_sparse_channel",
+    "random_sparse_channel_batch",
     "ChannelSimulator",
     "apply_channel",
+    "apply_channel_batch",
     "add_noise_for_snr",
+    "add_noise_for_snr_batch",
 ]

@@ -26,7 +26,12 @@ from repro.channel.geometry import ShallowWaterGeometry, image_method_paths
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_integer, check_non_negative, check_positive, ensure_1d_array
 
-__all__ = ["MultipathChannel", "random_sparse_channel"]
+__all__ = [
+    "MultipathChannel",
+    "random_sparse_channel",
+    "random_sparse_channel_batch",
+    "stack_channel_taps",
+]
 
 
 @dataclass(frozen=True)
@@ -246,3 +251,58 @@ def random_sparse_channel(
     # the direct path should be the strongest on average; normalise to peak 1
     gains = gains / np.max(np.abs(gains))
     return MultipathChannel(delays=delays_arr, gains=gains)
+
+
+def stack_channel_taps(
+    channels: "list[MultipathChannel]",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stack a channel list into padded ``(delays, gains)`` tap-slot arrays.
+
+    Row ``t`` holds channel ``t``'s taps in their stored (delay-sorted)
+    order; channels with fewer taps are padded with zero-gain taps at delay
+    0, which add exact zeros wherever they are applied.  This is the layout
+    the batched channel application and the batched link engine share.
+    """
+    if not channels:
+        return (
+            np.zeros((0, 0), dtype=np.int64),
+            np.zeros((0, 0), dtype=np.complex128),
+        )
+    num_taps = max(channel.num_paths for channel in channels)
+    delays = np.zeros((len(channels), num_taps), dtype=np.int64)
+    gains = np.zeros((len(channels), num_taps), dtype=np.complex128)
+    for t, channel in enumerate(channels):
+        delays[t, : channel.num_paths] = channel.delays
+        gains[t, : channel.num_paths] = channel.gains
+    return delays, gains
+
+
+def random_sparse_channel_batch(
+    num_channels: int,
+    num_paths: int,
+    max_delay: int,
+    rng: np.random.Generator | int | None = None,
+    decay_constant: float = 30.0,
+    min_separation: int = 2,
+    include_direct: bool = True,
+) -> list[MultipathChannel]:
+    """Draw a stack of independent random sparse channels from one stream.
+
+    The channels are drawn sequentially from ``rng``, so with the same seed
+    this is *exactly* equivalent to ``num_channels`` successive calls of
+    :func:`random_sparse_channel` — the property the batched link engine
+    relies on to stay seed-locked with the per-frame Monte-Carlo loop.
+    """
+    check_integer("num_channels", num_channels, minimum=0)
+    rng = as_rng(rng)
+    return [
+        random_sparse_channel(
+            num_paths=num_paths,
+            max_delay=max_delay,
+            rng=rng,
+            decay_constant=decay_constant,
+            min_separation=min_separation,
+            include_direct=include_direct,
+        )
+        for _ in range(num_channels)
+    ]

@@ -9,15 +9,24 @@ of the stream) to the complex noise variance per sample.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.channel.multipath import MultipathChannel
+from repro.channel.multipath import MultipathChannel, stack_channel_taps
 from repro.channel.noise import complex_awgn, noise_power_for_snr
 from repro.utils.rng import as_rng
-from repro.utils.validation import ensure_1d_array
+from repro.utils.validation import ensure_1d_array, ensure_2d_array
 
-__all__ = ["ChannelSimulator", "apply_channel", "add_noise_for_snr", "measure_signal_power"]
+__all__ = [
+    "ChannelSimulator",
+    "apply_channel",
+    "apply_channel_batch",
+    "add_noise_for_snr",
+    "add_noise_for_snr_batch",
+    "measure_signal_power",
+    "measure_signal_power_batch",
+]
 
 
 def measure_signal_power(samples: np.ndarray, ignore_zeros: bool = True) -> float:
@@ -36,9 +45,82 @@ def measure_signal_power(samples: np.ndarray, ignore_zeros: bool = True) -> floa
     return float(np.mean(power))
 
 
+def measure_signal_power_batch(samples: np.ndarray, ignore_zeros: bool = True) -> np.ndarray:
+    """Per-row average |x|^2 of a ``(frames, length)`` stack.
+
+    Row ``t`` equals ``measure_signal_power(samples[t])`` bit for bit (the
+    squared magnitudes are computed for the whole stack at once; the
+    zero-exclusion and mean reuse the per-row compaction).
+    """
+    samples = ensure_2d_array("samples", samples, dtype=np.complex128)
+    power = np.abs(samples) ** 2
+    if not ignore_zeros:
+        return power.mean(axis=1) if samples.shape[1] else np.zeros(samples.shape[0])
+    out = np.empty(samples.shape[0], dtype=np.float64)
+    for t, row in enumerate(power):
+        active = row[row > 0]
+        out[t] = np.mean(active) if active.size else 0.0
+    return out
+
+
 def apply_channel(samples: np.ndarray, channel: MultipathChannel) -> np.ndarray:
     """Convolve a transmitted stream with a sparse multipath channel."""
     return channel.apply(samples)
+
+
+def apply_channel_batch(
+    samples: np.ndarray,
+    channels: MultipathChannel | Sequence[MultipathChannel],
+) -> np.ndarray:
+    """Convolve a ``(frames, length)`` stack of streams with multipath channels.
+
+    ``channels`` is either one channel shared by every row or a sequence with
+    one channel per row.  Each row equals ``apply_channel`` on that row (same
+    tap order, same arithmetic), so the batched and per-frame link paths
+    produce bit-identical receive streams.
+    """
+    samples = ensure_2d_array("samples", samples, dtype=np.complex128)
+    if isinstance(channels, MultipathChannel):
+        out = np.zeros_like(samples)
+        n = samples.shape[1]
+        for delay, gain in zip(channels.delays, channels.gains):
+            d = int(delay)
+            if d >= n:
+                continue
+            out[:, d:] += gain * samples[:, : n - d]
+        return out
+    channels = list(channels)
+    frames = samples.shape[0]
+    if len(channels) != frames:
+        raise ValueError(
+            f"need one channel per frame: got {len(channels)} channels "
+            f"for {frames} frames"
+        )
+    out = np.zeros_like(samples)
+    n = samples.shape[1]
+    if not frames:
+        return out
+    # Taps are applied in tap-slot order (each channel stores its delays
+    # sorted, so this is every row's own tap order).  A slot whose delay is
+    # the same in every frame — always true for the direct path at delay 0 —
+    # is applied to the whole stack in one op; rows whose channel has fewer
+    # taps get an exact-zero gain there, which leaves them unchanged.
+    delays, gains = stack_channel_taps(channels)
+    for k in range(delays.shape[1]):
+        slot_delays = delays[:, k]
+        d = int(slot_delays[0])
+        if np.all(slot_delays == d):
+            if d < n:
+                out[:, d:] += gains[:, k, np.newaxis] * samples[:, : n - d]
+            continue
+        for t in range(frames):
+            g = gains[t, k]
+            if g == 0.0:
+                continue
+            d = int(slot_delays[t])
+            if d < n:
+                out[t, d:] += g * samples[t, : n - d]
+    return out
 
 
 def add_noise_for_snr(
@@ -58,6 +140,73 @@ def add_noise_for_snr(
     noise_power = noise_power_for_snr(signal_power, snr_db)
     noise = complex_awgn(samples.shape, noise_power, rng)
     return samples + noise
+
+
+def add_noise_for_snr_batch(
+    samples: np.ndarray,
+    snr_db: float,
+    rng: np.random.Generator | int | None = None,
+    signal_power: np.ndarray | float | None = None,
+    unit_noise: np.ndarray | tuple[np.ndarray, np.ndarray] | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Add complex AWGN to every row of a ``(frames, length)`` stack.
+
+    Each row's noise power is referenced to that row's own measured signal
+    power (the same per-frame SNR convention as :func:`add_noise_for_snr`),
+    and the noise is applied in one batched multiply-add.
+
+    ``unit_noise`` optionally supplies pre-drawn unit-variance normals of the
+    same shape — either one complex array or a ``(real, imaginary)`` pair of
+    float arrays (scaling a complex number by a real factor scales the parts
+    independently, so the two forms add bit-identical noise; the pair avoids
+    building the complex intermediate).  The batched link engine uses this to
+    draw the normals frame-by-frame interleaved with the channel and symbol
+    draws, keeping its RNG stream locked to the per-frame Monte-Carlo loop.
+    Without it the normals are drawn from ``rng`` row by row in the same
+    real-then-imaginary order as successive :func:`add_noise_for_snr` calls.
+
+    ``out`` receives the noisy stack (it may be ``samples`` itself for an
+    in-place update); only supported together with the ``(real, imaginary)``
+    form of ``unit_noise``.
+    """
+    samples = ensure_2d_array("samples", samples, dtype=np.complex128)
+    frames, length = samples.shape
+    if signal_power is None:
+        power = measure_signal_power_batch(samples)
+    else:
+        power = np.broadcast_to(
+            np.asarray(signal_power, dtype=np.float64), (frames,)
+        )
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    scale = np.sqrt(noise_power / 2.0)[:, np.newaxis]
+    if unit_noise is None:
+        rng = as_rng(rng)
+        drawn = [
+            rng.standard_normal(length) + 1j * rng.standard_normal(length)
+            for _ in range(frames)
+        ]
+        unit_noise = (
+            np.stack(drawn) if drawn else np.zeros((0, length), dtype=np.complex128)
+        )
+    if isinstance(unit_noise, tuple):
+        noise_real, noise_imag = unit_noise
+        noise_real = ensure_2d_array(
+            "unit_noise[0]", noise_real, dtype=np.float64, shape=(frames, length)
+        )
+        noise_imag = ensure_2d_array(
+            "unit_noise[1]", noise_imag, dtype=np.float64, shape=(frames, length)
+        )
+        received = np.empty_like(samples) if out is None else out
+        received.real = samples.real + scale * noise_real
+        received.imag = samples.imag + scale * noise_imag
+        return received
+    if out is not None:
+        raise ValueError("out= requires the (real, imaginary) form of unit_noise")
+    unit_noise = ensure_2d_array(
+        "unit_noise", unit_noise, dtype=np.complex128, shape=(frames, length)
+    )
+    return samples + scale * unit_noise
 
 
 @dataclass

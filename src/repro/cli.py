@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro bitwidth        # E6 ablation — accuracy vs word length
     python -m repro lifetime        # E9 extension — network lifetime by platform
     python -m repro estimate        # run one MP estimation on a random channel
+    python -m repro ser             # E7 — DS-SS vs FSK SER sweep (batched engine)
     python -m repro scenarios       # list the sweepable experiment scenarios
     python -m repro sweep <name>    # run a scenario sweep (parallel + cached)
 
@@ -80,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--report-interval-s", type=float, default=120.0,
                           help="sensing report interval per node")
     lifetime.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
+
+    ser = subparsers.add_parser(
+        "ser", help="DS-SS vs FSK symbol error rate sweep (E7, batched link engine)"
+    )
+    ser.add_argument(
+        "--snr-db", default="-9,-6,-3,0,3", metavar="V1,V2,...",
+        help="comma-separated SNR points in dB (default: -9,-6,-3,0,3); "
+        "write lists starting with a negative value as --snr-db=-12,-9,...",
+    )
+    ser.add_argument("--symbols", type=int, default=120, help="symbols per scheme per SNR point")
+    ser.add_argument("--frames", type=int, default=10, help="frames per SNR point")
+    ser.add_argument("--seed", type=int, default=0, help="base seed for channels/symbols/noise")
+    ser.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="use the batched link engine (--no-batch runs the per-frame reference loop)",
+    )
 
     subparsers.add_parser(
         "scenarios", help="list the sweepable experiment scenarios and their axes"
@@ -171,6 +188,38 @@ def _run_lifetime(args: argparse.Namespace) -> str:
         sorted(lifetimes.items(), key=lambda kv: kv[1]),
         title=f"{args.grid * args.grid}-node deployment lifetime by platform",
     )
+
+
+def _run_ser(args: argparse.Namespace) -> str:
+    import time
+
+    from repro.analysis.ablations import dsss_vs_fsk_ablation
+
+    try:
+        snr_points = tuple(float(token) for token in args.snr_db.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"error: --snr-db expects comma-separated numbers, got {args.snr_db!r}"
+        ) from None
+    start = time.perf_counter()
+    curves = dsss_vs_fsk_ablation(
+        snr_points_db=snr_points,
+        num_symbols=args.symbols,
+        rng=args.seed,
+        batch=args.batch,
+        num_frames=args.frames,
+    )
+    elapsed = time.perf_counter() - start
+    engine = "batched engine" if args.batch else "per-frame reference"
+    table = format_table(
+        ["SNR (dB)", "DS-SS SER", "FSK SER"],
+        [
+            (d.snr_db, round(d.symbol_error_rate, 4), round(f.symbol_error_rate, 4))
+            for d, f in zip(curves["DSSS"], curves["FSK"])
+        ],
+        title=f"E7 — symbol error rate, DS-SS vs FSK ({engine})",
+    )
+    return f"{table}\nelapsed: {elapsed:.3f}s ({engine})"
 
 
 def _parse_axis_value(token: str) -> int | float | str | bool:
@@ -292,6 +341,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_lifetime(args)
     elif args.command == "estimate":
         output = _run_estimate(args)
+    elif args.command == "ser":
+        output = _run_ser(args)
     elif args.command == "scenarios":
         output = _run_scenarios(args)
     elif args.command == "sweep":

@@ -17,8 +17,10 @@ Modules
 """
 
 from repro.core.matching_pursuit import (
+    BatchMatchingPursuitResult,
     MatchingPursuitResult,
     matching_pursuit,
+    matching_pursuit_batch,
     matching_pursuit_naive,
 )
 from repro.core.refinement import matching_pursuit_ls, refine_least_squares
@@ -33,8 +35,10 @@ from repro.core.ipcore import FilterAndCancelBlock, IPCoreConfig, IPCoreSimulato
 from repro.core.dse import DesignPoint, DesignPointEvaluation, DesignSpaceExplorer
 
 __all__ = [
+    "BatchMatchingPursuitResult",
     "MatchingPursuitResult",
     "matching_pursuit",
+    "matching_pursuit_batch",
     "matching_pursuit_naive",
     "matching_pursuit_ls",
     "refine_least_squares",

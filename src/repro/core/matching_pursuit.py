@@ -16,14 +16,18 @@ using the pre-computed signal matrices ``S`` (delayed waveform signatures),
       before, and commit ``F_q = G_q``.
 3. Return ``F`` — a vector with exactly ``Nf`` non-zero entries.
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :func:`matching_pursuit` — the vectorised NumPy version used everywhere in
-  the library (this is the production code path);
+  the library for single receive vectors (this is the production code path);
+* :func:`matching_pursuit_batch` — the same algorithm vectorised across a
+  whole stack of receive vectors at once (one matched-filter matmul and one
+  argmax per iteration for the entire batch); the Monte-Carlo link simulator
+  uses it to estimate every frame's channel in one shot;
 * :func:`matching_pursuit_naive` — a straight-line, loop-based transcription
-  of Figure 3 kept as an executable specification; the test-suite checks the
-  two agree to machine precision, and the benchmark suite (experiment E10)
-  measures the speed-up of vectorisation.
+  of Figure 3 kept as an executable specification; the test-suite checks all
+  implementations agree to machine precision, and the benchmark suite
+  (experiment E10) measures the speed-up of vectorisation.
 """
 
 from __future__ import annotations
@@ -35,7 +39,13 @@ import numpy as np
 from repro.dsp.signal_matrix import SignalMatrices
 from repro.utils.validation import check_integer, ensure_1d_array, ensure_2d_array
 
-__all__ = ["MatchingPursuitResult", "matching_pursuit", "matching_pursuit_naive"]
+__all__ = [
+    "MatchingPursuitResult",
+    "BatchMatchingPursuitResult",
+    "matching_pursuit",
+    "matching_pursuit_batch",
+    "matching_pursuit_naive",
+]
 
 
 @dataclass
@@ -70,6 +80,74 @@ class MatchingPursuitResult:
         """Return the estimate as (delay, gain) pairs sorted by delay."""
         pairs = [(int(d), complex(g)) for d, g in zip(self.path_indices, self.path_gains)]
         return sorted(pairs, key=lambda p: p[0])
+
+
+@dataclass
+class BatchMatchingPursuitResult:
+    """Output of a batched Matching Pursuits run over a stack of trials.
+
+    Attributes
+    ----------
+    coefficients:
+        ``(trials, num_delays)`` dense estimated channel vectors; exactly
+        ``num_paths`` entries per row are non-zero.
+    path_indices:
+        ``(trials, num_paths)`` selected delays, in selection order per trial.
+    path_gains:
+        ``(trials, num_paths)`` complex coefficients, same order.
+    decision_history:
+        ``(trials, num_paths)`` per-iteration maximum decision variables.
+    """
+
+    coefficients: np.ndarray
+    path_indices: np.ndarray
+    path_gains: np.ndarray
+    decision_history: np.ndarray
+
+    @property
+    def num_trials(self) -> int:
+        """Number of receive vectors in the batch."""
+        return int(self.coefficients.shape[0])
+
+    @property
+    def num_paths(self) -> int:
+        """Number of paths estimated per trial."""
+        return int(self.path_indices.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_trials
+
+    def __getitem__(self, trial: int) -> MatchingPursuitResult:
+        """The estimate of one trial as a plain :class:`MatchingPursuitResult`."""
+        return MatchingPursuitResult(
+            coefficients=self.coefficients[trial],
+            path_indices=self.path_indices[trial],
+            path_gains=self.path_gains[trial],
+            decision_history=self.decision_history[trial],
+        )
+
+    def unbatch(self) -> list[MatchingPursuitResult]:
+        """Split the batch into per-trial results."""
+        return [self[t] for t in range(self.num_trials)]
+
+    @classmethod
+    def from_results(
+        cls, results: "list[MatchingPursuitResult]", num_delays: int
+    ) -> "BatchMatchingPursuitResult":
+        """Stack per-trial results into a batch (inverse of :meth:`unbatch`)."""
+        if not results:
+            return cls(
+                coefficients=np.zeros((0, num_delays), dtype=np.complex128),
+                path_indices=np.zeros((0, 0), dtype=np.int64),
+                path_gains=np.zeros((0, 0), dtype=np.complex128),
+                decision_history=np.zeros((0, 0), dtype=np.float64),
+            )
+        return cls(
+            coefficients=np.stack([r.coefficients for r in results]),
+            path_indices=np.stack([r.path_indices for r in results]),
+            path_gains=np.stack([r.path_gains for r in results]),
+            decision_history=np.stack([r.decision_history for r in results]),
+        )
 
 
 def _validate_inputs(
@@ -154,6 +232,92 @@ def matching_pursuit(
         previous_index = q
 
     return MatchingPursuitResult(
+        coefficients=F,
+        path_indices=path_indices,
+        path_gains=path_gains,
+        decision_history=decision_history,
+    )
+
+
+def matching_pursuit_batch(
+    received: np.ndarray,
+    matrices: SignalMatrices | None = None,
+    *,
+    S: np.ndarray | None = None,
+    A: np.ndarray | None = None,
+    a: np.ndarray | None = None,
+    num_paths: int = 6,
+) -> BatchMatchingPursuitResult:
+    """Run Matching Pursuits on a whole stack of receive vectors at once.
+
+    Algorithmically identical to calling :func:`matching_pursuit` on each row
+    of ``received`` (same per-iteration formulas, same not-yet-selected argmax
+    tie-breaking), but the matched filter bank is a single matmul and every
+    iteration updates all trials together, so the per-trial Python overhead of
+    the Monte-Carlo loop disappears.
+
+    Parameters
+    ----------
+    received:
+        ``(trials, window)`` complex stack of receive vectors; ``trials`` may
+        be zero (an empty batch yields empty result arrays).
+    matrices, S, A, a, num_paths:
+        As for :func:`matching_pursuit`; the signal matrices are shared by the
+        whole batch.
+
+    Returns
+    -------
+    BatchMatchingPursuitResult
+    """
+    if matrices is not None:
+        if S is not None or A is not None or a is not None:
+            raise ValueError("pass either `matrices` or explicit S/A/a, not both")
+        S, A, a = matrices.S, matrices.A, matrices.a
+    if S is None or A is None or a is None:
+        raise ValueError("signal matrices are required (either `matrices` or S, A and a)")
+    S = ensure_2d_array("S", S, dtype=np.float64)
+    window, num_delays = S.shape
+    received = ensure_2d_array(
+        "received", received, dtype=np.complex128, shape=(None, window)
+    )
+    A = ensure_2d_array("A", A, dtype=np.float64, shape=(num_delays, num_delays))
+    a = ensure_1d_array("a", a, dtype=np.float64, length=num_delays)
+    num_paths = check_integer("num_paths", num_paths, minimum=1, maximum=num_delays)
+
+    trials = received.shape[0]
+    rows = np.arange(trials)
+    # Steps 1-5 for every trial at once: one matched filter matmul per
+    # component replaces the per-trial filter banks (S is real, so splitting
+    # the complex matmul into two real ones halves the work).
+    V = (received.real @ S) + 1j * (received.imag @ S)  # (trials, num_delays)
+    F = np.zeros((trials, num_delays), dtype=np.complex128)
+    selected = np.zeros((trials, num_delays), dtype=bool)
+
+    path_indices = np.empty((trials, num_paths), dtype=np.int64)
+    path_gains = np.empty((trials, num_paths), dtype=np.complex128)
+    decision_history = np.empty((trials, num_paths), dtype=np.float64)
+
+    previous: np.ndarray | None = None
+    for j in range(num_paths):
+        # Step 8: cancel each trial's previously found path (column q of A,
+        # taken as a row of A^T so no symmetry of A is assumed).
+        if previous is not None:
+            V = V - A.T[previous] * F[rows, previous][:, np.newaxis]
+        # Steps 9-12, identical formulas to the single-vector version.
+        G = V * a
+        Q = np.real(np.conj(G) * V)
+        # Step 13: per-trial arg max over not-yet-selected delays.
+        Q_masked = np.where(selected, -np.inf, Q)
+        q = np.argmax(Q_masked, axis=1)
+        # Step 14: commit one coefficient per trial.
+        F[rows, q] = G[rows, q]
+        selected[rows, q] = True
+        path_indices[:, j] = q
+        path_gains[:, j] = G[rows, q]
+        decision_history[:, j] = Q[rows, q]
+        previous = q
+
+    return BatchMatchingPursuitResult(
         coefficients=F,
         path_indices=path_indices,
         path_gains=path_gains,

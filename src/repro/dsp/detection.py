@@ -13,7 +13,13 @@ import numpy as np
 
 from repro.utils.validation import ensure_1d_array, ensure_2d_array
 
-__all__ = ["rake_combine", "detect_symbols", "symbol_decision"]
+__all__ = [
+    "rake_combine",
+    "rake_combine_windows",
+    "detect_symbols",
+    "symbol_decision",
+    "symbol_decision_batch",
+]
 
 
 def rake_combine(
@@ -61,6 +67,44 @@ def rake_combine(
     return combined
 
 
+def rake_combine_windows(
+    received_windows: np.ndarray,
+    path_delays: np.ndarray,
+    path_gains: np.ndarray,
+    symbol_length: int,
+) -> np.ndarray:
+    """Maximal-ratio combine a whole ``(windows, window_length)`` stack at once.
+
+    Equivalent to :func:`rake_combine` applied to each row (same tap order,
+    same arithmetic) but vectorised across the windows, which share one
+    resolved multipath profile — the shape of a frame's payload after channel
+    estimation.
+
+    Returns a ``(windows, symbol_length)`` complex matrix.
+    """
+    received_windows = ensure_2d_array(
+        "received_windows", received_windows, dtype=np.complex128
+    )
+    path_delays = ensure_1d_array("path_delays", path_delays, dtype=np.int64)
+    path_gains = ensure_1d_array("path_gains", path_gains, dtype=np.complex128)
+    if path_delays.shape != path_gains.shape:
+        raise ValueError(
+            f"delays and gains must have equal length, got {path_delays.shape} and {path_gains.shape}"
+        )
+    if path_delays.size and path_delays.min() < 0:
+        raise ValueError("path delays must be non-negative")
+    window_length = received_windows.shape[1]
+    combined = np.zeros((received_windows.shape[0], symbol_length), dtype=np.complex128)
+    for delay, gain in zip(path_delays, path_gains):
+        end = int(delay) + symbol_length
+        if end > window_length:
+            raise ValueError(
+                f"path delay {delay} plus symbol length {symbol_length} exceeds window {window_length}"
+            )
+        combined += np.conj(gain) * received_windows[:, int(delay):end]
+    return combined
+
+
 def symbol_decision(combined: np.ndarray, waveforms: np.ndarray) -> tuple[int, np.ndarray]:
     """Correlate a combined symbol window against the alphabet, return the best index.
 
@@ -74,6 +118,24 @@ def symbol_decision(combined: np.ndarray, waveforms: np.ndarray) -> tuple[int, n
         )
     scores = np.real(waveforms @ combined)
     return int(np.argmax(scores)), scores
+
+
+def symbol_decision_batch(
+    combined: np.ndarray, waveforms: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Correlate a ``(windows, symbol_length)`` stack against the alphabet.
+
+    One matmul replaces per-window :func:`symbol_decision` calls; returns the
+    per-window argmax indices and the ``(windows, alphabet)`` score matrix.
+    """
+    combined = ensure_2d_array("combined", combined, dtype=np.complex128)
+    waveforms = ensure_2d_array("waveforms", waveforms, dtype=np.float64)
+    if waveforms.shape[1] != combined.shape[1]:
+        raise ValueError(
+            f"waveform length {waveforms.shape[1]} does not match combined length {combined.shape[1]}"
+        )
+    scores = np.real(combined @ waveforms.T)
+    return np.argmax(scores, axis=1).astype(np.int64), scores
 
 
 def detect_symbols(

@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dsp.detection import rake_combine, symbol_decision
+from repro.dsp.detection import (
+    rake_combine,
+    rake_combine_windows,
+    symbol_decision,
+    symbol_decision_batch,
+)
 from repro.dsp.modulation.base import DemodulationResult, Modulator
 from repro.dsp.sampling import upsample_chips
 from repro.dsp.spreading import composite_waveform_set
-from repro.utils.validation import check_integer, ensure_1d_array
+from repro.utils.validation import check_integer, ensure_1d_array, ensure_2d_array
 
 __all__ = ["DSSSModulator"]
 
@@ -73,6 +78,23 @@ class DSSSModulator(Modulator):
             out[start : start + self.symbol_samples] = self.waveforms[sym]
         return out
 
+    def modulate_batch(self, symbols: np.ndarray) -> np.ndarray:
+        """Modulate a ``(frames, symbols_per_frame)`` batch in one shot.
+
+        Row ``t`` equals ``modulate(symbols[t])`` exactly; the per-symbol
+        Python loop is replaced by a single fancy-indexed assignment.
+        """
+        symbols = ensure_2d_array("symbols", symbols, dtype=np.int64)
+        if symbols.size and (symbols.min() < 0 or symbols.max() >= self.alphabet_size):
+            raise ValueError("symbol index out of range")
+        frames, per_frame = symbols.shape
+        out = np.zeros(
+            (frames, per_frame * self.samples_per_symbol), dtype=np.complex128
+        )
+        shaped = out.reshape(frames, per_frame, self.samples_per_symbol)
+        shaped[:, :, : self.symbol_samples] = self.waveforms[symbols]
+        return out
+
     def receive_windows(self, samples: np.ndarray) -> np.ndarray:
         """Split a received stream into per-symbol windows (symbol + guard)."""
         samples = ensure_1d_array("samples", samples, dtype=np.complex128)
@@ -103,6 +125,29 @@ class DSSSModulator(Modulator):
         for i, window in enumerate(windows):
             combined = rake_combine(window, path_delays, path_gains, self.symbol_samples)
             decisions[i], scores[i] = symbol_decision(combined, self.waveforms)
+        return DemodulationResult(symbols=decisions, scores=scores)
+
+    def demodulate_windows(
+        self,
+        windows: np.ndarray,
+        path_delays: np.ndarray | None = None,
+        path_gains: np.ndarray | None = None,
+    ) -> DemodulationResult:
+        """Detect a ``(windows, window_length)`` stack sharing one channel.
+
+        The batched counterpart of :meth:`demodulate`: every window is
+        RAKE-combined over the same resolved multipath profile (one array op
+        per path) and all symbol decisions fall out of a single correlation
+        matmul.
+        """
+        windows = ensure_2d_array("windows", windows, dtype=np.complex128)
+        if path_delays is None or path_gains is None:
+            path_delays = np.array([0], dtype=np.int64)
+            path_gains = np.array([1.0 + 0.0j])
+        combined = rake_combine_windows(
+            windows, path_delays, path_gains, self.symbol_samples
+        )
+        decisions, scores = symbol_decision_batch(combined, self.waveforms)
         return DemodulationResult(symbols=decisions, scores=scores)
 
     # ------------------------------------------------------------------ #

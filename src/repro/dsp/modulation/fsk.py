@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dsp.modulation.base import DemodulationResult, Modulator
-from repro.utils.validation import check_integer, ensure_1d_array
+from repro.utils.validation import check_integer, ensure_1d_array, ensure_2d_array
 
 __all__ = ["FSKModulator"]
 
@@ -72,6 +72,23 @@ class FSKModulator(Modulator):
             out[start : start + self.symbol_samples] = self.tones[sym]
         return out
 
+    def modulate_batch(self, symbols: np.ndarray) -> np.ndarray:
+        """Modulate a ``(frames, symbols_per_frame)`` batch in one shot.
+
+        Row ``t`` equals ``modulate(symbols[t])`` exactly; the per-symbol
+        Python loop is replaced by a single fancy-indexed assignment.
+        """
+        symbols = ensure_2d_array("symbols", symbols, dtype=np.int64)
+        if symbols.size and (symbols.min() < 0 or symbols.max() >= self.alphabet_size):
+            raise ValueError("symbol index out of range")
+        frames, per_frame = symbols.shape
+        out = np.zeros(
+            (frames, per_frame * self.samples_per_symbol), dtype=np.complex128
+        )
+        shaped = out.reshape(frames, per_frame, self.samples_per_symbol)
+        shaped[:, :, : self.symbol_samples] = self.tones[symbols]
+        return out
+
     def demodulate(self, samples: np.ndarray) -> DemodulationResult:
         """Non-coherent energy detection over each symbol window."""
         samples = ensure_1d_array("samples", samples, dtype=np.complex128)
@@ -83,3 +100,24 @@ class FSKModulator(Modulator):
         scores = np.abs(symbol_part @ np.conj(self.tones.T))
         decisions = np.argmax(scores, axis=1).astype(np.int64)
         return DemodulationResult(symbols=decisions, scores=scores)
+
+    def demodulate_batch(self, samples: np.ndarray) -> DemodulationResult:
+        """Energy detection over a ``(frames, frame_length)`` stack at once.
+
+        All frames' symbol windows are correlated against the tone bank in a
+        single matmul.  ``symbols`` and ``scores`` come back with a leading
+        frame axis: ``(frames, symbols_per_frame)`` and
+        ``(frames, symbols_per_frame, alphabet)``.
+        """
+        samples = ensure_2d_array("samples", samples, dtype=np.complex128)
+        frames = samples.shape[0]
+        num_symbols = samples.shape[1] // self.samples_per_symbol
+        usable = num_symbols * self.samples_per_symbol
+        windows = samples[:, :usable].reshape(frames, num_symbols, self.samples_per_symbol)
+        symbol_part = windows[:, :, : self.symbol_samples].reshape(-1, self.symbol_samples)
+        scores = np.abs(symbol_part @ np.conj(self.tones.T))
+        decisions = np.argmax(scores, axis=1).astype(np.int64)
+        return DemodulationResult(
+            symbols=decisions.reshape(frames, num_symbols),
+            scores=scores.reshape(frames, num_symbols, self.alphabet_size),
+        )

@@ -207,11 +207,17 @@ def _grid_routing(rows: int, cols: int, spacing_m: float, communication_range_m:
 # trial functions (module-level so worker processes can run them)
 # --------------------------------------------------------------------------- #
 def _modem_ser_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
-    """One SER measurement of one scheme at one SNR point."""
+    """One SER measurement of one scheme at one SNR point.
+
+    ``batch`` selects the batched link engine (the default) or the per-frame
+    reference loop; both produce identical counts for a given seed, so the
+    axis exists for benchmarking and cross-validation sweeps.
+    """
     simulator = LinkSimulator(
         config=_config_from(params),
         num_channel_paths=int(params["num_channel_paths"]),
         rng=seed,
+        batch=bool(params.get("batch", True)),
     )
     result = simulator.run(
         str(params["scheme"]),
@@ -333,7 +339,12 @@ register(Scenario(
     default_spec=SweepSpec(
         scenario="modem-ser-vs-snr",
         grid={"scheme": ("DSSS", "FSK"), "snr_db": (-6.0, -3.0, 0.0, 3.0, 6.0)},
-        base={"num_symbols": 48, "num_frames": 4, "num_channel_paths": 4},
+        base={
+            "num_symbols": 48, "num_frames": 4, "num_channel_paths": 4,
+            # batched engine by default; `--set batch=false` runs the
+            # per-frame reference (identical counts, just slower)
+            "batch": True,
+        },
         # seeds paired across scheme and SNR (common random numbers): both
         # schemes see the same channels, so the comparison is head-to-head
         seed=SeedPolicy(base_seed=0, replicates=2),

@@ -19,8 +19,9 @@ input sizes (Table 1):
 from repro.modem.config import AquaModemConfig
 from repro.modem.frame import bits_to_symbols, symbols_to_bits, random_bits
 from repro.modem.transmitter import Transmitter
-from repro.modem.receiver import Receiver, ReceiverOutput
+from repro.modem.receiver import BatchReceiverOutput, Receiver, ReceiverOutput
 from repro.modem.link import LinkSimulator, LinkResult, symbol_error_rate_curve
+from repro.modem.batch import BatchLinkEngine
 from repro.modem.energy_budget import ModemEnergyBudget, PacketEnergyBreakdown
 from repro.modem.synchronization import FrameSynchronizer, SynchronizationResult
 
@@ -32,6 +33,8 @@ __all__ = [
     "Transmitter",
     "Receiver",
     "ReceiverOutput",
+    "BatchReceiverOutput",
+    "BatchLinkEngine",
     "LinkSimulator",
     "LinkResult",
     "symbol_error_rate_curve",

@@ -4,6 +4,14 @@ Experiment E7 checks the claim (Section III, citing Freitag et al.) that
 DS-SS waveforms achieve lower error rates than FSK in the frequency-selective
 underwater channel.  :class:`LinkSimulator` runs both schemes over the same
 multipath channels and noise realisations and reports symbol error rates.
+
+By default the simulation runs on the batched engine
+(:class:`repro.modem.batch.BatchLinkEngine`), which vectorises the
+Monte-Carlo loop across frames while consuming an identical RNG stream;
+``batch=False`` selects the original per-frame loop, which is kept as the
+executable specification (the same role :func:`matching_pursuit_naive` plays
+for the vectorised Matching Pursuits) and is pinned seed-for-seed equal to
+the batched engine by ``tests/modem/test_batch_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -35,9 +43,13 @@ class LinkResult:
 
     @property
     def symbol_error_rate(self) -> float:
-        """Estimated symbol error rate (errors / symbols)."""
+        """Estimated symbol error rate (errors / symbols).
+
+        With no symbols sent the rate is undefined and reported as NaN — a
+        silent 0.0 would read as "error free" in aggregated SER curves.
+        """
         if self.symbols_sent == 0:
-            return 0.0
+            return float("nan")
         return self.symbol_errors / self.symbols_sent
 
 
@@ -56,12 +68,17 @@ class LinkSimulator:
         Number of paths of the randomly drawn channels.
     rng:
         Seed or generator for symbols, channels and noise.
+    batch:
+        Run on the batched engine (default); ``False`` selects the per-frame
+        reference loop.  Both paths consume the same RNG stream and return
+        the same counts for a given seed.
     """
 
     config: AquaModemConfig = field(default_factory=AquaModemConfig)
     channel: MultipathChannel | None = None
     num_channel_paths: int = 4
     rng: np.random.Generator | int | None = None
+    batch: bool = True
 
     def __post_init__(self) -> None:
         self.rng = as_rng(self.rng)
@@ -72,6 +89,24 @@ class LinkSimulator:
             samples_per_symbol=self.config.samples_per_symbol,
             guard_samples=self.config.samples_per_guard,
         )
+        self._engine = None
+
+    @property
+    def engine(self):
+        """The batched engine, sharing this simulator's RNG stream."""
+        if self._engine is None:
+            from repro.modem.batch import BatchLinkEngine
+
+            self._engine = BatchLinkEngine(
+                config=self.config,
+                channel=self.channel,
+                num_channel_paths=self.num_channel_paths,
+                rng=self.rng,
+                transmitter=self.transmitter,
+                receiver=self.receiver,
+                fsk=self.fsk,
+            )
+        return self._engine
 
     # ------------------------------------------------------------------ #
     def _draw_channel(self) -> MultipathChannel:
@@ -86,6 +121,14 @@ class LinkSimulator:
 
     def run_dsss(self, snr_db: float, num_symbols: int, num_frames: int = 10) -> LinkResult:
         """Simulate the DS-SS + MP + RAKE chain at one SNR point."""
+        if self.batch:
+            return self.engine.run_dsss(snr_db, num_symbols, num_frames)
+        return self.run_dsss_perframe(snr_db, num_symbols, num_frames)
+
+    def run_dsss_perframe(
+        self, snr_db: float, num_symbols: int, num_frames: int = 10
+    ) -> LinkResult:
+        """Per-frame reference loop for the DS-SS chain (executable spec)."""
         check_integer("num_symbols", num_symbols, minimum=1)
         check_integer("num_frames", num_frames, minimum=1)
         symbols_per_frame = max(1, num_symbols // num_frames)
@@ -105,6 +148,14 @@ class LinkSimulator:
 
     def run_fsk(self, snr_db: float, num_symbols: int, num_frames: int = 10) -> LinkResult:
         """Simulate the non-coherent FSK chain at one SNR point."""
+        if self.batch:
+            return self.engine.run_fsk(snr_db, num_symbols, num_frames)
+        return self.run_fsk_perframe(snr_db, num_symbols, num_frames)
+
+    def run_fsk_perframe(
+        self, snr_db: float, num_symbols: int, num_frames: int = 10
+    ) -> LinkResult:
+        """Per-frame reference loop for the FSK chain (executable spec)."""
         check_integer("num_symbols", num_symbols, minimum=1)
         check_integer("num_frames", num_frames, minimum=1)
         symbols_per_frame = max(1, num_symbols // num_frames)
@@ -131,6 +182,20 @@ class LinkSimulator:
             return self.run_fsk(snr_db, num_symbols, num_frames)
         raise ValueError(f"unknown scheme {scheme!r}; expected 'DSSS' or 'FSK'")
 
+    def run_curve(
+        self,
+        scheme: str,
+        snr_points_db: list[float],
+        num_symbols: int,
+        num_frames: int = 10,
+    ) -> list[LinkResult]:
+        """SER at each SNR point (the batched engine pipelines the points)."""
+        if self.batch:
+            return self.engine.run_curve(scheme, snr_points_db, num_symbols, num_frames)
+        return [
+            self.run(scheme, snr, num_symbols, num_frames) for snr in snr_points_db
+        ]
+
 
 def symbol_error_rate_curve(
     scheme: str,
@@ -139,8 +204,13 @@ def symbol_error_rate_curve(
     config: AquaModemConfig | None = None,
     rng: np.random.Generator | int | None = None,
     num_frames: int = 10,
+    batch: bool = True,
 ) -> list[LinkResult]:
-    """SER at each SNR point for one scheme (one series of the E7 figure)."""
+    """SER at each SNR point for one scheme (one series of the E7 figure).
+
+    ``batch=False`` runs the per-frame reference loop instead of the batched
+    engine; both return identical counts for a given seed.
+    """
     config = config if config is not None else AquaModemConfig()
-    simulator = LinkSimulator(config=config, rng=rng)
-    return [simulator.run(scheme, snr, num_symbols, num_frames) for snr in snr_points_db]
+    simulator = LinkSimulator(config=config, rng=rng, batch=batch)
+    return simulator.run_curve(scheme, snr_points_db, num_symbols, num_frames)

@@ -19,14 +19,19 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.matching_pursuit import MatchingPursuitResult, matching_pursuit
+from repro.core.matching_pursuit import (
+    BatchMatchingPursuitResult,
+    MatchingPursuitResult,
+    matching_pursuit,
+    matching_pursuit_batch,
+)
 from repro.dsp.modulation.dsss import DSSSModulator
 from repro.dsp.signal_matrix import SignalMatrices, build_signal_matrices
 from repro.modem.config import AquaModemConfig
 from repro.modem.frame import symbols_to_bits
-from repro.utils.validation import ensure_1d_array
+from repro.utils.validation import ensure_1d_array, ensure_2d_array
 
-__all__ = ["Receiver", "ReceiverOutput"]
+__all__ = ["Receiver", "ReceiverOutput", "BatchReceiverOutput"]
 
 #: Signature of a pluggable channel estimator.
 ChannelEstimator = Callable[[np.ndarray, SignalMatrices, int], MatchingPursuitResult]
@@ -49,6 +54,46 @@ class ReceiverOutput:
     def num_symbols(self) -> int:
         """Number of detected payload symbols."""
         return int(self.symbols.shape[0])
+
+
+@dataclass
+class BatchReceiverOutput:
+    """Everything the receiver recovered from a stack of frames.
+
+    Attributes
+    ----------
+    symbols:
+        ``(frames, payload_symbols)`` detected symbol indices.
+    bits:
+        ``(frames, payload_symbols * bits_per_symbol)`` unpacked bits.
+    channel_estimates:
+        Batched channel estimate (one row per frame), or ``None`` when the
+        receiver runs without a pilot.
+    scores:
+        ``(frames, payload_symbols, alphabet)`` decision statistics.
+    """
+
+    symbols: np.ndarray
+    bits: np.ndarray
+    channel_estimates: BatchMatchingPursuitResult | None
+    scores: np.ndarray
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the batch."""
+        return int(self.symbols.shape[0])
+
+    def __getitem__(self, frame: int) -> ReceiverOutput:
+        """The output of one frame as a plain :class:`ReceiverOutput`."""
+        estimate = (
+            self.channel_estimates[frame] if self.channel_estimates is not None else None
+        )
+        return ReceiverOutput(
+            symbols=self.symbols[frame],
+            bits=self.bits[frame],
+            channel_estimate=estimate,
+            scores=self.scores[frame],
+        )
 
 
 @dataclass
@@ -137,4 +182,126 @@ class Receiver:
             bits=bits,
             channel_estimate=channel_estimate,
             scores=result.scores,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched receive chain
+    # ------------------------------------------------------------------ #
+    def estimate_channel_batch(self, pilot_windows: np.ndarray) -> BatchMatchingPursuitResult:
+        """Estimate every frame's channel from a ``(frames, window)`` stack.
+
+        With the default estimator this is one :func:`matching_pursuit_batch`
+        call; a custom (e.g. fixed-point or IP-core) estimator is applied per
+        frame and the results are stacked, so pluggable backends keep working.
+        """
+        if self.matrices is None:
+            raise ValueError("receiver was configured without a pilot; no channel estimation")
+        pilot_windows = ensure_2d_array(
+            "pilot_windows", pilot_windows, dtype=np.complex128,
+            shape=(None, self.matrices.window_length),
+        )
+        if self.estimator is _default_estimator:
+            return matching_pursuit_batch(
+                pilot_windows, self.matrices, num_paths=self.config.num_paths
+            )
+        results = [
+            self.estimator(window, self.matrices, self.config.num_paths)
+            for window in pilot_windows
+        ]
+        return BatchMatchingPursuitResult.from_results(results, self.matrices.num_delays)
+
+    def _selected_paths_batch(
+        self, estimates: BatchMatchingPursuitResult
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_selected_paths`: ``(frames, num_paths)`` profiles.
+
+        Instead of per-frame variable-length tap lists, below-threshold paths
+        keep their delay but get a zero gain — RAKE-combining a zero-gain tap
+        adds exact zeros, so the combined windows are identical to combining
+        the thresholded list.  Frames whose estimate is all-zero fall back to
+        the single unit-gain tap at delay 0, as in the per-frame path.
+        """
+        delays = estimates.path_indices.copy()
+        gains = estimates.path_gains.copy()
+        magnitudes = np.abs(gains)
+        peak = magnitudes.max(axis=1) if magnitudes.shape[1] else np.zeros(len(estimates))
+        dropped = magnitudes < self.path_magnitude_threshold * peak[:, np.newaxis]
+        gains[dropped] = 0.0
+        delays[dropped] = 0  # keep the gather in-bounds; a zero-gain tap adds zero
+        dead = peak == 0.0
+        if np.any(dead):
+            delays[dead] = 0
+            gains[dead] = 0.0
+            gains[dead, 0] = 1.0
+        return delays, gains
+
+    def receive_batch(self, samples: np.ndarray) -> BatchReceiverOutput:
+        """Demodulate a ``(frames, frame_length)`` stack of equal-length frames.
+
+        Per-frame results are identical to :meth:`receive` on each row; the
+        pilot windows are estimated in one batched MP call, the per-frame
+        RAKE profiles are applied through one gathered multiply-add, and all
+        payload windows of all frames share a single decision matmul.
+        """
+        samples = ensure_2d_array("samples", samples, dtype=np.complex128)
+        frames = samples.shape[0]
+        per_symbol = self.modulator.samples_per_symbol
+        num_windows = samples.shape[1] // per_symbol
+        if num_windows == 0:
+            raise ValueError("sample stream shorter than one receive window")
+        usable = num_windows * per_symbol
+        windows = samples[:, :usable].reshape(frames, num_windows, per_symbol)
+
+        channel_estimates: BatchMatchingPursuitResult | None = None
+        payload = windows
+        if self.pilot_symbol is not None:
+            channel_estimates = self.estimate_channel_batch(windows[:, 0, :])
+            payload = windows[:, 1:, :]
+        payload_symbols = payload.shape[1]
+        symbol_length = self.modulator.symbol_samples
+
+        if channel_estimates is not None:
+            delays, gains = self._selected_paths_batch(channel_estimates)
+        else:
+            delays = np.zeros((frames, 1), dtype=np.int64)
+            gains = np.ones((frames, 1), dtype=np.complex128)
+        # RAKE-combine every payload window of every frame.  The profile
+        # differs per frame, so taps are applied frame by frame — but each
+        # application combines all of that frame's windows in one slice op,
+        # and taps zeroed by the threshold are skipped outright (they add
+        # exact zeros).  This is the multi-frame generalisation of
+        # DSSSModulator.demodulate_windows (one frame's windows, one
+        # profile); tests/modem/test_batch_equivalence.py pins the two
+        # against the per-window reference so they cannot silently diverge.
+        combined = np.zeros(
+            (frames, payload_symbols, symbol_length), dtype=np.complex128
+        )
+        gains_conj = np.conj(gains)
+        for t in range(frames):
+            acc = combined[t]
+            source = payload[t]
+            for k in range(delays.shape[1]):
+                g = gains_conj[t, k]
+                if g == 0.0:
+                    continue
+                d = delays[t, k]
+                acc += g * source[:, d : d + symbol_length]
+
+        # waveforms are real, so only the real part of `combined` reaches the
+        # real correlation scores — one real matmul instead of a complex one
+        flat_scores = np.ascontiguousarray(
+            combined.reshape(-1, symbol_length).real
+        ) @ self.modulator.waveforms.T
+        symbols = np.argmax(flat_scores, axis=1).astype(np.int64).reshape(
+            frames, payload_symbols
+        )
+        scores = flat_scores.reshape(
+            frames, payload_symbols, self.modulator.alphabet_size
+        )
+        bits = symbols_to_bits(symbols.reshape(-1), self.config.bits_per_symbol)
+        return BatchReceiverOutput(
+            symbols=symbols,
+            bits=bits.reshape(frames, payload_symbols * self.config.bits_per_symbol),
+            channel_estimates=channel_estimates,
+            scores=scores,
         )

@@ -1,0 +1,116 @@
+"""Property tests for the batched Matching Pursuits kernel.
+
+Parametrized over waveform geometry, window length, path count and batch
+size (including the ``trials=1`` and empty-batch edge cases): every trial's
+selected delays are unique, its coefficient vector has exactly ``num_paths``
+non-zeros, and the batch agrees with the per-trial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matching_pursuit import (
+    BatchMatchingPursuitResult,
+    matching_pursuit,
+    matching_pursuit_batch,
+)
+from repro.dsp.signal_matrix import build_signal_matrices
+
+
+def _random_matrices(rng, ns, window_length):
+    waveform = np.sign(rng.standard_normal(ns)) + (rng.random(ns) < 0.1)
+    waveform[waveform == 0] = 1.0
+    return build_signal_matrices(waveform, window_length=window_length)
+
+
+@pytest.mark.parametrize(
+    "ns,window_length,num_paths,trials",
+    [
+        (16, 32, 1, 1),
+        (16, 32, 4, 1),
+        (16, 40, 3, 5),
+        (24, 48, 6, 7),
+        (32, 64, 8, 3),
+        (8, 16, 2, 11),
+        (48, 96, 6, 2),
+    ],
+)
+def test_batch_properties(ns, window_length, num_paths, trials):
+    rng = np.random.default_rng(ns * 1000 + window_length * 10 + num_paths + trials)
+    matrices = _random_matrices(rng, ns, window_length)
+    received = rng.standard_normal((trials, window_length)) + 1j * rng.standard_normal(
+        (trials, window_length)
+    )
+
+    result = matching_pursuit_batch(received, matrices, num_paths=num_paths)
+
+    assert result.num_trials == trials
+    assert result.num_paths == num_paths
+    assert result.coefficients.shape == (trials, matrices.num_delays)
+    assert result.path_indices.shape == (trials, num_paths)
+    for trial in range(trials):
+        delays = result.path_indices[trial]
+        # selected delays are unique per trial ...
+        assert len(set(delays.tolist())) == num_paths
+        assert delays.min() >= 0 and delays.max() < matrices.num_delays
+        # ... and the dense vector carries exactly num_paths non-zeros
+        nonzero = np.nonzero(result.coefficients[trial])[0]
+        assert nonzero.shape[0] == num_paths
+        assert set(nonzero.tolist()) == set(delays.tolist())
+        # the batch row agrees with the per-trial reference
+        single = matching_pursuit(received[trial], matrices, num_paths=num_paths)
+        assert np.array_equal(delays, single.path_indices)
+        np.testing.assert_allclose(
+            result.coefficients[trial], single.coefficients, rtol=1e-12, atol=1e-14
+        )
+
+
+def test_empty_batch():
+    rng = np.random.default_rng(0)
+    matrices = _random_matrices(rng, 16, 32)
+    result = matching_pursuit_batch(
+        np.zeros((0, matrices.window_length), dtype=np.complex128),
+        matrices,
+        num_paths=4,
+    )
+    assert result.num_trials == 0
+    assert len(result) == 0
+    assert result.coefficients.shape == (0, matrices.num_delays)
+    assert result.path_indices.shape == (0, 4)
+    assert result.unbatch() == []
+
+
+def test_from_results_empty():
+    empty = BatchMatchingPursuitResult.from_results([], num_delays=12)
+    assert empty.num_trials == 0
+    assert empty.coefficients.shape == (0, 12)
+
+
+def test_single_trial_matches_getitem():
+    rng = np.random.default_rng(4)
+    matrices = _random_matrices(rng, 20, 44)
+    received = rng.standard_normal((1, 44)) + 1j * rng.standard_normal((1, 44))
+    batch = matching_pursuit_batch(received, matrices, num_paths=5)
+    single = batch[0]
+    assert single.num_paths == 5
+    assert np.array_equal(single.path_indices, batch.path_indices[0])
+    pairs = single.as_delay_gain_pairs()
+    assert pairs == sorted(pairs, key=lambda p: p[0])
+
+
+def test_validation_errors():
+    rng = np.random.default_rng(1)
+    matrices = _random_matrices(rng, 16, 32)
+    good = np.zeros((2, matrices.window_length), dtype=np.complex128)
+    with pytest.raises(ValueError):
+        matching_pursuit_batch(good, matrices, S=matrices.S)
+    with pytest.raises(ValueError):
+        matching_pursuit_batch(good)
+    with pytest.raises(ValueError):
+        matching_pursuit_batch(good, matrices, num_paths=0)
+    with pytest.raises(ValueError):
+        matching_pursuit_batch(good, matrices, num_paths=matrices.num_delays + 1)
+    with pytest.raises(ValueError):
+        matching_pursuit_batch(good[:, :-1], matrices, num_paths=2)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.channel.multipath import MultipathChannel
@@ -16,8 +18,9 @@ class TestLinkResult:
         result = LinkResult(scheme="DSSS", snr_db=0.0, symbols_sent=100, symbol_errors=7)
         assert result.symbol_error_rate == pytest.approx(0.07)
 
-    def test_zero_symbols(self):
-        assert LinkResult("FSK", 0.0, 0, 0).symbol_error_rate == 0.0
+    def test_zero_symbols_is_nan(self):
+        # an undefined rate must not masquerade as "error free"
+        assert math.isnan(LinkResult("FSK", 0.0, 0, 0).symbol_error_rate)
 
 
 class TestLinkSimulator:
