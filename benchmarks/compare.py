@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files and fail on regressions.
+
+Used by CI: the previous successful run's benchmark artifact is downloaded
+(when available) and compared against the current run's JSON; a benchmark
+that slowed down by more than ``--max-slowdown`` fails the job.  A missing
+or empty baseline passes with a note (first run, renamed benchmark, expired
+artifact), so the gate never blocks bootstrap.
+
+Benchmarks that record an in-run relative ``speedup`` in ``extra_info``
+(the batched-engine benchmarks measure batch vs reference loop in the same
+process) are compared on that ratio instead of absolute wall-clock, so the
+gate is robust to CI runner VMs of different speeds across runs; plain
+benchmarks fall back to the wall-clock metric.
+
+Usage::
+
+    python benchmarks/compare.py baseline.json current.json \
+        --max-slowdown 1.30 [--metric min|mean] [--require NAME ...]
+
+``--require`` marks benchmarks that must exist in the current file (e.g. the
+link-batch and network-batch benchmarks), guarding against a gate that
+silently compares nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: str) -> dict[str, dict] | None:
+    """Benchmark stats + extra_info by name, or None when the file is absent/unreadable."""
+    file = Path(path)
+    if not file.is_file():
+        return None
+    try:
+        payload = json.loads(file.read_text())
+    except (OSError, ValueError):
+        return None
+    return {
+        bench["name"]: {
+            "stats": bench.get("stats", {}),
+            "extra_info": bench.get("extra_info", {}),
+        }
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    metric: str,
+    max_slowdown: float,
+) -> tuple[list[tuple[str, str, float, float, float]], list[str]]:
+    """Per-benchmark (name, basis, baseline, current, ratio) rows plus failures.
+
+    ``ratio > 1`` always means "got worse".  When both sides recorded an
+    in-run relative ``speedup`` the ratio is baseline_speedup /
+    current_speedup (runner-speed independent); otherwise it is
+    current_time / baseline_time on the wall-clock ``metric``.
+    """
+    rows: list[tuple[str, str, float, float, float]] = []
+    failures: list[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        base_speedup = baseline[name]["extra_info"].get("speedup")
+        current_speedup = current[name]["extra_info"].get("speedup")
+        if base_speedup and current_speedup:
+            basis = "speedup"
+            base_value, current_value = base_speedup, current_speedup
+            ratio = base_speedup / current_speedup
+        else:
+            basis = metric
+            base_value = baseline[name]["stats"].get(metric)
+            current_value = current[name]["stats"].get(metric)
+            if not base_value or current_value is None:
+                continue
+            ratio = current_value / base_value
+        rows.append((name, basis, base_value, current_value, ratio))
+        if ratio > max_slowdown:
+            failures.append(
+                f"{name} [{basis}]: {current_value:.4f} vs baseline {base_value:.4f} "
+                f"({ratio:.2f}x worse > allowed {max_slowdown:.2f}x)"
+            )
+    return rows, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="previous run's benchmark JSON")
+    parser.add_argument("current", help="this run's benchmark JSON")
+    parser.add_argument("--max-slowdown", type=float, default=1.30,
+                        help="fail when current/baseline exceeds this (default: 1.30)")
+    parser.add_argument("--metric", choices=("min", "mean", "median"), default="min",
+                        help="stat to compare (default: min, the least noisy)")
+    parser.add_argument("--require", action="append", default=[], metavar="SUBSTRING",
+                        help="fail unless a current benchmark name contains this "
+                        "substring (repeatable)")
+    args = parser.parse_args(argv)
+
+    current = load_benchmarks(args.current)
+    if current is None:
+        print(f"error: current benchmark file {args.current!r} is missing or unreadable")
+        return 2
+    missing = [
+        required for required in args.require
+        if not any(required in name for name in current)
+    ]
+    if missing:
+        print(f"error: required benchmarks not found in {args.current!r}: {missing}")
+        print(f"       present: {sorted(current)}")
+        return 2
+
+    baseline = load_benchmarks(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline!r} — first run or expired artifact; "
+              "nothing to compare, passing")
+        return 0
+    rows, failures = compare(baseline, current, args.metric, args.max_slowdown)
+    if not rows:
+        print("no common benchmarks between baseline and current — passing")
+        return 0
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'benchmark':<{width}}  basis    baseline   current  worse-by")
+    for name, basis, base_value, current_value, ratio in rows:
+        marker = "  << REGRESSION" if ratio > args.max_slowdown else ""
+        print(
+            f"{name:<{width}}  {basis:<7}  {base_value:8.4f}  {current_value:8.4f}"
+            f"  {ratio:5.2f}x{marker}"
+        )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(f"\nall {len(rows)} benchmarks within {args.max_slowdown:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,8 +16,6 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import (
     AquaModemConfig,
     aquamodem_signal_matrices,

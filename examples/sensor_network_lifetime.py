@@ -81,7 +81,8 @@ def simulated_study() -> None:
         totals = result.total_energy_by_component()
         rows.append((
             name,
-            round(result.lifetime_days, 2) if result.lifetime_days else ">30",
+            # None means the network outlived the horizon (a 0.0-day death is real)
+            ">30" if result.lifetime_days is None else round(result.lifetime_days, 2),
             result.packets_delivered,
             round(totals["processing_j"] + totals["idle_j"], 1),
             round(totals["transmit_j"], 1),

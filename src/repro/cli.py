@@ -27,8 +27,6 @@ import os
 import sys
 from typing import Sequence
 
-import numpy as np
-
 from repro.analysis.ablations import (
     aquamodem_signal_matrices,
     bitwidth_accuracy_ablation,
@@ -81,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     lifetime.add_argument("--report-interval-s", type=float, default=120.0,
                           help="sensing report interval per node")
     lifetime.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
+    lifetime.add_argument(
+        "--trials", type=int, default=0,
+        help="run the packet-level network simulator for this many Monte-Carlo "
+        "trials per platform (0 = the analytical estimate, the default)",
+    )
+    lifetime.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="use the vectorised engine (--no-batch runs the scalar/event-loop "
+        "reference; results are identical)",
+    )
+    lifetime.add_argument("--seed", type=int, default=0,
+                          help="base seed for the simulated trials")
+    lifetime.add_argument(
+        "--topology", choices=("grid", "random"), default="grid",
+        help="deployment geometry (applies to both the analytical estimate "
+        "and --trials simulation)",
+    )
 
     ser = subparsers.add_parser(
         "ser", help="DS-SS vs FSK symbol error rate sweep (E7, batched link engine)"
@@ -177,16 +192,57 @@ def _run_bitwidth(args: argparse.Namespace) -> str:
 
 
 def _run_lifetime(args: argparse.Namespace) -> str:
+    if args.trials > 0:
+        from repro.analysis.ablations import simulated_network_lifetime_study
+
+        summaries = simulated_network_lifetime_study(
+            grid_size=(args.grid, args.grid),
+            battery_capacity_j=args.battery_kj * 1e3,
+            report_interval_s=args.report_interval_s,
+            trials=args.trials,
+            base_seed=args.seed,
+            batch=args.batch,
+            topology=args.topology,
+        )
+        engine = "batched engine" if args.batch else "event loop"
+        rows = [
+            (
+                summary.platform,
+                # a censored run (no death within the horizon) is reported as
+                # such, never as a zero lifetime
+                "> horizon" if summary.mean_lifetime_days is None
+                else round(summary.mean_lifetime_days, 2),
+                f"{summary.died_trials}/{summary.trials}",
+                round(summary.mean_delivery_ratio, 4),
+            )
+            for summary in sorted(
+                summaries.values(),
+                key=lambda s: (s.mean_lifetime_days is None, s.mean_lifetime_days or 0.0),
+            )
+        ]
+        table = format_table(
+            ["Platform", "Mean lifetime (days)", "Died/trials", "Delivery ratio"],
+            rows,
+            title=f"{args.grid * args.grid}-node simulated deployment lifetime "
+            f"({args.topology} topology, {args.trials} trials, {engine})",
+        )
+        if args.jobs != 1:
+            table += ("\nnote: --jobs applies to the analytical sweep; simulated "
+                      "trials already run batched in-process")
+        return table
     lifetimes = network_lifetime_study(
         grid_size=(args.grid, args.grid),
         battery_capacity_j=args.battery_kj * 1e3,
         report_interval_s=args.report_interval_s,
         jobs=args.jobs,
+        batch=args.batch,
+        topology=args.topology,
     )
     return format_table(
         ["Platform", "Deployment lifetime (days)"],
         sorted(lifetimes.items(), key=lambda kv: kv[1]),
-        title=f"{args.grid * args.grid}-node deployment lifetime by platform",
+        title=f"{args.grid * args.grid}-node deployment lifetime by platform "
+        f"({args.topology} topology)",
     )
 
 

@@ -43,7 +43,7 @@ from repro.modem.energy_budget import ModemEnergyBudget
 from repro.modem.link import LinkSimulator
 from repro.network.lifetime import lifetime_by_platform
 from repro.network.routing import shortest_path_routing
-from repro.network.topology import connectivity_graph, grid_deployment
+from repro.network.topology import connectivity_graph, grid_deployment, random_deployment
 from repro.network.traffic import PeriodicTraffic
 
 __all__ = [
@@ -197,8 +197,27 @@ def _platform_comparison(num_paths: int) -> PlatformComparison:
 
 
 @functools.lru_cache(maxsize=64)
-def _grid_routing(rows: int, cols: int, spacing_m: float, communication_range_m: float):
-    deployment = grid_deployment(rows, cols, spacing_m=spacing_m)
+def _topology_routing(
+    topology: str,
+    rows: int,
+    cols: int,
+    spacing_m: float,
+    communication_range_m: float,
+    topology_seed: int = 0,
+):
+    """Routing tree for one deployment geometry.
+
+    ``grid`` is the regular rows x cols lattice; ``random`` scatters the same
+    number of nodes uniformly over the equivalent area (sink at the centre),
+    with the scatter drawn deterministically from ``topology_seed``.
+    """
+    if topology == "grid":
+        deployment = grid_deployment(rows, cols, spacing_m=spacing_m)
+    elif topology == "random":
+        area = (max(1, cols - 1) * spacing_m, max(1, rows - 1) * spacing_m)
+        deployment = random_deployment(rows * cols, area_m=area, rng=topology_seed)
+    else:
+        raise ValueError(f"unknown topology {topology!r}; expected 'grid' or 'random'")
     graph = connectivity_graph(deployment, communication_range_m)
     return shortest_path_routing(graph, deployment.sink_id)
 
@@ -297,13 +316,21 @@ def _mp_refinement_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]
 
 
 def _network_lifetime_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
-    """Deployment lifetime (days) of one platform on one network configuration."""
+    """Deployment lifetime (days) of one platform on one network configuration.
+
+    ``topology`` selects the deployment geometry (``grid`` or ``random``) and
+    ``batch`` the vectorised or scalar analytical estimator; both produce
+    identical lifetimes, so the axes exist for cross-validation and
+    benchmarking sweeps.
+    """
     config = _config_from(params)
     platform = str(params["platform"])
     energy_uj = float(params["energy_uj"])
-    routing = _grid_routing(
+    routing = _topology_routing(
+        str(params.get("topology", "grid")),
         int(params["grid_rows"]), int(params["grid_cols"]),
         float(params["spacing_m"]), float(params["communication_range_m"]),
+        int(params.get("topology_seed", 0)),
     )
     traffic = PeriodicTraffic(
         report_interval_s=float(params["report_interval_s"]),
@@ -323,6 +350,7 @@ def _network_lifetime_trial(params: Mapping[str, Any], seed: int) -> dict[str, A
         platform_processing_energy_j={platform: energy_uj * 1e-6},
         platform_idle_power_w=idle_power_w,
         base_budget=base_budget,
+        batch=bool(params.get("batch", True)),
     )
     return {"lifetime_days": lifetimes_s[platform] / 86_400.0}
 
@@ -403,13 +431,17 @@ register(Scenario(
 
 register(Scenario(
     name="network-lifetime",
-    description="deployment lifetime by platform over grid size and report interval (experiment E9)",
+    description="deployment lifetime by platform over topology and report interval (experiment E9)",
     layers=("network", "modem"),
-    version="1",
+    version="2",
     run_trial=_network_lifetime_trial,
     default_spec=SweepSpec(
         scenario="network-lifetime",
-        grid={"report_interval_s": (60.0, 120.0, 300.0)},
+        grid={
+            "report_interval_s": (60.0, 120.0, 300.0),
+            # grid lattice vs uniform random scatter over the same area
+            "topology": ("grid", "random"),
+        },
         zipped={
             "platform": tuple(TABLE3_PLATFORM_ENERGIES_UJ),
             "energy_uj": tuple(TABLE3_PLATFORM_ENERGIES_UJ.values()),
@@ -418,6 +450,10 @@ register(Scenario(
             "grid_rows": 5, "grid_cols": 5, "spacing_m": 200.0,
             "communication_range_m": 300.0, "battery_capacity_j": 200_000.0,
             "packet_symbols": 32, "continuous_detection": True,
+            # vectorised estimator by default; `--set batch=false` runs the
+            # scalar per-node reference (identical lifetimes, just slower);
+            # topology_seed=1 keeps the default random scatter connected
+            "batch": True, "topology_seed": 1,
         },
         seed=SeedPolicy(base_seed=0, replicates=1),
     ),

@@ -19,12 +19,12 @@ the known pilot waveform followed by a peak test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dsp.matched_filter import correlate_full
-from repro.utils.validation import check_in_range, check_positive, ensure_1d_array
+from repro.utils.validation import check_in_range, ensure_1d_array
 
 __all__ = ["SynchronizationResult", "FrameSynchronizer"]
 

@@ -15,10 +15,13 @@ numbers of :mod:`repro.hardware` into deployment lifetimes (experiment E9):
 * :mod:`repro.network.mac` — TDMA and slotted-ALOHA medium-access models;
 * :mod:`repro.network.traffic` — periodic sensing traffic;
 * :mod:`repro.network.simulator` — the event-driven network simulator;
+* :mod:`repro.network.batch` — the vectorised batch engine (round-based
+  NumPy accounting, multi-trial batching; bit-identical to the event loop);
 * :mod:`repro.network.lifetime` — analytical lifetime estimation (a fast
   cross-check of the simulator).
 """
 
+from repro.network.batch import BatchNetworkEngine, generate_report_schedule, simulate_network_trials
 from repro.network.events import Event, EventQueue, Scheduler
 from repro.network.node import Battery, SensorNode, NodeEnergyReport
 from repro.network.topology import Deployment, grid_deployment, random_deployment, connectivity_graph
@@ -26,9 +29,13 @@ from repro.network.routing import shortest_path_routing, RoutingTable
 from repro.network.mac import TDMASchedule, SlottedAloha
 from repro.network.traffic import PeriodicTraffic
 from repro.network.simulator import NetworkSimulator, NetworkSimulationResult
-from repro.network.lifetime import analytical_node_lifetime, lifetime_by_platform
+from repro.network.lifetime import analytical_node_lifetime, lifetime_by_platform, subtree_sizes
 
 __all__ = [
+    "BatchNetworkEngine",
+    "generate_report_schedule",
+    "simulate_network_trials",
+    "subtree_sizes",
     "Event",
     "EventQueue",
     "Scheduler",

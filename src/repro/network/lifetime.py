@@ -15,7 +15,11 @@ sink).
 :func:`lifetime_by_platform` runs this estimate for a set of hardware
 platforms that differ only in their signal-processing energy — the bridge
 between the paper's per-estimation energy numbers and the sensor-network
-motivation of its introduction (experiment E9).
+motivation of its introduction (experiment E9).  By default it evaluates
+every platform and every node in one NumPy broadcast
+(``platforms x nodes``); ``batch=False`` selects the per-node scalar loop of
+:func:`analytical_node_lifetime`, which is kept as the executable
+specification — both paths produce identical floats.
 """
 
 from __future__ import annotations
@@ -23,13 +27,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import networkx as nx
+import numpy as np
 
 from repro.modem.energy_budget import ModemEnergyBudget
 from repro.network.routing import RoutingTable
 from repro.network.traffic import PeriodicTraffic
 from repro.utils.validation import check_positive
 
-__all__ = ["NodeLifetimeEstimate", "analytical_node_lifetime", "lifetime_by_platform"]
+__all__ = [
+    "NodeLifetimeEstimate",
+    "analytical_node_lifetime",
+    "lifetime_by_platform",
+    "subtree_sizes",
+]
 
 
 @dataclass(frozen=True)
@@ -43,8 +53,14 @@ class NodeLifetimeEstimate:
     receptions_per_interval: float
 
 
-def _subtree_sizes(routing: RoutingTable) -> dict[int, int]:
-    """Number of source nodes whose traffic passes through (or originates at) each node."""
+def subtree_sizes(routing: RoutingTable) -> dict[int, int]:
+    """Number of source nodes whose traffic passes through (or originates at) each node.
+
+    This is the routing-subtree size that drives both the analytical model
+    below and the batched simulation engine's charge model: per report
+    interval a node transmits ``subtree_size`` packets and receives
+    ``subtree_size - 1``.
+    """
     tree = nx.DiGraph()
     for node, hop in routing.next_hop.items():
         if node != routing.sink_id:
@@ -57,6 +73,10 @@ def _subtree_sizes(routing: RoutingTable) -> dict[int, int]:
         for carrier in routing.route(node)[:-1]:
             sizes[carrier] = sizes.get(carrier, 0) + 1
     return sizes
+
+
+#: Backwards-compatible alias (pre-PR-3 private name).
+_subtree_sizes = subtree_sizes
 
 
 def analytical_node_lifetime(
@@ -92,7 +112,7 @@ def analytical_node_lifetime(
     rx_energy = rx_breakdown.total_j * mac_transmissions_per_packet
     idle_power = energy_budget.idle_power_w()
 
-    carried = _subtree_sizes(routing)
+    carried = subtree_sizes(routing)
     estimates: dict[int, NodeLifetimeEstimate] = {}
     for node in routing.next_hop:
         if node == routing.sink_id:
@@ -117,6 +137,27 @@ def analytical_node_lifetime(
     return estimates
 
 
+def _platform_budget(
+    base: ModemEnergyBudget,
+    processing_energy_j: float,
+    platform_idle_power_w: dict[str, float] | None,
+    label: str,
+) -> ModemEnergyBudget:
+    idle = (
+        platform_idle_power_w.get(label, base.processing_idle_power_w)
+        if platform_idle_power_w
+        else base.processing_idle_power_w
+    )
+    return ModemEnergyBudget(
+        config=base.config,
+        transmit_power_w=base.transmit_power_w,
+        receive_frontend_power_w=base.receive_frontend_power_w,
+        processing_energy_per_estimation_j=processing_energy_j,
+        processing_idle_power_w=idle,
+        estimations_per_symbol=base.estimations_per_symbol,
+    )
+
+
 def lifetime_by_platform(
     routing: RoutingTable,
     traffic: PeriodicTraffic,
@@ -124,6 +165,7 @@ def lifetime_by_platform(
     platform_processing_energy_j: dict[str, float],
     platform_idle_power_w: dict[str, float] | None = None,
     base_budget: ModemEnergyBudget | None = None,
+    batch: bool = True,
 ) -> dict[str, float]:
     """Deployment lifetime (seconds) for each candidate processing platform.
 
@@ -139,25 +181,50 @@ def lifetime_by_platform(
     base_budget:
         Template for the non-processing parameters (transmit power, front end);
         defaults to :class:`ModemEnergyBudget`'s defaults.
+    batch:
+        Evaluate all platforms and nodes in one NumPy broadcast (default);
+        ``False`` runs the scalar per-node loop.  The floats are identical.
     """
     if not platform_processing_energy_j:
         raise ValueError("at least one platform must be given")
     base = base_budget if base_budget is not None else ModemEnergyBudget()
-    results: dict[str, float] = {}
-    for label, processing_energy in platform_processing_energy_j.items():
-        idle = (
-            platform_idle_power_w.get(label, base.processing_idle_power_w)
-            if platform_idle_power_w
-            else base.processing_idle_power_w
+
+    if not batch:
+        results: dict[str, float] = {}
+        for label, processing_energy in platform_processing_energy_j.items():
+            budget = _platform_budget(base, processing_energy, platform_idle_power_w, label)
+            estimates = analytical_node_lifetime(routing, budget, traffic, battery_capacity_j)
+            results[label] = min(e.lifetime_s for e in estimates.values())
+        return results
+
+    check_positive("battery_capacity_j", battery_capacity_j)
+    symbols = traffic.packet_symbols
+    interval = traffic.report_interval_s
+    carried = subtree_sizes(routing)
+    sensors = [node for node in routing.next_hop if node != routing.sink_id]
+    transmitted = np.asarray([float(carried.get(node, 1)) for node in sensors])
+    received = transmitted - 1.0
+
+    labels = list(platform_processing_energy_j)
+    tx_energy = np.empty(len(labels))
+    rx_energy = np.empty(len(labels))
+    idle_power = np.empty(len(labels))
+    for index, label in enumerate(labels):
+        budget = _platform_budget(
+            base, platform_processing_energy_j[label], platform_idle_power_w, label
         )
-        budget = ModemEnergyBudget(
-            config=base.config,
-            transmit_power_w=base.transmit_power_w,
-            receive_frontend_power_w=base.receive_frontend_power_w,
-            processing_energy_per_estimation_j=processing_energy,
-            processing_idle_power_w=idle,
-            estimations_per_symbol=base.estimations_per_symbol,
-        )
-        estimates = analytical_node_lifetime(routing, budget, traffic, battery_capacity_j)
-        results[label] = min(e.lifetime_s for e in estimates.values())
-    return results
+        # * 1.0 keeps the expression identical to analytical_node_lifetime's
+        # mac_transmissions_per_packet scaling
+        tx_energy[index] = budget.transmit_energy_j(symbols) * 1.0
+        rx_energy[index] = budget.receive_energy_j(symbols).total_j * 1.0
+        idle_power[index] = budget.idle_power_w()
+
+    # (platforms x nodes) broadcast of the scalar expression, term for term
+    power = (
+        idle_power[:, np.newaxis]
+        + transmitted[np.newaxis, :] * tx_energy[:, np.newaxis] / interval
+        + received[np.newaxis, :] * rx_energy[:, np.newaxis] / interval
+    )
+    with np.errstate(divide="ignore"):
+        lifetime = np.where(power > 0, battery_capacity_j / power, np.inf)
+    return {label: float(np.min(lifetime[index])) for index, label in enumerate(labels)}

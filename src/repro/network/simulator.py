@@ -10,6 +10,14 @@ until a stop condition (first node death or a maximum simulated time) and
 reports per-node energy attribution and the
 deployment lifetime — the quantity experiment E9 compares across hardware
 platforms.
+
+By default :meth:`NetworkSimulator.run` executes on the vectorised
+:class:`repro.network.batch.BatchNetworkEngine`, which replaces the
+per-packet event loop with round-based NumPy accounting; ``batch=False``
+selects the original event loop, which is kept as the executable
+specification (the same role the per-frame loop plays for the batched link
+engine of PR 2) and is pinned bit-for-bit equal to the batched engine by
+``tests/network/test_batch_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -26,7 +34,7 @@ from repro.network.routing import RoutingTable, shortest_path_routing
 from repro.network.topology import Deployment, connectivity_graph
 from repro.network.traffic import PeriodicTraffic
 from repro.utils.rng import as_rng
-from repro.utils.validation import check_non_negative, check_positive
+from repro.utils.validation import check_positive
 
 __all__ = ["NetworkSimulationResult", "NetworkSimulator"]
 
@@ -51,7 +59,12 @@ class NetworkSimulationResult:
 
     @property
     def lifetime_days(self) -> float | None:
-        """Deployment lifetime (first node death) in days, None if no node died."""
+        """Deployment lifetime (first node death) in days, None if no node died.
+
+        Callers aggregating across trials must handle the ``None`` explicitly
+        (a censored observation: the deployment outlived the horizon), not
+        coerce it to 0 — see :func:`repro.analysis.ablations.summarize_lifetimes`.
+        """
         if self.first_death_time_s is None:
             return None
         return self.first_death_time_s / 86_400.0
@@ -91,6 +104,10 @@ class NetworkSimulator:
         transmissions per packet is used.
     rng:
         Seed or generator for traffic jitter.
+    batch:
+        Run on the vectorised batch engine (default); ``False`` selects the
+        per-packet event loop.  Both paths produce identical results for a
+        given seed.
     """
 
     deployment: Deployment
@@ -100,6 +117,7 @@ class NetworkSimulator:
     battery_capacity_j: float = 50_000.0
     mac: TDMASchedule | SlottedAloha | None = None
     rng: np.random.Generator | int | None = None
+    batch: bool = True
 
     def __post_init__(self) -> None:
         check_positive("communication_range_m", self.communication_range_m)
@@ -125,6 +143,11 @@ class NetworkSimulator:
         self._first_death: float | None = None
 
     # ------------------------------------------------------------------ #
+    @property
+    def sensor_ids(self) -> list[int]:
+        """Sensor (non-sink) node ids in scheduling order."""
+        return [n for n in self.nodes if n != self.deployment.sink_id]
+
     def _record_deaths(self, now: float) -> None:
         """Record the first battery depletion among the sensor nodes."""
         if self._first_death is not None:
@@ -140,7 +163,7 @@ class NetworkSimulator:
                 node.advance_time(now)
         self._record_deaths(now)
 
-    def _deliver_packet(self, scheduler: Scheduler, source_id: int) -> None:
+    def _deliver_packet(self, now: float, source_id: int) -> None:
         """Forward one packet hop-by-hop from ``source_id`` to the sink."""
         path = self.routing.route(source_id)
         symbols = self.traffic.packet_symbols
@@ -157,23 +180,41 @@ class NetworkSimulator:
                 sender.account_transmit(symbols)
                 receiver.account_receive(symbols, forwarded=(receiver_id != self.routing.sink_id))
             if sender.battery.is_empty and not sender.is_sink and self._first_death is None:
-                self._first_death = scheduler.now
+                self._first_death = now
             if receiver.battery.is_empty and not receiver.is_sink and self._first_death is None:
-                self._first_death = scheduler.now
+                self._first_death = now
         if delivered:
             self._packets_delivered += 1
 
-    def _on_report(self, scheduler: Scheduler, node_id: int) -> None:
-        self._advance_all(scheduler.now)
+    def _account_report(self, now: float, node_id: int) -> None:
+        """Account one report event: idle accrual, generation, hop-by-hop delivery.
+
+        Shared by the event loop and the batched engine (which replays only
+        the boundary events — deaths — through this exact per-packet logic).
+        """
+        self._advance_all(now)
         node = self.nodes[node_id]
         if node.is_alive:
             self._packets_generated += 1
-            self._deliver_packet(scheduler, node_id)
+            self._deliver_packet(now, node_id)
             if node.battery.is_empty and not node.is_sink and self._first_death is None:
-                self._first_death = scheduler.now
+                self._first_death = now
+
+    def _on_report(self, scheduler: Scheduler, node_id: int) -> None:
+        self._account_report(scheduler.now, node_id)
         # schedule the next report regardless (dead nodes simply skip)
         delay = self.traffic.next_interval(self.rng)
         scheduler.schedule_after(delay, self._on_report, node_id)
+
+    def _build_result(self, end_time: float) -> NetworkSimulationResult:
+        return NetworkSimulationResult(
+            first_death_time_s=self._first_death,
+            simulated_time_s=end_time,
+            packets_generated=self._packets_generated,
+            packets_delivered=self._packets_delivered,
+            node_reports={nid: node.report for nid, node in self.nodes.items()},
+            node_alive={nid: node.is_alive for nid, node in self.nodes.items()},
+        )
 
     # ------------------------------------------------------------------ #
     def run(
@@ -182,7 +223,7 @@ class NetworkSimulator:
         stop_at_first_death: bool = True,
         max_events: int = 500_000,
     ) -> NetworkSimulationResult:
-        """Run the simulation.
+        """Run the simulation (once per simulator instance).
 
         Parameters
         ----------
@@ -194,9 +235,30 @@ class NetworkSimulator:
         max_events:
             Safety cap on processed events.
         """
+        if self.batch:
+            from repro.network.batch import BatchNetworkEngine
+
+            return BatchNetworkEngine(self).run(
+                max_time_s=max_time_s,
+                stop_at_first_death=stop_at_first_death,
+                max_events=max_events,
+            )
+        return self.run_event_loop(
+            max_time_s=max_time_s,
+            stop_at_first_death=stop_at_first_death,
+            max_events=max_events,
+        )
+
+    def run_event_loop(
+        self,
+        max_time_s: float = 30.0 * 86_400.0,
+        stop_at_first_death: bool = True,
+        max_events: int = 500_000,
+    ) -> NetworkSimulationResult:
+        """The per-packet reference loop (the executable specification)."""
         check_positive("max_time_s", max_time_s)
         scheduler = Scheduler()
-        sensor_ids = [n for n in self.nodes if n != self.deployment.sink_id]
+        sensor_ids = self.sensor_ids
         for index, node_id in enumerate(sensor_ids):
             offset = self.traffic.first_offset(index, len(sensor_ids))
             scheduler.schedule_at(offset, self._on_report, node_id)
@@ -211,12 +273,4 @@ class NetworkSimulator:
 
         end_time = min(scheduler.now, max_time_s) if scheduler.now > 0 else scheduler.now
         self._advance_all(end_time)
-
-        return NetworkSimulationResult(
-            first_death_time_s=self._first_death,
-            simulated_time_s=end_time,
-            packets_generated=self._packets_generated,
-            packets_delivered=self._packets_delivered,
-            node_reports={nid: node.report for nid, node in self.nodes.items()},
-            node_alive={nid: node.is_alive for nid, node in self.nodes.items()},
-        )
+        return self._build_result(end_time)

@@ -48,6 +48,11 @@ class Deployment:
         """Number of deployed nodes, sink included."""
         return len(self.positions)
 
+    def position_array(self) -> tuple[list[int], np.ndarray]:
+        """Node ids (in insertion order) and their positions as an (N, 2) array."""
+        ids = list(self.positions)
+        return ids, np.asarray([self.positions[node_id] for node_id in ids], dtype=np.float64)
+
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two nodes in metres."""
         xa, ya = self.positions[a]
@@ -127,12 +132,19 @@ def connectivity_graph(deployment: Deployment, communication_range_m: float) -> 
     check_positive("communication_range_m", communication_range_m)
     graph = nx.Graph()
     graph.add_nodes_from(deployment.positions)
-    ids = list(deployment.positions)
-    for i, a in enumerate(ids):
-        for b in ids[i + 1 :]:
-            distance = deployment.distance(a, b)
-            if distance <= communication_range_m:
-                graph.add_edge(a, b, weight=distance)
+    ids, points = deployment.position_array()
+    # vectorised candidate selection (squared distances, with a small margin
+    # against rounding), then the exact per-pair hypot check so the edge set
+    # and weights match the scalar definition bit for bit
+    deltas = points[:, np.newaxis, :] - points[np.newaxis, :, :]
+    squared = np.einsum("ijk,ijk->ij", deltas, deltas)
+    margin = (communication_range_m * (1.0 + 1e-9)) ** 2
+    candidates = np.argwhere(np.triu(squared <= margin, k=1))
+    for i, j in candidates:
+        a, b = ids[i], ids[j]
+        distance = deployment.distance(a, b)
+        if distance <= communication_range_m:
+            graph.add_edge(a, b, weight=distance)
     unreachable = [
         n for n in graph.nodes
         if n != deployment.sink_id and not nx.has_path(graph, n, deployment.sink_id)

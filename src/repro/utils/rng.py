@@ -9,8 +9,6 @@ streams are reproducible yet statistically independent.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 __all__ = ["as_rng", "spawn_rngs"]

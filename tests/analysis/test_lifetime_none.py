@@ -1,0 +1,113 @@
+"""`lifetime_days is None` (censored deployments) must be handled explicitly.
+
+Mirrors the PR 2 NaN-SER fix: a deployment that outlives the simulation
+horizon has no death time, so its lifetime is ``None`` — downstream
+aggregation must treat that as a censored observation, never as 0 days.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablations import (
+    SimulatedLifetimeSummary,
+    simulated_network_lifetime_study,
+    summarize_lifetimes,
+)
+from repro.cli import main
+from repro.network.simulator import NetworkSimulationResult
+
+
+def result(first_death_time_s, generated=10, delivered=10) -> NetworkSimulationResult:
+    return NetworkSimulationResult(
+        first_death_time_s=first_death_time_s,
+        simulated_time_s=86_400.0,
+        packets_generated=generated,
+        packets_delivered=delivered,
+        node_reports={},
+        node_alive={},
+    )
+
+
+class TestLifetimeDaysNone:
+    def test_no_death_yields_none_not_zero(self):
+        censored = result(None)
+        assert censored.first_death_time_s is None
+        assert censored.lifetime_days is None  # explicitly not 0.0
+
+    def test_death_at_time_zero_is_zero_days_not_none(self):
+        """A death at t=0 is a real (zero) lifetime; only no-death is None."""
+        instant = result(0.0)
+        assert instant.lifetime_days == 0.0
+        assert instant.lifetime_days is not None
+
+
+class TestSummarizeLifetimes:
+    def test_all_censored_gives_none_mean(self):
+        summary = summarize_lifetimes("X", [result(None), result(None)])
+        assert summary.mean_lifetime_days is None
+        assert summary.died_trials == 0
+        assert summary.censored_trials == 2
+        assert summary.mean_delivery_ratio == 1.0
+
+    def test_censored_trials_excluded_from_mean(self):
+        summary = summarize_lifetimes(
+            "X", [result(86_400.0), result(None), result(3 * 86_400.0)]
+        )
+        # mean over the two deaths only: (1 + 3) / 2 days, not (1 + 0 + 3) / 3
+        assert summary.mean_lifetime_days == pytest.approx(2.0)
+        assert summary.died_trials == 2
+        assert summary.censored_trials == 1
+
+    def test_zero_day_death_still_counts_as_death(self):
+        summary = summarize_lifetimes("X", [result(0.0), result(None)])
+        assert summary.died_trials == 1
+        assert summary.mean_lifetime_days == 0.0
+
+    def test_empty_results(self):
+        summary = summarize_lifetimes("X", [])
+        assert summary == SimulatedLifetimeSummary(
+            platform="X", trials=0, died_trials=0,
+            mean_lifetime_days=None, mean_delivery_ratio=0.0,
+        )
+
+
+class TestSimulatedStudyCensoring:
+    def test_huge_battery_reports_censored_not_zero(self):
+        summaries = simulated_network_lifetime_study(
+            grid_size=(2, 2),
+            battery_capacity_j=1e9,
+            report_interval_s=600.0,
+            platform_energies_uj={"FPGA": 9.5},
+            trials=2,
+            max_days=0.2,
+        )
+        summary = summaries["FPGA"]
+        assert summary.mean_lifetime_days is None
+        assert summary.censored_trials == 2
+        assert summary.mean_delivery_ratio == pytest.approx(1.0)
+
+    def test_tiny_battery_reports_deaths(self):
+        summaries = simulated_network_lifetime_study(
+            grid_size=(3, 3),
+            battery_capacity_j=100.0,
+            report_interval_s=30.0,
+            platform_energies_uj={"MicroBlaze": 2000.40},
+            trials=2,
+            max_days=2.0,
+        )
+        summary = summaries["MicroBlaze"]
+        assert summary.died_trials == 2
+        assert summary.mean_lifetime_days is not None
+        assert summary.mean_lifetime_days > 0.0
+
+
+class TestCliRendering:
+    def test_censored_platform_rendered_as_beyond_horizon(self, capsys):
+        assert main([
+            "lifetime", "--trials", "1", "--grid", "2",
+            "--battery-kj", "100000", "--report-interval-s", "600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "> horizon" in out
+        assert "0/1" in out

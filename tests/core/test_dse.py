@@ -8,7 +8,6 @@ from repro.core.dse import (
     DesignPoint,
     DesignSpaceExplorer,
     PAPER_BIT_WIDTHS,
-    PAPER_PARALLELISM_LEVELS,
     REAL_TIME_DEADLINE_S,
     divisors,
 )

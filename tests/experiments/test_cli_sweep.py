@@ -67,13 +67,15 @@ class TestSweepCommand:
         argv = [
             "sweep", "network-lifetime",
             "--set", "report_interval_s=120.0",
+            "--set", "topology=grid",
             "--set", "grid_rows=3", "--set", "grid_cols=3",
             "--no-cache", "--output", str(output),
         ]
         assert main(argv) == 0
         records = read_jsonl(output / "results.jsonl")
-        assert len(records) == 5  # 5 zipped platforms x 1 interval
+        assert len(records) == 5  # 5 zipped platforms x 1 interval x 1 topology
         assert {r["grid_rows"] for r in records} == {3}
+        assert {r["topology"] for r in records} == {"grid"}
 
     def test_sweep_jobs_matches_serial(self, tmp_path, capsys):
         serial_out = tmp_path / "serial"
@@ -101,6 +103,7 @@ class TestSweepCommand:
             "sweep", "network-lifetime",
             "--set", "platform=MicroBlaze,Virtex-4 112FC 8bit",
             "--set", "report_interval_s=120.0",
+            "--set", "topology=grid",
             "--no-cache", "--output", str(output),
         ]
         assert main(argv) == 0

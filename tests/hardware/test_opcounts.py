@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.hardware.opcounts import OperationCounts, matching_pursuit_operation_counts
+from repro.hardware.opcounts import matching_pursuit_operation_counts
 
 
 class TestOperationCounts:

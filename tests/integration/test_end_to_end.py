@@ -17,7 +17,6 @@ from repro import (
     IPCoreSimulator,
     Receiver,
     Transmitter,
-    aquamodem_signal_matrices,
     compare_platforms,
     matching_pursuit,
     random_sparse_channel,

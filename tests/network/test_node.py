@@ -80,6 +80,18 @@ class TestSensorNodeAccounting:
         with pytest.raises(ValueError):
             node.advance_time(10.0)
 
+    def test_predrained_battery_deficit_is_kept(self, budget):
+        """A battery handed over partially drained keeps its deficit — node
+        accounting must not resurrect the missing energy."""
+        battery = Battery(100.0)
+        battery.draw(99.0)
+        node = SensorNode(
+            node_id=1, position=(0.0, 0.0), battery=battery, energy_budget=budget,
+        )
+        node.account_transmit(num_symbols=32)  # ~1.4 J > the 1 J left
+        assert not node.is_alive
+        assert battery.remaining_j == 0.0
+
     def test_death_when_battery_empty(self, budget):
         node = make_node(budget, capacity=0.5)
         assert node.is_alive
