@@ -9,7 +9,10 @@ Reproduces the paper's hardware evaluation end to end:
   alongside,
 * extend the sweep to every divisor of 112 (the paper only shows 1/14/112) and
   extract the area-energy Pareto frontier,
-* print the Table 3 platform comparison with the 210X / 52X headline ratios.
+* print the Table 3 platform comparison with the 210X / 52X headline ratios,
+* re-run the paper's three bit widths with the E6 accuracy column — the
+  estimation quality of each word length (computed on the batched
+  fixed-point engine) next to its area/energy cost.
 
 Run with:  python examples/design_space_exploration.py
 """
@@ -54,9 +57,27 @@ def extended_sweep() -> None:
           f"{best.slices} slices, {best.time_us:.2f} us")
 
 
+def accuracy_sweep() -> None:
+    """The paper's bit widths with the E6 accuracy column alongside.
+
+    The accuracy trials run once per word length on the batched fixed-point
+    engine (all Monte-Carlo channels in one `estimate_batch` call) and are
+    shared across devices and parallelism levels — the column depends only
+    on the datapath width.
+    """
+    explorer = DesignSpaceExplorer(
+        devices=(VIRTEX4_XC4VSX55,),
+        parallelism_levels=(112,),
+        accuracy_trials=12,
+    )
+    print()
+    print(explorer.render_table())
+
+
 def main() -> None:
     paper_sweep()
     extended_sweep()
+    accuracy_sweep()
 
 
 if __name__ == "__main__":

@@ -84,6 +84,7 @@ def bitwidth_accuracy_ablation(
     config: AquaModemConfig | None = None,
     jobs: int = 1,
     cache: ResultCache | None = None,
+    batch: bool = True,
 ) -> list[BitwidthAccuracyResult]:
     """Channel-estimation accuracy of the fixed-point MP over word lengths.
 
@@ -93,9 +94,14 @@ def bitwidth_accuracy_ablation(
     the normalised error against the true channel, the support recovery rate,
     and the deviation of the fixed-point estimate from the float estimate.
 
-    Runs on the ``fixedpoint-bitwidth`` scenario of the experiment engine:
-    seeds are paired across word lengths (every word length sees the same
-    channels), and ``jobs``/``cache`` enable parallel and resumable runs.
+    ``batch=True`` (the default) runs the whole ablation — every trial of
+    every word length — on the batched fixed-point engine
+    (:class:`~repro.core.batch.BatchFixedPointMPEngine`); it draws the
+    identical RNG streams and produces identical records, just without the
+    per-trial interpreter overhead.  ``batch=False`` runs the same spec
+    trial by trial through the scalar datapath on the sweep engine, where
+    ``jobs``/``cache`` enable parallel and resumable runs (both are ignored
+    by the in-process batched engine).
     """
     check_integer("num_trials", num_trials, minimum=1)
     config = config if config is not None else AquaModemConfig()
@@ -109,7 +115,21 @@ def bitwidth_accuracy_ablation(
         )
         .with_seed(base_seed=_as_base_seed(rng), replicates=num_trials)
     )
-    result = run_sweep(spec, jobs=jobs, cache=cache)
+    if batch:
+        if jobs != 1 or cache is not None:
+            import warnings
+
+            warnings.warn(
+                "bitwidth_accuracy_ablation(batch=True) runs in-process on the "
+                "batched engine; `jobs` and `cache` are ignored — pass "
+                "batch=False for a parallel or resumable sweep",
+                stacklevel=2,
+            )
+        from repro.core.batch import BatchFixedPointMPEngine
+
+        result = BatchFixedPointMPEngine().run_spec(spec)
+    else:
+        result = run_sweep(spec, jobs=jobs, cache=cache)
     errors = result.group_mean(by="word_length", metric="normalized_error")
     supports = result.group_mean(by="word_length", metric="support_recovery")
     vs_float = result.group_mean(by="word_length", metric="error_vs_float")

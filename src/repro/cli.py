@@ -71,7 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     bitwidth = subparsers.add_parser("bitwidth", help="fixed-point accuracy ablation (E6)")
     bitwidth.add_argument("--trials", type=int, default=12, help="Monte-Carlo trials per word length")
     bitwidth.add_argument("--snr-db", type=float, default=25.0, help="per-sample SNR")
-    bitwidth.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
+    bitwidth.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (applies to the --no-batch sweep)")
+    bitwidth.add_argument(
+        "--batch", action=argparse.BooleanOptionalAction, default=True,
+        help="run the whole ablation on the batched fixed-point engine "
+        "(--no-batch runs the scalar datapath trial by trial; results are identical)",
+    )
 
     lifetime = subparsers.add_parser("lifetime", help="network lifetime by platform (E9)")
     lifetime.add_argument("--grid", type=int, default=5, help="grid side length (grid x grid nodes)")
@@ -180,14 +186,16 @@ def _run_bitwidth(args: argparse.Namespace) -> str:
         snr_db=args.snr_db,
         rng=0,
         jobs=args.jobs,
+        batch=args.batch,
     )
+    engine = "batched engine" if args.batch else "scalar datapath"
     return format_table(
         ["Bits", "Error vs truth", "Support recovery", "Error vs float"],
         [
             (r.word_length, r.mean_normalized_error, r.mean_support_recovery, r.mean_error_vs_float)
             for r in results
         ],
-        title="Fixed-point MP accuracy vs word length",
+        title=f"Fixed-point MP accuracy vs word length ({engine})",
     )
 
 

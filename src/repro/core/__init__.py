@@ -6,7 +6,11 @@ Modules
 * :mod:`repro.core.matching_pursuit` — the reference floating-point MP
   algorithm of Figure 3 (vectorised and straight-line variants).
 * :mod:`repro.core.fixedpoint_mp` — a bit-accurate fixed-point MP that models
-  the FPGA datapath at a configurable word length.
+  the FPGA datapath at a configurable word length (scalar and batched
+  datapaths, pinned bit-identical on raw integer codes).
+* :mod:`repro.core.batch` — the batched fixed-point engine that runs whole
+  bitwidth-ablation sweeps (all trials x all word lengths) as array
+  operations.
 * :mod:`repro.core.ipcore` — a functional + cycle-level simulator of the
   Filter-and-Cancel IP core of Figure 5, parameterised by the number of FC
   blocks (level of parallelism).
@@ -24,7 +28,11 @@ from repro.core.matching_pursuit import (
     matching_pursuit_naive,
 )
 from repro.core.refinement import matching_pursuit_ls, refine_least_squares
-from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.fixedpoint_mp import (
+    BatchFixedPointEstimate,
+    FixedPointEstimate,
+    FixedPointMatchingPursuit,
+)
 from repro.core.metrics import (
     coefficient_mse,
     normalized_channel_error,
@@ -33,6 +41,7 @@ from repro.core.metrics import (
 )
 from repro.core.ipcore import FilterAndCancelBlock, IPCoreConfig, IPCoreSimulator
 from repro.core.dse import DesignPoint, DesignPointEvaluation, DesignSpaceExplorer
+from repro.core.batch import BatchFixedPointMPEngine
 
 __all__ = [
     "BatchMatchingPursuitResult",
@@ -43,6 +52,9 @@ __all__ = [
     "matching_pursuit_ls",
     "refine_least_squares",
     "FixedPointMatchingPursuit",
+    "FixedPointEstimate",
+    "BatchFixedPointEstimate",
+    "BatchFixedPointMPEngine",
     "coefficient_mse",
     "normalized_channel_error",
     "support_recovery_rate",

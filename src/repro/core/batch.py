@@ -1,0 +1,146 @@
+"""Batched fixed-point Matching Pursuits engine (experiment E6 at scale).
+
+The bitwidth ablation estimates the same Monte-Carlo channels at every word
+length.  Run through the sweep engine one trial at a time, each estimate
+pays the full scalar :class:`~repro.core.fixedpoint_mp.FixedPointMatchingPursuit`
+loop — dozens of small NumPy calls per trial — which leaves the E6 sweep and
+the E8 design-space exploration interpreter-bound.
+
+:class:`BatchFixedPointMPEngine` runs a whole
+:class:`~repro.experiments.spec.SweepSpec` of the ``fixedpoint-bitwidth``
+scenario in one pass: the trial points are grouped by word length (and
+waveform configuration), each group's receive vectors are stacked into one
+batch, and a single :meth:`~repro.core.fixedpoint_mp.FixedPointMatchingPursuit.estimate_batch`
+call carries the entire group through the fixed-point datapath.
+
+Three properties make the engine a drop-in replacement for the sweep:
+
+* **identical RNG streams** — problems come from the same memoised builders
+  the scalar trial function uses (`repro.experiments.registry`), keyed by
+  the same per-trial seeds from the spec's
+  :class:`~repro.experiments.spec.SeedPolicy`, so every word length sees the
+  very channels and noise the scalar sweep would draw;
+* **bit-identical estimates** — ``estimate_batch`` is pinned against the
+  scalar ``estimate`` with ``==`` on raw integer codes
+  (``tests/core/test_fixedpoint_batch_equivalence.py``);
+* **identical records** — metrics are evaluated by the same shared helper on
+  those bit-identical coefficients and assembled in canonical trial order,
+  so :meth:`run_spec` output compares equal, record for record, to
+  :func:`~repro.experiments.runner.run_sweep` on the same spec.
+
+The engine is deliberately mode-free (round-to-nearest, saturation — the
+System Generator defaults the scenario uses); explicit rounding/overflow
+sweeps run on :class:`FixedPointMatchingPursuit` directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["BatchFixedPointMPEngine"]
+
+
+@dataclass
+class BatchFixedPointMPEngine:
+    """Run ``fixedpoint-bitwidth`` sweeps as batched array operations.
+
+    Parameters
+    ----------
+    scenario:
+        Name of the scenario whose specs this engine accepts.  Only the
+        built-in ``fixedpoint-bitwidth`` trial layout is understood; the
+        field exists so a renamed registration can keep using the engine.
+    """
+
+    scenario: str = "fixedpoint-bitwidth"
+
+    def run_spec(self, spec, batch: bool = True):
+        """Execute every trial of ``spec`` and return their tidy records.
+
+        Drop-in equivalent of :func:`~repro.experiments.runner.run_sweep`
+        for the ``fixedpoint-bitwidth`` scenario: the returned
+        :class:`~repro.experiments.runner.SweepResult` carries records that
+        compare equal (``==``, not tolerances) to the sweep's, in the same
+        canonical trial order.  ``batch=False`` runs the grouped trials
+        through the scalar datapath instead — the executable specification,
+        kept for equivalence tests and benchmarks.
+        """
+        from repro.experiments.registry import (
+            fixedpoint_trial_metrics,
+            trial_channel_problem,
+            trial_config_key,
+            trial_estimator,
+            trial_float_reference,
+        )
+        from repro.experiments.runner import SweepResult, SweepStats, plain_value
+
+        if spec.scenario != self.scenario:
+            raise ValueError(
+                f"engine handles {self.scenario!r} specs, got {spec.scenario!r}"
+            )
+        started = time.perf_counter()
+        trials = spec.expand()
+
+        # group trial points by everything the estimator depends on: the
+        # waveform configuration travels in the params, the word length is
+        # the swept axis.  Problems and float references are built once per
+        # unique (configuration, channel, SNR, seed) and held here, so the
+        # sharing across word lengths that paired seeds promise survives
+        # sweeps larger than the registry's memoisation windows.
+        groups: dict[tuple, list] = {}
+        problem_keys: dict[int, tuple] = {}
+        problems: dict[tuple, tuple] = {}
+        references: dict[tuple, Any] = {}
+        for point in trials:
+            signature = trial_config_key(point.params)
+            groups.setdefault(
+                (int(point.params["word_length"]), signature), []
+            ).append(point)
+            key = (
+                signature,
+                int(point.params["num_channel_paths"]),
+                float(point.params["snr_db"]),
+                point.seed,
+            )
+            problem_keys[point.index] = key
+            if key not in problems:
+                problems[key] = trial_channel_problem(point.params, point.seed)
+                references[key] = trial_float_reference(point.params, point.seed)
+
+        records: dict[int, dict[str, Any]] = {}
+        for (word_length, _), points in groups.items():
+            estimator = trial_estimator(points[0].params, word_length)
+            group_problems = [problems[problem_keys[p.index]] for p in points]
+            received = np.stack([problem[2] for problem in group_problems])
+            if batch:
+                estimates = estimator.estimate_batch(received)
+            else:
+                estimates = [estimator.estimate(row) for row in received]
+            for row, point in enumerate(points):
+                channel, true_f, _ = group_problems[row]
+                reference = references[problem_keys[point.index]]
+                metrics = fixedpoint_trial_metrics(
+                    channel, true_f, reference, estimates[row]
+                )
+                record: dict[str, Any] = {
+                    "scenario": spec.scenario,
+                    "trial_index": point.index,
+                    "replicate": point.replicate,
+                    "seed": point.seed,
+                }
+                for source in (point.params, metrics):
+                    for name, value in source.items():
+                        record[name] = plain_value(value)
+                records[point.index] = record
+
+        elapsed = time.perf_counter() - started
+        stats = SweepStats(
+            num_trials=len(trials), executed=len(trials), cache_hits=0,
+            jobs=1, elapsed_s=elapsed,
+        )
+        ordered = [records[point.index] for point in trials]
+        return SweepResult(spec=spec, records=ordered, stats=stats)

@@ -60,7 +60,13 @@ class DesignPoint:
 
 @dataclass(frozen=True)
 class DesignPointEvaluation:
-    """A design point together with its modelled metrics."""
+    """A design point together with its modelled metrics.
+
+    The accuracy columns are populated only when the explorer runs with
+    ``accuracy_trials > 0``: they are the E6 channel-estimation quality of
+    the point's word length (mean normalised error against the true channel
+    and mean support recovery), evaluated on the batched fixed-point engine.
+    """
 
     point: DesignPoint
     implementation: FPGAImplementation
@@ -73,6 +79,8 @@ class DesignPointEvaluation:
     power_w: float
     energy_uj: float
     meets_deadline: bool
+    mean_normalized_error: float | None = None
+    mean_support_recovery: float | None = None
 
     def dominates(self, other: "DesignPointEvaluation") -> bool:
         """Pareto dominance on (area, energy): no worse on both, better on one."""
@@ -103,6 +111,20 @@ class DesignSpaceExplorer:
         Keep infeasible points in the result list (flagged) instead of
         dropping them; the Table 2 bench needs them dropped, the ablation
         keeps them for reporting.
+    accuracy_trials:
+        Monte-Carlo trials behind the per-word-length accuracy columns
+        (``mean_normalized_error`` / ``mean_support_recovery``).  0 — the
+        default — skips the accuracy evaluation entirely, keeping the pure
+        area/timing/power sweep cheap.  The accuracy model is the AquaModem
+        waveform geometry, so it requires the paper's 112/224 problem size.
+    accuracy_batch:
+        Run the accuracy trials on the batched fixed-point engine (default)
+        or on the scalar datapath; the two are pinned bit-identical, so the
+        columns are the same either way — the flag exists for
+        cross-validation and benchmarking.
+    accuracy_seed, accuracy_snr_db, accuracy_channel_paths:
+        Problem parameters of the accuracy trials (paired seeds: every word
+        length estimates the same channels).
     """
 
     devices: Sequence[FPGADevice] = field(
@@ -115,12 +137,25 @@ class DesignSpaceExplorer:
     window_length: int = 224
     include_infeasible: bool = False
     real_time_deadline_s: float = REAL_TIME_DEADLINE_S
+    accuracy_trials: int = 0
+    accuracy_batch: bool = True
+    accuracy_seed: int = 0
+    accuracy_snr_db: float = 25.0
+    accuracy_channel_paths: int = 4
+    _accuracy_cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         check_integer("num_paths", self.num_paths, minimum=1)
         check_integer("num_delays", self.num_delays, minimum=1)
         check_integer("window_length", self.window_length, minimum=1)
         check_positive("real_time_deadline_s", self.real_time_deadline_s)
+        check_integer("accuracy_trials", self.accuracy_trials, minimum=0)
+        if self.accuracy_trials > 0 and (self.num_delays, self.window_length) != (112, 224):
+            raise ValueError(
+                "the accuracy columns model the AquaModem waveform "
+                "(num_delays=112, window_length=224); run accuracy_trials=0 "
+                "for other geometries"
+            )
         for level in self.parallelism_levels:
             check_integer("parallelism level", level, minimum=1)
             if self.num_delays % level != 0:
@@ -142,6 +177,41 @@ class DesignSpaceExplorer:
                 for device in self.devices:
                     yield DesignPoint(device=device, num_fc_blocks=level, word_length=bits)
 
+    def _accuracy_columns(self, word_length: int) -> tuple[float | None, float | None]:
+        """The (mean error, mean support recovery) of one word length.
+
+        The first request runs one batched-engine sweep over *all* of the
+        explorer's bit widths at once (paired seeds, shared channel draws);
+        later requests — including word lengths outside ``bit_widths`` —
+        fill the cache incrementally.
+        """
+        if self.accuracy_trials <= 0:
+            return None, None
+        if word_length not in self._accuracy_cache:
+            from repro.core.batch import BatchFixedPointMPEngine
+            from repro.experiments.registry import get_scenario
+
+            missing = sorted(
+                ({int(bits) for bits in self.bit_widths} | {int(word_length)})
+                - set(self._accuracy_cache)
+            )
+            spec = (
+                get_scenario("fixedpoint-bitwidth").spec
+                .with_axis("word_length", tuple(missing))
+                .with_base(
+                    snr_db=float(self.accuracy_snr_db),
+                    num_channel_paths=int(self.accuracy_channel_paths),
+                    num_paths=int(self.num_paths),
+                )
+                .with_seed(base_seed=self.accuracy_seed, replicates=self.accuracy_trials)
+            )
+            result = BatchFixedPointMPEngine().run_spec(spec, batch=self.accuracy_batch)
+            errors = result.group_mean(by="word_length", metric="normalized_error")
+            supports = result.group_mean(by="word_length", metric="support_recovery")
+            for bits in missing:
+                self._accuracy_cache[bits] = (errors[bits], supports[bits])
+        return self._accuracy_cache[word_length]
+
     def evaluate_point(self, point: DesignPoint) -> DesignPointEvaluation:
         """Run every hardware model on one design point."""
         impl = FPGAImplementation(
@@ -154,6 +224,7 @@ class DesignSpaceExplorer:
         )
         area = impl.area
         timing = impl.timing
+        mean_error, mean_support = self._accuracy_columns(point.word_length)
         return DesignPointEvaluation(
             point=point,
             implementation=impl,
@@ -166,6 +237,8 @@ class DesignSpaceExplorer:
             power_w=impl.power.total_power_w,
             energy_uj=impl.energy.energy_uj,
             meets_deadline=timing.meets_deadline(self.real_time_deadline_s),
+            mean_normalized_error=mean_error,
+            mean_support_recovery=mean_support,
         )
 
     def explore(self) -> list[DesignPointEvaluation]:
@@ -204,19 +277,28 @@ class DesignSpaceExplorer:
         return min(feasible, key=lambda e: e.energy_uj)
 
     def render_table(self, evaluations: list[DesignPointEvaluation] | None = None) -> str:
-        """ASCII rendering in the layout of Table 2 (plus power/energy columns)."""
+        """ASCII rendering in the layout of Table 2 (plus power/energy columns).
+
+        When the evaluations carry accuracy columns (``accuracy_trials > 0``)
+        an "Err vs truth" column is appended — the E6 estimation quality of
+        each word length next to its area/energy cost.
+        """
         if evaluations is None:
             evaluations = self.explore()
+        with_accuracy = any(e.mean_normalized_error is not None for e in evaluations)
+        headers = [
+            "Bits", "#FC", "Device", "Feasible",
+            "Slices", "Time (us)", "Tput (1/us)", "Power (W)", "Energy (uJ)",
+        ]
+        if with_accuracy:
+            headers.append("Err vs truth")
         table = AsciiTable(
-            headers=[
-                "Bits", "#FC", "Device", "Feasible",
-                "Slices", "Time (us)", "Tput (1/us)", "Power (W)", "Energy (uJ)",
-            ],
+            headers=headers,
             title="Design space exploration of the MP IP core",
             float_format=".4g",
         )
         for e in evaluations:
-            table.add_row(
+            row = [
                 e.point.word_length,
                 e.point.num_fc_blocks,
                 e.point.device.family,
@@ -226,5 +308,8 @@ class DesignSpaceExplorer:
                 e.throughput_per_us,
                 e.power_w,
                 e.energy_uj,
-            )
+            ]
+            if with_accuracy:
+                row.append("-" if e.mean_normalized_error is None else e.mean_normalized_error)
+            table.add_row(*row)
         return table.render()

@@ -11,22 +11,162 @@ et al. [21], states that 8-10 bits suffice for accurate channel estimation.
 :class:`FixedPointMatchingPursuit` lets that claim be checked by sweeping
 ``word_length`` and measuring estimation error against the floating-point
 reference.
+
+Two datapaths are provided, pinned against each other on **raw integer
+codes**:
+
+* :meth:`FixedPointMatchingPursuit.estimate` — the scalar executable
+  specification, one receive vector at a time;
+* :meth:`FixedPointMatchingPursuit.estimate_batch` — the same datapath
+  carried for a whole stack of receive vectors at once: the matched-filter
+  accumulator, every re-quantisation and the path-cancellation updates run
+  as array operations over a leading trial axis.
+
+Because fixed-point arithmetic is exact integer math, the two paths are
+required to agree with ``==`` on the raw integer codes of every output (not
+merely to float tolerance).  Two design rules make that possible: every
+datapath step is either an *element-wise* float64 expression (IEEE 754
+element-wise arithmetic is deterministic, so evaluating it per trial or per
+batch gives identical bits) or the *same* matrix-vector product call per
+trial (the batched path evaluates the matched filter ``S_q^T r_q`` with the
+identical per-trial call, never a re-associated matmul, because BLAS kernels
+may sum in a different order).  ``tests/core/test_fixedpoint_batch_equivalence.py``
+pins the contract across word lengths, rounding modes and overflow modes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.matching_pursuit import MatchingPursuitResult
 from repro.dsp.signal_matrix import SignalMatrices
 from repro.fixedpoint.fmt import FixedPointFormat
-from repro.fixedpoint.metrics import dynamic_range_scale
-from repro.fixedpoint.quantize import quantize
-from repro.utils.validation import check_integer, ensure_1d_array
+from repro.fixedpoint.metrics import dynamic_range_scale, dynamic_range_scale_batch
+from repro.fixedpoint.quantize import OverflowMode, RoundingMode, quantize, quantize_batch
+from repro.utils.validation import check_integer, ensure_1d_array, ensure_2d_array
 
-__all__ = ["FixedPointMatchingPursuit"]
+__all__ = [
+    "FixedPointEstimate",
+    "BatchFixedPointEstimate",
+    "FixedPointMatchingPursuit",
+]
+
+
+def _integer_codes(values: np.ndarray, resolution: float, scale) -> np.ndarray:
+    """Recover raw integer codes from re-quantised float values.
+
+    ``values`` entries are (floats of) ``raw * resolution * scale`` with
+    ``|raw|`` bounded by the accumulator range (< 2**48), so dividing by
+    ``resolution * scale`` lands within a quarter LSB of the integer code and
+    rounding recovers it exactly.  ``scale`` may be a scalar or a per-trial
+    column for batched values; all-zero inputs can carry a zero scale, which
+    maps to code 0.
+    """
+    denominator = resolution * np.asarray(scale, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        codes = np.where(denominator > 0.0, values / denominator, 0.0)
+    return np.round(codes).astype(np.int64)
+
+
+def _integer_state_equal(left, right) -> bool:
+    """Exact equality of two estimates' integer state (see ``__eq__`` docs)."""
+    return (
+        np.array_equal(left.path_indices, right.path_indices)
+        and np.array_equal(left.raw_real, right.raw_real)
+        and np.array_equal(left.raw_imag, right.raw_imag)
+        and np.array_equal(left.raw_decisions, right.raw_decisions)
+        and np.array_equal(left.coefficient_scale, right.coefficient_scale)
+        and np.array_equal(left.decision_scale, right.decision_scale)
+        and np.array_equal(left.input_scale, right.input_scale)
+        and left.accumulator_format == right.accumulator_format
+    )
+
+
+@dataclass(eq=False)
+class FixedPointEstimate(MatchingPursuitResult):
+    """A scalar fixed-point MP estimate plus its raw integer codes.
+
+    Extends :class:`~repro.core.matching_pursuit.MatchingPursuitResult` with
+    the exact integer state of the datapath: the coefficient raw codes (real
+    and imaginary, in units of ``accumulator_format.resolution *
+    coefficient_scale``) and the decision-variable raw codes.  ``==``
+    compares exactly that integer state (plus the scales and format that
+    give it meaning) — no float tolerance involved; the float fields are
+    fully determined by it.
+    """
+
+    raw_real: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    raw_imag: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    raw_decisions: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    coefficient_scale: float = 1.0
+    decision_scale: float = 1.0
+    input_scale: float = 1.0
+    accumulator_format: FixedPointFormat | None = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FixedPointEstimate):
+            return NotImplemented
+        return _integer_state_equal(self, other)
+
+
+@dataclass(eq=False)
+class BatchFixedPointEstimate:
+    """Fixed-point MP estimates for a whole stack of receive vectors.
+
+    Same layout as :class:`FixedPointEstimate` with a leading ``(trials,)``
+    axis on every array and per-trial scales; ``result[t]`` recovers the
+    scalar view of one trial.  ``==`` compares the exact integer state per
+    trial, like :class:`FixedPointEstimate`.
+    """
+
+    coefficients: np.ndarray
+    path_indices: np.ndarray
+    path_gains: np.ndarray
+    decision_history: np.ndarray
+    raw_real: np.ndarray
+    raw_imag: np.ndarray
+    raw_decisions: np.ndarray
+    coefficient_scale: np.ndarray
+    decision_scale: np.ndarray
+    input_scale: np.ndarray
+    accumulator_format: FixedPointFormat
+
+    @property
+    def num_trials(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def num_paths(self) -> int:
+        return int(self.path_indices.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_trials
+
+    def __getitem__(self, trial: int) -> FixedPointEstimate:
+        return FixedPointEstimate(
+            coefficients=self.coefficients[trial],
+            path_indices=self.path_indices[trial],
+            path_gains=self.path_gains[trial],
+            decision_history=self.decision_history[trial],
+            raw_real=self.raw_real[trial],
+            raw_imag=self.raw_imag[trial],
+            raw_decisions=self.raw_decisions[trial],
+            coefficient_scale=float(self.coefficient_scale[trial]),
+            decision_scale=float(self.decision_scale[trial]),
+            input_scale=float(self.input_scale[trial]),
+            accumulator_format=self.accumulator_format,
+        )
+
+    def unbatch(self) -> list[FixedPointEstimate]:
+        return [self[t] for t in range(self.num_trials)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchFixedPointEstimate):
+            return NotImplemented
+        return _integer_state_equal(self, other)
 
 
 @dataclass
@@ -45,12 +185,18 @@ class FixedPointMatchingPursuit:
     accumulator_growth_bits:
         Extra bits carried by the matched-filter accumulator beyond the input
         word length (DSP48 accumulators are wide; default 16).
+    rounding, overflow:
+        Rounding and overflow behaviour of every quantiser in the datapath
+        (the System Generator block parameters): round-to-nearest vs
+        truncation, saturation vs two's-complement wrap-around.
     """
 
     matrices: SignalMatrices
     word_length: int = 8
     num_paths: int = 6
     accumulator_growth_bits: int = 16
+    rounding: RoundingMode = RoundingMode.NEAREST
+    overflow: OverflowMode = OverflowMode.SATURATE
 
     def __post_init__(self) -> None:
         check_integer("word_length", self.word_length, minimum=2, maximum=32)
@@ -58,6 +204,8 @@ class FixedPointMatchingPursuit:
                       maximum=self.matrices.num_delays)
         check_integer("accumulator_growth_bits", self.accumulator_growth_bits,
                       minimum=0, maximum=32)
+        self.rounding = RoundingMode(self.rounding)
+        self.overflow = OverflowMode(self.overflow)
 
         # --- quantise the static matrices with power-of-two scaling -------
         s_scale = dynamic_range_scale(self.matrices.S)
@@ -65,30 +213,68 @@ class FixedPointMatchingPursuit:
         a_vec_scale = dynamic_range_scale(self.matrices.a)
 
         self._input_fmt = FixedPointFormat.for_unit_range(self.word_length)
-        self.S_q = quantize(self.matrices.S / s_scale, self._input_fmt) * s_scale
-        self.A_q = quantize(self.matrices.A / a_mat_scale, self._input_fmt) * a_mat_scale
-        self.a_q = quantize(self.matrices.a / a_vec_scale, self._input_fmt) * a_vec_scale
+        self.S_q = self._quantize(self.matrices.S / s_scale, self._input_fmt) * s_scale
+        self.A_q = self._quantize(self.matrices.A / a_mat_scale, self._input_fmt) * a_mat_scale
+        self.a_q = self._quantize(self.matrices.a / a_vec_scale, self._input_fmt) * a_vec_scale
 
         # datapath formats: products/accumulators carry extra bits
         self._acc_fmt = FixedPointFormat(
             min(self.word_length + self.accumulator_growth_bits, 48),
             self._input_fmt.fraction_length,
         )
+        # fixed factor of the per-trial coefficient scale (see estimate())
+        self._a_peak = float(np.max(np.abs(self.a_q)))
+
+        # Whether the matched-filter accumulation is *exact* in float64: every
+        # product of raw codes is <= 2**(2w-2) and the window sums at most
+        # 2**ceil(log2(window)) of them, so when that stays within the 53-bit
+        # integer mantissa every partial sum is exactly representable and any
+        # summation order — matvec, matmul, FMA — yields identical bits.
+        # estimate_batch then uses one matmul for the whole batch; outside the
+        # bound it falls back to the scalar path's per-trial matvec call.
+        product_bits = 2 * (self.word_length - 1) + math.ceil(
+            math.log2(self.matrices.window_length)
+        )
+        self._matched_filter_exact = product_bits <= 52
 
     # ------------------------------------------------------------------ #
+    def _quantize(self, values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+        """Quantise with this datapath's rounding and overflow modes."""
+        return quantize(values, fmt, self.rounding, self.overflow)
+
     def _quantize_received(self, received: np.ndarray) -> tuple[np.ndarray, float]:
         """Quantise the received vector with its own power-of-two scale."""
         scale = dynamic_range_scale(received)
-        r_q = quantize(received / scale, self._input_fmt) * scale
+        r_q = self._quantize(received / scale, self._input_fmt) * scale
         return r_q, scale
 
     def _requant(self, values: np.ndarray, scale: float) -> np.ndarray:
         """Re-quantise an intermediate result to the accumulator format."""
-        return quantize(values / scale, self._acc_fmt) * scale
+        return self._quantize(values / scale, self._acc_fmt) * scale
+
+    def _requant_batch(self, values: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        """Per-trial :meth:`_requant` over a leading batch axis, bit-identically."""
+        return quantize_batch(
+            values, self._acc_fmt, self.rounding, self.overflow, scales=scales
+        )
+
+    def _coefficient_scales(self, v_scale):
+        """The (per-trial) scales of the temporary coefficients and decisions.
+
+        The temporary coefficients ``G = V * a`` live at the matched-filter
+        scale times the peak magnitude of the quantised ``a`` vector; the
+        decision variables ``Q = Re(G^* V)`` at the product of the two.  A
+        degenerate all-zero ``a`` (possible only at the narrowest word
+        lengths under truncation) falls back to the matched-filter scale so
+        no zero-scale division enters the datapath.
+        """
+        g_scale = v_scale * self._a_peak if self._a_peak > 0 else v_scale
+        q_scale = g_scale * v_scale
+        return g_scale, q_scale
 
     # ------------------------------------------------------------------ #
-    def estimate(self, received: np.ndarray) -> MatchingPursuitResult:
-        """Run fixed-point MP on a received vector.
+    def estimate(self, received: np.ndarray) -> FixedPointEstimate:
+        """Run fixed-point MP on a received vector (scalar executable spec).
 
         The control flow is identical to the floating-point reference; only
         the arithmetic precision differs.
@@ -101,9 +287,10 @@ class FixedPointMatchingPursuit:
         num_delays = self.matrices.num_delays
 
         # scale of the matched-filter outputs: |S^T r| <= window * max|S| * max|r|
-        v_scale = dynamic_range_scale(self.S_q.T @ r_q)
+        matched = self.S_q.T @ r_q
+        v_scale = dynamic_range_scale(matched)
 
-        V = self._requant(self.S_q.T @ r_q, v_scale)
+        V = self._requant(matched, v_scale)
         F = np.zeros(num_delays, dtype=np.complex128)
         selected = np.zeros(num_delays, dtype=bool)
 
@@ -111,8 +298,7 @@ class FixedPointMatchingPursuit:
         path_gains = np.empty(self.num_paths, dtype=np.complex128)
         decision_history = np.empty(self.num_paths, dtype=np.float64)
 
-        g_scale = v_scale * float(np.max(np.abs(self.a_q))) if np.max(np.abs(self.a_q)) > 0 else v_scale
-        q_scale = g_scale * v_scale
+        g_scale, q_scale = self._coefficient_scales(v_scale)
 
         previous: int | None = None
         for j in range(self.num_paths):
@@ -129,11 +315,102 @@ class FixedPointMatchingPursuit:
             decision_history[j] = Q[q]
             previous = q
 
-        return MatchingPursuitResult(
+        resolution = self._acc_fmt.resolution
+        return FixedPointEstimate(
             coefficients=F,
             path_indices=path_indices,
             path_gains=path_gains,
             decision_history=decision_history,
+            raw_real=_integer_codes(F.real, resolution, g_scale),
+            raw_imag=_integer_codes(F.imag, resolution, g_scale),
+            raw_decisions=_integer_codes(decision_history, resolution, q_scale),
+            coefficient_scale=g_scale,
+            decision_scale=q_scale,
+            input_scale=r_scale,
+            accumulator_format=self._acc_fmt,
+        )
+
+    # ------------------------------------------------------------------ #
+    def estimate_batch(self, received: np.ndarray) -> BatchFixedPointEstimate:
+        """Run fixed-point MP on a ``(trials, window)`` stack of receive vectors.
+
+        Bit-identical to calling :meth:`estimate` on each row: the dynamic
+        range scaling, every re-quantisation and the cancellation updates are
+        the same element-wise float64 expressions evaluated over the whole
+        batch, and the matched filter runs as one matmul only at word
+        lengths where its accumulation is exact integer math in float64
+        (any summation order gives the same bits); at wider word lengths —
+        where a matmul could re-associate the accumulation and change the
+        last bit — it applies the identical per-trial ``S_q.T @ r`` call.
+        An empty batch is valid and yields empty result arrays.
+        """
+        received = ensure_2d_array(
+            "received", received, dtype=np.complex128,
+            shape=(None, self.matrices.window_length),
+        )
+        trials = received.shape[0]
+        num_delays = self.matrices.num_delays
+
+        r_scales = dynamic_range_scale_batch(received)
+        r_q = quantize_batch(
+            received, self._input_fmt, self.rounding, self.overflow, scales=r_scales
+        )
+
+        # matched filter: one exact matmul when every summation order gives
+        # the same bits (see __post_init__), else the identical per-trial
+        # matvec call the scalar path makes
+        if self._matched_filter_exact:
+            matched = (r_q.real @ self.S_q) + 1j * (r_q.imag @ self.S_q)
+        else:
+            matched = np.empty((trials, num_delays), dtype=np.complex128)
+            for t in range(trials):
+                matched[t] = self.S_q.T @ r_q[t]
+        v_scales = dynamic_range_scale_batch(matched)
+
+        V = self._requant_batch(matched, v_scales)
+        F = np.zeros((trials, num_delays), dtype=np.complex128)
+        selected = np.zeros((trials, num_delays), dtype=bool)
+
+        path_indices = np.empty((trials, self.num_paths), dtype=np.int64)
+        path_gains = np.empty((trials, self.num_paths), dtype=np.complex128)
+        decision_history = np.empty((trials, self.num_paths), dtype=np.float64)
+
+        g_scales, q_scales = self._coefficient_scales(v_scales)
+
+        rows = np.arange(trials)
+        previous: np.ndarray | None = None
+        for j in range(self.num_paths):
+            if previous is not None:
+                # column q of A per trial, taken as a row of A^T so no
+                # symmetry of A is assumed (mirrors matching_pursuit_batch)
+                cancelled = V - self.A_q.T[previous] * F[rows, previous][:, np.newaxis]
+                V = self._requant_batch(cancelled, v_scales)
+            G = self._requant_batch(V * self.a_q, g_scales)
+            Q = self._requant_batch(np.real(np.conj(G) * V), q_scales)
+            Q_masked = np.where(selected, -np.inf, Q)
+            q = np.argmax(Q_masked, axis=1)
+            F[rows, q] = G[rows, q]
+            selected[rows, q] = True
+            path_indices[:, j] = q
+            path_gains[:, j] = G[rows, q]
+            decision_history[:, j] = Q[rows, q]
+            previous = q
+
+        resolution = self._acc_fmt.resolution
+        g_column = g_scales[:, np.newaxis]
+        q_column = q_scales[:, np.newaxis]
+        return BatchFixedPointEstimate(
+            coefficients=F,
+            path_indices=path_indices,
+            path_gains=path_gains,
+            decision_history=decision_history,
+            raw_real=_integer_codes(F.real, resolution, g_column),
+            raw_imag=_integer_codes(F.imag, resolution, g_column),
+            raw_decisions=_integer_codes(decision_history, resolution, q_column),
+            coefficient_scale=np.asarray(g_scales, dtype=np.float64),
+            decision_scale=np.asarray(q_scales, dtype=np.float64),
+            input_scale=np.asarray(r_scales, dtype=np.float64),
+            accumulator_format=self._acc_fmt,
         )
 
     # ------------------------------------------------------------------ #

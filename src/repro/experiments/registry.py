@@ -52,6 +52,11 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "scenario_names",
+    "fixedpoint_trial_metrics",
+    "trial_channel_problem",
+    "trial_config_key",
+    "trial_estimator",
+    "trial_float_reference",
     "TABLE3_PLATFORM_ENERGIES_UJ",
 ]
 
@@ -125,9 +130,17 @@ def scenario_names() -> list[str]:
 _CONFIG_FIELDS = tuple(AquaModemConfig.__dataclass_fields__)
 
 
+@functools.lru_cache(maxsize=1)
+def _config_defaults() -> tuple:
+    config = AquaModemConfig()
+    return tuple(getattr(config, name) for name in _CONFIG_FIELDS)
+
+
 def _config_key(params: Mapping[str, Any]) -> tuple:
-    defaults = AquaModemConfig()
-    return tuple(params.get(name, getattr(defaults, name)) for name in _CONFIG_FIELDS)
+    defaults = _config_defaults()
+    return tuple(
+        params.get(name, default) for name, default in zip(_CONFIG_FIELDS, defaults)
+    )
 
 
 @functools.lru_cache(maxsize=32)
@@ -196,6 +209,73 @@ def _platform_comparison(num_paths: int) -> PlatformComparison:
     return compare_platforms(num_paths=num_paths)
 
 
+# --------------------------------------------------------------------------- #
+# public problem builders (shared with the batched fixed-point engine)
+#
+# `repro.core.batch.BatchFixedPointMPEngine` runs whole bitwidth sweeps
+# without going through `run_sweep`, but must see the *identical* problems
+# the scalar trials see.  These helpers expose the memoised problem/estimator
+# builders above, so both paths draw the same RNG streams and literally share
+# the cached channel draws and float references within a process.
+# --------------------------------------------------------------------------- #
+def trial_config_key(params: Mapping[str, Any]) -> tuple:
+    """A hashable signature of the waveform-configuration fields of a trial.
+
+    Two parameter mappings with the same signature build the same matrices,
+    estimators and problems; the batched engine groups trial points by it.
+    """
+    return _config_key(params)
+
+
+def trial_channel_problem(params: Mapping[str, Any], seed: int):
+    """The (channel, true coefficients, received) problem of one trial point."""
+    return _channel_problem(
+        _config_key(params),
+        int(params["num_channel_paths"]),
+        float(params["snr_db"]),
+        int(seed),
+    )
+
+
+def trial_float_reference(params: Mapping[str, Any], seed: int):
+    """The floating-point MP estimate of one trial point's problem."""
+    config_key = _config_key(params)
+    return _float_estimate(
+        config_key,
+        int(params["num_channel_paths"]),
+        float(params["snr_db"]),
+        int(seed),
+        _config(config_key).num_paths,
+    )
+
+
+def trial_estimator(params: Mapping[str, Any], word_length: int) -> FixedPointMatchingPursuit:
+    """The (memoised) fixed-point estimator of one trial point."""
+    return _fixed_point_estimator(_config_key(params), int(word_length))
+
+
+def fixedpoint_trial_metrics(channel, true_f, reference, estimate) -> dict[str, Any]:
+    """The E6 accuracy metrics of one fixed-point estimate.
+
+    Shared by the scalar trial function and the batched engine so both
+    evaluate the identical float expressions on identical coefficient arrays
+    — which is what lets the engine's records be compared to the sweep's
+    with ``==``.
+    """
+    vs_float = (
+        normalized_channel_error(reference.coefficients, estimate.coefficients)
+        if np.linalg.norm(reference.coefficients) > 0
+        else 0.0
+    )
+    return {
+        "normalized_error": normalized_channel_error(true_f, estimate.coefficients),
+        "support_recovery": support_recovery_rate(
+            channel.delays, estimate.path_indices, tolerance=1
+        ),
+        "error_vs_float": vs_float,
+    }
+
+
 @functools.lru_cache(maxsize=64)
 def _topology_routing(
     topology: str,
@@ -252,27 +332,24 @@ def _modem_ser_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
 
 
 def _fixedpoint_bitwidth_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
-    """Fixed-point vs floating-point MP accuracy on one random channel."""
-    config_key = _config_key(params)
-    config = _config(config_key)
-    num_channel_paths = int(params["num_channel_paths"])
-    snr_db = float(params["snr_db"])
-    channel, true_f, received = _channel_problem(config_key, num_channel_paths, snr_db, seed)
-    reference = _float_estimate(config_key, num_channel_paths, snr_db, seed, config.num_paths)
-    estimator = _fixed_point_estimator(config_key, int(params["word_length"]))
-    estimate = estimator.estimate(received)
-    vs_float = (
-        normalized_channel_error(reference.coefficients, estimate.coefficients)
-        if np.linalg.norm(reference.coefficients) > 0
-        else 0.0
-    )
-    return {
-        "normalized_error": normalized_channel_error(true_f, estimate.coefficients),
-        "support_recovery": support_recovery_rate(
-            channel.delays, estimate.path_indices, tolerance=1
-        ),
-        "error_vs_float": vs_float,
-    }
+    """Fixed-point vs floating-point MP accuracy on one random channel.
+
+    ``batch`` routes this trial's estimate through the batched datapath as a
+    one-row batch (``estimate_batch``) instead of the scalar executable
+    specification; the two are bit-identical on raw integer codes, so the
+    axis exists for cross-validation sweeps.  Whole-sweep batching — all
+    trials of all word lengths at once — lives in
+    :class:`repro.core.batch.BatchFixedPointMPEngine`, which shares this
+    trial's memoised problems and metrics.
+    """
+    channel, true_f, received = trial_channel_problem(params, seed)
+    reference = trial_float_reference(params, seed)
+    estimator = trial_estimator(params, int(params["word_length"]))
+    if bool(params.get("batch", False)):
+        estimate = estimator.estimate_batch(received[np.newaxis, :])[0]
+    else:
+        estimate = estimator.estimate(received)
+    return fixedpoint_trial_metrics(channel, true_f, reference, estimate)
 
 
 def _platform_energy_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
@@ -383,7 +460,7 @@ register(Scenario(
     name="fixedpoint-bitwidth",
     description="fixed-point MP channel-estimation accuracy vs word length (experiment E6)",
     layers=("fixedpoint", "core"),
-    version="1",
+    version="2",
     run_trial=_fixedpoint_bitwidth_trial,
     default_spec=SweepSpec(
         scenario="fixedpoint-bitwidth",
@@ -392,6 +469,10 @@ register(Scenario(
             "snr_db": 25.0, "num_channel_paths": 4,
             "walsh_symbols": 8, "spreading_chips": 7, "samples_per_chip": 2,
             "num_paths": 6,
+            # scalar executable spec by default; `--set batch=true` runs each
+            # trial through the batched datapath as a one-row batch (raw
+            # integer codes are pinned identical, so metrics match exactly)
+            "batch": False,
         },
         # paired: every word length estimates the same channels
         seed=SeedPolicy(base_seed=0, replicates=12),

@@ -29,7 +29,7 @@ from repro.experiments.cache import ResultCache, code_version_tag, trial_key
 from repro.experiments.registry import get_scenario
 from repro.experiments.spec import SweepSpec, TrialPoint
 
-__all__ = ["SweepStats", "SweepResult", "run_sweep"]
+__all__ = ["SweepStats", "SweepResult", "plain_value", "run_sweep"]
 
 #: Below this many pending trials a worker pool costs more than it saves.
 MIN_TRIALS_FOR_POOL = 4
@@ -39,8 +39,13 @@ MIN_TRIALS_FOR_POOL = 4
 IDENTITY_KEYS = ("scenario", "trial_index", "replicate", "seed")
 
 
-def _plain(value: Any) -> Any:
-    """Coerce a metric/param value to a plain JSON-serialisable scalar."""
+def plain_value(value: Any) -> Any:
+    """Coerce a metric/param value to a plain JSON-serialisable scalar.
+
+    Applied to every record value by :func:`run_sweep` and by the batched
+    engines that emit run_sweep-compatible records, so numpy scalars never
+    leak into stored results.
+    """
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     item = getattr(value, "item", None)
@@ -70,7 +75,7 @@ def _execute_trial(payload: tuple[str, int, int, int, Mapping[str, Any]]) -> tup
                     f"scenario {scenario_name!r}: key {key!r} collides with an "
                     "identity or parameter column"
                 )
-            record[key] = _plain(value)
+            record[key] = plain_value(value)
     return index, record
 
 

@@ -66,6 +66,12 @@ def stable_hash(value: Any, *, length: int = 16) -> str:
     return digest[:length]
 
 
+#: ``stable_hash({})`` — the ``vary_with`` contribution of the common
+#: fully-paired policy, precomputed so per-trial seed derivation skips the
+#: JSON/sha round trip (the derived seeds are unchanged).
+_EMPTY_VARIED_HASH = int(stable_hash({}), 16)
+
+
 @dataclass(frozen=True)
 class SeedPolicy:
     """How per-trial seeds are derived.
@@ -103,12 +109,16 @@ class SeedPolicy:
         axis values, so it depends only on the policy — never on expansion
         order, process boundaries or ``PYTHONHASHSEED``.
         """
-        varied = {name: params[name] for name in self.vary_with if name in params}
+        if self.vary_with:
+            varied = {name: params[name] for name in self.vary_with if name in params}
+            varied_hash = int(stable_hash(varied), 16)
+        else:
+            varied_hash = _EMPTY_VARIED_HASH
         entropy = (
             SEED_SCHEME_VERSION,
             int(self.base_seed),
             int(replicate),
-            int(stable_hash(varied), 16),
+            varied_hash,
         )
         seed_sequence = np.random.SeedSequence(entropy=entropy)
         return int(seed_sequence.generate_state(1, np.uint64)[0]) % (2**63 - 1)

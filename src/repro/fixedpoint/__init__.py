@@ -17,19 +17,33 @@ datapaths in software:
 """
 
 from repro.fixedpoint.fmt import FixedPointFormat
-from repro.fixedpoint.quantize import quantize, quantize_to_format, OverflowMode, RoundingMode
+from repro.fixedpoint.quantize import (
+    quantize,
+    quantize_batch,
+    quantize_to_format,
+    quantize_to_format_batch,
+    raw_values,
+    raw_values_batch,
+    OverflowMode,
+    RoundingMode,
+)
 from repro.fixedpoint.array import FixedPointArray
 from repro.fixedpoint.metrics import (
     quantization_noise_power,
     signal_to_quantization_noise_ratio,
     max_abs_error,
     dynamic_range_scale,
+    dynamic_range_scale_batch,
 )
 
 __all__ = [
     "FixedPointFormat",
     "quantize",
+    "quantize_batch",
     "quantize_to_format",
+    "quantize_to_format_batch",
+    "raw_values",
+    "raw_values_batch",
     "OverflowMode",
     "RoundingMode",
     "FixedPointArray",
@@ -37,4 +51,5 @@ __all__ = [
     "signal_to_quantization_noise_ratio",
     "max_abs_error",
     "dynamic_range_scale",
+    "dynamic_range_scale_batch",
 ]

@@ -9,6 +9,11 @@ that are rounded/saturated.
 
 Only the operations required by the Matching Pursuits datapath are provided:
 addition, subtraction, multiplication, dot products and scalar broadcasting.
+Every operation accepts a leading batch axis — element-wise operations
+broadcast like ndarrays, and :meth:`FixedPointArray.dot` contracts the last
+axis, so a ``(trials, n)`` array yields ``trials`` inner products in one
+call, bit-identical to a loop of 1-D dots while the exact arithmetic stays
+inside float64's 53-bit integer range (see :meth:`FixedPointArray.dot`).
 The class intentionally does not try to be a full ndarray subclass; it is a
 modelling tool, not a general-purpose numeric type.
 """
@@ -92,7 +97,7 @@ class FixedPointArray:
         rounding: RoundingMode = RoundingMode.NEAREST,
         overflow: OverflowMode = OverflowMode.SATURATE,
     ) -> "FixedPointArray":
-        """Element-wise sum; default result format has one growth bit."""
+        """Element-wise sum (broadcasts over batch axes); default format has one growth bit."""
         exact = self.to_float() + other.to_float()
         return self._requantize(
             exact, result_fmt, self.fmt.add_format(other.fmt), rounding, overflow
@@ -105,7 +110,7 @@ class FixedPointArray:
         rounding: RoundingMode = RoundingMode.NEAREST,
         overflow: OverflowMode = OverflowMode.SATURATE,
     ) -> "FixedPointArray":
-        """Element-wise difference; default result format has one growth bit."""
+        """Element-wise difference (broadcasts over batch axes); one growth bit by default."""
         exact = self.to_float() - other.to_float()
         return self._requantize(
             exact, result_fmt, self.fmt.add_format(other.fmt), rounding, overflow
@@ -118,7 +123,7 @@ class FixedPointArray:
         rounding: RoundingMode = RoundingMode.NEAREST,
         overflow: OverflowMode = OverflowMode.SATURATE,
     ) -> "FixedPointArray":
-        """Element-wise product; default result format is the full-precision product."""
+        """Element-wise product (broadcasts over batch axes); full-precision format by default."""
         exact = self.to_float() * other.to_float()
         return self._requantize(
             exact, result_fmt, self.fmt.multiply_format(other.fmt), rounding, overflow
@@ -131,18 +136,33 @@ class FixedPointArray:
         rounding: RoundingMode = RoundingMode.NEAREST,
         overflow: OverflowMode = OverflowMode.SATURATE,
     ) -> "FixedPointArray":
-        """Inner product of two 1-D fixed-point arrays (MAC chain of the FC block)."""
-        if self.raw.ndim != 1 or other.raw.ndim != 1:
-            raise ValueError("dot requires 1-D operands")
-        if self.raw.shape != other.raw.shape:
+        """Inner product over the last axis (MAC chain of the FC block).
+
+        1-D operands give the plain inner product.  Operands with leading
+        batch axes contract the last axis per row — ``(trials, n)`` against
+        ``(trials, n)`` or a shared ``(n,)`` vector yields ``trials``
+        accumulator outputs in one call.  The accumulation is exact integer
+        math as long as the raw products and partial sums fit float64's
+        53-bit integer mantissa (word lengths summing to ≲ 46 bits for the
+        FC-block geometry), where every summation order gives the same bits;
+        the property suite pins batched dots against loops of 1-D dots
+        inside that domain.
+        """
+        if self.raw.ndim == 0 or other.raw.ndim == 0:
+            raise ValueError("dot requires at least 1-D operands")
+        if self.raw.shape[-1] != other.raw.shape[-1]:
             raise ValueError(
-                f"dot requires equal lengths, got {self.raw.shape} and {other.raw.shape}"
+                f"dot requires equal last-axis lengths, got {self.raw.shape} "
+                f"and {other.raw.shape}"
             )
-        exact = float(np.dot(self.to_float(), other.to_float()))
         prod_fmt = self.fmt.multiply_format(other.fmt)
-        default_fmt = prod_fmt.accumulate_format(max(1, self.raw.shape[0]))
+        default_fmt = prod_fmt.accumulate_format(max(1, self.raw.shape[-1]))
+        if self.raw.ndim == 1 and other.raw.ndim == 1:
+            exact = np.asarray(float(np.dot(self.to_float(), other.to_float())))
+        else:
+            exact = np.einsum("...i,...i->...", self.to_float(), other.to_float())
         return self._requantize(
-            np.asarray(exact), result_fmt, default_fmt, rounding, overflow
+            exact, result_fmt, default_fmt, rounding, overflow
         )
 
     def scale(

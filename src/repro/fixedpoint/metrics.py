@@ -18,6 +18,7 @@ __all__ = [
     "signal_to_quantization_noise_ratio",
     "max_abs_error",
     "dynamic_range_scale",
+    "dynamic_range_scale_batch",
 ]
 
 
@@ -62,7 +63,7 @@ def dynamic_range_scale(values: np.ndarray) -> float:
     Scaling by a power of two is free in hardware (a binary-point move), so the
     IP core normalises each stored matrix by the smallest power of two that
     covers its dynamic range before quantisation.  Returns 1.0 for an all-zero
-    input.
+    input; non-finite inputs are rejected with ``ValueError``.
     """
     values = np.asarray(values)
     if np.iscomplexobj(values):
@@ -71,5 +72,42 @@ def dynamic_range_scale(values: np.ndarray) -> float:
         peak = float(np.max(np.abs(values)))
     if peak == 0.0:
         return 1.0
+    if not np.isfinite(peak):
+        raise ValueError("dynamic_range_scale requires finite values")
     exponent = int(np.ceil(np.log2(peak)))
     return float(2.0 ** exponent)
+
+
+def dynamic_range_scale_batch(values: np.ndarray) -> np.ndarray:
+    """Per-row power-of-two scales over a leading batch axis.
+
+    Row ``t`` of the result equals ``dynamic_range_scale(values[t])`` exactly
+    (the same ``max`` / ``log2`` / ``2**ceil`` expressions evaluated
+    element-wise), so the vectorised bitwidth engine and the scalar datapath
+    derive bit-identical scales.  All-zero rows get a scale of 1.0 without
+    evaluating ``log2(0)``; non-finite rows are rejected with ``ValueError``,
+    matching the scalar path.
+    """
+    values = np.asarray(values)
+    if values.ndim < 1:
+        raise ValueError("dynamic_range_scale_batch needs at least a batch axis")
+    if values.size == 0:
+        return np.ones(values.shape[0], dtype=np.float64)
+    flat = values.reshape(values.shape[0], -1)
+    if np.iscomplexobj(flat):
+        peaks = np.maximum(
+            np.max(np.abs(flat.real), axis=1), np.max(np.abs(flat.imag), axis=1)
+        )
+    else:
+        peaks = np.max(np.abs(flat), axis=1)
+    # the scalar path takes the peak through a Python float before log2;
+    # promote here too, or float32 peaks near powers of two would round the
+    # exponent down and halve the scale relative to the scalar path
+    peaks = peaks.astype(np.float64, copy=False)
+    if not np.isfinite(peaks).all():
+        raise ValueError("dynamic_range_scale_batch requires finite values")
+    scales = np.ones(flat.shape[0], dtype=np.float64)
+    nonzero = peaks > 0.0
+    exponents = np.ceil(np.log2(peaks[nonzero]))
+    scales[nonzero] = 2.0 ** exponents
+    return scales

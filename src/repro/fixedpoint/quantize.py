@@ -15,7 +15,16 @@ import numpy as np
 
 from repro.fixedpoint.fmt import FixedPointFormat
 
-__all__ = ["RoundingMode", "OverflowMode", "quantize", "quantize_to_format", "raw_values"]
+__all__ = [
+    "RoundingMode",
+    "OverflowMode",
+    "quantize",
+    "quantize_to_format",
+    "raw_values",
+    "quantize_batch",
+    "quantize_to_format_batch",
+    "raw_values_batch",
+]
 
 
 class RoundingMode(str, Enum):
@@ -115,3 +124,126 @@ def quantize_to_format(
             max_abs_value = 1.0
     fmt = FixedPointFormat.for_range(word_length, max_abs_value)
     return quantize(arr, fmt, rounding, overflow), fmt
+
+
+# --------------------------------------------------------------------------- #
+# Batched variants — a leading batch axis with per-row scaling / formats.
+#
+# Every batched function is pinned by the property suite to be *bit-identical*
+# to a Python loop of its scalar counterpart: the same element-wise
+# divide / round / clip expressions run on the whole batch at once, so the
+# vectorised fixed-point engine and the scalar executable specification
+# produce the same raw integer codes.
+# --------------------------------------------------------------------------- #
+def _broadcast_scales(scales: np.ndarray | None, arr: np.ndarray) -> np.ndarray | None:
+    """Reshape per-row ``scales`` of a leading batch axis for broadcasting."""
+    if scales is None:
+        return None
+    scales = np.asarray(scales, dtype=np.float64)
+    if scales.shape != (arr.shape[0],):
+        raise ValueError(
+            f"scales must have shape ({arr.shape[0]},) to match the batch axis, "
+            f"got {scales.shape}"
+        )
+    return scales.reshape((arr.shape[0],) + (1,) * (arr.ndim - 1))
+
+
+def raw_values_batch(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+    *,
+    scales: np.ndarray | None = None,
+) -> np.ndarray:
+    """Raw codes of a batch of real rows, each divided by its own ``scales[t]``.
+
+    Equivalent to ``np.stack([raw_values(values[t] / scales[t], fmt, ...)])``
+    but in one vectorised pass.  ``scales`` defaults to all ones.
+    """
+    arr = np.asarray(values)
+    if arr.ndim < 1:
+        raise ValueError("raw_values_batch needs at least a batch axis")
+    if np.iscomplexobj(arr):
+        raise TypeError("raw_values_batch operates on real arrays; split complex inputs first")
+    arr = arr.astype(np.float64, copy=False)
+    broadcast = _broadcast_scales(scales, arr)
+    if broadcast is not None:
+        arr = arr / broadcast
+    scaled = arr / fmt.resolution
+    raw = _round_raw(scaled, rounding)
+    raw = _apply_overflow(raw, fmt, overflow)
+    return raw.astype(np.int64)
+
+
+def quantize_batch(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+    *,
+    scales: np.ndarray | None = None,
+) -> np.ndarray:
+    """Quantise a batch of rows on one grid, with per-row power-of-two scaling.
+
+    Row ``t`` equals ``quantize(values[t] / scales[t], fmt, ...) * scales[t]``
+    bit for bit — the dynamic-range-scaled quantisation step of the
+    fixed-point datapath, vectorised over the whole batch.  Complex inputs
+    are quantised component-wise, like :func:`quantize`.
+    """
+    arr = np.asarray(values)
+    if arr.ndim < 1:
+        raise ValueError("quantize_batch needs at least a batch axis")
+    if np.iscomplexobj(arr):
+        real = quantize_batch(arr.real, fmt, rounding, overflow, scales=scales)
+        imag = quantize_batch(arr.imag, fmt, rounding, overflow, scales=scales)
+        return real + 1j * imag
+    broadcast = _broadcast_scales(scales, arr)
+    scaled_in = arr if broadcast is None else arr / broadcast
+    raw = raw_values_batch(scaled_in, fmt, rounding, overflow)
+    quantised = raw.astype(np.float64) * fmt.resolution
+    if broadcast is not None:
+        quantised = quantised * broadcast
+    return quantised
+
+
+def quantize_to_format_batch(
+    values: np.ndarray,
+    word_length: int,
+    *,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    overflow: OverflowMode = OverflowMode.SATURATE,
+) -> tuple[np.ndarray, list[FixedPointFormat]]:
+    """Per-row :func:`quantize_to_format` over a leading batch axis.
+
+    Each row picks its own fraction length from its own peak magnitude (the
+    per-matrix dynamic-range scaling of the IP core) and the quantisation of
+    all rows then runs as one vectorised pass.  Row ``t`` of the result and
+    ``formats[t]`` equal ``quantize_to_format(values[t], word_length, ...)``
+    bit for bit; the formats are chosen by the same
+    :meth:`~repro.fixedpoint.fmt.FixedPointFormat.for_range` call per row, so
+    no float-library differences can creep in between the paths.
+    """
+    arr = np.asarray(values)
+    if arr.ndim < 1:
+        raise ValueError("quantize_to_format_batch needs at least a batch axis")
+    flat = arr.reshape(arr.shape[0], -1)
+    if np.iscomplexobj(flat):
+        peaks = np.maximum(
+            np.max(np.abs(flat.real), axis=1, initial=0.0),
+            np.max(np.abs(flat.imag), axis=1, initial=0.0),
+        )
+    else:
+        peaks = np.max(np.abs(flat), axis=1, initial=0.0)
+    formats = [
+        FixedPointFormat.for_range(word_length, float(peak) if peak > 0.0 else 1.0)
+        for peak in peaks
+    ]
+    # quantising on per-row formats == quantising on an integer grid (the
+    # same word length, fraction length 0) scaled by each row's resolution
+    resolutions = np.array([fmt.resolution for fmt in formats], dtype=np.float64)
+    integer_grid = FixedPointFormat(word_length, 0, signed=True)
+    quantised = quantize_batch(
+        arr, integer_grid, rounding, overflow, scales=resolutions
+    )
+    return quantised, formats

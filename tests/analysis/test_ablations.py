@@ -45,6 +45,19 @@ class TestBitwidthAccuracy:
         by_bits = {r.word_length: r for r in results}
         assert by_bits[12].mean_error_vs_float <= by_bits[4].mean_error_vs_float
 
+    def test_batched_engine_identical_to_sweep(self, results):
+        """batch=True (the default) and the scalar sweep agree exactly."""
+        scalar = bitwidth_accuracy_ablation(
+            word_lengths=(4, 8, 12), num_trials=8, snr_db=25.0, rng=0, batch=False
+        )
+        assert scalar == results
+
+    def test_batched_engine_warns_when_jobs_or_cache_ignored(self):
+        with pytest.warns(UserWarning, match="jobs.*ignored"):
+            bitwidth_accuracy_ablation(
+                word_lengths=(8,), num_trials=2, rng=0, batch=True, jobs=4
+            )
+
 
 class TestParallelismAblation:
     def test_all_divisors_evaluated(self):

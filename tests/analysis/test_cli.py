@@ -52,7 +52,19 @@ class TestMain:
 
     def test_bitwidth(self, capsys):
         assert main(["bitwidth", "--trials", "2"]) == 0
-        assert "word length" in capsys.readouterr().out.lower()
+        out = capsys.readouterr().out.lower()
+        assert "word length" in out and "batched engine" in out
+
+    def test_bitwidth_no_batch_prints_identical_table(self, capsys):
+        assert main(["bitwidth", "--trials", "2"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["bitwidth", "--trials", "2", "--no-batch"]) == 0
+        scalar = capsys.readouterr().out
+        assert "scalar datapath" in scalar
+        # identical numbers, engine label aside
+        assert (
+            batched.replace("batched engine", "X") == scalar.replace("scalar datapath", "X")
+        )
 
     def test_lifetime(self, capsys):
         assert main(["lifetime", "--grid", "3", "--battery-kj", "50"]) == 0

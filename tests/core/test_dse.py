@@ -138,3 +138,82 @@ class TestDesignSpaceExplorer:
             bit_widths=(8,),
         )
         assert len(explorer.explore()) == 3
+
+
+class TestAccuracyColumn:
+    """The E6 accuracy columns, computed on the batched fixed-point engine."""
+
+    ACCURACY_TRIALS = 4
+
+    @pytest.fixture(scope="class")
+    def batched(self):
+        explorer = DesignSpaceExplorer(
+            include_infeasible=True, accuracy_trials=self.ACCURACY_TRIALS
+        )
+        return explorer.explore()
+
+    @pytest.fixture(scope="class")
+    def scalar(self):
+        explorer = DesignSpaceExplorer(
+            include_infeasible=True, accuracy_trials=self.ACCURACY_TRIALS,
+            accuracy_batch=False,
+        )
+        return explorer.explore()
+
+    def test_accuracy_columns_populated(self, batched):
+        assert all(e.mean_normalized_error is not None for e in batched)
+        assert all(e.mean_support_recovery is not None for e in batched)
+        assert all(0.0 <= e.mean_support_recovery <= 1.0 for e in batched)
+
+    def test_accuracy_identical_under_batch_true_false(self, batched, scalar):
+        """The engine and the scalar datapath fill identical columns (==)."""
+        assert [
+            (e.mean_normalized_error, e.mean_support_recovery) for e in batched
+        ] == [
+            (e.mean_normalized_error, e.mean_support_recovery) for e in scalar
+        ]
+
+    def test_accuracy_depends_only_on_word_length(self, batched):
+        by_width: dict[int, set] = {}
+        for e in batched:
+            by_width.setdefault(e.point.word_length, set()).add(
+                (e.mean_normalized_error, e.mean_support_recovery)
+            )
+        assert all(len(values) == 1 for values in by_width.values())
+
+    def test_wider_words_estimate_no_worse(self, batched):
+        errors = {e.point.word_length: e.mean_normalized_error for e in batched}
+        assert errors[16] <= errors[8]
+
+    def test_infeasible_spartan3_fully_parallel_still_flagged(self, batched):
+        """The accuracy columns must not disturb the feasibility analysis."""
+        infeasible = [e for e in batched if not e.feasible]
+        assert len(infeasible) == 3
+        assert all(e.point.device.family == "Spartan-3" for e in infeasible)
+        assert all(e.point.num_fc_blocks == 112 for e in infeasible)
+        assert all(e.mean_normalized_error is not None for e in infeasible)
+
+    def test_disabled_by_default(self):
+        evaluation = DesignSpaceExplorer().explore()[0]
+        assert evaluation.mean_normalized_error is None
+        assert evaluation.mean_support_recovery is None
+
+    def test_render_table_gains_accuracy_column(self, batched):
+        explorer = DesignSpaceExplorer(include_infeasible=True, accuracy_trials=2)
+        text = explorer.render_table(batched)
+        assert "Err vs truth" in text
+        plain = DesignSpaceExplorer(include_infeasible=True)
+        assert "Err vs truth" not in plain.render_table(plain.explore())
+
+    def test_accuracy_requires_aquamodem_geometry(self):
+        with pytest.raises(ValueError, match="112"):
+            DesignSpaceExplorer(accuracy_trials=2, num_delays=56, window_length=112)
+
+    def test_word_length_outside_bit_widths_fills_incrementally(self):
+        from repro.core.dse import DesignPoint
+        from repro.hardware.devices import VIRTEX4_XC4VSX55
+
+        explorer = DesignSpaceExplorer(bit_widths=(8,), accuracy_trials=2)
+        point = DesignPoint(VIRTEX4_XC4VSX55, num_fc_blocks=14, word_length=10)
+        evaluation = explorer.evaluate_point(point)
+        assert evaluation.mean_normalized_error is not None

@@ -1,0 +1,122 @@
+"""Golden raw integer codes of the fixed-point MP datapath.
+
+Pins the exact integer codes the datapath produces for a fixed, fully
+deterministic input at the paper's word lengths (8/12/16), so any silent
+change to the quantisation rules — a rounding-mode default, a scale
+derivation, an accumulator width — fails loudly rather than drifting the E6
+results.
+
+Why this is cross-platform stable: the golden received vector is built from
+integer arithmetic on a dyadic grid (no RNG, no libm transcendentals), the
+S matrix is ±1-valued, and at word lengths <= 16 every product and partial
+sum in the matched filter fits float64's 53-bit integer mantissa — the
+arithmetic is *exact*, so BLAS summation order and FMA contraction cannot
+change a single bit, and the element-wise quantisation steps are IEEE 754
+deterministic.  The same codes must come out of the scalar and the batched
+datapath on every platform and NumPy version.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+
+#: Selection order, coefficient raw codes on the selected delays (real and
+#: imaginary), decision raw codes, and the derived scales per word length.
+GOLDEN = {
+    8: {
+        "path_indices": [12, 87, 40, 13, 11, 82],
+        "raw_real": [82, 60, -48, 20, 16, -15],
+        "raw_imag": [6, 24, 38, -14, -15, 10],
+        "raw_decisions": [53, 33, 29, 5, 4, 3],
+        "coefficient_scale": 0.5703125,
+        "decision_scale": 36.5,
+        "accumulator": ("Fix", 24, 7),
+    },
+    12: {
+        "path_indices": [12, 87, 40, 13, 11, 110],
+        "raw_real": [1312, 962, -771, 325, 271, -280],
+        "raw_imag": [93, 390, 598, -204, -211, 172],
+        "raw_decisions": [845, 526, 465, 72, 58, 53],
+        "coefficient_scale": 0.5712890625,
+        "decision_scale": 36.5625,
+        "accumulator": ("Fix", 28, 11),
+    },
+    16: {
+        "path_indices": [12, 87, 40, 13, 11, 110],
+        "raw_real": [21005, 15397, -12345, 5195, 4332, -4474],
+        "raw_imag": [1489, 6241, 9580, -3267, -3372, 2766],
+        "raw_decisions": [13532, 8423, 7452, 1149, 920, 844],
+        "coefficient_scale": 0.571441650390625,
+        "decision_scale": 36.572265625,
+        "accumulator": ("Fix", 32, 15),
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def golden_received() -> np.ndarray:
+    """A three-path channel plus dyadic integer pseudo-noise (RNG-free)."""
+    n = np.arange(224)
+    real = ((n * 2654435761) % 2048 - 1024) / 1024.0
+    imag = ((n * 40503 + 17) % 2048 - 1024) / 1024.0
+    noise = (real + 1j * imag) * 0.0625
+    return noise  # combined with the channel below
+
+
+@pytest.fixture(scope="module")
+def golden_problem(aquamodem_matrices, golden_received) -> np.ndarray:
+    f_true = np.zeros(112, dtype=np.complex128)
+    f_true[12] = 0.75 - 0.25j
+    f_true[40] = -0.5 + 0.375j
+    f_true[87] = 0.25 + 0.125j
+    return aquamodem_matrices.S @ f_true + golden_received
+
+
+class TestGoldenRawCodes:
+    @pytest.mark.parametrize("word_length", sorted(GOLDEN))
+    def test_scalar_datapath_matches_golden(
+        self, aquamodem_matrices, golden_problem, word_length
+    ):
+        golden = GOLDEN[word_length]
+        estimator = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=word_length, num_paths=6
+        )
+        result = estimator.estimate(golden_problem)
+        selected = result.path_indices
+        assert selected.tolist() == golden["path_indices"]
+        assert result.raw_real[selected].tolist() == golden["raw_real"]
+        assert result.raw_imag[selected].tolist() == golden["raw_imag"]
+        assert result.raw_decisions.tolist() == golden["raw_decisions"]
+        assert result.coefficient_scale == golden["coefficient_scale"]
+        assert result.decision_scale == golden["decision_scale"]
+        assert result.input_scale == 1.0
+        kind, bits, fraction = golden["accumulator"]
+        assert str(result.accumulator_format) == f"{kind}{bits}_{fraction}"
+        # everything off the selected support stays exactly zero
+        mask = np.ones(112, dtype=bool)
+        mask[selected] = False
+        assert not result.raw_real[mask].any()
+        assert not result.raw_imag[mask].any()
+
+    @pytest.mark.parametrize("word_length", sorted(GOLDEN))
+    def test_batched_datapath_matches_golden(
+        self, aquamodem_matrices, golden_problem, word_length
+    ):
+        golden = GOLDEN[word_length]
+        estimator = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=word_length, num_paths=6
+        )
+        result = estimator.estimate_batch(golden_problem[np.newaxis, :])[0]
+        selected = result.path_indices
+        assert selected.tolist() == golden["path_indices"]
+        assert result.raw_real[selected].tolist() == golden["raw_real"]
+        assert result.raw_imag[selected].tolist() == golden["raw_imag"]
+        assert result.raw_decisions.tolist() == golden["raw_decisions"]
+
+    def test_golden_input_is_reproducible(self, golden_problem):
+        """The input itself is pinned: dyadic values, exact checksums."""
+        assert float(golden_problem.real.sum()) == 7.9462890625
+        assert float(golden_problem.imag.sum()) == 4.0751953125

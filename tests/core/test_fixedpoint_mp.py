@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.channel.multipath import random_sparse_channel
 from repro.channel.simulator import add_noise_for_snr
-from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.fixedpoint_mp import FixedPointEstimate, FixedPointMatchingPursuit
 from repro.core.matching_pursuit import matching_pursuit
 from repro.core.metrics import normalized_channel_error
+from repro.fixedpoint.quantize import OverflowMode, RoundingMode
 
 
 @pytest.fixture(scope="module")
@@ -107,3 +110,120 @@ class TestFixedPointMatchingPursuit:
         estimator = FixedPointMatchingPursuit(aquamodem_matrices, word_length=8)
         with pytest.raises(ValueError):
             estimator.estimate(np.zeros(100, dtype=complex))
+
+    def test_estimate_returns_raw_codes(self, aquamodem_matrices, rng):
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        result = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=8, num_paths=4
+        ).estimate(received)
+        assert isinstance(result, FixedPointEstimate)
+        assert result.raw_real.dtype == np.int64
+        assert result.raw_real.shape == (112,)
+        # the floats are exactly the raw codes scaled back onto the grid
+        resolution = result.accumulator_format.resolution
+        rebuilt = (result.raw_real + 1j * result.raw_imag) * resolution
+        assert np.allclose(
+            rebuilt * result.coefficient_scale, result.coefficients, rtol=1e-12
+        )
+
+
+class TestEdgeCases:
+    """Regression tests for corner cases surfaced by the equivalence harness."""
+
+    def test_num_paths_equals_num_delays(self, aquamodem_matrices, rng):
+        """Nf == Ns: the sweep must select every delay exactly once."""
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        estimator = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=8, num_paths=112
+        )
+        scalar = estimator.estimate(received)
+        assert sorted(scalar.path_indices.tolist()) == list(range(112))
+        assert np.isfinite(scalar.decision_history).all()
+        batched = estimator.estimate_batch(received[np.newaxis, :])[0]
+        assert np.array_equal(scalar.path_indices, batched.path_indices)
+        assert np.array_equal(scalar.raw_real, batched.raw_real)
+
+    def test_all_zero_received(self, aquamodem_matrices):
+        """An all-zero receive vector (dynamic-range scale of 0) is legal.
+
+        The dynamic-range scale falls back to 1.0 instead of evaluating
+        ``log2(0)``, the datapath must not emit NaNs or warnings, and the
+        estimate is exactly zero everywhere with a deterministic (first-N)
+        delay selection.
+        """
+        estimator = FixedPointMatchingPursuit(aquamodem_matrices, word_length=8)
+        zero = np.zeros(224, dtype=np.complex128)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scalar = estimator.estimate(zero)
+            batched = estimator.estimate_batch(np.stack([zero, zero]))
+        assert scalar.input_scale == 1.0
+        assert not scalar.coefficients.any()
+        assert not scalar.raw_real.any() and not scalar.raw_imag.any()
+        assert not scalar.raw_decisions.any()
+        assert scalar.path_indices.tolist() == [0, 1, 2, 3, 4, 5]
+        for trial in range(2):
+            assert np.array_equal(scalar.raw_real, batched[trial].raw_real)
+            assert np.array_equal(scalar.path_indices, batched[trial].path_indices)
+
+    def test_all_zero_row_inside_mixed_batch(self, aquamodem_matrices, rng):
+        """A zero row must not perturb its batch neighbours (masked scales)."""
+        received = rng.standard_normal((3, 224)) + 1j * rng.standard_normal((3, 224))
+        received[1] = 0.0
+        estimator = FixedPointMatchingPursuit(aquamodem_matrices, word_length=8)
+        batched = estimator.estimate_batch(received)
+        assert batched.input_scale[1] == 1.0
+        for trial in range(3):
+            scalar = estimator.estimate(received[trial])
+            assert np.array_equal(scalar.raw_real, batched[trial].raw_real)
+            assert np.array_equal(scalar.raw_imag, batched[trial].raw_imag)
+
+    @pytest.mark.parametrize("rounding", list(RoundingMode))
+    @pytest.mark.parametrize("overflow", list(OverflowMode))
+    def test_word_length_two(self, aquamodem_matrices, rng, rounding, overflow):
+        """The narrowest legal datapath stays finite and in range in all modes."""
+        received = rng.standard_normal(224) + 1j * rng.standard_normal(224)
+        estimator = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=2, num_paths=6,
+            rounding=rounding, overflow=overflow,
+        )
+        result = estimator.estimate(received)
+        assert np.isfinite(result.coefficients).all()
+        assert np.isfinite(result.decision_history).all()
+        assert len(set(result.path_indices.tolist())) == 6
+        assert (result.path_indices >= 0).all() and (result.path_indices < 112).all()
+        fmt = result.accumulator_format
+        for raw in (result.raw_real, result.raw_imag, result.raw_decisions):
+            assert raw.min(initial=0) >= fmt.raw_min
+            assert raw.max(initial=0) <= fmt.raw_max
+        batched = estimator.estimate_batch(received[np.newaxis, :])[0]
+        assert np.array_equal(result.raw_real, batched.raw_real)
+        assert np.array_equal(result.raw_decisions, batched.raw_decisions)
+
+    def test_word_length_two_ties_break_deterministically(self, aquamodem_matrices):
+        """w=2 collapses many decision variables onto the same grid point.
+
+        A ±1 waveform quantised into Fix2_1 saturates asymmetrically
+        (+1 -> +0.5, -1 -> -1), so even a clean single-path problem ties
+        across delays; what the datapath owes the harness is a
+        *deterministic* first-maximum tie-break, identical in the scalar
+        and batched paths — not path recovery, which genuinely degrades.
+        """
+        f_true = np.zeros(112, dtype=np.complex128)
+        f_true[30] = 1.0
+        received = aquamodem_matrices.synthesize(f_true)
+        estimator = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=2, num_paths=3
+        )
+        first = estimator.estimate(received)
+        again = estimator.estimate(received)
+        assert np.array_equal(first.path_indices, again.path_indices)
+        batched = estimator.estimate_batch(np.stack([received, received]))
+        for trial in range(2):
+            assert np.array_equal(first.path_indices, batched[trial].path_indices)
+            assert np.array_equal(first.raw_decisions, batched[trial].raw_decisions)
+        # at w=3 the same problem is already recovered exactly
+        wider = FixedPointMatchingPursuit(
+            aquamodem_matrices, word_length=3, num_paths=1
+        ).estimate(received)
+        assert wider.path_indices[0] == 30

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ResultCache, get_scenario, run_sweep
-from repro.experiments.runner import _chunk_size, _plain
+from repro.experiments.runner import _chunk_size, plain_value
 from repro.experiments.store import read_jsonl, tidy_headers
 from repro.experiments.store import ResultStore
 
@@ -72,7 +72,7 @@ class TestHelpers:
 
     def test_plain_rejects_compound_values(self):
         with pytest.raises(TypeError, match="flat dicts"):
-            _plain([1, 2, 3])
+            plain_value([1, 2, 3])
 
     def test_unknown_scenario_raises(self):
         from repro.experiments.spec import SweepSpec
