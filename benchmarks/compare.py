@@ -19,8 +19,8 @@ Usage::
         --max-slowdown 1.30 [--metric min|mean] [--require NAME ...]
 
 ``--require`` marks benchmarks that must exist in the current file (e.g. the
-link-batch, network-batch and fixedpoint-batch benchmarks), guarding against
-a gate that silently compares nothing.
+link-batch, network-batch, fixedpoint-batch and ipcore-batch benchmarks),
+guarding against a gate that silently compares nothing.
 """
 
 from __future__ import annotations

@@ -37,7 +37,15 @@ def test_bench_ipcore_functional_simulation(benchmark, aquamodem_matrices, noisy
     )
     run = benchmark(core.estimate, noisy_receive_vector)
     assert run.total_cycles == 1984
+    # the quantised core is pinned == (raw integer codes) to the fixed-point
+    # reference estimator; against the float reference the four dominant
+    # (true-channel) picks must agree, while the trailing noise-driven picks
+    # may legitimately differ at 8 bits
+    from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+
+    fixed_point = FixedPointMatchingPursuit(aquamodem_matrices, word_length=8, num_paths=6)
+    assert run.result == fixed_point.estimate(noisy_receive_vector)
     reference = matching_pursuit(noisy_receive_vector, aquamodem_matrices, num_paths=6)
     np.testing.assert_array_equal(
-        np.sort(run.result.path_indices), np.sort(reference.path_indices)
+        np.sort(run.result.path_indices[:4]), np.sort(reference.path_indices[:4])
     )

@@ -35,7 +35,7 @@ from repro.analysis.ablations import aquamodem_signal_matrices
 from repro.channel.multipath import MultipathChannel, random_sparse_channel
 from repro.core.dse import DesignPoint, DesignSpaceExplorer
 from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
-from repro.core.ipcore import IPCoreConfig, IPCoreSimulator
+from repro.core.ipcore import BatchIPCoreEngine, IPCoreConfig, IPCoreSimulator
 from repro.core.matching_pursuit import (
     MatchingPursuitResult,
     matching_pursuit,
@@ -71,6 +71,7 @@ __all__ = [
     "matching_pursuit_naive",
     "MatchingPursuitResult",
     "FixedPointMatchingPursuit",
+    "BatchIPCoreEngine",
     "IPCoreConfig",
     "IPCoreSimulator",
     "DesignPoint",

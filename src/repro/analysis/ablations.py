@@ -34,8 +34,10 @@ from repro.utils.validation import check_integer
 
 __all__ = [
     "BitwidthAccuracyResult",
+    "IPCoreParallelismResult",
     "SimulatedLifetimeSummary",
     "bitwidth_accuracy_ablation",
+    "ipcore_parallelism_study",
     "parallelism_ablation",
     "dsss_vs_fsk_ablation",
     "network_lifetime_study",
@@ -142,6 +144,122 @@ def bitwidth_accuracy_ablation(
         )
         for bits in word_lengths
     ]
+
+
+# --------------------------------------------------------------------------- #
+# IP-core parallelism study (Figure 5 / Table 2 timing axis)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class IPCoreParallelismResult:
+    """Cycle cost and estimation quality of the IP core at one parallelism level."""
+
+    num_fc_blocks: int
+    word_length: int
+    total_cycles: int
+    matched_filter_cycles: int
+    iteration_cycles: int
+    execution_time_us: float
+    mean_normalized_error: float
+    mean_support_recovery: float
+    mean_error_vs_float: float
+
+
+def ipcore_parallelism_study(
+    parallelism_levels: tuple[int, ...] = (1, 2, 4, 8, 14, 28, 56, 112),
+    word_length: int = 8,
+    num_trials: int = 8,
+    num_channel_paths: int = 4,
+    snr_db: float = 25.0,
+    rng: np.random.Generator | int | None = 0,
+    config: AquaModemConfig | None = None,
+    batch: bool = True,
+    device: FPGADevice | None = None,
+) -> list[IPCoreParallelismResult]:
+    """Cycle cost vs estimation quality of the IP core over parallelism levels.
+
+    Every level estimates the same Monte-Carlo channels (the problems come
+    from the registry's memoised builders, seeded exactly like the
+    ``ipcore-parallelism`` scenario sweep), so the table demonstrates the
+    conformance contract live: the accuracy columns are *identical* at every
+    P — the study asserts cross-P bit-identity on the raw integer codes on
+    every run — while the cycle and execution-time columns fall as Ns/P.
+
+    ``batch=True`` (the default) stacks each level's trials through
+    :meth:`~repro.core.ipcore.batch.BatchIPCoreEngine.estimate_batch`;
+    ``batch=False`` walks the scalar FC-block simulator trial by trial (the
+    executable specification — identical results, just slower).
+    ``execution_time_us`` prices the closed-form schedule on ``device``
+    (default: the Virtex-4) at this word length.
+    """
+    check_integer("num_trials", num_trials, minimum=1)
+    check_integer("word_length", word_length, minimum=2, maximum=32)
+    from repro.experiments.registry import (
+        fixedpoint_trial_metrics,
+        trial_channel_problem,
+        trial_float_reference,
+        trial_ipcore_engine,
+    )
+    from repro.hardware.timing import timing_from_schedule
+
+    config = config if config is not None else AquaModemConfig()
+    device = device if device is not None else VIRTEX4_XC4VSX55
+    spec = (
+        get_scenario("ipcore-parallelism").spec
+        .with_axis("num_fc_blocks", tuple(int(p) for p in parallelism_levels))
+        .with_axis("word_length", (int(word_length),))
+        .with_base(
+            snr_db=float(snr_db),
+            num_channel_paths=int(num_channel_paths),
+            batch=bool(batch),
+            **config_params(config),
+        )
+        .with_seed(base_seed=_as_base_seed(rng), replicates=num_trials)
+    )
+    groups: dict[int, list] = {}
+    for point in spec.expand():
+        groups.setdefault(int(point.params["num_fc_blocks"]), []).append(point)
+
+    results: list[IPCoreParallelismResult] = []
+    baseline_estimates = None
+    for level in parallelism_levels:
+        points = groups[int(level)]
+        engine = trial_ipcore_engine(points[0].params, int(level), int(word_length))
+        problems = [trial_channel_problem(p.params, p.seed) for p in points]
+        references = [trial_float_reference(p.params, p.seed) for p in points]
+        if batch:
+            received = np.stack([problem[2] for problem in problems])
+            run = engine.estimate_batch(received)
+            estimates = [run.result[t] for t in range(len(points))]
+            schedule = run.schedule
+        else:
+            runs = [engine.core.estimate(problem[2]) for problem in problems]
+            estimates = [r.result for r in runs]
+            schedule = runs[0].schedule
+        # the live conformance assertion: raw integer codes identical across P
+        if baseline_estimates is None:
+            baseline_estimates = estimates
+        elif estimates != baseline_estimates:
+            raise AssertionError(
+                f"IP-core estimates at P={level} diverged from "
+                f"P={parallelism_levels[0]} — the partition moved a quantisation point"
+            )
+        metrics = [
+            fixedpoint_trial_metrics(problem[0], problem[1], reference, estimate)
+            for problem, reference, estimate in zip(problems, references, estimates)
+        ]
+        timing = timing_from_schedule(device, schedule, int(word_length))
+        results.append(IPCoreParallelismResult(
+            num_fc_blocks=int(level),
+            word_length=int(word_length),
+            total_cycles=schedule.total_cycles,
+            matched_filter_cycles=schedule.matched_filter_cycles,
+            iteration_cycles=schedule.iteration_cycles,
+            execution_time_us=timing.execution_time_us,
+            mean_normalized_error=float(np.mean([m["normalized_error"] for m in metrics])),
+            mean_support_recovery=float(np.mean([m["support_recovery"] for m in metrics])),
+            mean_error_vs_float=float(np.mean([m["error_vs_float"] for m in metrics])),
+        ))
+    return results
 
 
 # --------------------------------------------------------------------------- #

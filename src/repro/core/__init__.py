@@ -13,7 +13,8 @@ Modules
   operations.
 * :mod:`repro.core.ipcore` — a functional + cycle-level simulator of the
   Filter-and-Cancel IP core of Figure 5, parameterised by the number of FC
-  blocks (level of parallelism).
+  blocks (level of parallelism), with a batched engine and a three-way
+  conformance harness (IP core == fixed-point MP == float reference).
 * :mod:`repro.core.dse` — the design-space exploration engine that sweeps
   parallelism, bit width and FPGA device and evaluates area / timing /
   throughput / power / energy for each point (Tables 2-3, Figure 6).
@@ -39,7 +40,14 @@ from repro.core.metrics import (
     support_recovery_rate,
     residual_energy_ratio,
 )
-from repro.core.ipcore import FilterAndCancelBlock, IPCoreConfig, IPCoreSimulator
+from repro.core.ipcore import (
+    BatchIPCoreEngine,
+    BatchIPCoreRun,
+    FilterAndCancelBlock,
+    IPCoreConfig,
+    IPCoreSimulator,
+    check_conformance,
+)
 from repro.core.dse import DesignPoint, DesignPointEvaluation, DesignSpaceExplorer
 from repro.core.batch import BatchFixedPointMPEngine
 
@@ -62,6 +70,9 @@ __all__ = [
     "FilterAndCancelBlock",
     "IPCoreConfig",
     "IPCoreSimulator",
+    "BatchIPCoreEngine",
+    "BatchIPCoreRun",
+    "check_conformance",
     "DesignPoint",
     "DesignPointEvaluation",
     "DesignSpaceExplorer",

@@ -238,15 +238,75 @@ class FixedPointMatchingPursuit:
         self._matched_filter_exact = product_bits <= 52
 
     # ------------------------------------------------------------------ #
+    # datapath building blocks
+    #
+    # These are public because they are *shared*: the IP-core engines
+    # (`repro.core.ipcore`) run the identical quantisation points — the same
+    # calls, in the same order — so that the partitioned FC-block datapath
+    # can be pinned against this estimator with ``==`` on raw integer codes.
+    # ------------------------------------------------------------------ #
+    @property
+    def input_format(self) -> FixedPointFormat:
+        """Format of the stored matrices and the quantised receive vector."""
+        return self._input_fmt
+
+    @property
+    def accumulator_format(self) -> FixedPointFormat:
+        """Format every intermediate result is re-quantised to."""
+        return self._acc_fmt
+
+    @property
+    def matched_filter_exact(self) -> bool:
+        """True when the matched-filter accumulation is exact in float64.
+
+        Inside this bound any summation order — matvec, matmul, per-block
+        MAC — yields identical bits, which is what lets the batched paths
+        use one matmul for a whole trial stack.
+        """
+        return self._matched_filter_exact
+
     def _quantize(self, values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
         """Quantise with this datapath's rounding and overflow modes."""
         return quantize(values, fmt, self.rounding, self.overflow)
 
-    def _quantize_received(self, received: np.ndarray) -> tuple[np.ndarray, float]:
+    def quantize_received(self, received: np.ndarray) -> tuple[np.ndarray, float]:
         """Quantise the received vector with its own power-of-two scale."""
         scale = dynamic_range_scale(received)
         r_q = self._quantize(received / scale, self._input_fmt) * scale
         return r_q, scale
+
+    def quantize_received_batch(self, received: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-trial :meth:`quantize_received` over a leading batch axis."""
+        scales = dynamic_range_scale_batch(received)
+        r_q = quantize_batch(
+            received, self._input_fmt, self.rounding, self.overflow, scales=scales
+        )
+        return r_q, scales
+
+    def matched_filter(self, r_q: np.ndarray) -> np.ndarray:
+        """The canonical matched-filter call ``S_q^T r_q`` for one trial.
+
+        Every datapath (scalar, batched outside the exactness bound, and the
+        IP-core simulators) evaluates the matched filter through this very
+        call, so BLAS summation order can never differ between them.
+        """
+        return self.S_q.T @ r_q
+
+    def matched_filter_batch(self, r_q: np.ndarray) -> np.ndarray:
+        """Matched filter for a ``(trials, window)`` stack, bit-identically.
+
+        One exact matmul when every summation order gives the same bits (see
+        :attr:`matched_filter_exact`), else the identical per-trial
+        :meth:`matched_filter` call the scalar path makes.
+        """
+        if self._matched_filter_exact:
+            return (r_q.real @ self.S_q) + 1j * (r_q.imag @ self.S_q)
+        matched = np.empty(
+            (r_q.shape[0], self.matrices.num_delays), dtype=np.complex128
+        )
+        for t in range(r_q.shape[0]):
+            matched[t] = self.matched_filter(r_q[t])
+        return matched
 
     def _requant(self, values: np.ndarray, scale: float) -> np.ndarray:
         """Re-quantise an intermediate result to the accumulator format."""
@@ -258,7 +318,19 @@ class FixedPointMatchingPursuit:
             values, self._acc_fmt, self.rounding, self.overflow, scales=scales
         )
 
-    def _coefficient_scales(self, v_scale):
+    def requantize(self, values: np.ndarray, scale) -> np.ndarray:
+        """Re-quantise intermediates to the accumulator format.
+
+        ``scale`` may be a scalar (one trial — or any slice of one trial:
+        re-quantisation is element-wise, so a block's slice re-quantises to
+        the same bits as the full array) or a per-trial ``(trials,)`` column
+        for values with a leading batch axis.
+        """
+        if np.ndim(scale) == 0:
+            return self._requant(values, float(scale))
+        return self._requant_batch(values, np.asarray(scale, dtype=np.float64))
+
+    def coefficient_scales(self, v_scale):
         """The (per-trial) scales of the temporary coefficients and decisions.
 
         The temporary coefficients ``G = V * a`` live at the matched-filter
@@ -272,6 +344,60 @@ class FixedPointMatchingPursuit:
         q_scale = g_scale * v_scale
         return g_scale, q_scale
 
+    def assemble_estimate(
+        self,
+        coefficients: np.ndarray,
+        path_indices: np.ndarray,
+        path_gains: np.ndarray,
+        decision_history: np.ndarray,
+        input_scale: float,
+        g_scale: float,
+        q_scale: float,
+    ) -> FixedPointEstimate:
+        """Package one trial's datapath outputs with their raw integer codes."""
+        resolution = self._acc_fmt.resolution
+        return FixedPointEstimate(
+            coefficients=coefficients,
+            path_indices=path_indices,
+            path_gains=path_gains,
+            decision_history=decision_history,
+            raw_real=_integer_codes(coefficients.real, resolution, g_scale),
+            raw_imag=_integer_codes(coefficients.imag, resolution, g_scale),
+            raw_decisions=_integer_codes(decision_history, resolution, q_scale),
+            coefficient_scale=g_scale,
+            decision_scale=q_scale,
+            input_scale=input_scale,
+            accumulator_format=self._acc_fmt,
+        )
+
+    def assemble_estimate_batch(
+        self,
+        coefficients: np.ndarray,
+        path_indices: np.ndarray,
+        path_gains: np.ndarray,
+        decision_history: np.ndarray,
+        input_scales: np.ndarray,
+        g_scales: np.ndarray,
+        q_scales: np.ndarray,
+    ) -> BatchFixedPointEstimate:
+        """Package a whole batch's datapath outputs with their raw codes."""
+        resolution = self._acc_fmt.resolution
+        g_column = np.asarray(g_scales, dtype=np.float64)[:, np.newaxis]
+        q_column = np.asarray(q_scales, dtype=np.float64)[:, np.newaxis]
+        return BatchFixedPointEstimate(
+            coefficients=coefficients,
+            path_indices=path_indices,
+            path_gains=path_gains,
+            decision_history=decision_history,
+            raw_real=_integer_codes(coefficients.real, resolution, g_column),
+            raw_imag=_integer_codes(coefficients.imag, resolution, g_column),
+            raw_decisions=_integer_codes(decision_history, resolution, q_column),
+            coefficient_scale=np.asarray(g_scales, dtype=np.float64),
+            decision_scale=np.asarray(q_scales, dtype=np.float64),
+            input_scale=np.asarray(input_scales, dtype=np.float64),
+            accumulator_format=self._acc_fmt,
+        )
+
     # ------------------------------------------------------------------ #
     def estimate(self, received: np.ndarray) -> FixedPointEstimate:
         """Run fixed-point MP on a received vector (scalar executable spec).
@@ -283,11 +409,11 @@ class FixedPointMatchingPursuit:
             "received", received, dtype=np.complex128,
             length=self.matrices.window_length,
         )
-        r_q, r_scale = self._quantize_received(received)
+        r_q, r_scale = self.quantize_received(received)
         num_delays = self.matrices.num_delays
 
         # scale of the matched-filter outputs: |S^T r| <= window * max|S| * max|r|
-        matched = self.S_q.T @ r_q
+        matched = self.matched_filter(r_q)
         v_scale = dynamic_range_scale(matched)
 
         V = self._requant(matched, v_scale)
@@ -298,7 +424,7 @@ class FixedPointMatchingPursuit:
         path_gains = np.empty(self.num_paths, dtype=np.complex128)
         decision_history = np.empty(self.num_paths, dtype=np.float64)
 
-        g_scale, q_scale = self._coefficient_scales(v_scale)
+        g_scale, q_scale = self.coefficient_scales(v_scale)
 
         previous: int | None = None
         for j in range(self.num_paths):
@@ -315,19 +441,8 @@ class FixedPointMatchingPursuit:
             decision_history[j] = Q[q]
             previous = q
 
-        resolution = self._acc_fmt.resolution
-        return FixedPointEstimate(
-            coefficients=F,
-            path_indices=path_indices,
-            path_gains=path_gains,
-            decision_history=decision_history,
-            raw_real=_integer_codes(F.real, resolution, g_scale),
-            raw_imag=_integer_codes(F.imag, resolution, g_scale),
-            raw_decisions=_integer_codes(decision_history, resolution, q_scale),
-            coefficient_scale=g_scale,
-            decision_scale=q_scale,
-            input_scale=r_scale,
-            accumulator_format=self._acc_fmt,
+        return self.assemble_estimate(
+            F, path_indices, path_gains, decision_history, r_scale, g_scale, q_scale
         )
 
     # ------------------------------------------------------------------ #
@@ -351,20 +466,8 @@ class FixedPointMatchingPursuit:
         trials = received.shape[0]
         num_delays = self.matrices.num_delays
 
-        r_scales = dynamic_range_scale_batch(received)
-        r_q = quantize_batch(
-            received, self._input_fmt, self.rounding, self.overflow, scales=r_scales
-        )
-
-        # matched filter: one exact matmul when every summation order gives
-        # the same bits (see __post_init__), else the identical per-trial
-        # matvec call the scalar path makes
-        if self._matched_filter_exact:
-            matched = (r_q.real @ self.S_q) + 1j * (r_q.imag @ self.S_q)
-        else:
-            matched = np.empty((trials, num_delays), dtype=np.complex128)
-            for t in range(trials):
-                matched[t] = self.S_q.T @ r_q[t]
+        r_q, r_scales = self.quantize_received_batch(received)
+        matched = self.matched_filter_batch(r_q)
         v_scales = dynamic_range_scale_batch(matched)
 
         V = self._requant_batch(matched, v_scales)
@@ -375,7 +478,7 @@ class FixedPointMatchingPursuit:
         path_gains = np.empty((trials, self.num_paths), dtype=np.complex128)
         decision_history = np.empty((trials, self.num_paths), dtype=np.float64)
 
-        g_scales, q_scales = self._coefficient_scales(v_scales)
+        g_scales, q_scales = self.coefficient_scales(v_scales)
 
         rows = np.arange(trials)
         previous: np.ndarray | None = None
@@ -396,21 +499,8 @@ class FixedPointMatchingPursuit:
             decision_history[:, j] = Q[rows, q]
             previous = q
 
-        resolution = self._acc_fmt.resolution
-        g_column = g_scales[:, np.newaxis]
-        q_column = q_scales[:, np.newaxis]
-        return BatchFixedPointEstimate(
-            coefficients=F,
-            path_indices=path_indices,
-            path_gains=path_gains,
-            decision_history=decision_history,
-            raw_real=_integer_codes(F.real, resolution, g_column),
-            raw_imag=_integer_codes(F.imag, resolution, g_column),
-            raw_decisions=_integer_codes(decision_history, resolution, q_column),
-            coefficient_scale=np.asarray(g_scales, dtype=np.float64),
-            decision_scale=np.asarray(q_scales, dtype=np.float64),
-            input_scale=np.asarray(r_scales, dtype=np.float64),
-            accumulator_format=self._acc_fmt,
+        return self.assemble_estimate_batch(
+            F, path_indices, path_gains, decision_history, r_scales, g_scales, q_scales
         )
 
     # ------------------------------------------------------------------ #

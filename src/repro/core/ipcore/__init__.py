@@ -11,31 +11,51 @@ iterations.
 This package mirrors that structure in software:
 
 * :class:`~repro.core.ipcore.fc_block.FilterAndCancelBlock` — one FC block:
-  stores its assigned columns of S/A/a (quantised to the configured word
-  length), holds the V/G/F/Q registers for those columns, and performs the
-  matched-filter, cancellation and decision-variable updates.
+  views of the globally-quantised S/A/a columns (block RAM) plus the
+  matched-filter, cancellation and decision-variable updates over its
+  window of the shared :class:`~repro.core.ipcore.fc_block.CoreRegisters`
+  register file.
 * :class:`~repro.core.ipcore.qgen.QGenBlock` — the arg-max reduction with the
-  "not already selected" exclusion of step 13.
+  "not already selected" exclusion of step 13 (scalar and per-trial batched).
 * :class:`~repro.core.ipcore.control.ControlUnit` — the cycle accountant: it
   knows how many clock cycles each phase of the schedule takes for a given
   level of parallelism.
 * :class:`~repro.core.ipcore.simulator.IPCoreSimulator` — wires the blocks
-  together, produces the same :class:`~repro.core.matching_pursuit.MatchingPursuitResult`
-  as the reference algorithm plus an exact cycle count.
+  together; its estimate is bit-identical (raw integer codes) to
+  :class:`~repro.core.fixedpoint_mp.FixedPointMatchingPursuit` at matching
+  quantiser modes, plus an exact cycle count.
+* :class:`~repro.core.ipcore.batch.BatchIPCoreEngine` — the batched engine:
+  whole trial stacks through the same blocks, vectorised over the trial
+  axis, with the schedule evaluated in closed form per configuration.
+* :mod:`~repro.core.ipcore.conformance` — the three-way conformance harness
+  (IP core == fixed-point MP == float reference within documented bounds).
 """
 
-from repro.core.ipcore.fc_block import FilterAndCancelBlock
-from repro.core.ipcore.qgen import QGenBlock
+from repro.core.ipcore.fc_block import CoreRegisters, FilterAndCancelBlock
+from repro.core.ipcore.qgen import QGenBlock, QGenDecision
 from repro.core.ipcore.control import ControlUnit, CyclePhase, ScheduleBreakdown
 from repro.core.ipcore.simulator import IPCoreConfig, IPCoreRun, IPCoreSimulator
+from repro.core.ipcore.batch import BatchIPCoreEngine, BatchIPCoreRun
+from repro.core.ipcore.conformance import (
+    ConformanceCell,
+    ConformanceReport,
+    check_conformance,
+)
 
 __all__ = [
+    "CoreRegisters",
     "FilterAndCancelBlock",
     "QGenBlock",
+    "QGenDecision",
     "ControlUnit",
     "CyclePhase",
     "ScheduleBreakdown",
     "IPCoreConfig",
     "IPCoreRun",
     "IPCoreSimulator",
+    "BatchIPCoreEngine",
+    "BatchIPCoreRun",
+    "ConformanceCell",
+    "ConformanceReport",
+    "check_conformance",
 ]

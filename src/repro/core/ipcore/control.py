@@ -19,6 +19,13 @@ paper's Table 2 timings to within 1% (see
 ``tests/hardware/test_paper_timing.py``): total cycles =
 ``(Ns / P) * (2*Ns + Nf * 4)``, e.g. 248 cycles for the fully parallel
 (112-block) design and 27 776 cycles for the single-block design.
+
+The schedule is *closed form* — it depends only on the core geometry, never
+on the data — which is what lets the batched engine
+(:class:`~repro.core.ipcore.batch.BatchIPCoreEngine`) evaluate it once per
+configuration and share one :class:`ScheduleBreakdown` across every trial of
+a batch, and lets :func:`repro.hardware.timing.timing_from_schedule` turn it
+into an execution time without running the datapath.
 """
 
 from __future__ import annotations

@@ -1,161 +1,222 @@
-"""One Filter-and-Cancel (FC) block of the IP core.
+"""One Filter-and-Cancel (FC) block of the IP core, plus the shared register file.
 
-Each FC block owns a contiguous slice of the delay columns.  For every owned
-column ``k`` it stores (in block RAM) column ``k`` of ``S``, column ``k`` of
-``A`` and element ``k`` of ``a``, all quantised to the datapath word length,
-and it maintains the registers the paper names VKR/VKI (matched-filter
-output), GKR/GKI (temporary coefficient), FKR/FKI (committed coefficient) and
-QK (decision variable).
+Each FC block owns a *contiguous* window ``[start, stop)`` of the delay
+columns.  For every owned column ``k`` it stores (in block RAM) column ``k``
+of ``S``, row ``k`` of ``A`` and element ``k`` of ``a`` — all quantised to
+the datapath word length — and it operates the registers the paper names
+VKR/VKI (matched-filter output), GKR/GKI (temporary coefficient), FKR/FKI
+(committed coefficient) and QK (decision variable).
 
-The real and imaginary datapaths are duplicated in hardware; in the model the
-complex arithmetic captures both at once.  Accumulations use the full
-precision of the wide DSP48 accumulator (modelled as exact double-precision
-arithmetic over the quantised operands).
+Two design decisions make the model conformant across every parallelism
+level *and* against :class:`~repro.core.fixedpoint_mp.FixedPointMatchingPursuit`:
+
+* **Global quantisation points.**  The stored matrices are views of the
+  shared datapath's globally-scaled quantised ``S_q``/``A_q``/``a_q``
+  (one dynamic-range scale per matrix, a design-time constant of the core —
+  not one per block slice), so the block RAM contents of a P=14 core are
+  bit-for-bit the concatenation of the P=112 core's.  Partitioning is purely
+  a scheduling choice; it cannot move a quantisation point.
+* **A shared register file.**  The V/G/F/Q registers of *all* blocks live in
+  one :class:`CoreRegisters` array per estimation, each block addressing its
+  ``[start, stop)`` window.  Every block operation is an element-wise
+  float64 expression over its window — and element-wise IEEE 754 arithmetic
+  is deterministic, so operating on a window produces the same bits as
+  operating on the whole array.  The batched engine
+  (:class:`~repro.core.ipcore.batch.BatchIPCoreEngine`) drives the *same*
+  block methods over registers with a leading ``(trials,)`` axis.
+
+The real and imaginary datapaths are duplicated in hardware; in the model
+the complex arithmetic captures both at once.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.fixedpoint.fmt import FixedPointFormat
-from repro.fixedpoint.metrics import dynamic_range_scale
-from repro.fixedpoint.quantize import quantize
-from repro.utils.validation import check_integer, ensure_1d_array, ensure_2d_array
+from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.utils.validation import check_integer
 
-__all__ = ["FilterAndCancelBlock"]
+__all__ = ["CoreRegisters", "FilterAndCancelBlock"]
+
+
+@dataclass
+class CoreRegisters:
+    """The register file of one estimation, shared by every FC block.
+
+    Arrays are ``(num_delays,)`` for a scalar estimation or
+    ``(trials, num_delays)`` for a batched one; block ``b`` addresses the
+    trailing-axis window ``[start_b, stop_b)``.  A fresh file is allocated
+    per estimation (steps 2–4 of the algorithm zero every register), which
+    is what guarantees repeated calls on one simulator instance can never
+    see stale decision metrics.
+    """
+
+    V: np.ndarray
+    G: np.ndarray
+    F: np.ndarray
+    Q: np.ndarray
+    selected: np.ndarray
+
+    @classmethod
+    def zeros(cls, num_delays: int, trials: int | None = None) -> "CoreRegisters":
+        """A zeroed register file for ``num_delays`` columns (optionally batched)."""
+        check_integer("num_delays", num_delays, minimum=1)
+        if trials is None:
+            shape: tuple[int, ...] = (num_delays,)
+        else:
+            check_integer("trials", trials, minimum=0)
+            shape = (trials, num_delays)
+        return cls(
+            V=np.zeros(shape, dtype=np.complex128),
+            G=np.zeros(shape, dtype=np.complex128),
+            F=np.zeros(shape, dtype=np.complex128),
+            Q=np.zeros(shape, dtype=np.float64),
+            selected=np.zeros(shape, dtype=bool),
+        )
+
+    @property
+    def num_delays(self) -> int:
+        """Number of delay columns covered by the file."""
+        return int(self.V.shape[-1])
+
+    @property
+    def batched(self) -> bool:
+        """True when the registers carry a leading ``(trials,)`` axis."""
+        return self.V.ndim == 2
 
 
 class FilterAndCancelBlock:
-    """One FC block responsible for a slice of delay columns.
+    """One FC block responsible for the delay columns ``[start, stop)``.
 
     Parameters
     ----------
     block_id:
         Index of this block within the core (0-based).
-    column_indices:
-        Global delay indices owned by this block.
-    S_columns:
-        ``(window_length, num_owned)`` slice of the signal matrix.
-    A_columns:
-        ``(num_delays, num_owned)`` slice of the Gram matrix (full columns —
-        the cancellation needs every row of the selected column).
-    a_elements:
-        ``(num_owned,)`` slice of the reciprocal-diagonal vector.
-    word_length:
-        Datapath width in bits; the stored matrices are quantised to this
-        width with power-of-two scaling.
+    start, stop:
+        The contiguous global delay window owned by this block.
+    datapath:
+        The shared fixed-point datapath.  The block's stored matrices are
+        views of its globally-quantised ``S_q``/``A_q``/``a_q``, and every
+        re-quantisation goes through its
+        :meth:`~repro.core.fixedpoint_mp.FixedPointMatchingPursuit.requantize`
+        — the same calls the reference estimator makes, which is what the
+        ``==``-on-raw-codes conformance contract rests on.
+
+    All datapath methods take the estimation's :class:`CoreRegisters` (and
+    the scales derived from its receive vector) explicitly: the block holds
+    only static storage, never per-call state.
     """
 
     def __init__(
         self,
         block_id: int,
-        column_indices: np.ndarray,
-        S_columns: np.ndarray,
-        A_columns: np.ndarray,
-        a_elements: np.ndarray,
-        word_length: int = 8,
+        start: int,
+        stop: int,
+        datapath: FixedPointMatchingPursuit,
     ) -> None:
         self.block_id = check_integer("block_id", block_id, minimum=0)
-        self.column_indices = ensure_1d_array("column_indices", column_indices, dtype=np.int64)
-        S_columns = ensure_2d_array("S_columns", S_columns, dtype=np.float64)
-        A_columns = ensure_2d_array("A_columns", A_columns, dtype=np.float64)
-        a_elements = ensure_1d_array("a_elements", a_elements, dtype=np.float64)
-        check_integer("word_length", word_length, minimum=2, maximum=32)
-
-        owned = self.column_indices.shape[0]
-        if owned == 0:
-            raise ValueError("an FC block must own at least one column")
-        if S_columns.shape[1] != owned or A_columns.shape[1] != owned or a_elements.shape[0] != owned:
-            raise ValueError("column slices must all cover the owned columns")
-
-        self.word_length = word_length
-        fmt = FixedPointFormat.for_unit_range(word_length)
-        s_scale = dynamic_range_scale(S_columns)
-        a_mat_scale = dynamic_range_scale(A_columns)
-        a_vec_scale = dynamic_range_scale(a_elements)
-        #: quantised column storage (what the block RAM holds)
-        self.S = quantize(S_columns / s_scale, fmt) * s_scale
-        self.A = quantize(A_columns / a_mat_scale, fmt) * a_mat_scale
-        self.a = quantize(a_elements / a_vec_scale, fmt) * a_vec_scale
-
-        # registers (one per owned column)
-        self.V = np.zeros(owned, dtype=np.complex128)
-        self.G = np.zeros(owned, dtype=np.complex128)
-        self.F = np.zeros(owned, dtype=np.complex128)
-        self.Q = np.zeros(owned, dtype=np.float64)
-        self._selected = np.zeros(owned, dtype=bool)
+        num_delays = datapath.matrices.num_delays
+        self.start = check_integer("start", start, minimum=0, maximum=num_delays - 1)
+        self.stop = check_integer("stop", stop, minimum=start + 1, maximum=num_delays)
+        self.datapath = datapath
+        #: quantised block-RAM contents (views of the shared global matrices)
+        self.S = datapath.S_q[:, start:stop]
+        self.A = datapath.A_q[start:stop, :]
+        self.a = datapath.a_q[start:stop]
 
     # ------------------------------------------------------------------ #
     @property
     def num_columns(self) -> int:
         """Number of delay columns owned by this block."""
-        return int(self.column_indices.shape[0])
+        return self.stop - self.start
 
-    def reset(self) -> None:
-        """Zero all registers (steps 2-4 of the algorithm)."""
-        self.V[:] = 0.0
-        self.G[:] = 0.0
-        self.F[:] = 0.0
-        self.Q[:] = 0.0
-        self._selected[:] = False
+    @property
+    def column_indices(self) -> np.ndarray:
+        """The global delay indices owned by this block."""
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    @property
+    def word_length(self) -> int:
+        """Datapath width in bits (the shared datapath's word length)."""
+        return self.datapath.word_length
+
+    def owns(self, global_index: int) -> bool:
+        """True if the given delay column lives in this block."""
+        return self.start <= int(global_index) < self.stop
+
+    def _window(self, values: np.ndarray) -> np.ndarray:
+        """This block's trailing-axis window of a register array."""
+        return values[..., self.start:self.stop]
 
     # ------------------------------------------------------------------ #
     # Datapath operations
     # ------------------------------------------------------------------ #
-    def matched_filter(self, received: np.ndarray) -> None:
-        """Step 1-5: compute V_k = S_k^T r for every owned column."""
-        received = ensure_1d_array("received", received, dtype=np.complex128,
-                                   length=self.S.shape[0])
-        self.V = self.S.T @ received
-        self.G[:] = 0.0
-        self.F[:] = 0.0
-        self.Q[:] = 0.0
-        self._selected[:] = False
+    def matched_filter(self, registers: CoreRegisters, matched: np.ndarray, v_scale) -> None:
+        """Steps 1–5: load V_k from the matched-filter outputs, re-quantised.
 
-    def cancel(self, global_index: int, coefficient: complex) -> None:
-        """Step 8: subtract the selected path's interference from every owned V_k.
-
-        ``global_index`` is the delay selected by the q-gen block in the
-        previous iteration; ``coefficient`` is its committed value F_q.
+        ``matched`` is the canonical matched-filter output ``S_q^T r_q``
+        computed by the shared datapath (the per-column MAC of the hardware
+        is the same per-column dot product; evaluating it through the one
+        canonical call keeps the bits independent of the partition).
         """
-        column = int(global_index)
-        if not (0 <= column < self.A.shape[0]):
-            raise ValueError(f"global index {column} outside the Gram matrix")
-        self.V = self.V - self.A[column, :] * coefficient
+        self._window(registers.V)[...] = self.datapath.requantize(
+            self._window(matched), v_scale
+        )
 
-    def update_decision(self) -> None:
-        """Steps 10-11: G_k = V_k a_k and Q_k = Re{G_k^* V_k} for owned columns."""
-        self.G = self.V * self.a
-        self.Q = np.real(np.conj(self.G) * self.V)
+    def cancel(self, registers: CoreRegisters, previous, coefficient, v_scale) -> None:
+        """Step 8: subtract the selected path's interference from owned V_k.
 
-    def local_candidate(self) -> tuple[int, float, complex]:
-        """Return the block's best not-yet-selected (global index, Q, G) candidate.
-
-        The q-gen block compares these per-block candidates to find the global
-        winner (step 13).
+        ``previous`` is the delay selected in the previous iteration and
+        ``coefficient`` its committed value F_q — scalars for one trial, or
+        per-trial arrays for batched registers.
         """
-        masked = np.where(self._selected, -np.inf, self.Q)
+        if registers.batched:
+            term = self.A[:, previous].T * np.asarray(coefficient)[:, np.newaxis]
+        else:
+            term = self.A[:, int(previous)] * coefficient
+        window = self._window(registers.V)
+        window[...] = self.datapath.requantize(window - term, v_scale)
+
+    def update_decision(self, registers: CoreRegisters, g_scale, q_scale) -> None:
+        """Steps 10–11: G_k = V_k a_k and Q_k = Re{G_k^* V_k} for owned columns."""
+        V = self._window(registers.V)
+        G = self.datapath.requantize(V * self.a, g_scale)
+        self._window(registers.G)[...] = G
+        self._window(registers.Q)[...] = self.datapath.requantize(
+            np.real(np.conj(G) * V), q_scale
+        )
+
+    def local_candidate(self, registers: CoreRegisters) -> tuple[int, float, complex]:
+        """The block's best not-yet-selected (global index, Q, G) candidate.
+
+        First-maximum tie-break over the owned window — combined with the
+        q-gen's in-order strict-``>`` reduction over the (ascending,
+        contiguous) blocks, the winner is exactly ``argmax`` over the full
+        masked Q array, the reference estimator's selection rule.
+        """
+        masked = np.where(self._window(registers.selected), -np.inf, self._window(registers.Q))
         local = int(np.argmax(masked))
-        return int(self.column_indices[local]), float(masked[local]), complex(self.G[local])
+        return (
+            self.start + local,
+            float(masked[local]),
+            complex(self._window(registers.G)[local]),
+        )
 
-    def commit(self, global_index: int) -> complex:
-        """Step 14: if the winning delay is owned here, latch F_q = G_q.
-
-        Returns the committed coefficient; raises if the index is not owned.
-        """
-        matches = np.nonzero(self.column_indices == int(global_index))[0]
-        if matches.size == 0:
-            raise ValueError(f"column {global_index} is not owned by block {self.block_id}")
-        local = int(matches[0])
-        self.F[local] = self.G[local]
-        self._selected[local] = True
-        return complex(self.F[local])
-
-    def owns(self, global_index: int) -> bool:
-        """True if the given delay column lives in this block."""
-        return bool(np.any(self.column_indices == int(global_index)))
+    def commit(self, registers: CoreRegisters, global_index: int) -> complex:
+        """Step 14: latch F_q = G_q for the winning delay (must be owned here)."""
+        index = int(global_index)
+        if not self.owns(index):
+            raise ValueError(
+                f"column {index} is not owned by block {self.block_id} "
+                f"(owns [{self.start}, {self.stop}))"
+            )
+        registers.F[..., index] = registers.G[..., index]
+        committed = registers.F[..., index]
+        return committed if registers.batched else complex(committed)
 
     # ------------------------------------------------------------------ #
-    def coefficients(self) -> tuple[np.ndarray, np.ndarray]:
-        """Return (global column indices, committed F values) for this block."""
-        return self.column_indices.copy(), self.F.copy()
+    def coefficients(self, registers: CoreRegisters) -> tuple[np.ndarray, np.ndarray]:
+        """(global column indices, committed F values) of this block."""
+        return self.column_indices, self._window(registers.F).copy()

@@ -1,14 +1,32 @@
 """The q-gen block: global arg-max reduction over the FC blocks' candidates.
 
-Steps 13-14 of the algorithm: among all delays not yet selected, find the one
+Steps 13–14 of the algorithm: among all delays not yet selected, find the one
 with the largest decision variable Q, and forward its index and temporary
 coefficient G back to the FC blocks for commitment and for the next
 iteration's interference cancellation.
+
+The q-gen shares the estimation's ``selected`` mask (a view of
+:attr:`~repro.core.ipcore.fc_block.CoreRegisters.selected`) with the FC
+blocks: marking the winner there is what masks the column out of every
+block's next local candidate, exactly as the reference estimator's
+``selected[q] = True`` does.
+
+**Tie-break theorem.**  Each block submits its *first* local maximum
+(``argmax`` over its window) and :meth:`QGenBlock.select` reduces the
+candidates in block order with a strict ``>`` comparison, so among equal Q
+values the earliest block — and within it the earliest column — wins.
+Because the blocks partition the delay axis into ascending contiguous
+windows, that winner is precisely ``np.argmax`` over the full masked Q
+array: the selection rule of :func:`~repro.core.matching_pursuit.matching_pursuit`
+and of the batched engines.  :meth:`QGenBlock.select_batch` exploits the
+theorem to run the whole reduction as one per-trial ``argmax``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 __all__ = ["QGenBlock", "QGenDecision"]
 
@@ -24,33 +42,61 @@ class QGenDecision:
 
 @dataclass
 class QGenBlock:
-    """Compares per-block candidates and tracks the already-selected set."""
+    """Compares per-block candidates and marks winners in the shared mask.
 
-    selected_indices: list[int] = field(default_factory=list)
+    Parameters
+    ----------
+    selected:
+        The estimation's shared boolean mask (one flag per delay column);
+        :meth:`select` marks each winner here, which both the q-gen's own
+        already-selected check and the FC blocks' local masking read.
+    """
+
+    selected: np.ndarray
+    selection_order: list[int] = field(default_factory=list)
 
     def reset(self) -> None:
-        """Clear the selected-index history (start of a new estimation)."""
-        self.selected_indices.clear()
+        """Clear the mask and history (start of a new estimation)."""
+        self.selected[...] = False
+        self.selection_order.clear()
 
     def select(self, candidates: list[tuple[int, float, complex]]) -> QGenDecision:
         """Pick the best candidate among those offered by the FC blocks.
 
         Each candidate is ``(global delay index, Q value, G value)``.  Indices
-        that were already selected in earlier iterations are skipped — the FC
-        blocks also mask them locally, but the q-gen performs the check again
+        already selected in earlier iterations are skipped — the FC blocks
+        also mask them locally, but the q-gen performs the check again
         because a block whose every column has been selected still submits a
         (masked, -inf) candidate.
         """
         if not candidates:
             raise ValueError("q-gen received no candidates")
         best: QGenDecision | None = None
+        # the mask is strictly one estimation's (num_delays,) vector — a
+        # batched (trials, num_delays) mask belongs to select_batch, and the
+        # scalar indexing here makes passing one fail loudly
         for index, q_value, g_value in candidates:
-            if index in self.selected_indices:
+            if self.selected[int(index)]:
                 continue
             if best is None or q_value > best.decision_value:
                 best = QGenDecision(index=int(index), decision_value=float(q_value),
                                     coefficient=complex(g_value))
         if best is None:
             raise ValueError("all candidate delays have already been selected")
-        self.selected_indices.append(best.index)
+        self.selected[best.index] = True
+        self.selection_order.append(best.index)
         return best
+
+    @staticmethod
+    def select_batch(Q: np.ndarray, selected: np.ndarray) -> np.ndarray:
+        """One q-gen reduction for every trial of a batch at once.
+
+        ``Q`` and ``selected`` are ``(trials, num_delays)``; the per-trial
+        winners are marked in ``selected`` and returned.  By the tie-break
+        theorem above, one first-maximum ``argmax`` per trial is exactly the
+        per-block local-candidate reduction the scalar q-gen performs.
+        """
+        masked = np.where(selected, -np.inf, Q)
+        winners = np.argmax(masked, axis=1)
+        selected[np.arange(winners.shape[0]), winners] = True
+        return winners

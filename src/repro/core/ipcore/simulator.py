@@ -1,11 +1,16 @@
 """The assembled IP core: FC blocks + q-gen + control.
 
 :class:`IPCoreSimulator` is the software twin of the Figure 5 architecture.
-It produces exactly the same estimate structure as the reference algorithm
-(:func:`repro.core.matching_pursuit.matching_pursuit`) — the datapath is the
-same mathematics, merely partitioned across FC blocks and quantised to the
-configured word length — plus a cycle count from the control unit's schedule,
-which is what the timing column of Table 2 is built from.
+Its datapath is *bit-faithful* to
+:class:`~repro.core.fixedpoint_mp.FixedPointMatchingPursuit` at the same word
+length, rounding and overflow modes: the blocks store the same globally
+quantised matrices, every intermediate is re-quantised through the same
+shared calls, and the q-gen's block-ordered reduction realises the same
+first-maximum tie-break — so the estimate (down to the raw integer codes)
+is identical at *every* parallelism level P, and equal to the reference
+fixed-point estimator's (``tests/core/test_ipcore_conformance.py`` pins the
+three-way contract).  What P changes is the schedule: the cycle count from
+the control unit, which is what the timing column of Table 2 is built from.
 """
 
 from __future__ import annotations
@@ -14,11 +19,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.fixedpoint_mp import FixedPointEstimate, FixedPointMatchingPursuit
 from repro.core.ipcore.control import ControlUnit, ScheduleBreakdown
-from repro.core.ipcore.fc_block import FilterAndCancelBlock
+from repro.core.ipcore.fc_block import CoreRegisters, FilterAndCancelBlock
 from repro.core.ipcore.qgen import QGenBlock
-from repro.core.matching_pursuit import MatchingPursuitResult
 from repro.dsp.signal_matrix import SignalMatrices
+from repro.fixedpoint.metrics import dynamic_range_scale
+from repro.fixedpoint.quantize import OverflowMode, RoundingMode
 from repro.utils.validation import check_integer, ensure_1d_array
 
 __all__ = ["IPCoreConfig", "IPCoreRun", "IPCoreSimulator"]
@@ -37,23 +44,36 @@ class IPCoreConfig:
         Datapath width in bits.
     num_paths:
         Number of MP iterations Nf.
+    accumulator_growth_bits:
+        Extra bits carried by the matched-filter accumulator beyond the
+        input word length (DSP48 accumulators are wide; default 16).
+    rounding, overflow:
+        Rounding and overflow behaviour of every quantiser in the datapath
+        (the System Generator block parameters).
     """
 
     num_fc_blocks: int = 112
     word_length: int = 8
     num_paths: int = 6
+    accumulator_growth_bits: int = 16
+    rounding: RoundingMode = RoundingMode.NEAREST
+    overflow: OverflowMode = OverflowMode.SATURATE
 
     def __post_init__(self) -> None:
         check_integer("num_fc_blocks", self.num_fc_blocks, minimum=1)
         check_integer("word_length", self.word_length, minimum=2, maximum=32)
         check_integer("num_paths", self.num_paths, minimum=1)
+        check_integer("accumulator_growth_bits", self.accumulator_growth_bits,
+                      minimum=0, maximum=32)
+        object.__setattr__(self, "rounding", RoundingMode(self.rounding))
+        object.__setattr__(self, "overflow", OverflowMode(self.overflow))
 
 
 @dataclass
 class IPCoreRun:
     """Result of one channel estimation on the simulated core."""
 
-    result: MatchingPursuitResult
+    result: FixedPointEstimate
     schedule: ScheduleBreakdown
 
     @property
@@ -71,11 +91,17 @@ class IPCoreSimulator:
         The pre-computed signal matrices (stored, quantised, in the FC blocks'
         block RAM).
     config:
-        Core geometry and word length.
+        Core geometry, word length and quantiser modes.
     control_overrides:
         Optional keyword overrides forwarded to
         :class:`~repro.core.ipcore.control.ControlUnit` (e.g. non-zero q-gen
         latency for sensitivity studies).
+
+    The simulator holds only static state: the shared fixed-point
+    :attr:`datapath` (quantised matrices, formats, re-quantisers) and the
+    :attr:`blocks` that view into it.  Every :meth:`estimate` call allocates
+    a fresh :class:`~repro.core.ipcore.fc_block.CoreRegisters` file, so
+    repeated calls on one instance are independent by construction.
     """
 
     def __init__(
@@ -95,6 +121,17 @@ class IPCoreSimulator:
         if self.config.num_paths > num_delays:
             raise ValueError("num_paths cannot exceed the number of delay columns")
 
+        #: the shared fixed-point datapath: quantisation points, formats and
+        #: re-quantisers — identical to the reference estimator's by
+        #: construction (it *is* one)
+        self.datapath = FixedPointMatchingPursuit(
+            matrices,
+            word_length=self.config.word_length,
+            num_paths=self.config.num_paths,
+            accumulator_growth_bits=self.config.accumulator_growth_bits,
+            rounding=self.config.rounding,
+            overflow=self.config.overflow,
+        )
         self.control = ControlUnit(
             num_delays=num_delays,
             window_length=matrices.window_length,
@@ -102,33 +139,30 @@ class IPCoreSimulator:
             num_paths=self.config.num_paths,
             **control_overrides,
         )
-        self.qgen = QGenBlock()
         self.blocks = self._build_blocks()
 
     # ------------------------------------------------------------------ #
     def _build_blocks(self) -> list[FilterAndCancelBlock]:
         """Partition the delay columns across the FC blocks.
 
-        Columns are dealt out in contiguous slices, matching the paper's
-        description of doubling up memory contents per block as the design is
-        serialised.
+        Columns are dealt out in contiguous ascending windows, matching the
+        paper's description of doubling up memory contents per block as the
+        design is serialised (and the q-gen tie-break theorem's premise).
         """
-        num_delays = self.matrices.num_delays
-        per_block = num_delays // self.config.num_fc_blocks
-        blocks = []
-        for b in range(self.config.num_fc_blocks):
-            cols = np.arange(b * per_block, (b + 1) * per_block, dtype=np.int64)
-            blocks.append(
-                FilterAndCancelBlock(
-                    block_id=b,
-                    column_indices=cols,
-                    S_columns=self.matrices.S[:, cols],
-                    A_columns=self.matrices.A[:, cols],
-                    a_elements=self.matrices.a[cols],
-                    word_length=self.config.word_length,
-                )
-            )
-        return blocks
+        per_block = self.matrices.num_delays // self.config.num_fc_blocks
+        return [
+            FilterAndCancelBlock(b, b * per_block, (b + 1) * per_block, self.datapath)
+            for b in range(self.config.num_fc_blocks)
+        ]
+
+    def new_registers(self, trials: int | None = None) -> CoreRegisters:
+        """A fresh register file covering every block's columns."""
+        return CoreRegisters.zeros(self.matrices.num_delays, trials)
+
+    def owner_of(self, global_index: int) -> FilterAndCancelBlock:
+        """The FC block whose window contains ``global_index``."""
+        per_block = self.matrices.num_delays // self.config.num_fc_blocks
+        return self.blocks[int(global_index) // per_block]
 
     # ------------------------------------------------------------------ #
     def estimate(self, received: np.ndarray) -> IPCoreRun:
@@ -136,41 +170,40 @@ class IPCoreSimulator:
         received = ensure_1d_array(
             "received", received, dtype=np.complex128, length=self.matrices.window_length
         )
-        self.qgen.reset()
+        datapath = self.datapath
+        r_q, r_scale = datapath.quantize_received(received)
+        matched = datapath.matched_filter(r_q)
+        v_scale = dynamic_range_scale(matched)
+        g_scale, q_scale = datapath.coefficient_scales(v_scale)
+
+        registers = self.new_registers()
+        qgen = QGenBlock(registers.selected)
         for block in self.blocks:
-            block.matched_filter(received)
+            block.matched_filter(registers, matched, v_scale)
 
-        num_delays = self.matrices.num_delays
-        coefficients = np.zeros(num_delays, dtype=np.complex128)
-        path_indices = np.empty(self.config.num_paths, dtype=np.int64)
-        path_gains = np.empty(self.config.num_paths, dtype=np.complex128)
-        decisions = np.empty(self.config.num_paths, dtype=np.float64)
+        num_paths = self.config.num_paths
+        path_indices = np.empty(num_paths, dtype=np.int64)
+        path_gains = np.empty(num_paths, dtype=np.complex128)
+        decisions = np.empty(num_paths, dtype=np.float64)
 
-        previous_index: int | None = None
-        previous_coefficient: complex = 0.0 + 0.0j
-        for j in range(self.config.num_paths):
-            if previous_index is not None:
+        previous: int | None = None
+        for j in range(num_paths):
+            if previous is not None:
+                coefficient = registers.F[previous]
                 for block in self.blocks:
-                    block.cancel(previous_index, previous_coefficient)
+                    block.cancel(registers, previous, coefficient, v_scale)
             for block in self.blocks:
-                block.update_decision()
-            candidates = [block.local_candidate() for block in self.blocks]
-            winner = self.qgen.select(candidates)
-            owner = next(block for block in self.blocks if block.owns(winner.index))
-            committed = owner.commit(winner.index)
+                block.update_decision(registers, g_scale, q_scale)
+            winner = qgen.select([block.local_candidate(registers) for block in self.blocks])
+            committed = self.owner_of(winner.index).commit(registers, winner.index)
 
-            coefficients[winner.index] = committed
             path_indices[j] = winner.index
             path_gains[j] = committed
             decisions[j] = winner.decision_value
-            previous_index = winner.index
-            previous_coefficient = committed
+            previous = winner.index
 
-        result = MatchingPursuitResult(
-            coefficients=coefficients,
-            path_indices=path_indices,
-            path_gains=path_gains,
-            decision_history=decisions,
+        result = datapath.assemble_estimate(
+            registers.F, path_indices, path_gains, decisions, r_scale, g_scale, q_scale
         )
         return IPCoreRun(result=result, schedule=self.control.schedule())
 
@@ -183,6 +216,11 @@ class IPCoreSimulator:
     def num_fc_blocks(self) -> int:
         """Level of parallelism of this instance."""
         return self.config.num_fc_blocks
+
+    @property
+    def word_length(self) -> int:
+        """Datapath width in bits."""
+        return self.config.word_length
 
     @property
     def dsp48_per_fc_block(self) -> int:

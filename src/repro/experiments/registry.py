@@ -4,13 +4,14 @@ A :class:`Scenario` couples a *trial function* — ``(params, seed) -> metrics``
 — with a default :class:`~repro.experiments.spec.SweepSpec` describing the
 interesting axes.  Scenarios are looked up by name (also from worker
 processes, so trial functions stay importable module-level callables) and the
-registry ships with five built-ins spanning every layer of the codebase:
+registry ships with six built-ins spanning every layer of the codebase:
 
 ====================  =======================  ================================
 name                  layers                   sweeps
 ====================  =======================  ================================
 modem-ser-vs-snr      modem, channel, dsp      DS-SS vs FSK symbol error rate
 fixedpoint-bitwidth   fixedpoint, core         MP accuracy vs word length
+ipcore-parallelism    core, fixedpoint, hw     IP-core accuracy + cycles vs P, w
 platform-energy       hardware                 energy per estimation / packet
 mp-refinement         core, channel            greedy vs LS-refined MP vs Nf
 network-lifetime      network, modem           deployment lifetime by platform
@@ -32,6 +33,7 @@ import numpy as np
 from repro.channel.multipath import random_sparse_channel
 from repro.channel.simulator import add_noise_for_snr
 from repro.core.fixedpoint_mp import FixedPointMatchingPursuit
+from repro.core.ipcore import BatchIPCoreEngine, IPCoreConfig
 from repro.core.matching_pursuit import matching_pursuit
 from repro.core.metrics import normalized_channel_error, support_recovery_rate
 from repro.core.refinement import refine_least_squares
@@ -57,6 +59,7 @@ __all__ = [
     "trial_config_key",
     "trial_estimator",
     "trial_float_reference",
+    "trial_ipcore_engine",
     "TABLE3_PLATFORM_ENERGIES_UJ",
 ]
 
@@ -176,6 +179,21 @@ def _fixed_point_estimator(
     )
 
 
+@functools.lru_cache(maxsize=32)
+def _ipcore_engine(
+    config_key: tuple, num_fc_blocks: int, word_length: int,
+) -> BatchIPCoreEngine:
+    config = _config(config_key)
+    return BatchIPCoreEngine(
+        _matrices_for(config),
+        IPCoreConfig(
+            num_fc_blocks=num_fc_blocks,
+            word_length=word_length,
+            num_paths=config.num_paths,
+        ),
+    )
+
+
 @functools.lru_cache(maxsize=256)
 def _channel_problem(
     config_key: tuple, num_channel_paths: int, snr_db: float, seed: int,
@@ -252,6 +270,18 @@ def trial_float_reference(params: Mapping[str, Any], seed: int):
 def trial_estimator(params: Mapping[str, Any], word_length: int) -> FixedPointMatchingPursuit:
     """The (memoised) fixed-point estimator of one trial point."""
     return _fixed_point_estimator(_config_key(params), int(word_length))
+
+
+def trial_ipcore_engine(
+    params: Mapping[str, Any], num_fc_blocks: int, word_length: int,
+) -> BatchIPCoreEngine:
+    """The (memoised) batched IP-core engine of one trial point.
+
+    The engine exposes its scalar :class:`~repro.core.ipcore.simulator.IPCoreSimulator`
+    as ``.core``, so both datapath routes of the ``ipcore-parallelism``
+    scenario share one set of quantised matrices.
+    """
+    return _ipcore_engine(_config_key(params), int(num_fc_blocks), int(word_length))
 
 
 def fixedpoint_trial_metrics(channel, true_f, reference, estimate) -> dict[str, Any]:
@@ -350,6 +380,37 @@ def _fixedpoint_bitwidth_trial(params: Mapping[str, Any], seed: int) -> dict[str
     else:
         estimate = estimator.estimate(received)
     return fixedpoint_trial_metrics(channel, true_f, reference, estimate)
+
+
+def _ipcore_parallelism_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """IP-core estimation accuracy and cycle cost at one (P, word length) point.
+
+    The estimate is bit-identical at every parallelism level (partitioning is
+    a scheduling choice — the conformance contract of
+    :mod:`repro.core.ipcore.conformance`), so across the ``num_fc_blocks``
+    axis the accuracy columns are constant while the cycle columns fall as
+    Ns/P.  ``batch`` routes the trial through the batched engine as a
+    one-row batch instead of the scalar FC-block walk; the two produce
+    identical records, so the axis exists for cross-validation sweeps.
+    """
+    channel, true_f, received = trial_channel_problem(params, seed)
+    reference = trial_float_reference(params, seed)
+    engine = trial_ipcore_engine(
+        params, int(params["num_fc_blocks"]), int(params["word_length"])
+    )
+    if bool(params.get("batch", True)):
+        run = engine.estimate_batch(received[np.newaxis, :])
+        estimate = run.result[0]
+        schedule = run.schedule
+    else:
+        scalar_run = engine.core.estimate(received)
+        estimate = scalar_run.result
+        schedule = scalar_run.schedule
+    metrics = fixedpoint_trial_metrics(channel, true_f, reference, estimate)
+    metrics["total_cycles"] = schedule.total_cycles
+    metrics["matched_filter_cycles"] = schedule.matched_filter_cycles
+    metrics["iteration_cycles"] = schedule.iteration_cycles
+    return metrics
 
 
 def _platform_energy_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
@@ -476,6 +537,32 @@ register(Scenario(
         },
         # paired: every word length estimates the same channels
         seed=SeedPolicy(base_seed=0, replicates=12),
+    ),
+))
+
+register(Scenario(
+    name="ipcore-parallelism",
+    description="IP-core accuracy and cycle cost over parallelism and word length (Figure 5 / Table 2)",
+    layers=("core", "fixedpoint", "hardware"),
+    version="1",
+    run_trial=_ipcore_parallelism_trial,
+    default_spec=SweepSpec(
+        scenario="ipcore-parallelism",
+        grid={
+            # the Table 2 parallelism levels; --set sweeps any divisor of 112
+            "num_fc_blocks": (1, 14, 112),
+            "word_length": (8, 12, 16),
+        },
+        base={
+            "snr_db": 25.0, "num_channel_paths": 4,
+            "walsh_symbols": 8, "spreading_chips": 7, "samples_per_chip": 2,
+            "num_paths": 6,
+            # batched engine by default; `--set batch=false` walks the scalar
+            # FC blocks (identical records, just slower)
+            "batch": True,
+        },
+        # paired: every design point estimates the same channels
+        seed=SeedPolicy(base_seed=0, replicates=4),
     ),
 ))
 

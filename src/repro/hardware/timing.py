@@ -20,11 +20,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.ipcore.control import ControlUnit
+from repro.core.ipcore.control import ControlUnit, ScheduleBreakdown
 from repro.hardware.devices import FPGADevice
 from repro.utils.validation import check_integer
 
-__all__ = ["TimingEstimate", "max_clock_frequency", "estimate_timing"]
+__all__ = [
+    "TimingEstimate",
+    "max_clock_frequency",
+    "estimate_timing",
+    "timing_from_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,25 @@ def max_clock_frequency(device: FPGADevice, word_length: int) -> float:
     return device.max_clock_hz(word_length)
 
 
+def timing_from_schedule(
+    device: FPGADevice, schedule: ScheduleBreakdown, word_length: int
+) -> TimingEstimate:
+    """Turn a closed-form control schedule into a timing estimate.
+
+    The IP core's schedule depends only on the geometry (never on the data),
+    so a single :class:`~repro.core.ipcore.control.ScheduleBreakdown` —
+    e.g. the one every trial of a :class:`~repro.core.ipcore.batch.BatchIPCoreRun`
+    shares — prices a whole batch of estimations on ``device``.
+    """
+    cycles = schedule.total_cycles
+    clock = max_clock_frequency(device, word_length)
+    return TimingEstimate(
+        cycles=cycles,
+        clock_frequency_hz=clock,
+        execution_time_s=cycles / clock,
+    )
+
+
 def estimate_timing(
     device: FPGADevice,
     num_fc_blocks: int,
@@ -82,10 +106,4 @@ def estimate_timing(
         num_paths=num_paths,
         **control_overrides,
     )
-    cycles = control.total_cycles()
-    clock = max_clock_frequency(device, word_length)
-    return TimingEstimate(
-        cycles=cycles,
-        clock_frequency_hz=clock,
-        execution_time_s=cycles / clock,
-    )
+    return timing_from_schedule(device, control.schedule(), word_length)

@@ -1,0 +1,125 @@
+"""Property-based tests of the IP-core engines (hypothesis).
+
+Three families of invariants, run under the pinned derandomised ``ci``
+profile in CI (see ``tests/conftest.py``):
+
+* **batch == loop-of-scalar** — for random parallelism, word length and
+  trial counts, :meth:`BatchIPCoreEngine.estimate_batch` is bit-identical
+  (``==`` on raw integer codes) to a Python loop of scalar
+  :meth:`IPCoreSimulator.estimate` calls;
+* **cycle monotonicity** — the closed-form schedule strictly decreases as
+  the parallelism doubles (and scales exactly as Ns/P);
+* **partition invariance** — the estimate is identical at P=1 and P=Ns
+  (and any level in between) at equal word length: partitioning is a
+  scheduling choice, never a numerical one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.core.ipcore import (  # noqa: E402
+    BatchIPCoreEngine,
+    ControlUnit,
+    IPCoreConfig,
+    IPCoreSimulator,
+)
+
+#: Divisors of the small fixture's 24 delay columns.
+SMALL_PARALLELISM = (1, 2, 3, 4, 6, 12, 24)
+
+WORD_LENGTHS = st.sampled_from((2, 6, 8, 12, 16, 24, 32))
+
+
+def _received_stack(seed: int, trials: int, window: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    stack = rng.standard_normal((trials, window)) + 1j * rng.standard_normal((trials, window))
+    if trials > 1:
+        stack[0] = 0.0  # keep the all-zero corner in every multi-trial batch
+    return stack
+
+
+class TestBatchEqualsLoopOfScalar:
+    @given(
+        num_fc_blocks=st.sampled_from(SMALL_PARALLELISM),
+        word_length=WORD_LENGTHS,
+        trials=st.integers(0, 4),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_batch_equals_scalar_loop(
+        self, small_matrices, num_fc_blocks, word_length, trials, seed
+    ):
+        engine = BatchIPCoreEngine(
+            small_matrices,
+            IPCoreConfig(num_fc_blocks=num_fc_blocks, word_length=word_length, num_paths=3),
+        )
+        received = _received_stack(seed, trials, small_matrices.window_length)
+        batch = engine.estimate_batch(received)
+        assert batch.num_trials == trials
+        for trial in range(trials):
+            scalar = engine.core.estimate(received[trial])
+            assert batch.result[trial] == scalar.result
+            assert batch[trial].total_cycles == scalar.total_cycles
+
+
+class TestCycleMonotonicity:
+    @given(
+        num_delays=st.sampled_from((12, 16, 64, 112)),
+        exponent=st.integers(0, 3),
+        num_paths=st.integers(1, 8),
+    )
+    def test_cycles_strictly_decrease_as_p_doubles(self, num_delays, exponent, num_paths):
+        parallelism = 2 ** exponent
+        if num_delays % (2 * parallelism) != 0:
+            return  # 2P must also divide Ns for the doubled design to exist
+        window = 2 * num_delays
+        narrow = ControlUnit(num_delays, window, parallelism, num_paths).total_cycles()
+        doubled = ControlUnit(num_delays, window, 2 * parallelism, num_paths).total_cycles()
+        assert doubled < narrow
+        assert doubled * 2 == narrow  # exactly Ns/P scaling with the defaults
+
+    @given(num_paths=st.integers(1, 12))
+    def test_full_doubling_chain_is_strictly_decreasing(self, num_paths):
+        chain = [
+            ControlUnit(112, 224, p, num_paths).total_cycles() for p in (1, 2, 4, 8, 28, 56, 112)
+        ]
+        assert all(earlier > later for earlier, later in zip(chain, chain[1:]))
+
+
+class TestPartitionInvariance:
+    @given(
+        word_length=WORD_LENGTHS,
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_serial_equals_fully_parallel(self, small_matrices, word_length, seed):
+        received = _received_stack(seed, 1, small_matrices.window_length)[0]
+        results = []
+        for parallelism in (1, small_matrices.num_delays):
+            core = IPCoreSimulator(
+                small_matrices,
+                IPCoreConfig(
+                    num_fc_blocks=parallelism, word_length=word_length, num_paths=3
+                ),
+            )
+            results.append(core.estimate(received).result)
+        assert results[0] == results[1]
+
+    @given(
+        word_length=st.sampled_from((2, 8, 16)),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_every_intermediate_level_agrees(self, small_matrices, word_length, seed):
+        received = _received_stack(seed, 1, small_matrices.window_length)[0]
+        estimates = [
+            IPCoreSimulator(
+                small_matrices,
+                IPCoreConfig(num_fc_blocks=p, word_length=word_length, num_paths=3),
+            ).estimate(received).result
+            for p in SMALL_PARALLELISM
+        ]
+        assert all(estimate == estimates[0] for estimate in estimates[1:])

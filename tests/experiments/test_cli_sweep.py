@@ -32,9 +32,29 @@ class TestScenariosCommand:
     def test_lists_builtins(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out
-        for name in ("fixedpoint-bitwidth", "modem-ser-vs-snr", "platform-energy",
-                     "mp-refinement", "network-lifetime"):
+        for name in ("fixedpoint-bitwidth", "ipcore-parallelism", "modem-ser-vs-snr",
+                     "platform-energy", "mp-refinement", "network-lifetime"):
             assert name in out
+
+
+class TestIPCoreCommand:
+    def test_ipcore_parallelism_table(self, capsys):
+        assert main(["ipcore", "--parallelism", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        for level in ("1 ", "14 ", "112"):
+            assert level in out
+        assert "27776" in out and "248" in out
+        assert "bit-identical at every P" in out
+
+    def test_ipcore_batch_and_scalar_tables_match(self, capsys):
+        assert main(["ipcore", "--trials", "2", "--word-length", "12"]) == 0
+        batched = capsys.readouterr().out
+        assert main(["ipcore", "--trials", "2", "--word-length", "12", "--no-batch"]) == 0
+        scalar = capsys.readouterr().out
+        strip = lambda text: text.replace("batched engine", "").replace(  # noqa: E731
+            "scalar FC-block walk", ""
+        )
+        assert strip(batched) == strip(scalar)
 
 
 class TestSweepCommand:

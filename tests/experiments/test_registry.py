@@ -12,6 +12,7 @@ from repro.experiments.spec import SeedPolicy, SweepSpec
 REQUIRED_SCENARIOS = {
     "modem-ser-vs-snr",
     "fixedpoint-bitwidth",
+    "ipcore-parallelism",
     "platform-energy",
     "mp-refinement",
     "network-lifetime",
@@ -103,6 +104,20 @@ class TestBuiltinTrials:
         (record,) = result.records
         assert 0.0 <= record["symbol_error_rate"] <= 1.0
         assert record["symbols_sent"] > 0
+
+    def test_ipcore_parallelism_accuracy_invariant_cycles_fall(self):
+        spec = (
+            get_scenario("ipcore-parallelism").spec
+            .with_axis("num_fc_blocks", (1, 112))
+            .with_axis("word_length", (8,))
+            .with_seed(replicates=2)
+        )
+        result = run_sweep(spec)
+        errors = result.group_mean(by="num_fc_blocks", metric="normalized_error")
+        cycles = result.group_mean(by="num_fc_blocks", metric="total_cycles")
+        # partitioning is a scheduling choice: identical accuracy, Ns/P cycles
+        assert errors[1] == errors[112]
+        assert cycles[1] == cycles[112] * 112
 
     def test_fixedpoint_bitwidth_wider_is_closer_to_float(self):
         spec = (

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.hardware.devices import SPARTAN3_XC3S5000, VIRTEX4_XC4VSX55
-from repro.hardware.timing import estimate_timing, max_clock_frequency
+from repro.hardware.timing import estimate_timing, max_clock_frequency, timing_from_schedule
 
 
 class TestTimingModel:
@@ -28,6 +28,17 @@ class TestTimingModel:
     def test_table2_timing_within_half_percent(self, device, blocks, bits, expected_us):
         timing = estimate_timing(device, blocks, bits, num_paths=6)
         assert timing.execution_time_us == pytest.approx(expected_us, rel=0.005)
+
+    def test_timing_from_schedule_matches_estimate_timing(self):
+        """Pricing a closed-form schedule equals building it from the geometry,
+        so the batched IP-core engine's shared schedule prices a whole batch."""
+        from repro.core.ipcore.control import ControlUnit
+
+        for blocks, bits in ((1, 8), (14, 12), (112, 16)):
+            schedule = ControlUnit(112, 224, blocks, 6).schedule()
+            direct = timing_from_schedule(VIRTEX4_XC4VSX55, schedule, bits)
+            assert direct == estimate_timing(VIRTEX4_XC4VSX55, blocks, bits, num_paths=6)
+            assert direct.cycles == schedule.total_cycles
 
     def test_timing_scales_as_inverse_parallelism(self):
         t1 = estimate_timing(VIRTEX4_XC4VSX55, 1, 8).execution_time_s
