@@ -14,16 +14,21 @@ Usage (after ``pip install -e .``)::
     python -m repro ser             # E7 — DS-SS vs FSK SER sweep (batched engine)
     python -m repro scenarios       # list the sweepable experiment scenarios
     python -m repro sweep <name>    # run a scenario sweep (parallel + cached)
+    python -m repro trace <file>    # summarise a sweep's trace JSONL
 
 Every command prints plain text to stdout; ``--num-paths`` changes the MP
 workload (Nf) where applicable.  ``sweep`` accepts ``--set axis=v1,v2,...``
 to override any parameter axis, ``--jobs N`` for a worker pool, and writes
-tidy JSONL/CSV results plus a manifest to ``--output``.
+tidy JSONL/CSV results plus a manifest to ``--output`` — plus ``--progress``
+heartbeats on stderr and a ``--trace`` span export readable by ``repro
+trace``.  The global ``--verbose``/``--quiet`` flags control the stdlib
+:mod:`logging` diagnostics every layer emits through named loggers.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 from typing import Sequence
@@ -57,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--num-paths", type=int, default=6,
         help="number of Matching Pursuits iterations Nf (default: 6)",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="emit DEBUG-level diagnostics from the repro loggers on stderr",
+    )
+    verbosity.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="silence everything below ERROR on the repro loggers",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -161,6 +175,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-cache", action="store_true", help="disable the result cache")
     sweep.add_argument("--output", default=None,
                        help="results directory (default: results/sweeps/<scenario>)")
+    sweep.add_argument(
+        "--trace", action="store_true",
+        help="record tracing spans for the run and write them as trace.jsonl "
+        "next to the results (inspect with 'repro trace')",
+    )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="print live progress heartbeats (completed/total, trials/s, cache "
+        "hit rate, ETA) on stderr while the sweep runs",
+    )
+    sweep.add_argument(
+        "--progress-interval", type=float, default=0.5, metavar="SECONDS",
+        help="minimum seconds between intermediate --progress heartbeats "
+        "(default: 0.5; first and final updates always print)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="summarise a trace JSONL written by 'repro sweep --trace'"
+    )
+    trace.add_argument("file", help="path to a trace.jsonl file")
+    trace.add_argument("--slowest", type=int, default=5, metavar="N",
+                       help="number of slowest trial spans to list (default: 5)")
+    trace.add_argument(
+        "--check", action="store_true",
+        help="validate the span records against the trace schema (and, when a "
+        "sibling manifest.json exists, cross-check the trial span count "
+        "against the recorded sweep stats); exit non-zero on any problem",
+    )
 
     estimate = subparsers.add_parser("estimate", help="run one MP channel estimation")
     estimate.add_argument("--seed", type=int, default=0, help="channel / noise seed")
@@ -382,6 +424,7 @@ def _run_scenarios(args: argparse.Namespace) -> str:
 def _run_sweep(args: argparse.Namespace) -> str:
     from repro.experiments import ResultCache, ResultStore, get_scenario, run_sweep
     from repro.experiments.store import tidy_headers
+    from repro.telemetry import progress_printer, start_trace, write_trace
 
     try:
         scenario = get_scenario(args.scenario)
@@ -409,13 +452,31 @@ def _run_sweep(args: argparse.Namespace) -> str:
         raise SystemExit(f"error: {error}") from None
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    result = run_sweep(spec, jobs=args.jobs, cache=cache)
-    stats = result.stats
+    progress = progress_printer(sys.stderr) if args.progress else None
 
     output_dir = args.output if args.output else f"results/sweeps/{scenario.name}"
+    if args.trace:
+        with start_trace() as tracer:
+            result = run_sweep(
+                spec, jobs=args.jobs, cache=cache,
+                progress=progress, progress_interval_s=args.progress_interval,
+            )
+            trace_records = tracer.records
+    else:
+        result = run_sweep(
+            spec, jobs=args.jobs, cache=cache,
+            progress=progress, progress_interval_s=args.progress_interval,
+        )
+        trace_records = None
+    stats = result.stats
+
     written = ResultStore(output_dir).write(
         result.records, spec=spec.to_dict(), stats=stats.to_dict()
     )
+    if trace_records is not None:
+        written["trace"] = str(write_trace(
+            os.path.join(output_dir, "trace.jsonl"), trace_records
+        ))
 
     headers = tidy_headers(result.records)
     preview_limit = 12
@@ -438,10 +499,72 @@ def _run_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_trace(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.telemetry.summary import render_trace_summary
+    from repro.telemetry.tracing import read_trace, validate_trace
+
+    try:
+        records = read_trace(args.file)
+    except OSError as error:
+        raise SystemExit(f"error: cannot read trace file: {error}") from None
+    except (ValueError, KeyError) as error:
+        raise SystemExit(f"error: malformed trace file {args.file!r}: {error}") from None
+
+    lines = [render_trace_summary(records, slowest=args.slowest)]
+    if args.check:
+        problems = validate_trace(records)
+        manifest_path = os.path.join(os.path.dirname(os.path.abspath(args.file)),
+                                     "manifest.json")
+        if os.path.exists(manifest_path):
+            # the sweep manifest sits next to the trace: cross-check the
+            # trial span count against the recorded stats
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+            expected = (manifest.get("stats") or {}).get("num_trials")
+            trial_spans = sum(1 for record in records if record.name == "trial")
+            if expected is not None and trial_spans != expected:
+                problems.append(
+                    f"trace has {trial_spans} trial spans but the manifest "
+                    f"records num_trials={expected}"
+                )
+            else:
+                lines.append(f"manifest cross-check: {trial_spans} trial spans "
+                             f"== stats.num_trials")
+        if problems:
+            print("\n".join(lines))
+            raise SystemExit(
+                "trace check FAILED:\n" + "\n".join(f"  - {p}" for p in problems)
+            )
+        lines.append(f"trace check OK: {len(records)} spans, schema and "
+                     f"span-tree integrity verified")
+    return "\n".join(lines)
+
+
+def _configure_logging(args: argparse.Namespace) -> None:
+    """Wire --verbose/--quiet to the stdlib logging tree (stderr)."""
+    if args.verbose:
+        level = logging.DEBUG
+    elif args.quiet:
+        level = logging.ERROR
+    else:
+        level = logging.WARNING
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    # basicConfig is a no-op when the root logger is already configured
+    # (e.g. under a test runner) — force the level so the flags still apply
+    logging.getLogger().setLevel(level)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
 
     if args.command == "table1":
         output = render_table1(reproduce_table1())
@@ -467,6 +590,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_scenarios(args)
     elif args.command == "sweep":
         output = _run_sweep(args)
+    elif args.command == "trace":
+        output = _run_trace(args)
     elif args.command == "export":
         from repro.analysis.export import export_all
 

@@ -41,7 +41,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.telemetry.metrics import counter, histogram
+from repro.telemetry.tracing import span
+
 __all__ = ["BatchFixedPointMPEngine"]
+
+# per-group telemetry (one update per word-length group, never per trial)
+_TRIALS = counter("engine.fixedpoint.trials")
+_GROUP_SIZE = histogram("engine.fixedpoint.batch_size")
 
 
 @dataclass
@@ -69,6 +76,28 @@ class BatchFixedPointMPEngine:
         through the scalar datapath instead — the executable specification,
         kept for equivalence tests and benchmarks.
         """
+        from repro.experiments.runner import SweepResult, SweepStats
+
+        if spec.scenario != self.scenario:
+            raise ValueError(
+                f"engine handles {self.scenario!r} specs, got {spec.scenario!r}"
+            )
+        started = time.perf_counter()
+        with span("engine.fixedpoint.run_spec", scenario=spec.scenario, batch=batch):
+            trials = spec.expand()
+            records = self._run_groups(spec, trials, batch)
+        _TRIALS.inc(len(trials))
+
+        elapsed = time.perf_counter() - started
+        stats = SweepStats(
+            num_trials=len(trials), executed=len(trials), cache_hits=0,
+            jobs=1, elapsed_s=elapsed,
+        )
+        ordered = [records[point.index] for point in trials]
+        return SweepResult(spec=spec, records=ordered, stats=stats)
+
+    def _run_groups(self, spec, trials, batch: bool) -> dict[int, dict[str, Any]]:
+        """Group trial points, estimate each group in one pass, build records."""
         from repro.experiments.registry import (
             fixedpoint_trial_metrics,
             trial_channel_problem,
@@ -76,14 +105,7 @@ class BatchFixedPointMPEngine:
             trial_estimator,
             trial_float_reference,
         )
-        from repro.experiments.runner import SweepResult, SweepStats, plain_value
-
-        if spec.scenario != self.scenario:
-            raise ValueError(
-                f"engine handles {self.scenario!r} specs, got {spec.scenario!r}"
-            )
-        started = time.perf_counter()
-        trials = spec.expand()
+        from repro.experiments.runner import plain_value
 
         # group trial points by everything the estimator depends on: the
         # waveform configuration travels in the params, the word length is
@@ -113,34 +135,30 @@ class BatchFixedPointMPEngine:
 
         records: dict[int, dict[str, Any]] = {}
         for (word_length, _), points in groups.items():
-            estimator = trial_estimator(points[0].params, word_length)
-            group_problems = [problems[problem_keys[p.index]] for p in points]
-            received = np.stack([problem[2] for problem in group_problems])
-            if batch:
-                estimates = estimator.estimate_batch(received)
-            else:
-                estimates = [estimator.estimate(row) for row in received]
-            for row, point in enumerate(points):
-                channel, true_f, _ = group_problems[row]
-                reference = references[problem_keys[point.index]]
-                metrics = fixedpoint_trial_metrics(
-                    channel, true_f, reference, estimates[row]
-                )
-                record: dict[str, Any] = {
-                    "scenario": spec.scenario,
-                    "trial_index": point.index,
-                    "replicate": point.replicate,
-                    "seed": point.seed,
-                }
-                for source in (point.params, metrics):
-                    for name, value in source.items():
-                        record[name] = plain_value(value)
-                records[point.index] = record
-
-        elapsed = time.perf_counter() - started
-        stats = SweepStats(
-            num_trials=len(trials), executed=len(trials), cache_hits=0,
-            jobs=1, elapsed_s=elapsed,
-        )
-        ordered = [records[point.index] for point in trials]
-        return SweepResult(spec=spec, records=ordered, stats=stats)
+            with span("engine.fixedpoint.group", word_length=word_length,
+                      batch_size=len(points)):
+                _GROUP_SIZE.observe(len(points))
+                estimator = trial_estimator(points[0].params, word_length)
+                group_problems = [problems[problem_keys[p.index]] for p in points]
+                received = np.stack([problem[2] for problem in group_problems])
+                if batch:
+                    estimates = estimator.estimate_batch(received)
+                else:
+                    estimates = [estimator.estimate(row) for row in received]
+                for row, point in enumerate(points):
+                    channel, true_f, _ = group_problems[row]
+                    reference = references[problem_keys[point.index]]
+                    metrics = fixedpoint_trial_metrics(
+                        channel, true_f, reference, estimates[row]
+                    )
+                    record: dict[str, Any] = {
+                        "scenario": spec.scenario,
+                        "trial_index": point.index,
+                        "replicate": point.replicate,
+                        "seed": point.seed,
+                    }
+                    for source in (point.params, metrics):
+                        for name, value in source.items():
+                            record[name] = plain_value(value)
+                    records[point.index] = record
+        return records

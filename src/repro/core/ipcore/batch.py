@@ -41,9 +41,16 @@ from repro.core.ipcore.qgen import QGenBlock
 from repro.core.ipcore.simulator import IPCoreConfig, IPCoreRun, IPCoreSimulator
 from repro.dsp.signal_matrix import SignalMatrices
 from repro.fixedpoint.metrics import dynamic_range_scale_batch
+from repro.telemetry.metrics import counter, histogram
+from repro.telemetry.tracing import span
 from repro.utils.validation import ensure_2d_array
 
 __all__ = ["BatchIPCoreEngine", "BatchIPCoreRun"]
+
+# per-batch telemetry (one update per estimate_batch call, never per trial)
+_TRIALS = counter("engine.ipcore.trials")
+_CYCLES = counter("engine.ipcore.cycles")
+_BATCH_TRIALS = histogram("engine.ipcore.batch_trials")
 
 
 @dataclass
@@ -132,41 +139,51 @@ class BatchIPCoreEngine:
         trials = received.shape[0]
         datapath = core.datapath
 
-        r_q, r_scales = datapath.quantize_received_batch(received)
-        matched = datapath.matched_filter_batch(r_q)
-        v_scales = dynamic_range_scale_batch(matched)
-        g_scales, q_scales = datapath.coefficient_scales(v_scales)
+        with span("engine.ipcore.estimate_batch", trials=trials,
+                  num_fc_blocks=core.config.num_fc_blocks,
+                  word_length=core.config.word_length):
+            with span("engine.ipcore.matched_filter", trials=trials):
+                r_q, r_scales = datapath.quantize_received_batch(received)
+                matched = datapath.matched_filter_batch(r_q)
+                v_scales = dynamic_range_scale_batch(matched)
+                g_scales, q_scales = datapath.coefficient_scales(v_scales)
 
-        registers = core.new_registers(trials)
-        for block in core.blocks:
-            block.matched_filter(registers, matched, v_scales)
-
-        num_paths = core.config.num_paths
-        rows = np.arange(trials)
-        path_indices = np.empty((trials, num_paths), dtype=np.int64)
-        path_gains = np.empty((trials, num_paths), dtype=np.complex128)
-        decisions = np.empty((trials, num_paths), dtype=np.float64)
-
-        previous: np.ndarray | None = None
-        for j in range(num_paths):
-            if previous is not None:
-                coefficients = registers.F[rows, previous]
+                registers = core.new_registers(trials)
                 for block in core.blocks:
-                    block.cancel(registers, previous, coefficients, v_scales)
-            for block in core.blocks:
-                block.update_decision(registers, g_scales, q_scales)
-            # the q-gen reduction for every trial at once (the winning
-            # block's F latch is the same fancy-indexed assignment per trial)
-            winners = QGenBlock.select_batch(registers.Q, registers.selected)
-            registers.F[rows, winners] = registers.G[rows, winners]
+                    block.matched_filter(registers, matched, v_scales)
 
-            path_indices[:, j] = winners
-            path_gains[:, j] = registers.G[rows, winners]
-            decisions[:, j] = registers.Q[rows, winners]
-            previous = winners
+            num_paths = core.config.num_paths
+            rows = np.arange(trials)
+            path_indices = np.empty((trials, num_paths), dtype=np.int64)
+            path_gains = np.empty((trials, num_paths), dtype=np.complex128)
+            decisions = np.empty((trials, num_paths), dtype=np.float64)
 
-        result = datapath.assemble_estimate_batch(
-            registers.F, path_indices, path_gains, decisions,
-            r_scales, g_scales, q_scales,
-        )
-        return BatchIPCoreRun(result=result, schedule=core.control.schedule())
+            with span("engine.ipcore.iterations", trials=trials, num_paths=num_paths):
+                previous: np.ndarray | None = None
+                for j in range(num_paths):
+                    if previous is not None:
+                        coefficients = registers.F[rows, previous]
+                        for block in core.blocks:
+                            block.cancel(registers, previous, coefficients, v_scales)
+                    for block in core.blocks:
+                        block.update_decision(registers, g_scales, q_scales)
+                    # the q-gen reduction for every trial at once (the winning
+                    # block's F latch is the same fancy-indexed assignment per
+                    # trial)
+                    winners = QGenBlock.select_batch(registers.Q, registers.selected)
+                    registers.F[rows, winners] = registers.G[rows, winners]
+
+                    path_indices[:, j] = winners
+                    path_gains[:, j] = registers.G[rows, winners]
+                    decisions[:, j] = registers.Q[rows, winners]
+                    previous = winners
+
+            result = datapath.assemble_estimate_batch(
+                registers.F, path_indices, path_gains, decisions,
+                r_scales, g_scales, q_scales,
+            )
+            schedule = core.control.schedule()
+        _TRIALS.inc(trials)
+        _BATCH_TRIALS.observe(trials)
+        _CYCLES.inc(schedule.total_cycles * trials)
+        return BatchIPCoreRun(result=result, schedule=schedule)

@@ -24,8 +24,15 @@ from typing import Any, Mapping
 import repro
 
 from repro.experiments.spec import canonical_json, stable_hash
+from repro.telemetry.metrics import counter
 
 __all__ = ["ResultCache", "CacheStats", "trial_key", "code_version_tag"]
+
+# process-wide telemetry counters (every ResultCache instance feeds them; the
+# per-instance CacheStats below stay the precise per-cache view)
+_HITS = counter("cache.hits")
+_MISSES = counter("cache.misses")
+_WRITES = counter("cache.writes")
 
 
 def code_version_tag() -> str:
@@ -91,8 +98,10 @@ class ResultCache:
             payload = json.loads(path.read_text())
         except (FileNotFoundError, json.JSONDecodeError):
             self.stats.misses += 1
+            _MISSES.inc()
             return None
         self.stats.hits += 1
+        _HITS.inc()
         return payload["record"]
 
     def put(self, scenario: str, key: str, record: Mapping[str, Any]) -> Path:
@@ -110,6 +119,7 @@ class ResultCache:
                 os.unlink(tmp_name)
             raise
         self.stats.writes += 1
+        _WRITES.inc()
         return path
 
     def contains(self, scenario: str, key: str) -> bool:

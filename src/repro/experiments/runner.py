@@ -16,20 +16,38 @@ down:
 * **isolation** — workers resolve the scenario by name from the registry
   (trial functions are module-level), so nothing unpicklable crosses the
   process boundary.
+
+The engine is also the telemetry trunk (:mod:`repro.telemetry`): with a
+tracer active it opens ``sweep > sweep.cache_scan / sweep.execute > trial``
+spans (workers buffer their spans and metric deltas and ship them back with
+each trial result for parent-side merging), folds the sweep's metric deltas
+into :class:`SweepStats`, and drives an optional throttled ``progress``
+callback — the hook the future sweep service will poll.
 """
 
 from __future__ import annotations
 
+import logging
+import math
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.experiments.cache import ResultCache, code_version_tag, trial_key
 from repro.experiments.registry import get_scenario
 from repro.experiments.spec import SweepSpec, TrialPoint
+from repro.telemetry.metrics import counter, flatten_snapshot, registry, snapshot_delta
+from repro.telemetry.progress import ProgressEvent, ProgressReporter
+from repro.telemetry.tracing import SpanRecord, current_tracer, span, worker_trace
 
 __all__ = ["SweepStats", "SweepResult", "plain_value", "run_sweep"]
+
+logger = logging.getLogger(__name__)
+
+_TRIALS_EXECUTED = counter("sweep.trials_executed")
+_TRIALS_CACHED = counter("sweep.trials_cached")
 
 #: Below this many pending trials a worker pool costs more than it saves.
 MIN_TRIALS_FOR_POOL = 4
@@ -57,9 +75,17 @@ def plain_value(value: Any) -> Any:
     )
 
 
-def _execute_trial(payload: tuple[str, int, int, int, Mapping[str, Any]]) -> tuple[int, dict[str, Any]]:
-    """Run one trial (possibly in a worker process) and build its tidy record."""
-    scenario_name, index, replicate, seed, params = payload
+#: One executed trial: its canonical index, tidy record, the spans it
+#: produced (empty unless it ran in a worker with telemetry on), and the
+#: worker's metric delta (``None`` unless it ran in a worker with telemetry
+#: on — in-process trials record straight into the parent tracer/registry).
+_TrialResult = tuple[int, dict[str, Any], tuple[SpanRecord, ...], dict[str, Any] | None]
+
+
+def _run_trial_record(
+    scenario_name: str, index: int, replicate: int, seed: int, params: Mapping[str, Any]
+) -> dict[str, Any]:
+    """Run one trial and build its tidy record."""
     scenario = get_scenario(scenario_name)
     metrics = scenario.run_trial(params, seed)
     record: dict[str, Any] = {
@@ -76,7 +102,39 @@ def _execute_trial(payload: tuple[str, int, int, int, Mapping[str, Any]]) -> tup
                     "identity or parameter column"
                 )
             record[key] = plain_value(value)
-    return index, record
+    return record
+
+
+def _execute_trial(
+    payload: tuple[str, int, int, int, Mapping[str, Any], bool]
+) -> _TrialResult:
+    """Run one trial (possibly in a worker process), with telemetry capture.
+
+    Three telemetry regimes, decided here so the pool dispatch stays dumb:
+
+    * a tracer owned by *this* process is active → in-process (serial)
+      execution: the trial span records straight into it, nothing ships;
+    * ``telemetry`` flag set but no live local tracer → worker process (the
+      forked parent tracer, if any, is a dead copy): buffer spans and the
+      metric delta locally and ship both back with the record;
+    * telemetry off → run bare (the disabled path adds two tuple fields and
+      one contextvar read over the pre-telemetry engine).
+    """
+    scenario_name, index, replicate, seed, params, telemetry = payload
+    tracer = current_tracer()
+    if tracer is not None and tracer.pid == os.getpid():
+        with span("trial", trial_index=index, seed=seed):
+            record = _run_trial_record(scenario_name, index, replicate, seed, params)
+        return index, record, (), None
+    if telemetry:
+        before = registry().snapshot()
+        with worker_trace() as local:
+            with span("trial", trial_index=index, seed=seed):
+                record = _run_trial_record(scenario_name, index, replicate, seed, params)
+        delta = snapshot_delta(before, registry().snapshot())
+        return index, record, tuple(local.records), delta or None
+    record = _run_trial_record(scenario_name, index, replicate, seed, params)
+    return index, record, (), None
 
 
 @dataclass(frozen=True)
@@ -88,6 +146,10 @@ class SweepStats:
     cache_hits: int
     jobs: int
     elapsed_s: float
+    #: Flattened telemetry-metric deltas attributable to this sweep (counter
+    #: increments, histogram windows) — see :mod:`repro.telemetry.metrics`.
+    #: ``None`` when the run recorded no metric activity.
+    metrics: Mapping[str, Any] | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -98,15 +160,22 @@ class SweepStats:
         return self.num_trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        # a zero-elapsed run has no meaningful rate: serialise it as null —
+        # json.dumps would otherwise emit the non-standard literal `Infinity`
+        # that strict JSON parsers (and the manifest's future readers) reject
+        rate = self.trials_per_second
+        payload: dict[str, Any] = {
             "num_trials": self.num_trials,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
             "jobs": self.jobs,
             "elapsed_s": self.elapsed_s,
-            "trials_per_second": self.trials_per_second,
+            "trials_per_second": rate if math.isfinite(rate) else None,
         }
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
+        return payload
 
 
 @dataclass
@@ -140,6 +209,8 @@ def run_sweep(
     cache: ResultCache | None = None,
     chunk_size: int | None = None,
     mp_context: multiprocessing.context.BaseContext | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
+    progress_interval_s: float = 0.0,
 ) -> SweepResult:
     """Execute every trial of ``spec`` and return their tidy records.
 
@@ -158,60 +229,138 @@ def run_sweep(
     mp_context:
         Multiprocessing context override (``fork`` is the default on Linux;
         with a ``spawn`` context only built-in scenarios resolve in workers).
+    progress:
+        Optional heartbeat callback.  Receives a
+        :class:`~repro.telemetry.progress.ProgressEvent` after the cache scan,
+        after trial completions (throttled to ``progress_interval_s``), and a
+        final event when the sweep is done.
+    progress_interval_s:
+        Minimum seconds between intermediate progress events (first and final
+        events always fire).
     """
     scenario = get_scenario(spec.scenario)
     trials = spec.expand()
     started = time.perf_counter()
     code_tag = code_version_tag()
+    tracer = current_tracer()
+    telemetry_on = tracer is not None and tracer.pid == os.getpid()
+    metrics_before = registry().snapshot() if telemetry_on else None
+    logger.info(
+        "sweep %s: %d trials (jobs=%d, cache=%s)",
+        scenario.name, len(trials), jobs, "on" if cache is not None else "off",
+    )
 
     records: dict[int, dict[str, Any]] = {}
     pending: list[TrialPoint] = []
     keys: dict[int, str] = {}
     cache_hits = 0
 
-    for trial in trials:
-        if cache is not None:
-            key = trial_key(scenario.name, scenario.version, trial.params, trial.seed, code_tag)
-            keys[trial.index] = key
-            hit = cache.get(scenario.name, key)
-            if hit is not None:
-                # restamp the identity columns: the cached record may have been
-                # executed by a different sweep of the same trials
-                records[trial.index] = {
-                    **hit, "trial_index": trial.index, "replicate": trial.replicate,
-                }
-                cache_hits += 1
-                continue
-        pending.append(trial)
+    with span("sweep", scenario=scenario.name, num_trials=len(trials)):
+        with span("sweep.cache_scan", cached=cache is not None):
+            for trial in trials:
+                if cache is not None:
+                    key = trial_key(
+                        scenario.name, scenario.version, trial.params, trial.seed, code_tag
+                    )
+                    keys[trial.index] = key
+                    hit = cache.get(scenario.name, key)
+                    if hit is not None:
+                        # restamp the identity columns: the cached record may
+                        # have been executed by a different sweep of the same
+                        # trials
+                        records[trial.index] = {
+                            **hit, "trial_index": trial.index, "replicate": trial.replicate,
+                        }
+                        cache_hits += 1
+                        # a zero-duration trial span per hit keeps the trace's
+                        # trial count equal to stats.num_trials
+                        with span("trial", trial_index=trial.index, seed=trial.seed,
+                                  cache_hit=True):
+                            pass
+                        continue
+                pending.append(trial)
+        _TRIALS_CACHED.inc(cache_hits)
+        logger.info(
+            "sweep %s: cache scan done — %d hits, %d to execute",
+            scenario.name, cache_hits, len(pending),
+        )
 
-    payloads = [
-        (scenario.name, trial.index, trial.replicate, trial.seed, trial.params)
-        for trial in pending
-    ]
-    effective_jobs = max(1, min(int(jobs), len(pending)))
+        payloads = [
+            (scenario.name, trial.index, trial.replicate, trial.seed, trial.params,
+             telemetry_on)
+            for trial in pending
+        ]
+        effective_jobs = max(1, min(int(jobs), len(pending)))
 
-    def _collect(results: Iterable[tuple[int, dict[str, Any]]]) -> None:
-        for index, record in results:
-            records[index] = record
-            if cache is not None:
-                cache.put(scenario.name, keys[index], record)
+        reporter = (
+            ProgressReporter(progress, total=len(trials), min_interval_s=progress_interval_s)
+            if progress is not None
+            else None
+        )
+        if reporter is not None:
+            reporter.update(completed=cache_hits, executed=0, cache_hits=cache_hits)
+        executed = 0
 
-    if effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
-        effective_jobs = 1
-        _collect(map(_execute_trial, payloads))
-    else:
-        ctx = mp_context if mp_context is not None else multiprocessing.get_context()
-        size = chunk_size if chunk_size is not None else _chunk_size(len(pending), effective_jobs)
-        with ctx.Pool(processes=effective_jobs) as pool:
-            _collect(pool.imap_unordered(_execute_trial, payloads, chunksize=size))
+        with span("sweep.execute", pending=len(pending)) as execute_span:
+            execute_id = execute_span.span_id if execute_span is not None else None
+
+            def _collect(results: Iterable[_TrialResult]) -> None:
+                nonlocal executed
+                for index, record, spans, metric_delta in results:
+                    records[index] = record
+                    executed += 1
+                    if cache is not None:
+                        cache.put(scenario.name, keys[index], record)
+                    if spans and tracer is not None:
+                        tracer.adopt(spans, parent_id=execute_id)
+                    if metric_delta:
+                        registry().merge_delta(metric_delta)
+                    if reporter is not None:
+                        reporter.update(
+                            completed=cache_hits + executed,
+                            executed=executed,
+                            cache_hits=cache_hits,
+                        )
+
+            if effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
+                effective_jobs = 1
+                _collect(map(_execute_trial, payloads))
+            else:
+                ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+                size = (
+                    chunk_size if chunk_size is not None
+                    else _chunk_size(len(pending), effective_jobs)
+                )
+                logger.debug(
+                    "sweep %s: pool dispatch — %d workers, chunk size %d",
+                    scenario.name, effective_jobs, size,
+                )
+                with ctx.Pool(processes=effective_jobs) as pool:
+                    _collect(pool.imap_unordered(_execute_trial, payloads, chunksize=size))
+        _TRIALS_EXECUTED.inc(len(pending))
 
     elapsed = time.perf_counter() - started
+    metrics_delta = None
+    if metrics_before is not None:
+        metrics_delta = flatten_snapshot(
+            snapshot_delta(metrics_before, registry().snapshot())
+        )
     stats = SweepStats(
         num_trials=len(trials),
         executed=len(pending),
         cache_hits=cache_hits,
         jobs=effective_jobs,
         elapsed_s=elapsed,
+        metrics=metrics_delta or None,
+    )
+    if reporter is not None:
+        reporter.update(
+            completed=cache_hits + executed, executed=executed,
+            cache_hits=cache_hits, final=True,
+        )
+    logger.info(
+        "sweep %s: done — %d executed, %d cache hits in %.2fs",
+        scenario.name, stats.executed, stats.cache_hits, elapsed,
     )
     ordered = [records[trial.index] for trial in trials]
     return SweepResult(spec=spec, records=ordered, stats=stats)

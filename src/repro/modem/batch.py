@@ -28,6 +28,7 @@ The equivalence is locked down by ``tests/modem/test_batch_equivalence.py``;
 
 from __future__ import annotations
 
+import contextvars
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -49,10 +50,17 @@ from repro.modem.config import AquaModemConfig
 from repro.modem.link import LinkResult
 from repro.modem.receiver import Receiver
 from repro.modem.transmitter import Transmitter
+from repro.telemetry.metrics import counter, histogram
+from repro.telemetry.tracing import span
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_integer
 
 __all__ = ["BatchLinkEngine"]
+
+# per-batch telemetry (one update per SNR point, never per frame)
+_FRAMES = counter("engine.link.frames")
+_RNG_DRAWS = counter("engine.link.rng_draws")
+_BATCH_FRAMES = histogram("engine.link.batch_frames")
 
 
 @dataclass
@@ -135,6 +143,10 @@ class BatchLinkEngine:
             tx_symbols[t] = self.rng.integers(0, alphabet_size, size=symbols_per_frame)
             self.rng.standard_normal(out=noise_real[t])
             self.rng.standard_normal(out=noise_imag[t])
+        _FRAMES.inc(num_frames)
+        _BATCH_FRAMES.observe(num_frames)
+        # symbols + 2 noise fills per frame, plus the channel draw when fresh
+        _RNG_DRAWS.inc(num_frames * (3 + (1 if self.channel is None else 0)))
         return channels, tx_symbols, (noise_real, noise_imag)
 
     def _faded_stream(
@@ -212,57 +224,62 @@ class BatchLinkEngine:
         """All random draws for one DS-SS SNR point (stream-order locked)."""
         check_integer("num_symbols", num_symbols, minimum=1)
         check_integer("num_frames", num_frames, minimum=1)
-        symbols_per_frame = max(1, num_symbols // num_frames)
-        # pilot + payload symbols, each followed by a guard interval
-        pilot_symbols = 1 if self.transmitter.pilot_symbol is not None else 0
-        frame_samples = (
-            (symbols_per_frame + pilot_symbols) * self.transmitter.samples_per_symbol_period
-        )
-        channels, tx_symbols, unit_noise = self._draw_frames(
-            num_frames, symbols_per_frame, self.config.walsh_symbols, frame_samples
-        )
-        full_symbols = tx_symbols
-        if pilot_symbols:
-            pilot = np.full((num_frames, 1), self.transmitter.pilot_symbol, dtype=np.int64)
-            full_symbols = np.concatenate([pilot, tx_symbols], axis=1)
-        return channels, tx_symbols, full_symbols, unit_noise
+        with span("engine.link.draw", scheme="DSSS", frames=num_frames):
+            symbols_per_frame = max(1, num_symbols // num_frames)
+            # pilot + payload symbols, each followed by a guard interval
+            pilot_symbols = 1 if self.transmitter.pilot_symbol is not None else 0
+            frame_samples = (
+                (symbols_per_frame + pilot_symbols)
+                * self.transmitter.samples_per_symbol_period
+            )
+            channels, tx_symbols, unit_noise = self._draw_frames(
+                num_frames, symbols_per_frame, self.config.walsh_symbols, frame_samples
+            )
+            full_symbols = tx_symbols
+            if pilot_symbols:
+                pilot = np.full((num_frames, 1), self.transmitter.pilot_symbol, dtype=np.int64)
+                full_symbols = np.concatenate([pilot, tx_symbols], axis=1)
+            return channels, tx_symbols, full_symbols, unit_noise
 
     def _finish_dsss(self, prepared, snr_db: float) -> LinkResult:
         """Deterministic arithmetic for one DS-SS SNR point."""
         channels, tx_symbols, full_symbols, unit_noise = prepared
-        modulator = self.transmitter.modulator
-        faded = self._faded_stream(
-            channels, full_symbols, modulator.waveforms, modulator.samples_per_symbol
-        )
-        if faded is None:
-            faded = apply_channel_batch(modulator.modulate_batch(full_symbols), channels)
-        received = self._received_batch(faded, snr_db, unit_noise)
-        output = self.receiver.receive_batch(received)
-        sent, errors = self._count_errors(output.symbols, tx_symbols)
+        with span("engine.link.compute", scheme="DSSS", snr_db=snr_db):
+            modulator = self.transmitter.modulator
+            faded = self._faded_stream(
+                channels, full_symbols, modulator.waveforms, modulator.samples_per_symbol
+            )
+            if faded is None:
+                faded = apply_channel_batch(modulator.modulate_batch(full_symbols), channels)
+            received = self._received_batch(faded, snr_db, unit_noise)
+            output = self.receiver.receive_batch(received)
+            sent, errors = self._count_errors(output.symbols, tx_symbols)
         return LinkResult(scheme="DSSS", snr_db=snr_db, symbols_sent=sent, symbol_errors=errors)
 
     def _prepare_fsk(self, num_symbols: int, num_frames: int):
         """All random draws for one FSK SNR point (stream-order locked)."""
         check_integer("num_symbols", num_symbols, minimum=1)
         check_integer("num_frames", num_frames, minimum=1)
-        symbols_per_frame = max(1, num_symbols // num_frames)
-        frame_samples = symbols_per_frame * self.fsk.samples_per_symbol
-        channels, tx_symbols, unit_noise = self._draw_frames(
-            num_frames, symbols_per_frame, self.fsk.alphabet_size, frame_samples
-        )
-        return channels, tx_symbols, unit_noise
+        with span("engine.link.draw", scheme="FSK", frames=num_frames):
+            symbols_per_frame = max(1, num_symbols // num_frames)
+            frame_samples = symbols_per_frame * self.fsk.samples_per_symbol
+            channels, tx_symbols, unit_noise = self._draw_frames(
+                num_frames, symbols_per_frame, self.fsk.alphabet_size, frame_samples
+            )
+            return channels, tx_symbols, unit_noise
 
     def _finish_fsk(self, prepared, snr_db: float) -> LinkResult:
         """Deterministic arithmetic for one FSK SNR point."""
         channels, tx_symbols, unit_noise = prepared
-        faded = self._faded_stream(
-            channels, tx_symbols, self.fsk.tones, self.fsk.samples_per_symbol
-        )
-        if faded is None:
-            faded = apply_channel_batch(self.fsk.modulate_batch(tx_symbols), channels)
-        received = self._received_batch(faded, snr_db, unit_noise)
-        result = self.fsk.demodulate_batch(received)
-        sent, errors = self._count_errors(result.symbols, tx_symbols)
+        with span("engine.link.compute", scheme="FSK", snr_db=snr_db):
+            faded = self._faded_stream(
+                channels, tx_symbols, self.fsk.tones, self.fsk.samples_per_symbol
+            )
+            if faded is None:
+                faded = apply_channel_batch(self.fsk.modulate_batch(tx_symbols), channels)
+            received = self._received_batch(faded, snr_db, unit_noise)
+            result = self.fsk.demodulate_batch(received)
+            sent, errors = self._count_errors(result.symbols, tx_symbols)
         return LinkResult(scheme="FSK", snr_db=snr_db, symbols_sent=sent, symbol_errors=errors)
 
     def _halves(self, scheme: str):
@@ -307,12 +324,16 @@ class BatchLinkEngine:
         """
         prepare, finish = self._halves(scheme)
         results: list[LinkResult] = []
-        with ThreadPoolExecutor(max_workers=1) as executor:
-            pending: deque = deque()
-            for snr in snr_points_db:
-                prepared = prepare(num_symbols, num_frames)
-                while len(pending) >= 2:
-                    results.append(pending.popleft().result())
-                pending.append(executor.submit(finish, prepared, snr))
-            results.extend(future.result() for future in pending)
+        with span("engine.link.curve", scheme=scheme, points=len(snr_points_db)):
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                pending: deque = deque()
+                for snr in snr_points_db:
+                    prepared = prepare(num_symbols, num_frames)
+                    while len(pending) >= 2:
+                        results.append(pending.popleft().result())
+                    # copy_context: the worker thread's compute spans nest
+                    # under this curve span instead of vanishing
+                    ctx = contextvars.copy_context()
+                    pending.append(executor.submit(ctx.run, finish, prepared, snr))
+                results.extend(future.result() for future in pending)
         return results

@@ -41,6 +41,8 @@ import numpy as np
 
 from repro.network.simulator import NetworkSimulationResult, NetworkSimulator
 from repro.network.traffic import PeriodicTraffic
+from repro.telemetry.metrics import counter, histogram
+from repro.telemetry.tracing import span
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_positive
 
@@ -50,6 +52,11 @@ __all__ = [
     "generate_report_schedule",
     "simulate_network_trials",
 ]
+
+# per-chunk telemetry (one update per scanned chunk, never per event)
+_EVENTS = counter("engine.network.events")
+_CHUNKS = counter("engine.network.chunks")
+_SCAN_TRIALS = histogram("engine.network.scan_live_trials")
 
 #: Events per generated/scanned chunk; bounds wasted schedule generation past
 #: a death while keeping the NumPy call overhead amortised.
@@ -430,30 +437,35 @@ class BatchNetworkEngine:
         sim = self.simulator
         check_positive("max_time_s", max_time_s)
         end_time = 0.0
-        if schedule is not None:
-            times, sources = schedule
-            last_time, _ = self._consume(
-                times, sources, self._to_rows(sources), stop_at_first_death
-            )
-            if last_time is not None:
-                end_time = last_time
-        else:
-            stream = ScheduleStream(
-                sim.traffic, sim.sensor_ids, as_rng(sim.rng), max_time_s, max_events
-            )
-            while True:
-                times, sources = stream.next_chunk()
-                if len(times) == 0:
-                    break
-                last_time, finished = self._consume(
+        with span("engine.network.run", nodes=len(self._ids)):
+            if schedule is not None:
+                times, sources = schedule
+                _CHUNKS.inc()
+                _EVENTS.inc(len(times))
+                last_time, _ = self._consume(
                     times, sources, self._to_rows(sources), stop_at_first_death
                 )
                 if last_time is not None:
                     end_time = last_time
-                if finished:
-                    break
-        sim._advance_all(end_time)
-        return sim._build_result(end_time)
+            else:
+                stream = ScheduleStream(
+                    sim.traffic, sim.sensor_ids, as_rng(sim.rng), max_time_s, max_events
+                )
+                while True:
+                    times, sources = stream.next_chunk()
+                    if len(times) == 0:
+                        break
+                    _CHUNKS.inc()
+                    _EVENTS.inc(len(times))
+                    last_time, finished = self._consume(
+                        times, sources, self._to_rows(sources), stop_at_first_death
+                    )
+                    if last_time is not None:
+                        end_time = last_time
+                    if finished:
+                        break
+            sim._advance_all(end_time)
+            return sim._build_result(end_time)
 
 
 def simulate_network_trials(
@@ -503,7 +515,8 @@ def simulate_network_trials(
         return [sim.run_event_loop(**run_args) for sim in simulators]
     engines = [BatchNetworkEngine(sim) for sim in simulators]
     if not stop_at_first_death:
-        return [engine.run(**run_args) for engine in engines]
+        with span("engine.network.trials", trials=len(engines), mode="per-trial"):
+            return [engine.run(**run_args) for engine in engines]
 
     # chunked cross-trial loop: every live trial's chunk is scanned in one
     # (trials x nodes x events) pass under the shared all-alive charge model
@@ -527,9 +540,27 @@ def simulate_network_trials(
         sim._advance_all(end_times[trial])
         results[trial] = sim._build_result(end_times[trial])
 
+    with span("engine.network.trials", trials=num_trials, mode="cross-trial"):
+        _run_cross_trial_scan(
+            engines, simulators, streams, live, end_times, finalize,
+            first, model, scan_rows, battery_capacity_j,
+        )
+        for trial in range(num_trials):
+            if results[trial] is None:
+                finalize(trial)
+    return [result for result in results if result is not None]
+
+
+def _run_cross_trial_scan(
+    engines, simulators, streams, live, end_times, finalize,
+    first, model, scan_rows, battery_capacity_j,
+) -> None:
+    """The chunked cross-trial death scan of :func:`simulate_network_trials`."""
+    tx_ind, rx_ind, _, _ = model
     while live:
         # budget the (nodes x trials x events) scan working set: with many
         # live trials each one contributes a proportionally smaller chunk
+        _SCAN_TRIALS.observe(len(live))
         chunk_size = max(256, _CHUNK_EVENTS // len(live))
         chunks = {}
         for trial in list(live):
@@ -541,6 +572,8 @@ def simulate_network_trials(
                 chunks[trial] = (times, sources, engines[trial]._to_rows(sources))
         if not chunks:
             break
+        _CHUNKS.inc(len(chunks))
+        _EVENTS.inc(sum(len(chunk[0]) for chunk in chunks.values()))
         order = sorted(chunks)
         max_len = max(len(chunks[trial][0]) for trial in order)
         times_pad = np.zeros((len(order), max_len))
@@ -589,7 +622,3 @@ def simulate_network_trials(
                     continue
             finalize(trial)
             live.remove(trial)
-    for trial in range(num_trials):
-        if results[trial] is None:
-            finalize(trial)
-    return [result for result in results if result is not None]

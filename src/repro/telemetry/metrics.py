@@ -1,0 +1,262 @@
+"""Process-local metrics: counters, gauges and histograms with snapshots.
+
+The *how much happened* half of telemetry.  Instrumented code holds a direct
+reference to its metric object (``_TRIALS = counter("sweep.trials")``) and
+mutates it with one attribute update per event — always on, no locks, cheap
+enough for hot paths because the engines count per *batch*, not per element.
+
+Snapshots make the registry composable with sweeps and worker processes:
+
+* :meth:`MetricsRegistry.snapshot` captures every metric as a typed plain
+  dict;
+* :func:`snapshot_delta` subtracts two snapshots, so a sweep can report only
+  the activity *it* caused even though the registry is process-lifetime;
+* :meth:`MetricsRegistry.merge_delta` folds a worker process's delta back
+  into the parent registry (multiprocessing workers mutate forked copies,
+  so their deltas travel home with the trial results);
+* :func:`flatten_snapshot` renders a typed snapshot/delta as the compact
+  ``{name: value}`` mapping folded into
+  :class:`~repro.experiments.runner.SweepStats`.
+
+``reset()`` zeroes metrics **in place**, so module-level metric references
+held by instrumented code stay live across test isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot_delta",
+    "flatten_snapshot",
+]
+
+
+class Counter:
+    """A monotonically increasing count (trials run, cache hits, cycles)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (live workers, current chunk size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A stream summary: count / total / min / max (and mean) of observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+_METRIC_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """A named collection of metrics; one process-wide instance by default."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__.lower()}, "
+                f"not a {kind.__name__.lower()}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        """Zero every metric in place (references held by callers stay live)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Every metric as a typed plain dict, sorted by name."""
+        return {name: self._metrics[name].to_dict() for name in sorted(self._metrics)}
+
+    def merge_delta(self, delta: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a typed delta (from :func:`snapshot_delta`) into this registry.
+
+        Counters and histogram count/total accumulate; gauges and histogram
+        min/max take the incoming observation (min of mins, max of maxes).
+        """
+        for name, payload in delta.items():
+            kind = payload.get("type")
+            if kind == "counter":
+                self.counter(name).inc(payload["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(payload["value"])
+            elif kind == "histogram":
+                metric = self.histogram(name)
+                metric.count += int(payload.get("count", 0))
+                metric.total += float(payload.get("total", 0.0))
+                for bound, pick in (("min", min), ("max", max)):
+                    incoming = payload.get(bound)
+                    if incoming is None:
+                        continue
+                    current = getattr(metric, bound)
+                    setattr(
+                        metric, bound,
+                        incoming if current is None else pick(current, incoming),
+                    )
+            else:
+                raise ValueError(f"metric {name!r}: unknown delta type {kind!r}")
+
+
+#: The process-wide default registry the instrumented layers record into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def snapshot_delta(
+    before: Mapping[str, Mapping[str, Any]],
+    after: Mapping[str, Mapping[str, Any]],
+) -> dict[str, dict[str, Any]]:
+    """The typed difference between two snapshots (only what changed).
+
+    Counter values and histogram count/total subtract; gauges report their
+    final value when it changed; histogram min/max carry the *after* bounds
+    (the registry does not keep per-window extrema).
+    """
+    delta: dict[str, dict[str, Any]] = {}
+    for name, payload in after.items():
+        previous = before.get(name)
+        kind = payload.get("type")
+        if previous is None or previous.get("type") != kind:
+            changed = dict(payload)
+            if kind != "histogram" and not changed.get("value"):
+                continue
+            if kind == "histogram" and not changed.get("count"):
+                continue
+            delta[name] = changed
+            continue
+        if kind in ("counter", "gauge"):
+            if payload["value"] != previous["value"]:
+                value = payload["value"]
+                if kind == "counter":
+                    value = value - previous["value"]
+                delta[name] = {"type": kind, "value": value}
+        elif kind == "histogram":
+            count = payload["count"] - previous["count"]
+            if count:
+                total = payload["total"] - previous["total"]
+                delta[name] = {
+                    "type": "histogram",
+                    "count": count,
+                    "total": total,
+                    "mean": total / count,
+                    "min": payload["min"],
+                    "max": payload["max"],
+                }
+    return delta
+
+
+def flatten_snapshot(
+    snapshot: Mapping[str, Mapping[str, Any]],
+) -> dict[str, Any]:
+    """A typed snapshot/delta as compact ``{name: value}`` pairs.
+
+    Counters and gauges flatten to their number; histograms keep a small
+    dict (count/total/mean/min/max) without the type tag.
+    """
+    flat: dict[str, Any] = {}
+    for name, payload in snapshot.items():
+        if payload.get("type") in ("counter", "gauge"):
+            flat[name] = payload["value"]
+        else:
+            flat[name] = {k: v for k, v in payload.items() if k != "type"}
+    return flat

@@ -1,0 +1,145 @@
+"""Live sweep progress: heartbeat events, throttling, and a text renderer.
+
+:func:`repro.experiments.runner.run_sweep` accepts a ``progress`` callback
+and drives it through a :class:`ProgressReporter`: the first event (right
+after the cache scan) and the final event always fire; in between, events
+are throttled to ``min_interval_s`` so a million-trial sweep never spends
+its time formatting heartbeats.  Each :class:`ProgressEvent` carries the
+numbers a poller needs — completed/total, executed vs cache hits, rate and
+ETA — and is a frozen value object, safe to ship over a queue or serialise
+for the future sweep service's poll/stream endpoint (ROADMAP item 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TextIO
+
+__all__ = ["ProgressEvent", "ProgressReporter", "render_progress", "progress_printer"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One heartbeat of a running sweep."""
+
+    completed: int
+    total: int
+    executed: int
+    cache_hits: int
+    elapsed_s: float
+    #: ``True`` exactly once, on the event emitted after the last trial.
+    final: bool = False
+
+    @property
+    def fraction(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+    @property
+    def trials_per_second(self) -> float:
+        """Execution rate (cache hits are free, so only executed trials count)."""
+        return self.executed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.completed if self.completed else 0.0
+
+    @property
+    def eta_s(self) -> float | None:
+        """Seconds to completion at the current rate; ``None`` before a rate exists."""
+        remaining = self.total - self.completed
+        if remaining <= 0:
+            return 0.0
+        rate = self.trials_per_second
+        return remaining / rate if rate > 0 else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "elapsed_s": self.elapsed_s,
+            "trials_per_second": self.trials_per_second,
+            "cache_hit_rate": self.cache_hit_rate,
+            "eta_s": self.eta_s,
+            "final": self.final,
+        }
+
+
+class ProgressReporter:
+    """Throttled delivery of :class:`ProgressEvent` heartbeats to a callback.
+
+    The first and final events always fire (so a sweep that is instantly
+    cache-complete still reports once); intermediate events are dropped
+    unless ``min_interval_s`` has passed since the last delivery.
+    """
+
+    def __init__(
+        self,
+        callback: Callable[[ProgressEvent], None],
+        total: int,
+        min_interval_s: float = 0.0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._callback = callback
+        self._total = total
+        self._min_interval_s = min_interval_s
+        self._clock = clock
+        self._started = clock()
+        self._last_emit: float | None = None
+
+    def update(
+        self, completed: int, executed: int, cache_hits: int, final: bool = False
+    ) -> ProgressEvent | None:
+        """Deliver a heartbeat (unless throttled); returns the event if sent."""
+        now = self._clock()
+        if (
+            not final
+            and self._last_emit is not None
+            and now - self._last_emit < self._min_interval_s
+            and completed < self._total
+        ):
+            return None
+        event = ProgressEvent(
+            completed=completed,
+            total=self._total,
+            executed=executed,
+            cache_hits=cache_hits,
+            elapsed_s=now - self._started,
+            final=final,
+        )
+        self._last_emit = now
+        self._callback(event)
+        return event
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def render_progress(event: ProgressEvent) -> str:
+    """One human-readable heartbeat line."""
+    parts = [
+        f"progress: {event.completed}/{event.total} ({event.fraction:.0%})",
+        f"{event.trials_per_second:.1f} trials/s",
+        f"cache {event.cache_hit_rate:.0%}",
+    ]
+    if event.final:
+        parts.append(f"done in {_format_duration(event.elapsed_s)}")
+    elif event.eta_s is not None:
+        parts.append(f"eta {_format_duration(event.eta_s)}")
+    return "  ".join(parts)
+
+
+def progress_printer(stream: TextIO) -> Callable[[ProgressEvent], None]:
+    """A callback that prints rendered heartbeat lines to ``stream``."""
+
+    def _print(event: ProgressEvent) -> None:
+        print(render_progress(event), file=stream, flush=True)
+
+    return _print

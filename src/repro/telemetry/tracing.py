@@ -1,0 +1,327 @@
+"""Hierarchical tracing spans: the *where did the time go* half of telemetry.
+
+A trace is a flat list of :class:`SpanRecord` rows forming a tree through
+``parent_id`` links — ``sweep > sweep.execute > trial > engine.*`` — cheap
+enough to leave compiled into every hot path:
+
+* **opt-in** — nothing records until a caller activates a :class:`Tracer`
+  (:func:`start_trace`); with no tracer active, :func:`span` returns a shared
+  no-op context manager without allocating, so instrumented code costs one
+  contextvar read per call site;
+* **contextvar-scoped** — the active tracer and the current span travel in
+  :mod:`contextvars`, so nesting works across function calls and (with
+  :func:`contextvars.copy_context`) across worker threads;
+* **multiprocessing-safe** — a worker process opens its own buffer with
+  :func:`worker_trace` (detecting a forked parent tracer by PID), ships the
+  finished records back with its results, and the parent re-attaches them
+  under its own span via :meth:`Tracer.adopt`.  Span ids embed the producing
+  PID, so merged traces never collide;
+* **file-friendly** — :func:`write_trace` / :func:`read_trace` round-trip a
+  trace through JSONL (one span per line, next to the sweep's
+  ``results.jsonl``), and :func:`validate_trace` checks the schema and the
+  span-tree integrity the CI smoke step gates on.
+
+Span timestamps are :func:`time.perf_counter` values: durations are exact
+everywhere; absolute offsets are only comparable across processes on
+platforms where the monotonic clock is system-wide (Linux).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "start_trace",
+    "worker_trace",
+    "current_tracer",
+    "tracing_active",
+    "write_trace",
+    "read_trace",
+    "validate_trace",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named, timed node of the trace tree."""
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start_s: float
+    end_s: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attributes": self.attributes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SpanRecord":
+        return cls(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload["parent_id"],
+            start_s=float(payload["start_s"]),
+            end_s=float(payload["end_s"]),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+# process-global span counter: a pool worker opens a fresh tracer per trial,
+# so a per-tracer counter would restart at 0 and collide within one pid —
+# the shared count keeps "<pid>.<n>" unique for the process lifetime
+# (``next`` on itertools.count is atomic under the GIL)
+_SPAN_COUNTER = itertools.count()
+
+
+class Tracer:
+    """A buffer of finished spans for one process (or one worker trial).
+
+    Span ids are ``"<pid hex>.<counter hex>"`` so records produced by
+    different processes merge without collisions.  The buffer only ever
+    appends (GIL-atomic), so worker *threads* sharing one tracer are safe.
+    """
+
+    __slots__ = ("pid", "records")
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.records: list[SpanRecord] = []
+
+    def new_span_id(self) -> str:
+        return f"{self.pid:x}.{next(_SPAN_COUNTER):x}"
+
+    def add(self, record: SpanRecord) -> None:
+        self.records.append(record)
+
+    def adopt(self, records: Iterable[SpanRecord], parent_id: str | None) -> None:
+        """Merge spans shipped back from a worker, re-parenting their roots.
+
+        A worker's buffer is rooted at spans with no parent (or a parent that
+        never shipped, e.g. a forked copy of a parent-side span); those roots
+        are re-attached under ``parent_id`` so the merged trace stays one
+        connected tree with correct parent ids.
+        """
+        records = list(records)
+        local_ids = {record.span_id for record in records}
+        for record in records:
+            if record.parent_id is None or record.parent_id not in local_ids:
+                record = replace(record, parent_id=parent_id)
+            self.records.append(record)
+
+
+_ACTIVE: contextvars.ContextVar[Tracer | None] = contextvars.ContextVar(
+    "repro_active_tracer", default=None
+)
+_CURRENT_SPAN: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer recording in this context, or ``None`` when disabled."""
+    return _ACTIVE.get()
+
+
+def tracing_active() -> bool:
+    """Whether spans opened here would record into a live, same-process tracer."""
+    tracer = _ACTIVE.get()
+    return tracer is not None and tracer.pid == os.getpid()
+
+
+@contextmanager
+def start_trace() -> Iterator[Tracer]:
+    """Activate a fresh tracer for this context; yields it for inspection.
+
+    Spans opened inside become the trace; top-level ones are tree roots.
+    Traces do not nest — the inner tracer simply shadows the outer for the
+    duration of the block.
+    """
+    tracer = Tracer()
+    active_token = _ACTIVE.set(tracer)
+    span_token = _CURRENT_SPAN.set(None)
+    try:
+        yield tracer
+    finally:
+        _CURRENT_SPAN.reset(span_token)
+        _ACTIVE.reset(active_token)
+
+
+@contextmanager
+def worker_trace() -> Iterator[Tracer]:
+    """A fresh span buffer for a worker process.
+
+    Under a ``fork`` start method the child inherits the parent's active
+    tracer and current span — a dead copy whose mutations never return.
+    This shadows both with a clean local tracer; the caller ships
+    ``tracer.records`` back alongside its result for :meth:`Tracer.adopt`.
+    """
+    with start_trace() as tracer:
+        yield tracer
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: records itself into the tracer when the block exits."""
+
+    __slots__ = ("_tracer", "name", "attributes", "span_id", "_token", "_start_s")
+
+    def __init__(self, tracer: Tracer, name: str, attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = tracer.new_span_id()
+
+    def set(self, **attributes: Any) -> "_Span":
+        """Attach attributes discovered while the span is open."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._token = _CURRENT_SPAN.set(self.span_id)
+        self._start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        end_s = time.perf_counter()
+        _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer.add(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=_CURRENT_SPAN.get(),
+                start_s=self._start_s,
+                end_s=end_s,
+                attributes=self.attributes,
+            )
+        )
+        return False
+
+
+def span(name: str, **attributes: Any) -> _Span | _NullSpan:
+    """Open a span under the current one; a cheap no-op while disabled.
+
+    Only spans whose tracer lives in *this* process record — a forked copy
+    of a parent tracer is ignored (workers use :func:`worker_trace`).
+    """
+    tracer = _ACTIVE.get()
+    if tracer is None or tracer.pid != os.getpid():
+        return _NULL_SPAN
+    return _Span(tracer, name, attributes)
+
+
+# --------------------------------------------------------------------------- #
+# JSONL persistence + schema validation
+# --------------------------------------------------------------------------- #
+
+#: Required JSONL fields and their accepted types (the trace schema).
+TRACE_SCHEMA: dict[str, tuple[type, ...]] = {
+    "name": (str,),
+    "span_id": (str,),
+    "parent_id": (str, type(None)),
+    "start_s": (int, float),
+    "end_s": (int, float),
+    "attributes": (dict,),
+}
+
+
+def write_trace(path: Path | str, records: Sequence[SpanRecord]) -> Path:
+    """Write a trace as JSONL, one span per line (creating parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    return path
+
+
+def read_trace(path: Path | str) -> list[SpanRecord]:
+    """Load a JSONL trace back into :class:`SpanRecord` rows."""
+    records: list[SpanRecord] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def validate_trace(records: Sequence[SpanRecord]) -> list[str]:
+    """Schema and tree-integrity problems of a trace (empty list = valid).
+
+    Checks every span for schema conformance (types per :data:`TRACE_SCHEMA`,
+    non-empty name, ``end_s >= start_s``), id uniqueness, dangling parent
+    references, and parent-link cycles.
+    """
+    problems: list[str] = []
+    seen: dict[str, SpanRecord] = {}
+    for position, record in enumerate(records):
+        label = f"span {position} ({record.name!r})"
+        payload = record.to_dict()
+        for key, types in TRACE_SCHEMA.items():
+            if not isinstance(payload[key], types):
+                problems.append(f"{label}: field {key!r} has type "
+                                f"{type(payload[key]).__name__}")
+        if not record.name:
+            problems.append(f"{label}: empty name")
+        if record.end_s < record.start_s:
+            problems.append(f"{label}: ends before it starts")
+        if record.span_id in seen:
+            problems.append(f"{label}: duplicate span_id {record.span_id!r}")
+        seen[record.span_id] = record
+    for record in records:
+        if record.parent_id is not None and record.parent_id not in seen:
+            problems.append(
+                f"span {record.span_id!r} ({record.name!r}): dangling parent "
+                f"{record.parent_id!r}"
+            )
+    # cycle check: walk each span's parent chain with the tortoise unnecessary —
+    # bounded hop count suffices since chains longer than the trace must loop
+    limit = len(records)
+    for record in records:
+        hops = 0
+        cursor = record.parent_id
+        while cursor is not None and hops <= limit:
+            cursor = seen[cursor].parent_id if cursor in seen else None
+            hops += 1
+        if hops > limit:
+            problems.append(f"span {record.span_id!r} ({record.name!r}): parent cycle")
+    return problems

@@ -1,0 +1,160 @@
+"""Telemetry through the sweep engine: spans, metrics, progress, stats.
+
+The contract the CI smoke step gates on: a traced sweep's records form one
+valid span tree rooted at ``sweep``, the number of ``trial`` spans equals
+``SweepStats.num_trials`` (executed or cached, serial or pooled), and with
+no tracer active a sweep records nothing at all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import ResultCache, get_scenario, run_sweep
+from repro.experiments.runner import SweepStats
+from repro.telemetry import start_trace, validate_trace
+
+
+@pytest.fixture()
+def energy_spec():
+    """The cheapest built-in spec: 5 closed-form platform-energy trials."""
+    return get_scenario("platform-energy").spec
+
+
+def _spans(tracer, name):
+    return [record for record in tracer.records if record.name == name]
+
+
+class TestTracedSerialSweep:
+    def test_span_tree_and_trial_count(self, energy_spec):
+        with start_trace() as tracer:
+            result = run_sweep(energy_spec, jobs=1)
+        assert validate_trace(tracer.records) == []
+        (sweep,) = _spans(tracer, "sweep")
+        (scan,) = _spans(tracer, "sweep.cache_scan")
+        (execute,) = _spans(tracer, "sweep.execute")
+        assert sweep.parent_id is None
+        assert scan.parent_id == sweep.span_id
+        assert execute.parent_id == sweep.span_id
+        trials = _spans(tracer, "trial")
+        assert len(trials) == result.stats.num_trials
+        assert all(trial.parent_id == execute.span_id for trial in trials)
+        assert sweep.attributes["scenario"] == "platform-energy"
+
+    def test_stats_fold_metric_deltas(self, energy_spec):
+        with start_trace():
+            result = run_sweep(energy_spec, jobs=1)
+        metrics = result.stats.metrics
+        assert metrics is not None
+        assert metrics["sweep.trials_executed"] == result.stats.executed
+        assert json.dumps(result.stats.to_dict())  # manifest-safe
+
+    def test_untraced_stats_have_no_metrics(self, energy_spec):
+        result = run_sweep(energy_spec, jobs=1)
+        assert result.stats.metrics is None
+        assert "metrics" not in result.stats.to_dict()
+
+
+class TestTracedParallelSweep:
+    def test_worker_spans_merge_under_execute(self, energy_spec):
+        with start_trace() as tracer:
+            result = run_sweep(energy_spec, jobs=2)
+        assert result.stats.jobs == 2
+        assert validate_trace(tracer.records) == []
+        (execute,) = _spans(tracer, "sweep.execute")
+        trials = _spans(tracer, "trial")
+        assert len(trials) == result.stats.num_trials
+        # every worker trial span was adopted under the parent's execute span
+        assert all(trial.parent_id == execute.span_id for trial in trials)
+        # spans from at least two distinct pids merged without id collisions
+        pids = {trial.span_id.split(".")[0] for trial in trials}
+        assert len(pids) >= 1  # >= 2 when the pool truly fans out; never 0
+        assert len({trial.span_id for trial in trials}) == len(trials)
+
+    def test_records_match_untraced_run(self, energy_spec):
+        with start_trace():
+            traced = run_sweep(energy_spec, jobs=2)
+        bare = run_sweep(energy_spec, jobs=2)
+        assert traced.records == bare.records
+
+
+class TestCacheHitsKeepTrialCount:
+    def test_cached_trials_emit_zero_duration_spans(self, energy_spec, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(energy_spec, cache=cache)
+        with start_trace() as tracer:
+            rerun = run_sweep(energy_spec, cache=cache)
+        assert rerun.stats.cache_hits == rerun.stats.num_trials
+        trials = _spans(tracer, "trial")
+        assert len(trials) == rerun.stats.num_trials
+        assert all(trial.attributes.get("cache_hit") for trial in trials)
+        assert all(trial.duration_s < 0.01 for trial in trials)  # empty body
+        assert validate_trace(tracer.records) == []
+        # the sweep's metric delta attributes the hits to the cache counters
+        assert rerun.stats.metrics["sweep.trials_cached"] == rerun.stats.num_trials
+
+
+class TestDisabledPath:
+    def test_sweep_without_tracer_records_nothing(self, energy_spec):
+        with start_trace() as probe:
+            pass  # closed before the sweep: nothing below may record into it
+        result = run_sweep(energy_spec, jobs=1)
+        assert probe.records == []
+        assert result.stats.metrics is None
+
+    def test_parallel_sweep_without_tracer_records_nothing(self, energy_spec):
+        with start_trace() as probe:
+            pass
+        run_sweep(energy_spec, jobs=2)
+        assert probe.records == []
+
+
+class TestProgressCallback:
+    def test_first_and_final_events(self, energy_spec):
+        events = []
+        result = run_sweep(energy_spec, progress=events.append)
+        assert events[0].completed == 0  # after the cache scan, before trials
+        assert events[-1].final is True
+        assert events[-1].completed == result.stats.num_trials
+        assert events[-1].executed == result.stats.executed
+
+    def test_cache_complete_sweep_still_reports(self, energy_spec, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(energy_spec, cache=cache)
+        events = []
+        rerun = run_sweep(energy_spec, cache=cache, progress=events.append)
+        assert events[0].cache_hits == rerun.stats.num_trials
+        assert events[-1].final is True
+        assert events[-1].fraction == 1.0
+
+    def test_throttle_interval_passes_through(self, energy_spec):
+        # a huge interval suppresses intermediate events but never the ends
+        events = []
+        run_sweep(energy_spec, progress=events.append, progress_interval_s=3600.0)
+        assert [event.final for event in events] == [False, False, True] or [
+            event.final for event in events
+        ] == [False, True]
+
+
+class TestSweepStatsSerialisation:
+    def test_zero_elapsed_rate_serialises_as_null(self):
+        stats = SweepStats(num_trials=5, executed=5, cache_hits=0, jobs=1, elapsed_s=0.0)
+        assert stats.trials_per_second == float("inf")  # the in-memory property
+        payload = stats.to_dict()
+        assert payload["trials_per_second"] is None
+        assert "Infinity" not in json.dumps(payload)
+
+    def test_normal_rate_survives(self):
+        stats = SweepStats(num_trials=6, executed=6, cache_hits=0, jobs=1, elapsed_s=2.0)
+        assert stats.to_dict()["trials_per_second"] == 3.0
+
+    def test_metrics_key_only_when_present(self):
+        bare = SweepStats(num_trials=1, executed=1, cache_hits=0, jobs=1, elapsed_s=1.0)
+        assert "metrics" not in bare.to_dict()
+        with_metrics = SweepStats(
+            num_trials=1, executed=1, cache_hits=0, jobs=1, elapsed_s=1.0,
+            metrics={"sweep.trials_executed": 1},
+        )
+        assert with_metrics.to_dict()["metrics"] == {"sweep.trials_executed": 1}

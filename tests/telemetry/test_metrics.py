@@ -1,0 +1,151 @@
+"""Tests for the metrics registry: primitives, snapshots, deltas, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flatten_snapshot,
+    registry,
+    snapshot_delta,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.to_dict() == {"type": "counter", "value": 5}
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(2.5)
+        assert g.to_dict() == {"type": "gauge", "value": 2.5}
+
+    def test_histogram(self):
+        h = Histogram()
+        assert h.mean is None
+        for value in (2.0, 8.0, 5.0):
+            h.observe(value)
+        assert h.count == 3 and h.total == 15.0
+        assert h.min == 2.0 and h.max == 8.0 and h.mean == 5.0
+        assert h.to_dict()["type"] == "histogram"
+
+
+class TestRegistry:
+    def test_same_name_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="is a counter, not a gauge"):
+            reg.gauge("a")
+
+    def test_reset_zeroes_in_place(self):
+        # instrumented modules hold direct references; reset must keep them live
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc(3)
+        reg.reset()
+        assert c.value == 0
+        c.inc()
+        assert reg.counter("a").value == 1
+
+    def test_global_registry_is_shared(self):
+        name = "test.metrics.shared_probe"
+        metric = registry().counter(name)
+        metric.inc()
+        assert registry().snapshot()[name]["value"] >= 1
+        metric.reset()
+
+
+class TestSnapshotDelta:
+    def test_counter_delta_subtracts(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        c.inc(2)
+        before = reg.snapshot()
+        c.inc(5)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta == {"hits": {"type": "counter", "value": 5}}
+
+    def test_unchanged_metrics_are_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("idle")
+        before = reg.snapshot()
+        assert snapshot_delta(before, reg.snapshot()) == {}
+
+    def test_new_zero_valued_metrics_are_omitted(self):
+        reg = MetricsRegistry()
+        before = reg.snapshot()
+        reg.counter("fresh")  # registered but never incremented
+        reg.histogram("empty")
+        assert snapshot_delta(before, reg.snapshot()) == {}
+
+    def test_gauge_reports_final_value(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("level")
+        g.set(1)
+        before = reg.snapshot()
+        g.set(7)
+        delta = snapshot_delta(before, reg.snapshot())
+        assert delta["level"] == {"type": "gauge", "value": 7}
+
+    def test_histogram_delta_count_and_total(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        h.observe(10)
+        before = reg.snapshot()
+        h.observe(2)
+        h.observe(4)
+        delta = snapshot_delta(before, reg.snapshot())["sizes"]
+        assert delta["count"] == 2 and delta["total"] == 6.0 and delta["mean"] == 3.0
+
+
+class TestMergeDelta:
+    def test_worker_delta_folds_into_parent(self):
+        parent = MetricsRegistry()
+        parent.counter("trials").inc(2)
+        worker = MetricsRegistry()
+        worker.counter("trials").inc(3)
+        worker.histogram("batch").observe(5)
+        parent.merge_delta(snapshot_delta({}, worker.snapshot()))
+        assert parent.counter("trials").value == 5
+        assert parent.histogram("batch").count == 1
+
+    def test_histogram_bounds_take_extremes(self):
+        parent = MetricsRegistry()
+        parent.histogram("h").observe(5)
+        parent.merge_delta(
+            {"h": {"type": "histogram", "count": 1, "total": 9.0, "min": 1.0, "max": 9.0}}
+        )
+        h = parent.histogram("h")
+        assert h.min == 1.0 and h.max == 9.0 and h.count == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown delta type"):
+            MetricsRegistry().merge_delta({"x": {"type": "exotic"}})
+
+
+class TestFlatten:
+    def test_scalars_and_histograms(self):
+        flat = flatten_snapshot({
+            "hits": {"type": "counter", "value": 3},
+            "level": {"type": "gauge", "value": 1.5},
+            "sizes": {"type": "histogram", "count": 2, "total": 6.0,
+                      "mean": 3.0, "min": 2.0, "max": 4.0},
+        })
+        assert flat["hits"] == 3
+        assert flat["level"] == 1.5
+        assert flat["sizes"] == {"count": 2, "total": 6.0, "mean": 3.0,
+                                 "min": 2.0, "max": 4.0}

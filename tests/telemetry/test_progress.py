@@ -1,0 +1,90 @@
+"""Tests for progress heartbeats: event maths, throttling, rendering."""
+
+from __future__ import annotations
+
+import io
+
+from repro.telemetry.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    progress_printer,
+    render_progress,
+)
+
+
+def _event(**overrides):
+    defaults = dict(completed=5, total=10, executed=4, cache_hits=1, elapsed_s=2.0)
+    defaults.update(overrides)
+    return ProgressEvent(**defaults)
+
+
+class TestProgressEvent:
+    def test_rates_and_eta(self):
+        event = _event()
+        assert event.fraction == 0.5
+        assert event.trials_per_second == 2.0
+        assert event.cache_hit_rate == 0.2
+        assert event.eta_s == 2.5  # 5 remaining at 2/s
+
+    def test_zero_elapsed_yields_zero_rate_not_inf(self):
+        event = _event(elapsed_s=0.0)
+        assert event.trials_per_second == 0.0
+        assert event.eta_s is None  # no rate yet
+
+    def test_complete_event(self):
+        event = _event(completed=10, executed=9, final=True)
+        assert event.eta_s == 0.0
+        assert event.to_dict()["final"] is True
+
+    def test_empty_sweep_fraction(self):
+        assert _event(completed=0, total=0, executed=0, cache_hits=0).fraction == 1.0
+
+
+class TestReporter:
+    def test_first_and_final_always_fire(self):
+        clock = iter([0.0, 0.0, 0.001, 0.002]).__next__
+        events = []
+        reporter = ProgressReporter(events.append, total=4, min_interval_s=60.0,
+                                    clock=clock)
+        assert reporter.update(0, 0, 0) is not None  # first
+        assert reporter.update(1, 1, 0) is None      # throttled
+        assert reporter.update(4, 4, 0, final=True) is not None
+        assert [e.final for e in events] == [False, True]
+
+    def test_interval_throttling(self):
+        times = iter([0.0, 0.0, 0.1, 0.6, 0.65])
+        events = []
+        reporter = ProgressReporter(events.append, total=100, min_interval_s=0.5,
+                                    clock=times.__next__)
+        reporter.update(1, 1, 0)   # emits at 0.0
+        reporter.update(2, 2, 0)   # 0.1: throttled
+        reporter.update(3, 3, 0)   # 0.6: emits
+        reporter.update(4, 4, 0)   # 0.65: throttled
+        assert [e.completed for e in events] == [1, 3]
+
+    def test_completion_bypasses_throttle(self):
+        clock = iter([0.0, 0.0, 0.001]).__next__
+        events = []
+        reporter = ProgressReporter(events.append, total=2, min_interval_s=60.0,
+                                    clock=clock)
+        reporter.update(1, 1, 0)
+        reporter.update(2, 2, 0)  # completed == total: emits despite interval
+        assert [e.completed for e in events] == [1, 2]
+
+
+class TestRendering:
+    def test_running_line(self):
+        line = render_progress(_event())
+        assert "5/10 (50%)" in line
+        assert "2.0 trials/s" in line
+        assert "cache 20%" in line
+        assert "eta 2.5s" in line
+
+    def test_final_line(self):
+        line = render_progress(_event(completed=10, final=True, elapsed_s=90.0))
+        assert "done in 1.5m" in line
+
+    def test_printer_writes_to_stream(self):
+        stream = io.StringIO()
+        progress_printer(stream)(_event())
+        assert "5/10" in stream.getvalue()

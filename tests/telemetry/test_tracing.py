@@ -1,0 +1,177 @@
+"""Tests for the tracing core: spans, nesting, merging, JSONL, validation."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.telemetry.tracing import (
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    read_trace,
+    span,
+    start_trace,
+    tracing_active,
+    validate_trace,
+    worker_trace,
+    write_trace,
+)
+
+
+def _record(name="x", span_id="1.0", parent_id=None, start_s=0.0, end_s=1.0,
+            attributes=None):
+    return SpanRecord(
+        name=name, span_id=span_id, parent_id=parent_id,
+        start_s=start_s, end_s=end_s, attributes=attributes or {},
+    )
+
+
+class TestDisabledPath:
+    def test_no_tracer_means_null_span(self):
+        assert current_tracer() is None
+        assert not tracing_active()
+        with span("anything", key="value") as handle:
+            assert handle is None  # the shared no-op yields None
+
+    def test_null_span_is_a_singleton(self):
+        assert span("a") is span("b")
+
+    def test_forked_parent_tracer_is_ignored(self):
+        with start_trace() as tracer:
+            tracer.pid = os.getpid() + 1  # simulate a fork's dead copy
+            assert not tracing_active()
+            with span("child"):
+                pass
+        assert tracer.records == []
+
+
+class TestRecording:
+    def test_span_records_name_timing_attributes(self):
+        with start_trace() as tracer:
+            with span("work", size=3) as handle:
+                handle.set(extra="found")
+        (record,) = tracer.records
+        assert record.name == "work"
+        assert record.parent_id is None
+        assert record.attributes == {"size": 3, "extra": "found"}
+        assert record.end_s >= record.start_s
+        assert record.duration_s == record.end_s - record.start_s
+
+    def test_nested_spans_link_parent_ids(self):
+        with start_trace() as tracer:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert inner.span_id != outer.span_id
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        with start_trace() as tracer:
+            with span("parent"):
+                with span("a"):
+                    pass
+                with span("b"):
+                    pass
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["a"].parent_id == by_name["b"].parent_id
+        assert by_name["a"].parent_id == by_name["parent"].span_id
+
+    def test_exception_is_recorded_and_propagates(self):
+        with start_trace() as tracer:
+            with pytest.raises(RuntimeError):
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        (record,) = tracer.records
+        assert record.attributes["error"] == "RuntimeError"
+
+    def test_span_ids_unique_across_tracers_in_one_process(self):
+        # a pool worker opens a fresh tracer per trial; ids must not repeat
+        ids = set()
+        for _ in range(3):
+            with worker_trace() as tracer:
+                with span("trial"):
+                    pass
+            ids.add(tracer.records[0].span_id)
+        assert len(ids) == 3
+
+    def test_worker_trace_shadows_outer_tracer(self):
+        with start_trace() as outer:
+            with worker_trace() as inner:
+                assert current_tracer() is inner
+                with span("inner-work"):
+                    pass
+            assert current_tracer() is outer
+        assert [r.name for r in inner.records] == ["inner-work"]
+        assert outer.records == []
+
+
+class TestAdopt:
+    def test_adopt_reparents_worker_roots_only(self):
+        shipped = (
+            _record(name="trial", span_id="w.1", parent_id=None),
+            _record(name="engine", span_id="w.2", parent_id="w.1"),
+        )
+        tracer = Tracer()
+        tracer.adopt(shipped, parent_id="p.0")
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["trial"].parent_id == "p.0"
+        assert by_name["engine"].parent_id == "w.1"  # interior link untouched
+
+    def test_adopt_reparents_dangling_parents(self):
+        # a forked worker may carry a parent id that never shipped
+        shipped = (_record(name="trial", span_id="w.1", parent_id="ghost.9"),)
+        tracer = Tracer()
+        tracer.adopt(shipped, parent_id="p.0")
+        assert tracer.records[0].parent_id == "p.0"
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        with start_trace() as tracer:
+            with span("outer", n=1):
+                with span("inner", flag=True):
+                    pass
+        path = write_trace(tmp_path / "nested" / "trace.jsonl", tracer.records)
+        assert path.is_file()
+        assert read_trace(path) == tracer.records
+
+    def test_from_dict_round_trip(self):
+        record = _record(attributes={"k": "v"})
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+
+class TestValidation:
+    def test_valid_trace_has_no_problems(self):
+        with start_trace() as tracer:
+            with span("a"):
+                with span("b"):
+                    pass
+        assert validate_trace(tracer.records) == []
+
+    def test_duplicate_span_id(self):
+        records = [_record(span_id="1.0"), _record(span_id="1.0")]
+        assert any("duplicate span_id" in p for p in validate_trace(records))
+
+    def test_dangling_parent(self):
+        records = [_record(parent_id="nope.1")]
+        assert any("dangling parent" in p for p in validate_trace(records))
+
+    def test_parent_cycle(self):
+        records = [
+            _record(span_id="1.0", parent_id="1.1"),
+            _record(span_id="1.1", parent_id="1.0"),
+        ]
+        assert any("parent cycle" in p for p in validate_trace(records))
+
+    def test_negative_duration(self):
+        records = [_record(start_s=2.0, end_s=1.0)]
+        assert any("ends before it starts" in p for p in validate_trace(records))
+
+    def test_empty_name_and_bad_types(self):
+        records = [replace(_record(), name="")]
+        problems = validate_trace(records)
+        assert any("empty name" in p for p in problems)
