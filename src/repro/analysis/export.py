@@ -18,20 +18,26 @@ from repro.analysis.figure6 import reproduce_figure6
 from repro.analysis.table1 import reproduce_table1
 from repro.analysis.table2 import reproduce_table2
 from repro.analysis.table3 import reproduce_table3
+from repro.utils.atomic import atomic_writer
 
 __all__ = ["write_csv", "export_all"]
 
 
 def write_csv(path: Path | str, headers: Sequence[str], rows: Iterable[Sequence]) -> Path:
-    """Write one CSV file (creating parent directories) and return its path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
+    """Atomically write one CSV file (creating parent directories).
+
+    Goes through :func:`repro.utils.atomic.atomic_writer` so an interrupted
+    export never leaves a truncated CSV behind (``ResultStore`` writes sweep
+    results through this too).
+    """
+
+    def _write(handle) -> None:
         writer = csv.writer(handle)
         writer.writerow(headers)
         for row in rows:
             writer.writerow(row)
-    return path
+
+    return atomic_writer(path, _write, newline="")
 
 
 def export_all(output_dir: Path | str, num_paths: int = 6) -> dict[str, Path]:
@@ -99,8 +105,8 @@ def export_all(output_dir: Path | str, num_paths: int = 6) -> dict[str, Path]:
         "paper_headline_vs_microcontroller": headline.paper_decrease_vs_microcontroller,
         "paper_headline_vs_dsp": headline.paper_decrease_vs_dsp,
     }
-    summary_path = output_dir / "summary.json"
-    summary_path.parent.mkdir(parents=True, exist_ok=True)
-    summary_path.write_text(json.dumps(summary, indent=2))
-    written["summary"] = summary_path
+    written["summary"] = atomic_writer(
+        output_dir / "summary.json",
+        lambda handle: json.dump(summary, handle, indent=2),
+    )
     return written

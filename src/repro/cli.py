@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     python -m repro scenarios       # list the sweepable experiment scenarios
     python -m repro sweep <name>    # run a scenario sweep (parallel + cached)
     python -m repro trace <file>    # summarise a sweep's trace JSONL
+    python -m repro serve           # run the sweep service daemon (HTTP/JSON)
+    python -m repro submit <name>   # submit a sweep to a running daemon
 
 Every command prints plain text to stdout; ``--num-paths`` changes the MP
 workload (Nf) where applicable.  ``sweep`` accepts ``--set axis=v1,v2,...``
@@ -190,6 +192,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum seconds between intermediate --progress heartbeats "
         "(default: 0.5; first and final updates always print)",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the sweep service: a daemon with an HTTP/JSON job API"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port (default: 8765; 0 picks an ephemeral port)")
+    serve.add_argument("--data-dir", default="results/service",
+                       help="per-job results directory (default: results/service)")
+    serve.add_argument("--cache-dir", default=".repro_cache",
+                       help="shared trial cache directory (default: .repro_cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run without the shared result cache")
+    serve.add_argument("--max-workers", type=int, default=2,
+                       help="concurrent sweep jobs (default: 2)")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a scenario sweep to a running 'repro serve' daemon"
+    )
+    submit.add_argument("scenario", help="scenario name (see 'repro scenarios')")
+    submit.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="AXIS=V1,V2,...",
+        help="override a parameter axis (same semantics as 'repro sweep --set')",
+    )
+    submit.add_argument("--replicates", type=int, default=None,
+                        help="override the scenario's replicate count")
+    submit.add_argument("--seed", type=int, default=None, help="override the base seed")
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="daemon base URL (default: http://127.0.0.1:8765)")
+    submit.add_argument("--jobs", type=int, default=1,
+                        help="worker processes the daemon uses for this sweep")
+    submit.add_argument("--no-cache-job", action="store_true",
+                        help="ask the daemon to bypass its shared cache for this job")
+    submit.add_argument("--trace-job", action="store_true",
+                        help="ask the daemon to record a per-job trace.jsonl")
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="poll the job to completion, printing progress heartbeats on stderr",
+    )
+    submit.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                        help="--watch polling timeout (default: 600)")
 
     trace = subparsers.add_parser(
         "trace", help="summarise a trace JSONL written by 'repro sweep --trace'"
@@ -421,10 +464,13 @@ def _run_scenarios(args: argparse.Namespace) -> str:
     )
 
 
-def _run_sweep(args: argparse.Namespace) -> str:
-    from repro.experiments import ResultCache, ResultStore, get_scenario, run_sweep
-    from repro.experiments.store import tidy_headers
-    from repro.telemetry import progress_printer, start_trace, write_trace
+def _resolve_spec(args: argparse.Namespace):
+    """Resolve a scenario name + --set/--seed/--replicates flags into a spec.
+
+    Shared by ``repro sweep`` (runs it in-process) and ``repro submit``
+    (ships it to a daemon); every user error becomes a clean ``SystemExit``.
+    """
+    from repro.experiments import get_scenario
 
     try:
         scenario = get_scenario(args.scenario)
@@ -450,6 +496,15 @@ def _run_sweep(args: argparse.Namespace) -> str:
             spec = spec.with_seed(base_seed=args.seed, replicates=args.replicates)
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
+    return scenario, spec
+
+
+def _run_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments import ResultCache, ResultStore, run_sweep
+    from repro.experiments.store import tidy_headers
+    from repro.telemetry import progress_printer, start_trace, write_trace
+
+    scenario, spec = _resolve_spec(args)
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = progress_printer(sys.stderr) if args.progress else None
@@ -496,6 +551,73 @@ def _run_sweep(args: argparse.Namespace) -> str:
         f"({stats.trials_per_second:.1f} trials/s)",
     ]
     lines.extend(f"{name}: {path}" for name, path in sorted(written.items()))
+    return "\n".join(lines)
+
+
+def _run_serve(args: argparse.Namespace) -> str:
+    from repro.experiments import ResultCache
+    from repro.service import JobQueue, make_server, serve
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    queue = JobQueue(args.data_dir, cache=cache, max_workers=args.max_workers)
+    server = make_server(args.host, args.port, queue)
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"sweep service listening on http://{host}:{port}{'' if cache else ' (cache off)'}",
+          flush=True)
+    print(f"submit with: repro submit <scenario> --url http://{host}:{port}", flush=True)
+    serve(server, queue)
+    return "sweep service stopped"
+
+
+def _run_submit(args: argparse.Namespace) -> str:
+    from repro.service import ServiceError, SweepServiceClient
+    from repro.telemetry.progress import ProgressEvent, render_progress
+
+    _, spec = _resolve_spec(args)
+    client = SweepServiceClient(args.url)
+    try:
+        response = client.submit(
+            spec, jobs=args.jobs, cache=not args.no_cache_job, trace=args.trace_job
+        )
+    except ServiceError as error:
+        raise SystemExit(f"error: {error}") from None
+    job = response["job"]
+    job_id = job["job_id"]
+    lines = [
+        f"job: {job_id}  state: {job['state']}  "
+        f"trials: {job['num_trials']}"
+        + ("  (deduplicated: joined an existing job)" if response["deduplicated"] else ""),
+    ]
+    if not args.watch:
+        lines.append(f"poll with: curl {args.url}/api/v1/jobs/{job_id}")
+        return "\n".join(lines)
+
+    def heartbeat(status: dict) -> None:
+        progress = status.get("progress")
+        if progress:
+            event = ProgressEvent(
+                completed=progress["completed"], total=progress["total"],
+                executed=progress["executed"], cache_hits=progress["cache_hits"],
+                elapsed_s=progress["elapsed_s"], final=progress["final"],
+            )
+            print(render_progress(event), file=sys.stderr, flush=True)
+
+    try:
+        status = client.wait(job_id, timeout_s=args.timeout, on_progress=heartbeat)
+    except (ServiceError, TimeoutError) as error:
+        raise SystemExit(f"error: {error}") from None
+    if status["state"] != "done":
+        raise SystemExit(f"error: job {job_id} {status['state']}: {status.get('error')}")
+    stats = status["stats"] or {}
+    records = client.records(job_id)
+    lines.append(
+        f"done: {records['count']} records  "
+        f"executed: {stats.get('executed')}  cache hits: {stats.get('cache_hits')}  "
+        f"elapsed: {stats.get('elapsed_s', 0.0):.2f}s"
+    )
+    lines.extend(
+        f"{name}: {path}" for name, path in sorted((status.get("artifacts") or {}).items())
+    )
     return "\n".join(lines)
 
 
@@ -590,6 +712,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_scenarios(args)
     elif args.command == "sweep":
         output = _run_sweep(args)
+    elif args.command == "serve":
+        output = _run_serve(args)
+    elif args.command == "submit":
+        output = _run_submit(args)
     elif args.command == "trace":
         output = _run_trace(args)
     elif args.command == "export":

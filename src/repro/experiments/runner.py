@@ -301,43 +301,60 @@ def run_sweep(
             reporter.update(completed=cache_hits, executed=0, cache_hits=cache_hits)
         executed = 0
 
-        with span("sweep.execute", pending=len(pending)) as execute_span:
-            execute_id = execute_span.span_id if execute_span is not None else None
+        # try/finally so a trial raising mid-pool still delivers the final
+        # progress heartbeat (pollers — the sweep service — must observe a
+        # terminal event) and still counts the trials that did complete;
+        # results collected before the raise are already in the cache because
+        # _collect writes each one the moment it arrives
+        try:
+            with span("sweep.execute", pending=len(pending)) as execute_span:
+                execute_id = execute_span.span_id if execute_span is not None else None
 
-            def _collect(results: Iterable[_TrialResult]) -> None:
-                nonlocal executed
-                for index, record, spans, metric_delta in results:
-                    records[index] = record
-                    executed += 1
-                    if cache is not None:
-                        cache.put(scenario.name, keys[index], record)
-                    if spans and tracer is not None:
-                        tracer.adopt(spans, parent_id=execute_id)
-                    if metric_delta:
-                        registry().merge_delta(metric_delta)
-                    if reporter is not None:
-                        reporter.update(
-                            completed=cache_hits + executed,
-                            executed=executed,
-                            cache_hits=cache_hits,
+                def _collect(results: Iterable[_TrialResult]) -> None:
+                    nonlocal executed
+                    for index, record, spans, metric_delta in results:
+                        records[index] = record
+                        executed += 1
+                        if cache is not None:
+                            cache.put(scenario.name, keys[index], record)
+                        if spans and tracer is not None:
+                            tracer.adopt(spans, parent_id=execute_id)
+                        if metric_delta:
+                            registry().merge_delta(metric_delta)
+                        if reporter is not None:
+                            reporter.update(
+                                completed=cache_hits + executed,
+                                executed=executed,
+                                cache_hits=cache_hits,
+                            )
+
+                if effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
+                    effective_jobs = 1
+                    _collect(map(_execute_trial, payloads))
+                else:
+                    ctx = (
+                        mp_context if mp_context is not None
+                        else multiprocessing.get_context()
+                    )
+                    size = (
+                        chunk_size if chunk_size is not None
+                        else _chunk_size(len(pending), effective_jobs)
+                    )
+                    logger.debug(
+                        "sweep %s: pool dispatch — %d workers, chunk size %d",
+                        scenario.name, effective_jobs, size,
+                    )
+                    with ctx.Pool(processes=effective_jobs) as pool:
+                        _collect(
+                            pool.imap_unordered(_execute_trial, payloads, chunksize=size)
                         )
-
-            if effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
-                effective_jobs = 1
-                _collect(map(_execute_trial, payloads))
-            else:
-                ctx = mp_context if mp_context is not None else multiprocessing.get_context()
-                size = (
-                    chunk_size if chunk_size is not None
-                    else _chunk_size(len(pending), effective_jobs)
+        finally:
+            _TRIALS_EXECUTED.inc(executed)
+            if reporter is not None:
+                reporter.update(
+                    completed=cache_hits + executed, executed=executed,
+                    cache_hits=cache_hits, final=True,
                 )
-                logger.debug(
-                    "sweep %s: pool dispatch — %d workers, chunk size %d",
-                    scenario.name, effective_jobs, size,
-                )
-                with ctx.Pool(processes=effective_jobs) as pool:
-                    _collect(pool.imap_unordered(_execute_trial, payloads, chunksize=size))
-        _TRIALS_EXECUTED.inc(len(pending))
 
     elapsed = time.perf_counter() - started
     metrics_delta = None
@@ -353,11 +370,6 @@ def run_sweep(
         elapsed_s=elapsed,
         metrics=metrics_delta or None,
     )
-    if reporter is not None:
-        reporter.update(
-            completed=cache_hits + executed, executed=executed,
-            cache_hits=cache_hits, final=True,
-        )
     logger.info(
         "sweep %s: done — %d executed, %d cache hits in %.2fs",
         scenario.name, stats.executed, stats.cache_hits, elapsed,

@@ -13,6 +13,11 @@ Every sweep writes three artefacts into its output directory:
 Records are flat dicts: identity columns (scenario, trial index, replicate,
 seed), then the trial parameters, then the measured metrics.  Missing keys
 (scenarios whose metrics differ by parameter) become empty CSV cells.
+
+All three artefacts are written atomically (same-directory temp file +
+``os.replace``, via :mod:`repro.utils.atomic`): a sweep killed mid-write —
+including ``kill -9`` — leaves either the previous complete file or the new
+complete file, never a torn ``results.jsonl`` or half a ``manifest.json``.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.export import write_csv
+from repro.utils.atomic import atomic_writer
 
 __all__ = ["ResultStore", "write_jsonl", "read_jsonl", "tidy_headers"]
 
@@ -31,13 +37,18 @@ IDENTITY_COLUMNS = ("scenario", "trial_index", "replicate", "seed")
 
 
 def write_jsonl(path: Path | str, records: Iterable[Mapping[str, Any]]) -> Path:
-    """Write records as JSON Lines (creating parent directories)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
+    """Atomically write records as JSON Lines (creating parent directories).
+
+    The records stream into a temp file that replaces ``path`` in one rename,
+    so an interrupted write (or a record that fails to serialise mid-stream)
+    never leaves a truncated results file behind.
+    """
+
+    def _write(handle: Any) -> None:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
-    return path
+
+    return atomic_writer(path, _write)
 
 
 def read_jsonl(path: Path | str) -> list[dict[str, Any]]:
@@ -89,7 +100,8 @@ class ResultStore:
         )
         if spec is not None or stats is not None:
             manifest = {"spec": dict(spec or {}), "stats": dict(stats or {})}
-            manifest_path = out / "manifest.json"
-            manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-            written["manifest"] = manifest_path
+            written["manifest"] = atomic_writer(
+                out / "manifest.json",
+                lambda handle: json.dump(manifest, handle, indent=2, sort_keys=True),
+            )
         return written

@@ -1,0 +1,137 @@
+"""A small urllib client for the sweep service's JSON API.
+
+Used by ``repro submit``, the test suite and the CI smoke job — anything that
+talks to a running daemon without wanting to hand-roll HTTP.  Stdlib only
+(:mod:`urllib.request`), mirroring the service's own no-dependency rule.
+
+    client = SweepServiceClient("http://127.0.0.1:8765")
+    job = client.submit(get_scenario("platform-energy").spec)
+    status = client.wait(job["job"]["job_id"], timeout_s=60)
+    records = client.records(status["job_id"])["records"]
+
+Every method returns the decoded JSON payload; non-2xx responses raise
+:class:`ServiceError` carrying the HTTP status and the server's ``error``
+message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.experiments.spec import SweepSpec
+from repro.service.jobs import JobState
+
+__all__ = ["ServiceError", "SweepServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response (or a transport failure talking to the daemon)."""
+
+    def __init__(self, status: int, message: str, payload: dict[str, Any] | None = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload or {}
+
+
+class SweepServiceClient:
+    """Talks to one running sweep daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str, payload: Any | None = None) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body is not None else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read())
+            except (json.JSONDecodeError, ValueError):
+                detail = {}
+            raise ServiceError(
+                error.code, str(detail.get("error", error.reason)), detail
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {error.reason}") from None
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/api/v1/health")
+
+    def scenarios(self) -> dict[str, Any]:
+        return self._request("GET", "/api/v1/scenarios")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/api/v1/metrics")
+
+    def submit(
+        self,
+        spec: SweepSpec | dict[str, Any],
+        jobs: int = 1,
+        cache: bool = True,
+        trace: bool = False,
+    ) -> dict[str, Any]:
+        """Submit a spec; returns ``{"job": {...}, "deduplicated": bool}``."""
+        spec_dict = spec.to_dict() if isinstance(spec, SweepSpec) else spec
+        return self._request(
+            "POST",
+            "/api/v1/jobs",
+            {"spec": spec_dict, "options": {"jobs": jobs, "cache": cache, "trace": trace}},
+        )
+
+    def jobs(self) -> dict[str, Any]:
+        return self._request("GET", "/api/v1/jobs")
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/jobs/{job_id}")
+
+    def records(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/jobs/{job_id}/records")
+
+    def stats(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/jobs/{job_id}/stats")
+
+    def manifest(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/api/v1/jobs/{job_id}/manifest")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 120.0,
+        poll_interval_s: float = 0.1,
+        on_progress: Any = None,
+    ) -> dict[str, Any]:
+        """Poll ``job_id`` until it reaches a terminal state; returns the status.
+
+        ``on_progress`` (optional callable) receives each polled status — the
+        hook ``repro submit --watch`` uses to print heartbeat lines.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.job(job_id)
+            if on_progress is not None:
+                on_progress(status)
+            if status["state"] in JobState.TERMINAL:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout_s:.0f}s"
+                )
+            time.sleep(poll_interval_s)

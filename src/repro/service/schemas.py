@@ -1,0 +1,103 @@
+"""JSON API schemas: request validation for the sweep service.
+
+The service speaks plain JSON objects; this module is the single place that
+turns untrusted wire payloads into typed values (and precise 400 messages).
+The submit request shape::
+
+    {
+      "spec": { ... SweepSpec.to_dict() ... },   # required
+      "options": {                               # optional, all keys optional
+        "jobs":  1,        # worker processes inside the sweep (int >= 1)
+        "cache": true,     # use the daemon's shared result cache
+        "trace": false     # record a per-job trace.jsonl next to the results
+      }
+    }
+
+``SweepSpec`` itself validates its own structure (axis overlaps, zipped
+lengths, seed policy bounds) in ``__post_init__``; this layer checks the
+envelope — types, unknown keys, required fields — and converts any spec
+construction error into a :class:`SchemaError` so the HTTP layer maps every
+bad request to a 400 with a actionable message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.experiments.spec import SweepSpec
+
+__all__ = ["SchemaError", "JobOptions", "parse_submit_request"]
+
+#: Option keys a submit request may carry (anything else is a 400).
+_OPTION_KEYS = ("jobs", "cache", "trace")
+
+
+class SchemaError(ValueError):
+    """A request payload that does not match the API schema (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobOptions:
+    """Execution options of one submitted job (never part of its identity).
+
+    The singleflight guard dedupes on spec *content* only: two submissions of
+    the same spec with different options share one job, and the first
+    submission's options win (documented in the README's API section).
+    """
+
+    jobs: int = 1
+    cache: bool = True
+    trace: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"jobs": self.jobs, "cache": self.cache, "trace": self.trace}
+
+
+def _require_mapping(value: Any, name: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise SchemaError(f"{name} must be a JSON object, got {type(value).__name__}")
+    return value
+
+
+def _parse_options(payload: Any) -> JobOptions:
+    options = _require_mapping(payload, "'options'")
+    unknown = sorted(set(options) - set(_OPTION_KEYS))
+    if unknown:
+        raise SchemaError(
+            f"unknown option key(s) {', '.join(map(repr, unknown))}; "
+            f"accepted: {', '.join(_OPTION_KEYS)}"
+        )
+    jobs = options.get("jobs", 1)
+    # bool is an int subclass: reject it explicitly before the int check
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        raise SchemaError(f"options.jobs must be an integer >= 1, got {jobs!r}")
+    cache = options.get("cache", True)
+    if not isinstance(cache, bool):
+        raise SchemaError(f"options.cache must be a boolean, got {cache!r}")
+    trace = options.get("trace", False)
+    if not isinstance(trace, bool):
+        raise SchemaError(f"options.trace must be a boolean, got {trace!r}")
+    return JobOptions(jobs=jobs, cache=cache, trace=trace)
+
+
+def parse_submit_request(payload: Any) -> tuple[SweepSpec, JobOptions]:
+    """Validate one submit payload into ``(spec, options)`` or raise 400s."""
+    body = _require_mapping(payload, "request body")
+    unknown = sorted(set(body) - {"spec", "options"})
+    if unknown:
+        raise SchemaError(
+            f"unknown request key(s) {', '.join(map(repr, unknown))}; "
+            "accepted: 'spec', 'options'"
+        )
+    if "spec" not in body:
+        raise SchemaError("request body must carry a 'spec' object")
+    spec_dict = _require_mapping(body["spec"], "'spec'")
+    if not isinstance(spec_dict.get("scenario"), str) or not spec_dict.get("scenario"):
+        raise SchemaError("spec.scenario must be a non-empty string")
+    try:
+        spec = SweepSpec.from_dict(spec_dict)
+    except (TypeError, ValueError, KeyError) as error:
+        raise SchemaError(f"invalid spec: {error}") from None
+    options = _parse_options(body.get("options", {}))
+    return spec, options

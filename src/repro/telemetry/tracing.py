@@ -264,13 +264,19 @@ TRACE_SCHEMA: dict[str, tuple[type, ...]] = {
 
 
 def write_trace(path: Path | str, records: Sequence[SpanRecord]) -> Path:
-    """Write a trace as JSONL, one span per line (creating parent dirs)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as handle:
+    """Atomically write a trace as JSONL, one span per line.
+
+    Uses the same temp-file + rename pattern as the sweep artefacts
+    (:mod:`repro.utils.atomic`), so a killed process never leaves a torn
+    trace file next to its results.
+    """
+    from repro.utils.atomic import atomic_writer
+
+    def _write(handle: Any) -> None:
         for record in records:
             handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-    return path
+
+    return atomic_writer(path, _write)
 
 
 def read_trace(path: Path | str) -> list[SpanRecord]:

@@ -1,0 +1,52 @@
+"""Atomic file writes: same-directory temp file + :func:`os.replace`.
+
+Every artefact the experiments subsystem persists (cache records, JSONL
+results, manifests, CSV exports, trace files) goes through this helper, so a
+process killed mid-write — including ``kill -9``, which runs no cleanup —
+never leaves a torn file behind.  Readers either see the previous complete
+version of the file or the new complete version, nothing in between:
+
+* the temp file is created in the *destination directory* (``os.replace`` is
+  only atomic within one filesystem);
+* the payload is flushed before the rename, so the rename never publishes a
+  partially-buffered file;
+* concurrent writers of the same path are safe in the last-write-wins sense:
+  both renames succeed, the file ends up as one writer's complete payload.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Any, Callable
+
+__all__ = ["atomic_write_text", "atomic_writer"]
+
+
+def atomic_writer(path: Path | str, write: Callable[[IO[str]], Any], *, newline: str | None = None) -> Path:
+    """Stream output through ``write(handle)`` and atomically publish it at ``path``.
+
+    ``write`` receives a text handle for a temp file in ``path``'s directory;
+    when it returns, the temp file replaces ``path`` in one ``os.replace``
+    step.  If ``write`` raises, the temp file is removed and ``path`` is left
+    exactly as it was (the atomicity contract interrupted sweeps rely on).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", newline=newline) as handle:
+            write(handle)
+            handle.flush()
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def atomic_write_text(path: Path | str, text: str) -> Path:
+    """Atomically write ``text`` at ``path`` (see :func:`atomic_writer`)."""
+    return atomic_writer(path, lambda handle: handle.write(text))

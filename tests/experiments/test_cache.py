@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import ResultCache, get_scenario, run_sweep, trial_key
 
 
@@ -41,6 +43,76 @@ class TestResultCache:
         path = cache.put("scn", "dd" + "0" * 38, {"value": 3})
         path.write_text("{truncated")
         assert cache.get("scn", "dd" + "0" * 38) is None
+
+
+class TestCorruptRecovery:
+    """Malformed files are quarantined; get/contains/count always agree."""
+
+    KEY = "ee" + "0" * 38
+
+    #: Payloads that are valid JSON but not a well-formed cache record —
+    #: the shapes that used to crash ``get`` with an uncaught KeyError.
+    MALFORMED = (
+        "{}",                       # no "record" key at all
+        '{"record": null}',         # present but not a dict
+        '{"record": [1, 2]}',       # present but a list
+        '"just a string"',          # payload is not even an object
+        "[]",                       # top level is a list
+    )
+
+    def _poison(self, cache, text):
+        path = cache.put("scn", self.KEY, {"value": 1})
+        path.write_text(text)
+        return path
+
+    @pytest.mark.parametrize("text", MALFORMED)
+    def test_get_treats_malformed_json_as_miss(self, tmp_path, text):
+        cache = ResultCache(tmp_path)
+        self._poison(cache, text)
+        assert cache.get("scn", self.KEY) is None
+        assert cache.stats.misses == 1
+
+    @pytest.mark.parametrize("text", MALFORMED + ("{torn", ""))
+    def test_get_quarantines_bad_files(self, tmp_path, text):
+        cache = ResultCache(tmp_path)
+        path = self._poison(cache, text)
+        cache.get("scn", self.KEY)
+        assert not path.exists()
+        corrupt = path.with_suffix(".corrupt")
+        assert corrupt.exists() and corrupt.read_text() == text
+        assert cache.stats.quarantined == 1
+
+    @pytest.mark.parametrize("text", MALFORMED + ("{torn",))
+    def test_contains_agrees_with_get(self, tmp_path, text):
+        cache = ResultCache(tmp_path)
+        self._poison(cache, text)
+        assert cache.contains("scn", self.KEY) is False
+        assert cache.get("scn", self.KEY) is None
+        assert cache.stats.lookups == 1  # contains never counts hit/miss
+
+    def test_count_excludes_quarantined_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("scn", "aa" + "0" * 38, {"value": 1})
+        self._poison(cache, "{}")
+        assert cache.count("scn") == 2
+        assert cache.get("scn", self.KEY) is None  # quarantines the bad file
+        assert cache.count("scn") == 1
+        assert cache.contains("scn", "aa" + "0" * 38)
+
+    def test_put_after_quarantine_restores_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._poison(cache, "{}")
+        assert cache.get("scn", self.KEY) is None
+        cache.put("scn", self.KEY, {"value": 7})
+        assert cache.get("scn", self.KEY) == {"value": 7}
+        assert cache.contains("scn", self.KEY)
+
+    def test_valid_record_with_extra_keys_still_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put("scn", self.KEY, {"value": 9})
+        # extra envelope keys are tolerated; only "record" must be well-formed
+        path.write_text('{"key": "x", "record": {"value": 9}, "extra": 1}')
+        assert cache.get("scn", self.KEY) == {"value": 9}
 
 
 class TestSweepCaching:

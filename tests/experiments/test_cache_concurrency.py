@@ -1,0 +1,99 @@
+"""Concurrency stress tests for the shared result cache.
+
+The sweep service multiplexes many concurrent sweeps — executor threads plus
+any worker processes they spawn — over one cache directory.  The contract
+(see :mod:`repro.experiments.cache`) is atomic last-write-wins: under any
+interleaving of writers and readers on overlapping keys, a reader sees either
+a miss or one writer's *complete* record — never a torn file, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.experiments import ResultCache
+
+#: Keys shared by every process: contention is the point.
+NUM_KEYS = 8
+NUM_PROCESSES = 4
+ROUNDS = 25
+
+
+def _key(i: int) -> str:
+    return f"{i:02d}" + "a" * 38
+
+
+def _record(worker: int, i: int) -> dict:
+    # big enough that a torn write could not accidentally parse as JSON
+    return {"worker": worker, "key": i, "blob": "x" * 2048, "value": i * 1.5}
+
+
+def _hammer(args: tuple[str, int]) -> list[str]:
+    """One process's put/get loop; returns invariant violations (ideally none)."""
+    cache_dir, worker = args
+    cache = ResultCache(cache_dir)
+    problems: list[str] = []
+    for round_index in range(ROUNDS):
+        for i in range(NUM_KEYS):
+            try:
+                cache.put("stress", _key(i), _record(worker, i))
+                record = cache.get("stress", _key(i))
+            except Exception as error:  # any crash is a contract violation
+                problems.append(f"worker {worker} round {round_index}: {error!r}")
+                continue
+            if record is None:
+                # a concurrent quarantine would surface here; with atomic
+                # writes a just-written key can never read back as a miss
+                problems.append(f"worker {worker} round {round_index}: miss after put")
+            elif record.get("key") != i or len(record.get("blob", "")) != 2048:
+                problems.append(
+                    f"worker {worker} round {round_index}: torn read {record.keys()}"
+                )
+    return problems
+
+
+class TestMultiprocessStress:
+    # spawn children pay a full interpreter + numpy import each: two of them
+    # prove the start method doesn't matter without doubling the suite time
+    @pytest.mark.parametrize("method,processes", [("fork", NUM_PROCESSES), ("spawn", 2)])
+    def test_overlapping_put_get_never_tears_or_crashes(self, tmp_path, method, processes):
+        try:
+            ctx = multiprocessing.get_context(method)
+        except ValueError:
+            pytest.skip(f"start method {method!r} unavailable")
+        with ctx.Pool(processes) as pool:
+            results = pool.map(
+                _hammer, [(str(tmp_path), worker) for worker in range(processes)]
+            )
+        problems = [problem for worker in results for problem in worker]
+        assert problems == []
+
+        # afterwards: every key holds one writer's complete, valid record
+        cache = ResultCache(tmp_path)
+        assert cache.count("stress") == NUM_KEYS
+        for i in range(NUM_KEYS):
+            record = cache.get("stress", _key(i))
+            assert record is not None
+            assert record["key"] == i and len(record["blob"]) == 2048
+            assert record["worker"] in range(NUM_PROCESSES)
+        assert cache.stats.quarantined == 0
+
+    def test_no_stray_temp_files_survive(self, tmp_path):
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(2) as pool:
+            pool.map(_hammer, [(str(tmp_path), worker) for worker in range(2)])
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_every_on_disk_file_is_valid_json(self, tmp_path):
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(NUM_PROCESSES) as pool:
+            pool.map(
+                _hammer, [(str(tmp_path), worker) for worker in range(NUM_PROCESSES)]
+            )
+        for path in tmp_path.rglob("*.json"):
+            payload = json.loads(path.read_text())  # parses completely
+            assert isinstance(payload["record"], dict)

@@ -1,0 +1,144 @@
+"""``kill -9`` crash safety: a killed sweep leaves no torn artefacts.
+
+The acceptance contract for the sweep service (and any long-running user of
+the artifact layer): SIGKILL a sweep mid-run, and
+
+* every cache file on disk is a complete, valid record (atomic writes mean
+  the kill can only lose the in-flight temp file, never corrupt a ``.json``);
+* a resubmission of the same spec completes, picking the already-executed
+  trials up from the cache.
+
+SIGKILL runs no ``finally`` blocks and no atexit hooks — this is the
+strongest interruption the filesystem contract has to survive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ResultCache, Scenario, register, run_sweep, trial_key
+from repro.experiments.cache import code_version_tag
+from repro.experiments.spec import SweepSpec
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: The sweep the child runs: slow enough to be killed mid-flight.
+NUM_TRIALS = 40
+SCENARIO = "crash-test"
+
+CHILD_SCRIPT = f"""
+import sys, time
+sys.path.insert(0, {SRC!r})
+from repro.experiments import Scenario, register, ResultCache, run_sweep
+from repro.experiments.spec import SweepSpec
+
+def run_trial(params, seed):
+    time.sleep(0.05)
+    return {{"value": params["x"] * 2.0}}
+
+register(Scenario(
+    name={SCENARIO!r}, description="crash-safety probe", layers=("test",),
+    version="1", run_trial=run_trial,
+    default_spec=SweepSpec(scenario={SCENARIO!r},
+                           grid={{"x": tuple(range({NUM_TRIALS}))}}),
+))
+from repro.experiments import get_scenario
+run_sweep(get_scenario({SCENARIO!r}).spec, cache=ResultCache(sys.argv[1]))
+"""
+
+
+def _register_parent_side() -> SweepSpec:
+    """The same scenario (same name/version) in this process, for the resume."""
+
+    def run_trial(params, seed):
+        return {"value": params["x"] * 2.0}
+
+    scenario = register(Scenario(
+        name=SCENARIO, description="crash-safety probe", layers=("test",),
+        version="1", run_trial=run_trial,
+        default_spec=SweepSpec(scenario=SCENARIO,
+                               grid={"x": tuple(range(NUM_TRIALS))}),
+    ))
+    return scenario.spec
+
+
+class TestKillDashNine:
+    def test_sigkill_leaves_no_torn_cache_and_resume_completes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_SCRIPT, str(cache_dir)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            # wait until some trials landed, then kill -9 mid-sweep
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                done = len(list(cache_dir.rglob("*.json"))) if cache_dir.exists() else 0
+                if done >= 3:
+                    break
+                if child.poll() is not None:
+                    pytest.fail("child sweep finished before it could be killed")
+                time.sleep(0.02)
+            else:
+                pytest.fail("child sweep never wrote a cache file")
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+        assert child.returncode == -signal.SIGKILL
+
+        # 1) nothing torn: every surviving cache file is complete, valid JSON
+        cached_files = list(cache_dir.rglob("*.json"))
+        assert cached_files, "the kill window saw >= 3 files"
+        for path in cached_files:
+            payload = json.loads(path.read_text())
+            assert isinstance(payload["record"], dict)
+        survivors = len(cached_files)
+        assert survivors < NUM_TRIALS  # it really died mid-run
+
+        # 2) a resubmitted sweep completes, resuming from the cached trials
+        spec = _register_parent_side()
+        cache = ResultCache(cache_dir)
+        resumed = run_sweep(spec, cache=cache)
+        assert resumed.stats.num_trials == NUM_TRIALS
+        assert resumed.stats.cache_hits == survivors
+        assert resumed.stats.executed == NUM_TRIALS - survivors
+        assert [r["x"] for r in resumed.records] == list(range(NUM_TRIALS))
+        # and nothing was quarantined along the way: no torn files existed
+        assert cache.stats.quarantined == 0
+        assert list(cache_dir.rglob("*.corrupt")) == []
+
+    def test_cached_records_match_uninterrupted_run(self, tmp_path):
+        """Trials cached by the killed child byte-match a fresh in-process run."""
+        spec = _register_parent_side()
+        fresh = run_sweep(spec)
+        cache_dir = tmp_path / "cache"
+        child = subprocess.Popen(
+            [sys.executable, "-c", CHILD_SCRIPT, str(cache_dir)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            while len(list(cache_dir.rglob("*.json")) if cache_dir.exists() else []) < 2:
+                assert child.poll() is None, "child finished too fast"
+                time.sleep(0.02)
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        cache = ResultCache(cache_dir)
+        code_tag = code_version_tag()
+        seen = 0
+        for trial in spec.expand():
+            key = trial_key(SCENARIO, "1", trial.params, trial.seed, code_tag)
+            record = cache.get(SCENARIO, key)
+            if record is not None:
+                seen += 1
+                assert record == fresh.records[trial.index]
+        assert seen >= 2

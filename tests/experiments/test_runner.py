@@ -87,6 +87,67 @@ class TestHelpers:
         assert all(value >= 0 for value in means.values())
 
 
+def _register_poison_scenario(name: str, poison: int) -> None:
+    """Register a scenario whose trial raises for ``x == poison``."""
+    from repro.experiments import Scenario, register
+    from repro.experiments.spec import SweepSpec
+
+    def run_trial(params, seed):
+        if params["x"] == poison:
+            raise RuntimeError(f"poisoned trial x={poison}")
+        return {"doubled": params["x"] * 2.0}
+
+    register(Scenario(
+        name=name,
+        description="raises mid-sweep (test only)",
+        layers=("test",),
+        version="1",
+        run_trial=run_trial,
+        default_spec=SweepSpec(scenario=name, grid={"x": (0, 1, 2, 3, 4, 5)}),
+    ))
+
+
+class TestRaisingTrial:
+    """A trial raising mid-pool must not lose the final heartbeat or the
+    partial cache flush (the sweep service polls for a terminal event)."""
+
+    def test_final_progress_event_fires_on_serial_failure(self, tmp_path):
+        _register_poison_scenario("poison-serial", poison=3)
+        spec = get_scenario("poison-serial").spec
+        events = []
+        cache = ResultCache(tmp_path)
+        with pytest.raises(RuntimeError, match="poisoned"):
+            run_sweep(spec, cache=cache, progress=events.append)
+        assert events, "no progress events delivered"
+        final = events[-1]
+        assert final.final is True
+        # trials 0..2 completed (serial, canonical order) and were flushed
+        assert final.executed == 3
+        assert cache.count("poison-serial") == 3
+
+    def test_partial_results_resume_from_cache(self, tmp_path):
+        _register_poison_scenario("poison-resume", poison=5)
+        spec = get_scenario("poison-resume").spec
+        cache = ResultCache(tmp_path)
+        with pytest.raises(RuntimeError):
+            run_sweep(spec, cache=cache)
+        # drop the poisoned point: the surviving trials are all cache hits
+        healthy = spec.with_axis("x", (0, 1, 2, 3, 4))
+        resumed = run_sweep(healthy, cache=cache)
+        assert resumed.stats.cache_hits == 5
+        assert resumed.stats.executed == 0
+
+    def test_final_progress_event_fires_on_pool_failure(self, tmp_path):
+        # the default (fork) context lets workers see the locally-registered
+        # scenario; the raise propagates out of imap_unordered
+        _register_poison_scenario("poison-pool", poison=0)
+        spec = get_scenario("poison-pool").spec
+        events = []
+        with pytest.raises(RuntimeError, match="poisoned"):
+            run_sweep(spec, jobs=2, progress=events.append)
+        assert events[-1].final is True
+
+
 class TestResultStore:
     def test_writes_jsonl_csv_and_manifest(self, small_bitwidth_spec, tmp_path):
         result = run_sweep(small_bitwidth_spec)

@@ -1,0 +1,211 @@
+"""End-to-end tests of the HTTP/JSON API (real server, real sockets).
+
+Each fixture binds a ``ThreadingHTTPServer`` on an ephemeral port and talks
+to it through :class:`SweepServiceClient` — the same path ``repro submit``
+and the CI smoke job use.  The concurrency class pins the PR's acceptance
+criterion: two concurrent clients submitting the same spec both get complete,
+identical records, and the shared cache shows each trial executed once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.experiments import ResultCache, get_scenario, run_sweep
+from repro.service import JobQueue, ServiceError, SweepServiceClient, make_server
+
+
+@pytest.fixture
+def service(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    queue = JobQueue(tmp_path / "data", cache=cache, max_workers=2)
+    server = make_server("127.0.0.1", 0, queue)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = SweepServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield client, queue, cache
+    finally:
+        server.shutdown()
+        server.server_close()
+        queue.shutdown(wait=True)
+        thread.join(timeout=5)
+
+
+class TestBasicEndpoints:
+    def test_health(self, service):
+        client, _, _ = service
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert set(payload["jobs"]) == {"queued", "running", "done", "failed"}
+
+    def test_scenarios_lists_the_registry(self, service):
+        client, _, _ = service
+        names = {entry["name"] for entry in client.scenarios()["scenarios"]}
+        assert {"platform-energy", "fixedpoint-bitwidth", "network-lifetime"} <= names
+        entry = next(e for e in client.scenarios()["scenarios"]
+                     if e["name"] == "platform-energy")
+        assert entry["spec"] == get_scenario("platform-energy").spec.to_dict()
+
+    def test_metrics_snapshot(self, service):
+        client, _, _ = service
+        metrics = client.metrics()["metrics"]
+        assert "service.requests" in metrics
+
+
+class TestJobRoundTrip:
+    def test_submit_poll_fetch(self, service):
+        client, _, _ = service
+        spec = get_scenario("platform-energy").spec
+        response = client.submit(spec)
+        assert response["deduplicated"] is False
+        job_id = response["job"]["job_id"]
+
+        status = client.wait(job_id, timeout_s=60)
+        assert status["state"] == "done"
+        assert status["progress"]["final"] is True
+        assert status["stats"]["num_trials"] == spec.num_trials
+
+        records = client.records(job_id)
+        assert records["count"] == spec.num_trials
+        assert records["records"] == run_sweep(spec).records
+
+        stats = client.stats(job_id)["stats"]
+        assert stats["executed"] == spec.num_trials
+
+        manifest = client.manifest(job_id)["manifest"]
+        assert manifest["spec"] == spec.to_dict()
+        assert manifest["stats"]["num_trials"] == spec.num_trials
+
+    def test_jobs_listing(self, service):
+        client, _, _ = service
+        spec = get_scenario("platform-energy").spec
+        job_id = client.submit(spec)["job"]["job_id"]
+        client.wait(job_id, timeout_s=60)
+        listed = client.jobs()["jobs"]
+        assert [job["job_id"] for job in listed] == [job_id]
+
+
+class TestErrorMapping:
+    def test_unknown_path_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/api/v1/nonsense")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-000999-deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_bad_schema_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/api/v1/jobs", {"spec": {}})
+        assert excinfo.value.status == 400
+        assert "scenario" in str(excinfo.value)
+
+    def test_unknown_scenario_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/api/v1/jobs", {"spec": {"scenario": "nope"}})
+        assert excinfo.value.status == 400
+        assert "unknown scenario" in str(excinfo.value)
+
+    def test_records_before_done_409(self, service):
+        client, queue, _ = service
+        # a queued job that never starts: saturate the 2 workers first is
+        # racy — instead ask for records of a job we enqueue and check the
+        # 409 only if it has not finished yet; the dedup path keeps this
+        # deterministic: submit, then immediately request records
+        spec = get_scenario("network-lifetime").spec
+        job_id = client.submit(spec)["job"]["job_id"]
+        try:
+            payload = client.records(job_id)
+        except ServiceError as error:
+            assert error.status == 409
+            assert error.payload.get("state") in ("queued", "running")
+        else:
+            # slow machine finished it already — records must be complete then
+            assert payload["count"] == spec.num_trials
+        client.wait(job_id, timeout_s=120)
+
+    def test_method_not_allowed_405(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/api/v1/health", {})
+        assert excinfo.value.status == 405
+
+    def test_invalid_json_body_400(self, service):
+        import urllib.request
+
+        client, _, _ = service
+        request = urllib.request.Request(
+            f"{client.base_url}/api/v1/jobs", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestConcurrentClients:
+    """The PR's acceptance criterion, end to end over real sockets."""
+
+    def test_same_spec_twice_executes_each_trial_once(self, service):
+        client, queue, cache = service
+        spec = get_scenario("platform-energy").spec
+        responses = []
+        barrier = threading.Barrier(2)
+
+        def submit_and_fetch():
+            barrier.wait()
+            response = client.submit(spec)
+            job_id = response["job"]["job_id"]
+            status = client.wait(job_id, timeout_s=60)
+            responses.append({
+                "submit": response,
+                "status": status,
+                "records": client.records(job_id)["records"],
+            })
+
+        threads = [threading.Thread(target=submit_and_fetch) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=90)
+        assert len(responses) == 2
+
+        first, second = responses
+        # both clients saw the same (singleflighted) job...
+        assert (first["submit"]["job"]["job_id"]
+                == second["submit"]["job"]["job_id"])
+        assert sorted(r["submit"]["deduplicated"] for r in responses) == [False, True]
+        # ...and both fetched complete, identical records
+        assert first["records"] == second["records"]
+        assert len(first["records"]) == spec.num_trials
+        assert first["records"] == run_sweep(spec).records
+
+        # the shared cache executed each overlapping trial exactly once
+        assert cache.stats.writes == spec.num_trials
+        assert first["status"]["stats"]["executed"] == spec.num_trials
+
+    def test_overlapping_specs_share_cached_trials(self, service):
+        """Cross-spec dedup: the second job's overlap comes from the cache."""
+        client, _, cache = service
+        full = get_scenario("platform-energy").spec
+        subset = full.with_axis("platform", ("MicroBlaze", "TI C6713 DSP"))
+
+        sub_id = client.submit(subset)["job"]["job_id"]
+        client.wait(sub_id, timeout_s=60)
+        full_id = client.submit(full)["job"]["job_id"]
+        status = client.wait(full_id, timeout_s=60)
+
+        assert sub_id != full_id
+        assert status["stats"]["cache_hits"] == subset.num_trials
+        assert status["stats"]["executed"] == full.num_trials - subset.num_trials
+        # every overlapping trial was written to the shared cache exactly once
+        assert cache.stats.writes == full.num_trials

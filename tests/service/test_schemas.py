@@ -1,0 +1,68 @@
+"""Tests for the service's JSON request validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_scenario
+from repro.service.schemas import JobOptions, SchemaError, parse_submit_request
+
+
+def _valid_body(**options):
+    body = {"spec": get_scenario("platform-energy").spec.to_dict()}
+    if options:
+        body["options"] = options
+    return body
+
+
+class TestParseSubmitRequest:
+    def test_round_trips_a_real_spec(self):
+        spec, options = parse_submit_request(_valid_body())
+        assert spec == get_scenario("platform-energy").spec
+        assert options == JobOptions()
+
+    def test_options_parsed(self):
+        _, options = parse_submit_request(_valid_body(jobs=4, cache=False, trace=True))
+        assert options == JobOptions(jobs=4, cache=False, trace=True)
+
+    @pytest.mark.parametrize("payload,match", [
+        ([], "request body must be a JSON object"),
+        ("x", "request body must be a JSON object"),
+        ({}, "must carry a 'spec'"),
+        ({"spec": 3}, "'spec' must be a JSON object"),
+        ({"spec": {}}, "spec.scenario must be a non-empty string"),
+        ({"spec": {"scenario": ""}}, "spec.scenario must be a non-empty string"),
+        ({"spec": {"scenario": 4}}, "spec.scenario must be a non-empty string"),
+        ({"spec": {"scenario": "s"}, "extra": 1}, "unknown request key"),
+    ])
+    def test_envelope_violations(self, payload, match):
+        with pytest.raises(SchemaError, match=match):
+            parse_submit_request(payload)
+
+    @pytest.mark.parametrize("options,match", [
+        ({"jobs": 0}, "jobs must be an integer >= 1"),
+        ({"jobs": True}, "jobs must be an integer >= 1"),
+        ({"jobs": "4"}, "jobs must be an integer >= 1"),
+        ({"cache": 1}, "cache must be a boolean"),
+        ({"trace": "yes"}, "trace must be a boolean"),
+        ({"nope": 1}, "unknown option key"),
+        (3, "'options' must be a JSON object"),
+    ])
+    def test_option_violations(self, options, match):
+        body = _valid_body()
+        body["options"] = options
+        with pytest.raises(SchemaError, match=match):
+            parse_submit_request(body)
+
+    def test_invalid_spec_structure_is_a_schema_error(self):
+        # grid/base overlap: SweepSpec.__post_init__ rejects it
+        body = {"spec": {"scenario": "platform-energy",
+                         "grid": {"x": [1, 2]}, "base": {"x": 1}}}
+        with pytest.raises(SchemaError, match="invalid spec"):
+            parse_submit_request(body)
+
+    def test_unknown_scenario_passes_schema(self):
+        # scenario existence is the queue's concern (registry lookup), not
+        # the wire schema's — the HTTP layer maps the KeyError to a 400
+        spec, _ = parse_submit_request({"spec": {"scenario": "no-such-scenario"}})
+        assert spec.scenario == "no-such-scenario"
