@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the docs resolves.
+
+Scans ``docs/*.md`` plus the top-level ``README.md``, ``ROADMAP.md`` and
+``CONTRIBUTING.md`` for inline links (``[text](target)``).  External links
+(``http(s)://``, ``mailto:``) are skipped; everything else must point at an
+existing file or directory, and fragment targets (``file.md#section`` or
+``#section``) must match a heading in the target file under GitHub's
+anchor-slug rules.
+
+Usage::
+
+    python scripts/check_docs_links.py
+
+Exits non-zero listing every broken link (CI runs this in the docs job).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links; images share the syntax and are checked the same way.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading -> anchor rule: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    """Every anchor a markdown file exposes (its headings, slugified)."""
+    text = CODE_FENCE.sub("", path.read_text())
+    return {slugify(match.group(1)) for match in HEADING.finditer(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one markdown file (empty = clean)."""
+    problems = []
+    text = CODE_FENCE.sub("", path.read_text())
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        resolved = path if not raw_path else (path.parent / raw_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.relative_to(REPO_ROOT)}: broken link {target!r}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if slugify(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: link {target!r} points at a "
+                    f"heading that does not exist in {resolved.name}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    files += [
+        REPO_ROOT / name
+        for name in ("README.md", "ROADMAP.md", "CONTRIBUTING.md")
+        if (REPO_ROOT / name).exists()
+    ]
+    problems = [problem for path in files for problem in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Generate ``docs/cli.md`` from the live argparse tree.
+
+The reference is the ``--help`` output of ``repro`` and every subcommand,
+rendered at a pinned width so the file is byte-for-byte reproducible, plus
+the sweep service's HTTP endpoint table lifted from
+:mod:`repro.service.app`'s docstring.
+
+Usage::
+
+    python scripts/gen_cli_reference.py            # rewrite docs/cli.md
+    python scripts/gen_cli_reference.py --check    # exit 1 if docs/cli.md is stale
+
+CI runs ``--check`` so the committed reference can never drift from the
+parser: change a flag, re-run the generator, commit both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+#: Pinned terminal width: argparse consults the COLUMNS env var, so setting
+#: it before any help text is formatted makes the output deterministic.
+WIDTH = 100
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "docs" / "cli.md"
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with:  python scripts/gen_cli_reference.py
+     CI diffs this file against the parser (scripts/gen_cli_reference.py --check). -->
+
+Every command is available both as the installed console script
+(`repro ...`) and without installing (`PYTHONPATH=src python -m repro ...`).
+See [tutorial.md](tutorial.md) for a worked session and
+[architecture.md](architecture.md) for where each command sits in the stack.
+"""
+
+
+def _subcommands(parser: argparse.ArgumentParser) -> dict[str, argparse.ArgumentParser]:
+    """The subcommand name -> subparser mapping of ``parser``."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    raise SystemExit("error: the repro parser has no subcommands to document")
+
+
+def _http_api_section() -> str:
+    """The service endpoint block, lifted verbatim from the app docstring."""
+    import repro.service.app as app
+
+    doc = app.__doc__ or ""
+    lines = [line[4:] for line in doc.splitlines() if line.startswith("    ")]
+    if not lines:
+        raise SystemExit("error: repro.service.app docstring lost its endpoint table")
+    block = "\n".join(lines).rstrip()
+    return (
+        "## HTTP API\n\n"
+        "`repro serve` exposes a JSON API (all endpoints under `/api/v1`):\n\n"
+        f"```\n{block}\n```\n\n"
+        "Error mapping and server details: the `repro.service.app` module\n"
+        "docstring is the authoritative source (this block is generated from it).\n"
+    )
+
+
+def generate() -> str:
+    """Render the full reference document."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    sections = [HEADER]
+    sections.append(f"## repro\n\n```\n{parser.format_help().rstrip()}\n```\n")
+    for name, sub in _subcommands(parser).items():
+        sections.append(f"## repro {name}\n\n```\n{sub.format_help().rstrip()}\n```\n")
+    sections.append(_http_api_section())
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    os.environ["COLUMNS"] = str(WIDTH)
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--check", action="store_true",
+        help="verify docs/cli.md matches the parser instead of rewriting it",
+    )
+    args = cli.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    document = generate()
+
+    if args.check:
+        committed = OUTPUT.read_text() if OUTPUT.exists() else ""
+        if committed != document:
+            print(
+                "docs/cli.md is out of date with the argparse tree.\n"
+                "Regenerate it and commit the result:\n"
+                "    python scripts/gen_cli_reference.py",
+                file=sys.stderr,
+            )
+            return 1
+        print("docs/cli.md is up to date")
+        return 0
+
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(document)
+    print(f"wrote {OUTPUT.relative_to(REPO_ROOT)} ({len(document.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

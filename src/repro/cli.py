@@ -17,6 +17,9 @@ Usage (after ``pip install -e .``)::
     python -m repro trace <file>    # summarise a sweep's trace JSONL
     python -m repro serve           # run the sweep service daemon (HTTP/JSON)
     python -m repro submit <name>   # submit a sweep to a running daemon
+    python -m repro ingest <path>   # index result/cache artifacts into the warehouse
+    python -m repro query           # list/filter warehouse runs and trial records
+    python -m repro compare A B     # diff two runs' metrics (regression report)
 
 Every command prints plain text to stdout; ``--num-paths`` changes the MP
 workload (Nf) where applicable.  ``sweep`` accepts ``--set axis=v1,v2,...``
@@ -207,6 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run without the shared result cache")
     serve.add_argument("--max-workers", type=int, default=2,
                        help="concurrent sweep jobs (default: 2)")
+    serve.add_argument(
+        "--warehouse", default=None, metavar="DB",
+        help="warehouse SQLite file completed jobs are auto-ingested into, "
+        "serving GET /api/v1/runs (default: <data-dir>/warehouse.sqlite)",
+    )
+    serve.add_argument("--no-warehouse", action="store_true",
+                       help="disable job auto-ingestion and the /api/v1/runs endpoint")
 
     submit = subparsers.add_parser(
         "submit", help="submit a scenario sweep to a running 'repro serve' daemon"
@@ -246,6 +256,80 @@ def build_parser() -> argparse.ArgumentParser:
         "sibling manifest.json exists, cross-check the trial span count "
         "against the recorded sweep stats); exit non-zero on any problem",
     )
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="index sweep results, service job artifacts and trial caches "
+        "into the result warehouse",
+    )
+    ingest.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="directories to scan: ResultStore outputs, 'repro serve' data "
+        "dirs, and/or trial cache dirs (auto-detected, recursively)",
+    )
+    ingest.add_argument("--db", default="results/warehouse.sqlite",
+                        help="warehouse SQLite file (default: results/warehouse.sqlite)")
+
+    query = subparsers.add_parser(
+        "query", help="query the result warehouse: runs (default) or trial records"
+    )
+    query.add_argument("--db", default="results/warehouse.sqlite",
+                       help="warehouse SQLite file (default: results/warehouse.sqlite)")
+    query.add_argument("--scenario", default=None, help="filter by scenario name")
+    query.add_argument("--version", default=None, dest="scenario_version",
+                       help="filter by scenario version")
+    query.add_argument("--source", default=None, choices=("store", "service", "cache"),
+                       help="filter by artifact source kind")
+    query.add_argument("--since", default=None, metavar="ISO",
+                       help="only runs ingested at or after this ISO date/time")
+    query.add_argument("--until", default=None, metavar="ISO",
+                       help="only runs ingested at or before this ISO date/time")
+    query.add_argument(
+        "--where", action="append", default=[], metavar="PARAM<OP>VALUE",
+        help="trial-parameter predicate, repeatable (ops: = != < <= > >=); "
+        "e.g. --where snr_db>=-3 --where scheme=DSSS",
+    )
+    query.add_argument("--trials", action="store_true",
+                       help="print the matching trial records instead of the runs")
+    query.add_argument("--limit", type=int, default=None,
+                       help="maximum trial records to print (with --trials)")
+    query.add_argument("--format", choices=("table", "csv", "json"), default="table",
+                       help="output format (default: table)")
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="diff two warehouse runs' metrics with regression highlighting",
+    )
+    compare.add_argument(
+        "run_a", help="baseline run: an id from 'repro query', or 'latest'/'prev' "
+        "(scoped by --scenario)",
+    )
+    compare.add_argument("run_b", help="candidate run (same forms as run_a)")
+    compare.add_argument("--db", default="results/warehouse.sqlite",
+                         help="warehouse SQLite file (default: results/warehouse.sqlite)")
+    compare.add_argument("--scenario", default=None,
+                         help="scenario scope for 'latest'/'prev' references")
+    compare.add_argument(
+        "--metric", action="append", default=[], metavar="NAME",
+        help="metric to diff, repeatable (default: every numeric metric both runs share)",
+    )
+    compare.add_argument(
+        "--by", default=None, metavar="AXIS",
+        help="parameter axis to group by — diffs the metric curve point by point "
+        "(e.g. --by snr_db for SER-vs-SNR)",
+    )
+    compare.add_argument("--threshold", type=float, default=10.0, metavar="PCT",
+                         help="relative change (percent) beyond which a diff is "
+                         "flagged (default: 10)")
+    compare.add_argument(
+        "--higher-is-better", action="store_true",
+        help="treat increases as improvements (lifetime, delivery ratio); "
+        "the default flags increases as regressions (error rates)",
+    )
+    compare.add_argument("--format", choices=("table", "json"), default="table",
+                         help="output format (default: table)")
+    compare.add_argument("--fail-on-regression", action="store_true",
+                         help="exit non-zero when any diff is classified a regression")
 
     estimate = subparsers.add_parser("estimate", help="run one MP channel estimation")
     estimate.add_argument("--seed", type=int, default=0, help="channel / noise seed")
@@ -557,13 +641,22 @@ def _run_sweep(args: argparse.Namespace) -> str:
 def _run_serve(args: argparse.Namespace) -> str:
     from repro.experiments import ResultCache
     from repro.service import JobQueue, make_server, serve
+    from repro.warehouse import Warehouse
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    queue = JobQueue(args.data_dir, cache=cache, max_workers=args.max_workers)
+    warehouse = None
+    if not args.no_warehouse:
+        warehouse = Warehouse(args.warehouse or os.path.join(args.data_dir, "warehouse.sqlite"))
+    queue = JobQueue(
+        args.data_dir, cache=cache, max_workers=args.max_workers, warehouse=warehouse
+    )
     server = make_server(args.host, args.port, queue)
     host, port = server.server_address[0], server.server_address[1]
     print(f"sweep service listening on http://{host}:{port}{'' if cache else ' (cache off)'}",
           flush=True)
+    if warehouse is not None:
+        print(f"warehouse: {warehouse.path} (query with: repro query --db {warehouse.path})",
+              flush=True)
     print(f"submit with: repro submit <scenario> --url http://{host}:{port}", flush=True)
     serve(server, queue)
     return "sweep service stopped"
@@ -619,6 +712,154 @@ def _run_submit(args: argparse.Namespace) -> str:
         f"{name}: {path}" for name, path in sorted((status.get("artifacts") or {}).items())
     )
     return "\n".join(lines)
+
+
+def _parse_when(token: str | None, option: str) -> float | None:
+    """Parse an ISO date/time CLI value into POSIX seconds (None passes through)."""
+    if token is None:
+        return None
+    from datetime import datetime
+
+    try:
+        return datetime.fromisoformat(token).timestamp()
+    except ValueError:
+        raise SystemExit(
+            f"error: {option} expects an ISO date/time (e.g. 2026-08-01 or "
+            f"2026-08-01T12:30), got {token!r}"
+        ) from None
+
+
+def _warehouse_filters(expressions: Sequence[str]):
+    """Parse every ``--where`` expression, mapping bad syntax to SystemExit."""
+    from repro.warehouse import parse_filter
+
+    try:
+        return [parse_filter(expression) for expression in expressions]
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _run_ingest(args: argparse.Namespace) -> str:
+    from repro.warehouse import SchemaVersionError, Warehouse
+
+    warehouse = Warehouse(args.db)
+    try:
+        report = warehouse.ingest(*args.paths)
+    except (FileNotFoundError, SchemaVersionError) as error:
+        raise SystemExit(f"error: {error}") from None
+    counts = report.to_dict()
+    summary = "  ".join(f"{name}: {value}" for name, value in counts.items())
+    return f"warehouse: {args.db}\n{summary}"
+
+
+def _run_query(args: argparse.Namespace) -> str:
+    import csv
+    import json
+    from datetime import datetime
+
+    from repro.experiments.store import tidy_headers
+    from repro.warehouse import SchemaVersionError, Warehouse
+
+    filters = _warehouse_filters(args.where)
+    warehouse = Warehouse(args.db)
+    try:
+        runs = warehouse.runs(
+            scenario=args.scenario,
+            version=args.scenario_version,
+            source=args.source,
+            since=_parse_when(args.since, "--since"),
+            until=_parse_when(args.until, "--until"),
+            where=filters,
+        )
+    except SchemaVersionError as error:
+        raise SystemExit(f"error: {error}") from None
+
+    if args.trials:
+        rows = warehouse.trials(
+            run_ids=[run.run_id for run in runs] or None,
+            where=filters,
+            limit=args.limit,
+        ) if runs else []
+        records = [{"run_id": row.run_id, **row.record} for row in rows]
+        if args.format == "json":
+            return json.dumps(records, indent=2, sort_keys=True)
+        headers = ["run_id"] + [h for h in tidy_headers(records) if h != "run_id"]
+        if args.format == "csv":
+            import io
+
+            buffer = io.StringIO()
+            writer = csv.writer(buffer)
+            writer.writerow(headers)
+            for record in records:
+                writer.writerow([record.get(column, "") for column in headers])
+            return buffer.getvalue().rstrip("\n")
+        table = format_table(
+            headers,
+            [[record.get(column, "") for column in headers] for record in records],
+            title=f"{len(records)} trial record(s) from {len(runs)} run(s)",
+        )
+        return table
+
+    if args.format == "json":
+        return json.dumps([run.to_dict() for run in runs], indent=2, sort_keys=True)
+    headers = ["Run", "Scenario", "Version", "Source", "Trials", "Ingested", "Path"]
+    rows = [
+        (
+            run.run_id,
+            run.scenario,
+            run.scenario_version or "-",
+            run.source,
+            run.num_trials,
+            datetime.fromtimestamp(run.ingested_at).strftime("%Y-%m-%d %H:%M:%S"),
+            run.source_path,
+        )
+        for run in runs
+    ]
+    if args.format == "csv":
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(header.lower() for header in headers)
+        writer.writerows(rows)
+        return buffer.getvalue().rstrip("\n")
+    return format_table(
+        headers, rows,
+        title=f"{len(rows)} warehouse run(s) in {args.db} "
+        "(inspect records with --trials, diff with 'repro compare')",
+    )
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.warehouse import SchemaVersionError, Warehouse, render_comparison
+
+    warehouse = Warehouse(args.db)
+    try:
+        report = warehouse.compare(
+            args.run_a,
+            args.run_b,
+            metrics=args.metric or None,
+            by=args.by,
+            threshold=args.threshold / 100.0,
+            higher_is_better=args.higher_is_better,
+            scenario=args.scenario,
+        )
+    except (LookupError, SchemaVersionError) as error:
+        raise SystemExit(f"error: {error}") from None
+    output = (
+        json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.format == "json"
+        else render_comparison(report)
+    )
+    if args.fail_on_regression and report.regressions:
+        print(output)
+        raise SystemExit(
+            f"error: {len(report.regressions)} metric regression(s) beyond "
+            f"{args.threshold:g}%"
+        )
+    return output
 
 
 def _run_trace(args: argparse.Namespace) -> str:
@@ -718,6 +959,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_submit(args)
     elif args.command == "trace":
         output = _run_trace(args)
+    elif args.command == "ingest":
+        output = _run_ingest(args)
+    elif args.command == "query":
+        output = _run_query(args)
+    elif args.command == "compare":
+        output = _run_compare(args)
     elif args.command == "export":
         from repro.analysis.export import export_all
 

@@ -12,6 +12,8 @@ Endpoints (all JSON, versioned under ``/api/v1``)::
     GET  /api/v1/jobs/<id>/records   tidy records (409 until the job is done)
     GET  /api/v1/jobs/<id>/stats     SweepStats of a done job (409 until done)
     GET  /api/v1/jobs/<id>/manifest  the manifest.json written with the results
+    GET  /api/v1/runs                warehouse runs (``?scenario=``/``?source=``
+                                     filters); 404 when the warehouse is off
 
 Error mapping: schema violations and unknown scenarios are 400, unknown
 paths/jobs 404, wrong methods 405, results requested before completion 409,
@@ -29,6 +31,7 @@ import json
 import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs
 
 from repro.experiments.registry import list_scenarios
 from repro.service.jobs import Job, JobQueue, JobState
@@ -133,6 +136,8 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
             return self._job_status(method, parts[1])
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] in ("records", "stats", "manifest"):
             return self._job_artifact(method, parts[1], parts[2])
+        if parts == ["runs"]:
+            return self._runs(method)
         raise _ApiError(404, f"unknown path {path!r}")
 
     def _get_only(self, method: str) -> None:
@@ -221,6 +226,27 @@ class SweepServiceHandler(BaseHTTPRequestHandler):
         except FileNotFoundError:
             raise _ApiError(404, f"job {job_id} has no manifest on disk") from None
         return {"job_id": job.job_id, "manifest": manifest}, 200
+
+
+    def _runs(self, method: str) -> tuple[dict[str, Any], int]:
+        self._get_only(method)
+        warehouse = self.queue.warehouse
+        if warehouse is None:
+            raise _ApiError(
+                404, "the warehouse is disabled on this server (started with --no-warehouse)"
+            )
+        query = parse_qs(self.path.partition("?")[2])
+
+        def single(name: str) -> str | None:
+            values = query.get(name)
+            return values[-1] if values else None
+
+        runs = warehouse.runs(
+            scenario=single("scenario"),
+            version=single("version"),
+            source=single("source"),
+        )
+        return {"count": len(runs), "runs": [run.to_dict() for run in runs]}, 200
 
 
 def make_server(host: str, port: int, queue: JobQueue) -> ThreadingHTTPServer:

@@ -50,6 +50,7 @@ from repro.service.schemas import JobOptions
 from repro.telemetry.metrics import counter, gauge
 from repro.telemetry.progress import ProgressEvent
 from repro.telemetry.tracing import start_trace, write_trace
+from repro.warehouse.db import Warehouse
 
 __all__ = ["Job", "JobOptions", "JobQueue", "JobState", "spec_key"]
 
@@ -128,9 +129,11 @@ class JobQueue:
         cache: ResultCache | None = None,
         max_workers: int = 2,
         progress_interval_s: float = 0.1,
+        warehouse: Warehouse | None = None,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.cache = cache
+        self.warehouse = warehouse
         self._progress_interval_s = progress_interval_s
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sweep-job"
@@ -230,6 +233,7 @@ class JobQueue:
                 job.finished_s = time.time()
             _COMPLETED.inc()
             logger.info("job %s: done (%d records)", job.job_id, len(result.records))
+            self._ingest(job)
         except BaseException as error:  # a failed job must never kill its worker thread
             with self._lock:
                 job.state = JobState.FAILED
@@ -242,6 +246,23 @@ class JobQueue:
             logger.exception("job %s: failed", job.job_id)
         finally:
             _RUNNING.set(_RUNNING.value - 1)
+
+    def _ingest(self, job: Job) -> None:
+        """Index a finished job into the warehouse (best effort).
+
+        Ingest failure must not fail the job: the artifacts on disk are the
+        source of truth and a later ``repro ingest`` recovers the index.
+        """
+        if self.warehouse is None:
+            return
+        try:
+            report = self.warehouse.ingest(job.output_dir, source="service")
+            logger.info(
+                "job %s: warehouse +%d run(s) / +%d trial(s) (%s)",
+                job.job_id, report.runs_added, report.trials_added, self.warehouse.path,
+            )
+        except Exception:
+            logger.exception("job %s: warehouse ingest failed (job unaffected)", job.job_id)
 
     def _run_sweep(self, job: Job) -> SweepResult:
         def heartbeat(event: ProgressEvent) -> None:

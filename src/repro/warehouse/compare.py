@@ -1,0 +1,234 @@
+"""Run-to-run metric comparison with regression highlighting.
+
+:func:`compare_runs` diffs the metric values of two ingested runs — "this
+week's SER curve against last week's", "lifetime across platforms between two
+service deployments".  For each metric it averages the trials of each run,
+either overall or grouped by a parameter axis (``by="snr_db"`` turns the diff
+into a curve-vs-curve comparison point by point), aligns the groups, and
+flags relative changes beyond a threshold as regressions or improvements.
+
+Whether "up" is bad depends on the metric: symbol error rates and
+normalized errors regress upward, lifetimes and delivery ratios regress
+downward.  ``higher_is_better`` flips the polarity; the default treats higher
+values as worse, which matches the error-style metrics that dominate the
+registry.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.warehouse.query import RunInfo, metric_names, select_trials
+
+__all__ = ["MetricDiff", "ComparisonReport", "compare_runs", "render_comparison"]
+
+#: Relative change below which a diff is considered noise (default 10%).
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One aligned comparison cell: a metric at one group value, run A vs B."""
+
+    metric: str
+    by: str | None
+    by_value: Any
+    mean_a: float | None
+    mean_b: float | None
+    count_a: int
+    count_b: int
+
+    @property
+    def delta(self) -> float | None:
+        """``mean_b - mean_a`` (``None`` when either side is missing)."""
+        if self.mean_a is None or self.mean_b is None:
+            return None
+        return self.mean_b - self.mean_a
+
+    @property
+    def relative_change(self) -> float | None:
+        """Delta relative to run A's magnitude (``None`` if undefined).
+
+        A zero baseline with a nonzero new value reads as infinite change;
+        both zero reads as no change.
+        """
+        if self.mean_a is None or self.mean_b is None:
+            return None
+        if self.mean_a == 0.0:
+            return 0.0 if self.mean_b == 0.0 else float("inf")
+        return (self.mean_b - self.mean_a) / abs(self.mean_a)
+
+    def classify(self, threshold: float, higher_is_better: bool) -> str:
+        """``'regression'``, ``'improvement'``, ``''`` (within threshold),
+        or ``'only-a'``/``'only-b'`` for groups present in one run only."""
+        if self.mean_a is None:
+            return "only-b"
+        if self.mean_b is None:
+            return "only-a"
+        change = self.relative_change
+        if change is None or abs(change) <= threshold:
+            return ""
+        worse = change < 0 if higher_is_better else change > 0
+        return "regression" if worse else "improvement"
+
+
+@dataclass
+class ComparisonReport:
+    """The full diff between two runs, plus the classification policy."""
+
+    run_a: RunInfo
+    run_b: RunInfo
+    threshold: float
+    higher_is_better: bool
+    diffs: list[MetricDiff] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        """The diffs classified as regressions under this report's policy."""
+        return [
+            diff for diff in self.diffs
+            if diff.classify(self.threshold, self.higher_is_better) == "regression"
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The report as a JSON-ready dict (CLI ``--format json``)."""
+        return {
+            "run_a": self.run_a.to_dict(),
+            "run_b": self.run_b.to_dict(),
+            "threshold": self.threshold,
+            "higher_is_better": self.higher_is_better,
+            "diffs": [
+                {
+                    "metric": diff.metric,
+                    "by": diff.by,
+                    "by_value": diff.by_value,
+                    "mean_a": diff.mean_a,
+                    "mean_b": diff.mean_b,
+                    "count_a": diff.count_a,
+                    "count_b": diff.count_b,
+                    "delta": diff.delta,
+                    "relative_change": _finite_or_none(diff.relative_change),
+                    "classification": diff.classify(self.threshold, self.higher_is_better),
+                }
+                for diff in self.diffs
+            ],
+            "num_regressions": len(self.regressions),
+        }
+
+
+def _finite_or_none(value: float | None) -> float | None:
+    """JSON-safe float: strict parsers reject the ``Infinity`` literal."""
+    if value is None or value != value or value in (float("inf"), float("-inf")):
+        return None
+    return value
+
+
+def _grouped_means(
+    conn: sqlite3.Connection, run_id: int, metric: str, by: str | None
+) -> dict[Any, tuple[float, int]]:
+    """``{group value: (mean, count)}`` of one metric over one run's trials.
+
+    With ``by=None`` everything lands in a single ``None`` group.  Trials
+    without the metric (or the group axis) are skipped, so scenarios whose
+    metric sets differ per parameter still compare cleanly.
+    """
+    sums: dict[Any, float] = {}
+    counts: dict[Any, int] = {}
+    for trial in select_trials(conn, run_ids=(run_id,)):
+        value = trial.record.get(metric)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        group = trial.record.get(by) if by is not None else None
+        if by is not None and group is None:
+            continue
+        sums[group] = sums.get(group, 0.0) + float(value)
+        counts[group] = counts.get(group, 0) + 1
+    return {group: (sums[group] / counts[group], counts[group]) for group in sums}
+
+
+def compare_runs(
+    conn: sqlite3.Connection,
+    run_a: RunInfo,
+    run_b: RunInfo,
+    metrics: list[str] | None = None,
+    by: str | None = None,
+    threshold: float = DEFAULT_THRESHOLD,
+    higher_is_better: bool = False,
+) -> ComparisonReport:
+    """Diff two runs' metrics (see the module docstring for semantics).
+
+    ``metrics=None`` compares every numeric metric the runs share; an
+    explicit list lets the caller narrow to one curve.  Group values are
+    aligned by equality; groups present in only one run are kept and
+    classified ``only-a``/``only-b`` rather than silently dropped.
+    """
+    if metrics is None:
+        shared = set(metric_names(conn, run_a.run_id)) & set(
+            metric_names(conn, run_b.run_id)
+        )
+        metrics = sorted(shared)
+    report = ComparisonReport(
+        run_a=run_a, run_b=run_b, threshold=threshold, higher_is_better=higher_is_better
+    )
+    for metric in metrics:
+        means_a = _grouped_means(conn, run_a.run_id, metric, by)
+        means_b = _grouped_means(conn, run_b.run_id, metric, by)
+        groups = sorted(
+            set(means_a) | set(means_b), key=lambda value: (value is None, str(value))
+        )
+        for group in groups:
+            mean_a, count_a = means_a.get(group, (None, 0))
+            mean_b, count_b = means_b.get(group, (None, 0))
+            report.diffs.append(
+                MetricDiff(
+                    metric=metric,
+                    by=by,
+                    by_value=group,
+                    mean_a=mean_a,
+                    mean_b=mean_b,
+                    count_a=count_a,
+                    count_b=count_b,
+                )
+            )
+    return report
+
+
+def render_comparison(report: ComparisonReport) -> str:
+    """The report as an aligned text table with a trailing regression summary."""
+    from repro.utils.tables import format_table
+
+    headers = ["Metric"]
+    if any(diff.by is not None for diff in report.diffs):
+        by_name = next(diff.by for diff in report.diffs if diff.by is not None)
+        headers.append(by_name)
+    headers += ["Run A mean", "Run B mean", "Delta", "Change", "Flag"]
+
+    rows = []
+    for diff in report.diffs:
+        row: list[Any] = [diff.metric]
+        if len(headers) == 7:
+            row.append("" if diff.by_value is None else diff.by_value)
+        change = diff.relative_change
+        row += [
+            "-" if diff.mean_a is None else f"{diff.mean_a:.6g}",
+            "-" if diff.mean_b is None else f"{diff.mean_b:.6g}",
+            "-" if diff.delta is None else f"{diff.delta:+.6g}",
+            "-" if change is None else ("inf" if change == float("inf") else f"{change:+.1%}"),
+            diff.classify(report.threshold, report.higher_is_better),
+        ]
+        rows.append(row)
+
+    title = (
+        f"run {report.run_a.run_id} ({report.run_a.scenario}) vs "
+        f"run {report.run_b.run_id} ({report.run_b.scenario})"
+    )
+    table = format_table(headers, rows, title=title)
+    regressions = len(report.regressions)
+    direction = "higher-is-better" if report.higher_is_better else "lower-is-better"
+    summary = (
+        f"{regressions} regression(s) beyond {report.threshold:.0%} "
+        f"({direction}, {len(report.diffs)} comparison cells)"
+    )
+    return f"{table}\n{summary}"

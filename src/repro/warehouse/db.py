@@ -1,0 +1,165 @@
+"""The :class:`Warehouse` facade: one object over ingest, query and compare.
+
+A :class:`Warehouse` is addressed by its SQLite file path and opens a
+*short-lived connection per operation*.  That choice is deliberate: the
+sweep service ingests from executor worker threads while API handler threads
+answer ``GET /api/v1/runs``, and per-call connections sidestep SQLite's
+same-thread affinity entirely — cross-thread and cross-process safety then
+rests on SQLite's own file locking plus the one-transaction-per-run ingest
+convention of :mod:`repro.warehouse.ingest`.
+
+Run references accepted wherever a run is named (:meth:`Warehouse.resolve`):
+an integer run id, or the selectors ``latest`` / ``prev`` (optionally scoped
+to a scenario) for the most recent and second-most-recent ingested runs —
+the spelling ``repro compare prev latest --scenario modem-ser-vs-snr`` reads
+as intended.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.warehouse.compare import (
+    DEFAULT_THRESHOLD,
+    ComparisonReport,
+    compare_runs,
+)
+from repro.warehouse.ingest import IngestReport, ingest_path
+from repro.warehouse.query import (
+    ParamFilter,
+    RunInfo,
+    TrialRow,
+    metric_names,
+    select_runs,
+    select_trials,
+)
+from repro.warehouse.schema import connect
+
+__all__ = ["Warehouse", "DEFAULT_WAREHOUSE_PATH"]
+
+#: Where the CLI commands put the warehouse unless told otherwise.
+DEFAULT_WAREHOUSE_PATH = "results/warehouse.sqlite"
+
+
+class Warehouse:
+    """A queryable index over every ingested sweep run (see module docstring)."""
+
+    def __init__(self, path: Path | str = DEFAULT_WAREHOUSE_PATH) -> None:
+        """Address a warehouse by its SQLite file path (created lazily on use)."""
+        self.path = Path(path)
+
+    @contextlib.contextmanager
+    def _connection(self) -> Iterator[sqlite3.Connection]:
+        conn = connect(self.path)
+        try:
+            yield conn
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    # write side
+    # ------------------------------------------------------------------ #
+    def ingest(self, *paths: Path | str, source: str | None = None) -> IngestReport:
+        """Ingest every artifact found under each path; returns the merged report."""
+        report = IngestReport()
+        with self._connection() as conn:
+            for path in paths:
+                report.merge(ingest_path(conn, path, source=source))
+        return report
+
+    # ------------------------------------------------------------------ #
+    # read side
+    # ------------------------------------------------------------------ #
+    def runs(
+        self,
+        scenario: str | None = None,
+        version: str | None = None,
+        source: str | None = None,
+        since: float | None = None,
+        until: float | None = None,
+        where: Sequence[ParamFilter] = (),
+    ) -> list[RunInfo]:
+        """Runs matching the filters, oldest ingested first."""
+        with self._connection() as conn:
+            return select_runs(
+                conn, scenario=scenario, version=version, source=source,
+                since=since, until=until, where=where,
+            )
+
+    def trials(
+        self,
+        run_ids: Sequence[int] | None = None,
+        scenario: str | None = None,
+        where: Sequence[ParamFilter] = (),
+        limit: int | None = None,
+    ) -> list[TrialRow]:
+        """Trial records matching the filters, in (run, trial-index) order."""
+        with self._connection() as conn:
+            return select_trials(
+                conn, run_ids=run_ids, scenario=scenario, where=where, limit=limit
+            )
+
+    def metric_names(self, run_id: int) -> list[str]:
+        """The numeric metric columns recorded for one run."""
+        with self._connection() as conn:
+            return metric_names(conn, run_id)
+
+    def resolve(self, reference: str | int, scenario: str | None = None) -> RunInfo:
+        """Resolve a run reference (id, ``latest`` or ``prev``) to its run.
+
+        Raises :class:`LookupError` with an actionable message when nothing
+        matches — the CLI surfaces it verbatim.
+        """
+        if isinstance(reference, str) and reference.lower() in ("latest", "prev"):
+            candidates = self.runs(scenario=scenario)
+            offset = 1 if reference.lower() == "latest" else 2
+            if len(candidates) < offset:
+                scope = f" for scenario {scenario!r}" if scenario else ""
+                raise LookupError(
+                    f"no {reference.lower()!r} run{scope}: the warehouse holds "
+                    f"{len(candidates)} matching run(s)"
+                )
+            return candidates[-offset]
+        try:
+            run_id = int(reference)
+        except (TypeError, ValueError):
+            raise LookupError(
+                f"run reference {reference!r} is neither an id nor 'latest'/'prev'"
+            ) from None
+        for run in self.runs(scenario=scenario):
+            if run.run_id == run_id:
+                return run
+        scope = f" for scenario {scenario!r}" if scenario else ""
+        raise LookupError(f"no run with id {run_id}{scope} in {self.path}")
+
+    def compare(
+        self,
+        run_a: RunInfo | str | int,
+        run_b: RunInfo | str | int,
+        metrics: list[str] | None = None,
+        by: str | None = None,
+        threshold: float = DEFAULT_THRESHOLD,
+        higher_is_better: bool = False,
+        scenario: str | None = None,
+    ) -> ComparisonReport:
+        """Diff two runs' metric values (see :func:`repro.warehouse.compare.compare_runs`)."""
+        if not isinstance(run_a, RunInfo):
+            run_a = self.resolve(run_a, scenario=scenario)
+        if not isinstance(run_b, RunInfo):
+            run_b = self.resolve(run_b, scenario=scenario)
+        with self._connection() as conn:
+            return compare_runs(
+                conn, run_a, run_b, metrics=metrics, by=by,
+                threshold=threshold, higher_is_better=higher_is_better,
+            )
+
+    def counts(self) -> dict[str, int]:
+        """Row counts per table — the idempotency tests' measuring stick."""
+        with self._connection() as conn:
+            return {
+                table: conn.execute(f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"]
+                for table in ("runs", "trials", "params", "metrics")
+            }

@@ -1,0 +1,431 @@
+"""Scan result artifacts into the warehouse — incremental and idempotent.
+
+Three artifact shapes are discovered by walking a path (see
+:func:`discover`):
+
+* **result-store directories** — any directory holding a ``results.jsonl``
+  (written by :class:`repro.experiments.store.ResultStore`), with the
+  sibling ``manifest.json`` supplying the spec and stats when present;
+* **sweep-service job directories** — the same shape under a ``jobs/``
+  parent (``<data-dir>/jobs/<job-id>/``); they ingest identically but are
+  tagged ``source='service'`` so queries can tell daemon runs from direct
+  sweeps;
+* **trial caches** — the two-level content-addressed fan-out of
+  :class:`repro.experiments.cache.ResultCache`
+  (``<cache>/<scenario>/<key[:2]>/<key>.json``).  Each *scenario* directory
+  becomes one run whose trials are keyed by their cache content address.
+
+Idempotency rests on content hashes, never on timestamps:
+
+* a result directory's ``run_key`` is the SHA-256 of its ``results.jsonl``
+  and ``manifest.json`` bytes — re-ingesting an unchanged directory matches
+  the stored key and inserts **zero** rows; a directory whose contents
+  changed (a re-run sweep) is replaced wholesale under the same run id;
+* a cache scenario's ``run_key`` hashes the sorted set of cached trial keys
+  — new cache entries are added incrementally (``INSERT``-if-absent on the
+  per-run unique trial key), existing ones are never touched;
+* quarantined ``*.corrupt`` files — and any ``*.json`` that fails to parse
+  as a well-formed cache record — are *skipped and counted*
+  (:attr:`IngestReport.quarantined_skipped`), mirroring the cache layer's
+  own never-trust-a-corrupt-file contract.
+
+Every ingest runs in one ``BEGIN IMMEDIATE`` transaction per run, so a crash
+mid-ingest leaves the previous complete state (the SQLite analogue of the
+repository's atomic temp-file + ``os.replace`` convention), and feeds the
+telemetry metrics registry (``warehouse.runs_ingested``,
+``warehouse.trials_ingested``, ``warehouse.quarantined_skipped``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import re
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.experiments.spec import stable_hash
+from repro.telemetry.metrics import counter
+from repro.telemetry.tracing import span
+
+__all__ = ["IngestReport", "discover", "ingest_path", "param_names_for"]
+
+logger = logging.getLogger(__name__)
+
+_RUNS_INGESTED = counter("warehouse.runs_ingested")
+_TRIALS_INGESTED = counter("warehouse.trials_ingested")
+_QUARANTINED_SKIPPED = counter("warehouse.quarantined_skipped")
+
+#: Identity columns every tidy record carries (never params or metrics).
+IDENTITY_COLUMNS = ("scenario", "trial_index", "replicate", "seed")
+
+#: A cache record file name: the 40-hex-char content address.
+_CACHE_FILE = re.compile(r"^[0-9a-f]{40}\.json$")
+
+
+@dataclass
+class IngestReport:
+    """What one ingest pass did (all counts cumulative over its sources)."""
+
+    sources_scanned: int = 0
+    runs_added: int = 0
+    runs_replaced: int = 0
+    runs_unchanged: int = 0
+    trials_added: int = 0
+    quarantined_skipped: int = 0
+
+    def merge(self, other: "IngestReport") -> None:
+        """Fold another report's counts into this one."""
+        self.sources_scanned += other.sources_scanned
+        self.runs_added += other.runs_added
+        self.runs_replaced += other.runs_replaced
+        self.runs_unchanged += other.runs_unchanged
+        self.trials_added += other.trials_added
+        self.quarantined_skipped += other.quarantined_skipped
+
+    def to_dict(self) -> dict[str, int]:
+        """The report as a plain dict (CLI/JSON output)."""
+        return {
+            "sources_scanned": self.sources_scanned,
+            "runs_added": self.runs_added,
+            "runs_replaced": self.runs_replaced,
+            "runs_unchanged": self.runs_unchanged,
+            "trials_added": self.trials_added,
+            "quarantined_skipped": self.quarantined_skipped,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# discovery
+# --------------------------------------------------------------------------- #
+def _is_cache_scenario_dir(path: Path) -> bool:
+    """Whether ``path`` looks like one scenario of a ``ResultCache`` fan-out."""
+    for bucket in path.iterdir():
+        if bucket.is_dir() and len(bucket.name) == 2:
+            for file in bucket.iterdir():
+                if _CACHE_FILE.match(file.name):
+                    return True
+    return False
+
+
+def discover(root: Path | str) -> Iterator[tuple[str, Path]]:
+    """Yield ``(kind, directory)`` pairs for every ingestible artifact under ``root``.
+
+    ``kind`` is ``'store'`` (a results directory), ``'service'`` (a results
+    directory under a ``jobs/`` parent) or ``'cache'`` (one scenario of a
+    trial cache).  ``root`` may also point directly at a ``results.jsonl``
+    file or at a single artifact directory.
+    """
+    root = Path(root)
+    if root.is_file():
+        if root.suffix == ".jsonl":
+            yield ("store", root.parent)
+        return
+    if not root.is_dir():
+        raise FileNotFoundError(f"nothing to ingest at {root}")
+    for path in sorted([root, *root.rglob("*")]):
+        if not path.is_dir():
+            continue
+        if (path / "results.jsonl").is_file():
+            kind = "service" if path.parent.name == "jobs" else "store"
+            yield (kind, path)
+        elif _is_cache_scenario_dir(path):
+            yield ("cache", path)
+
+
+# --------------------------------------------------------------------------- #
+# record classification
+# --------------------------------------------------------------------------- #
+def param_names_for(scenario: str, spec: Mapping[str, Any] | None) -> frozenset[str]:
+    """The parameter-column names of a run's records.
+
+    Taken from the run's own manifest spec when available (grid + zipped +
+    base keys); otherwise from the registered scenario's default spec; for an
+    unknown scenario every non-identity column is treated as a metric.
+    """
+    if spec is not None:
+        return frozenset(
+            key
+            for group in ("grid", "zipped", "base")
+            for key in dict(spec.get(group) or {})
+        )
+    try:
+        from repro.experiments.registry import get_scenario
+
+        default = get_scenario(scenario).spec
+        return frozenset([*default.grid, *default.zipped, *default.base])
+    except KeyError:
+        return frozenset()
+
+
+def _value_columns(value: Any) -> tuple[str, float | None, str | None]:
+    """Map one record value to its ``(kind, value_num, value_text)`` columns."""
+    if value is None:
+        return ("null", None, None)
+    if isinstance(value, bool):
+        return ("bool", float(value), None)
+    if isinstance(value, (int, float)):
+        return ("num", float(value), None)
+    return ("text", None, str(value))
+
+
+# --------------------------------------------------------------------------- #
+# row insertion
+# --------------------------------------------------------------------------- #
+def _insert_trial(
+    conn: sqlite3.Connection,
+    run_id: int,
+    record: Mapping[str, Any],
+    param_names: frozenset[str],
+    trial_key: str | None = None,
+) -> None:
+    cursor = conn.execute(
+        "INSERT INTO trials (run_id, trial_key, trial_index, replicate, seed, record_json)"
+        " VALUES (?, ?, ?, ?, ?, ?)",
+        (
+            run_id,
+            trial_key,
+            record.get("trial_index"),
+            record.get("replicate"),
+            record.get("seed"),
+            json.dumps(record, sort_keys=True),
+        ),
+    )
+    trial_id = cursor.lastrowid
+    params = []
+    metrics = []
+    for name, value in record.items():
+        if name in IDENTITY_COLUMNS:
+            continue
+        kind, value_num, value_text = _value_columns(value)
+        row = (trial_id, name, kind, value_num, value_text)
+        (params if name in param_names else metrics).append(row)
+    insert = (
+        "INSERT INTO {table} (trial_id, name, kind, value_num, value_text)"
+        " VALUES (?, ?, ?, ?, ?)"
+    )
+    conn.executemany(insert.format(table="params"), params)
+    conn.executemany(insert.format(table="metrics"), metrics)
+
+
+def _scenario_version(scenario: str) -> str | None:
+    """The registered version of ``scenario`` (``None`` when unregistered)."""
+    try:
+        from repro.experiments.registry import get_scenario
+
+        return get_scenario(scenario).version
+    except KeyError:
+        return None
+
+
+def _upsert_run(
+    conn: sqlite3.Connection,
+    *,
+    run_key: str,
+    source: str,
+    source_path: Path,
+    scenario: str,
+    num_trials: int,
+    spec_json: str | None,
+    stats_json: str | None,
+) -> tuple[int, str]:
+    """Insert or refresh the ``runs`` row for ``source_path``.
+
+    Returns ``(run_id, disposition)`` where disposition is ``'added'``,
+    ``'replaced'`` (content changed — the caller must delete stale trials) or
+    ``'unchanged'`` (content hash matched — the caller must insert nothing).
+    """
+    existing = conn.execute(
+        "SELECT run_id, run_key FROM runs WHERE source_path = ?", (str(source_path),)
+    ).fetchone()
+    if existing is not None and existing["run_key"] == run_key:
+        return existing["run_id"], "unchanged"
+    columns = (
+        run_key,
+        source,
+        scenario,
+        _scenario_version(scenario),
+        time.time(),
+        num_trials,
+        spec_json,
+        stats_json,
+    )
+    if existing is None:
+        cursor = conn.execute(
+            "INSERT INTO runs (run_key, source, scenario, scenario_version,"
+            " ingested_at, num_trials, spec_json, stats_json, source_path)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (*columns, str(source_path)),
+        )
+        return cursor.lastrowid, "added"  # type: ignore[return-value]
+    conn.execute(
+        "UPDATE runs SET run_key = ?, source = ?, scenario = ?, scenario_version = ?,"
+        " ingested_at = ?, num_trials = ?, spec_json = ?, stats_json = ?"
+        " WHERE run_id = ?",
+        (*columns, existing["run_id"]),
+    )
+    return existing["run_id"], "replaced"
+
+
+# --------------------------------------------------------------------------- #
+# per-source ingestion
+# --------------------------------------------------------------------------- #
+def _file_digest(*paths: Path) -> str:
+    digest = hashlib.sha256()
+    for path in paths:
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:40]
+
+
+def _ingest_store_dir(
+    conn: sqlite3.Connection, directory: Path, source: str, report: IngestReport
+) -> None:
+    """Ingest one ``ResultStore`` output directory as one run."""
+    results_path = directory / "results.jsonl"
+    manifest_path = directory / "manifest.json"
+    hash_inputs = [results_path]
+    spec: Mapping[str, Any] | None = None
+    stats: Mapping[str, Any] | None = None
+    if manifest_path.is_file():
+        hash_inputs.append(manifest_path)
+        manifest = json.loads(manifest_path.read_text())
+        spec = manifest.get("spec") or None
+        stats = manifest.get("stats") or None
+    run_key = _file_digest(*hash_inputs)
+
+    records: list[dict[str, Any]] = []
+    with results_path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    scenario = (
+        str(spec["scenario"]) if spec and "scenario" in spec
+        else str(records[0].get("scenario", "<unknown>")) if records
+        else "<unknown>"
+    )
+    param_names = param_names_for(scenario, spec)
+
+    run_id, disposition = _upsert_run(
+        conn,
+        run_key=run_key,
+        source=source,
+        source_path=directory.resolve(),
+        scenario=scenario,
+        num_trials=len(records),
+        spec_json=json.dumps(spec, sort_keys=True) if spec is not None else None,
+        stats_json=json.dumps(stats, sort_keys=True) if stats is not None else None,
+    )
+    if disposition == "unchanged":
+        report.runs_unchanged += 1
+        return
+    if disposition == "replaced":
+        conn.execute("DELETE FROM trials WHERE run_id = ?", (run_id,))
+        report.runs_replaced += 1
+    else:
+        report.runs_added += 1
+    for record in records:
+        _insert_trial(conn, run_id, record, param_names)
+    report.trials_added += len(records)
+    _RUNS_INGESTED.inc()
+    _TRIALS_INGESTED.inc(len(records))
+    logger.info("warehouse: %s run %d from %s (%d trials)",
+                disposition, run_id, directory, len(records))
+
+
+def _ingest_cache_dir(
+    conn: sqlite3.Connection, directory: Path, report: IngestReport
+) -> None:
+    """Ingest one cache *scenario* directory as one incrementally-grown run."""
+    scenario = directory.name
+    entries: list[Path] = []
+    quarantined = 0
+    for bucket in sorted(directory.iterdir()):
+        if not bucket.is_dir():
+            continue
+        for file in sorted(bucket.iterdir()):
+            if file.suffix == ".corrupt":
+                quarantined += 1
+            elif _CACHE_FILE.match(file.name):
+                entries.append(file)
+    report.quarantined_skipped += quarantined
+    _QUARANTINED_SKIPPED.inc(quarantined)
+
+    run_key = stable_hash(sorted(entry.stem for entry in entries), length=40)
+    run_id, disposition = _upsert_run(
+        conn,
+        run_key=run_key,
+        source="cache",
+        source_path=directory.resolve(),
+        scenario=scenario,
+        num_trials=len(entries),
+        spec_json=None,
+        stats_json=None,
+    )
+    if disposition == "unchanged":
+        report.runs_unchanged += 1
+        return
+    # incremental, never destructive: cache runs only grow, so existing trial
+    # keys are kept and only the new content addresses insert
+    report.runs_added += 1 if disposition == "added" else 0
+    report.runs_replaced += 1 if disposition == "replaced" else 0
+    known = {
+        row["trial_key"]
+        for row in conn.execute(
+            "SELECT trial_key FROM trials WHERE run_id = ?", (run_id,)
+        )
+    }
+    param_names = param_names_for(scenario, None)
+    added = 0
+    for entry in entries:
+        if entry.stem in known:
+            continue
+        try:
+            payload = json.loads(entry.read_text())
+            record = payload["record"]
+            if not isinstance(record, dict):
+                raise TypeError("record is not an object")
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            # not-yet-quarantined corruption: skip it exactly like the cache
+            # layer would (it becomes a miss there, a non-row here)
+            report.quarantined_skipped += 1
+            _QUARANTINED_SKIPPED.inc()
+            continue
+        _insert_trial(conn, run_id, record, param_names, trial_key=entry.stem)
+        added += 1
+    report.trials_added += added
+    _RUNS_INGESTED.inc()
+    _TRIALS_INGESTED.inc(added)
+    logger.info("warehouse: %s cache run %d from %s (%d new trials)",
+                disposition, run_id, directory, added)
+
+
+def ingest_path(
+    conn: sqlite3.Connection, path: Path | str, source: str | None = None
+) -> IngestReport:
+    """Discover and ingest every artifact under ``path`` (one transaction each).
+
+    ``source`` overrides the discovered source tag (the sweep service passes
+    ``'service'`` for its per-job directories).  Returns the cumulative
+    :class:`IngestReport`; an empty directory — e.g. a cache that has never
+    stored a trial — is a clean no-op, not an error.
+    """
+    report = IngestReport()
+    with span("warehouse.ingest", path=str(path)):
+        for kind, directory in discover(path):
+            report.sources_scanned += 1
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                if kind == "cache":
+                    _ingest_cache_dir(conn, directory, report)
+                else:
+                    _ingest_store_dir(conn, directory, source or kind, report)
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+    return report

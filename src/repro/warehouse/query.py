@@ -1,0 +1,245 @@
+"""Read-side of the warehouse: runs, trials and parameter-range filters.
+
+Queries never touch the source artifacts — they answer entirely from the
+SQLite index, so "every run of this scenario ever ingested" is one indexed
+``SELECT`` instead of a crawl over content-addressed hash directories.
+
+Filtering is built from :class:`ParamFilter` predicates
+(``name <op> value``, parsed from CLI strings like ``snr_db>=-3`` by
+:func:`parse_filter`).  A filter applies to *trials*; a *run* matches when at
+least one of its trials satisfies every filter — which is the useful reading
+of "runs that swept SNR down to -9 dB".
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.telemetry.metrics import counter
+
+__all__ = [
+    "ParamFilter",
+    "RunInfo",
+    "TrialRow",
+    "parse_filter",
+    "select_runs",
+    "select_trials",
+    "metric_names",
+]
+
+_QUERIES = counter("warehouse.queries")
+
+#: Comparison operators, longest first so ``>=`` never parses as ``>``.
+_OPERATORS = (">=", "<=", "!=", "==", ">", "<", "=")
+
+#: Operators as SQL (``=``/``==`` normalise to one spelling).
+_SQL_OPS = {">=": ">=", "<=": "<=", "!=": "!=", "==": "=", ">": ">", "<": "<", "=": "="}
+
+
+@dataclass(frozen=True)
+class ParamFilter:
+    """One trial-parameter predicate: ``name <op> value``."""
+
+    name: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        """Reject unknown operators at construction, not at SQL-build time."""
+        if self.op not in _SQL_OPS:
+            raise ValueError(
+                f"unknown operator {self.op!r}; expected one of {', '.join(_SQL_OPS)}"
+            )
+
+    def sql(self, table: str = "params") -> tuple[str, list[Any]]:
+        """The ``EXISTS`` subquery (and its bind values) matching this filter."""
+        op = _SQL_OPS[self.op]
+        if isinstance(self.value, bool):
+            column, bound = "value_num", float(self.value)
+        elif isinstance(self.value, (int, float)):
+            column, bound = "value_num", float(self.value)
+        else:
+            column, bound = "value_text", str(self.value)
+        clause = (
+            f"EXISTS (SELECT 1 FROM {table} f WHERE f.trial_id = t.trial_id"
+            f" AND f.name = ? AND f.{column} {op} ?)"
+        )
+        return clause, [self.name, bound]
+
+
+def _parse_value(token: str) -> int | float | str | bool:
+    """Parse a filter value the same way the CLI parses ``--set`` values."""
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            pass
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    return token
+
+
+def parse_filter(expression: str) -> ParamFilter:
+    """Parse ``"snr_db>=-3"`` / ``"scheme=DSSS"`` into a :class:`ParamFilter`."""
+    for op in _OPERATORS:
+        name, separator, value = expression.partition(op)
+        if separator and name:
+            return ParamFilter(name=name.strip(), op=op, value=_parse_value(value.strip()))
+    raise ValueError(
+        f"cannot parse filter {expression!r}; expected NAME<op>VALUE with one of "
+        f"{', '.join(_OPERATORS)}"
+    )
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One warehouse run row, with its spec/stats JSON decoded."""
+
+    run_id: int
+    run_key: str
+    source: str
+    source_path: str
+    scenario: str
+    scenario_version: str | None
+    ingested_at: float
+    num_trials: int
+    spec: dict[str, Any] | None
+    stats: dict[str, Any] | None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The run as a JSON-ready dict (CLI/API output)."""
+        return {
+            "run_id": self.run_id,
+            "run_key": self.run_key,
+            "source": self.source,
+            "source_path": self.source_path,
+            "scenario": self.scenario,
+            "scenario_version": self.scenario_version,
+            "ingested_at": self.ingested_at,
+            "num_trials": self.num_trials,
+            "spec": self.spec,
+            "stats": self.stats,
+        }
+
+
+@dataclass(frozen=True)
+class TrialRow:
+    """One trial: its owning run and the verbatim tidy record."""
+
+    run_id: int
+    trial_id: int
+    record: dict[str, Any]
+
+
+def _run_info(row: sqlite3.Row) -> RunInfo:
+    return RunInfo(
+        run_id=row["run_id"],
+        run_key=row["run_key"],
+        source=row["source"],
+        source_path=row["source_path"],
+        scenario=row["scenario"],
+        scenario_version=row["scenario_version"],
+        ingested_at=row["ingested_at"],
+        num_trials=row["num_trials"],
+        spec=json.loads(row["spec_json"]) if row["spec_json"] else None,
+        stats=json.loads(row["stats_json"]) if row["stats_json"] else None,
+    )
+
+
+def select_runs(
+    conn: sqlite3.Connection,
+    scenario: str | None = None,
+    version: str | None = None,
+    source: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    where: Sequence[ParamFilter] = (),
+) -> list[RunInfo]:
+    """Runs matching the filters, oldest ingested first.
+
+    ``since``/``until`` bound ``ingested_at`` (POSIX seconds) — the
+    time-window half of ``repro compare``.  ``where`` predicates must all be
+    satisfied by at least one trial of the run.
+    """
+    _QUERIES.inc()
+    clauses: list[str] = []
+    binds: list[Any] = []
+    for column, value in (
+        ("scenario = ?", scenario),
+        ("scenario_version = ?", version),
+        ("source = ?", source),
+        ("ingested_at >= ?", since),
+        ("ingested_at <= ?", until),
+    ):
+        if value is not None:
+            clauses.append(f"r.{column}")
+            binds.append(value)
+    for predicate in where:
+        sub, sub_binds = predicate.sql()
+        clauses.append(
+            "EXISTS (SELECT 1 FROM trials t WHERE t.run_id = r.run_id AND "
+            + sub + ")"
+        )
+        binds.extend(sub_binds)
+    sql = "SELECT r.* FROM runs r"
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    sql += " ORDER BY r.ingested_at, r.run_id"
+    return [_run_info(row) for row in conn.execute(sql, binds)]
+
+
+def select_trials(
+    conn: sqlite3.Connection,
+    run_ids: Iterable[int] | None = None,
+    scenario: str | None = None,
+    where: Sequence[ParamFilter] = (),
+    limit: int | None = None,
+) -> list[TrialRow]:
+    """Trials matching the filters, in (run, trial-index) order."""
+    _QUERIES.inc()
+    clauses: list[str] = []
+    binds: list[Any] = []
+    if run_ids is not None:
+        ids = list(run_ids)
+        placeholders = ", ".join("?" for _ in ids)
+        clauses.append(f"t.run_id IN ({placeholders})")
+        binds.extend(ids)
+    if scenario is not None:
+        clauses.append("r.scenario = ?")
+        binds.append(scenario)
+    for predicate in where:
+        sub, sub_binds = predicate.sql()
+        clauses.append(sub)
+        binds.extend(sub_binds)
+    sql = (
+        "SELECT t.run_id, t.trial_id, t.record_json FROM trials t"
+        " JOIN runs r ON r.run_id = t.run_id"
+    )
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    sql += " ORDER BY t.run_id, t.trial_index, t.trial_id"
+    if limit is not None:
+        sql += " LIMIT ?"
+        binds.append(int(limit))
+    return [
+        TrialRow(
+            run_id=row["run_id"],
+            trial_id=row["trial_id"],
+            record=json.loads(row["record_json"]),
+        )
+        for row in conn.execute(sql, binds)
+    ]
+
+
+def metric_names(conn: sqlite3.Connection, run_id: int, numeric_only: bool = True) -> list[str]:
+    """The metric column names recorded for one run (sorted)."""
+    sql = (
+        "SELECT DISTINCT m.name FROM metrics m"
+        " JOIN trials t ON t.trial_id = m.trial_id WHERE t.run_id = ?"
+    )
+    if numeric_only:
+        sql += " AND m.kind = 'num'"
+    return sorted(row["name"] for row in conn.execute(sql, (run_id,)))

@@ -1,0 +1,163 @@
+"""SQLite schema of the result warehouse (versioned, crash-safe).
+
+The warehouse is one SQLite file holding a normalized index over every
+ingested run:
+
+* ``warehouse_meta`` — key/value metadata, most importantly
+  ``schema_version``.  Opening a database whose version differs from
+  :data:`SCHEMA_VERSION` raises :class:`SchemaVersionError` (the documented
+  error for readers built against a different warehouse layout — delete or
+  re-ingest the file rather than guessing at its tables);
+* ``runs`` — one row per ingested artifact source (a ``ResultStore`` output
+  directory, a sweep-service per-job directory, or one scenario of a trial
+  cache), identified by ``source_path`` and fingerprinted by ``run_key``
+  (a content hash — the idempotency anchor re-ingestion checks first);
+* ``trials`` — one row per trial record, carrying the verbatim record JSON
+  plus the identity columns (``trial_index``, ``replicate``, ``seed``) and,
+  for cache-sourced trials, the cache file's content-address key;
+* ``params`` / ``metrics`` — the record's columns unpivoted to
+  ``(trial_id, name, kind, value_num, value_text)`` rows so SQL can filter
+  on parameter ranges and aggregate metric values without parsing JSON.
+
+Crash safety follows the repository's artifact conventions by construction:
+every ingest runs inside one SQLite transaction (``BEGIN IMMEDIATE`` …
+``COMMIT``), and SQLite's rollback journal guarantees a reader never observes
+a half-ingested run — the transactional equivalent of the temp-file +
+``os.replace`` contract the JSONL/CSV artifacts use.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "SchemaVersionError", "connect", "ensure_schema"]
+
+#: Version of the table layout below.  Bump on any incompatible change; old
+#: warehouse files then fail loudly with :class:`SchemaVersionError` instead
+#: of answering queries from tables with different semantics.
+SCHEMA_VERSION = 1
+
+_TABLES = """
+CREATE TABLE warehouse_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE runs (
+    run_id           INTEGER PRIMARY KEY,
+    run_key          TEXT NOT NULL,
+    source           TEXT NOT NULL,
+    source_path      TEXT NOT NULL UNIQUE,
+    scenario         TEXT NOT NULL,
+    scenario_version TEXT,
+    ingested_at      REAL NOT NULL,
+    num_trials       INTEGER NOT NULL,
+    spec_json        TEXT,
+    stats_json       TEXT
+);
+CREATE INDEX runs_scenario ON runs(scenario);
+
+CREATE TABLE trials (
+    trial_id    INTEGER PRIMARY KEY,
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    trial_key   TEXT,
+    trial_index INTEGER,
+    replicate   INTEGER,
+    seed        INTEGER,
+    record_json TEXT NOT NULL
+);
+CREATE INDEX trials_run ON trials(run_id);
+CREATE UNIQUE INDEX trials_run_key ON trials(run_id, trial_key)
+    WHERE trial_key IS NOT NULL;
+
+CREATE TABLE params (
+    trial_id   INTEGER NOT NULL REFERENCES trials(trial_id) ON DELETE CASCADE,
+    name       TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    value_num  REAL,
+    value_text TEXT
+);
+CREATE INDEX params_trial ON params(trial_id);
+CREATE INDEX params_name ON params(name, value_num);
+
+CREATE TABLE metrics (
+    trial_id   INTEGER NOT NULL REFERENCES trials(trial_id) ON DELETE CASCADE,
+    name       TEXT NOT NULL,
+    kind       TEXT NOT NULL,
+    value_num  REAL,
+    value_text TEXT
+);
+CREATE INDEX metrics_trial ON metrics(trial_id);
+CREATE INDEX metrics_name ON metrics(name, value_num);
+"""
+
+
+class SchemaVersionError(RuntimeError):
+    """The warehouse file was written with an incompatible schema version.
+
+    Raised on open (never mid-query), naming both versions.  The remedy is to
+    re-ingest into a fresh file — ingestion is cheap and the source artifacts
+    (results directories, caches) remain the ground truth.
+    """
+
+    def __init__(self, found: str, expected: int) -> None:
+        """Build the actionable message from the found/expected versions."""
+        super().__init__(
+            f"warehouse schema version {found!r} does not match the supported "
+            f"version {expected}; re-ingest into a fresh warehouse file "
+            "(the source result directories and caches are unaffected)"
+        )
+        self.found = found
+        self.expected = expected
+
+
+def connect(path: Path | str) -> sqlite3.Connection:
+    """Open (creating if needed) a warehouse database and validate its schema.
+
+    The connection has foreign keys on (so deleting a run cascades through
+    its trials/params/metrics) and autocommit semantics — writers open their
+    own explicit ``BEGIN IMMEDIATE`` transactions so each ingest commits
+    atomically.  Raises :class:`SchemaVersionError` on a version mismatch.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(path, isolation_level=None)
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA foreign_keys = ON")
+    try:
+        ensure_schema(conn)
+    except BaseException:
+        conn.close()
+        raise
+    return conn
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create the tables on a fresh database; verify the version otherwise."""
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' AND name = 'warehouse_meta'"
+    ).fetchone()
+    if row is None:
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # statement-by-statement (executescript would COMMIT the pending
+            # transaction first, defeating the all-or-nothing creation)
+            for statement in _TABLES.split(";"):
+                if statement.strip():
+                    conn.execute(statement)
+            conn.execute(
+                "INSERT INTO warehouse_meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return
+    found = conn.execute(
+        "SELECT value FROM warehouse_meta WHERE key = 'schema_version'"
+    ).fetchone()
+    version = found["value"] if found is not None else "<missing>"
+    if version != str(SCHEMA_VERSION):
+        raise SchemaVersionError(version, SCHEMA_VERSION)

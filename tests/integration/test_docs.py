@@ -1,0 +1,46 @@
+"""The documentation gates, runnable locally: CLI-reference drift and links.
+
+CI runs the same two scripts in its docs job; these tests make the gates
+part of tier-1 so a parser change that forgets to regenerate ``docs/cli.md``
+fails fast on the developer's machine, not in review.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / script), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+
+
+class TestCliReference:
+    def test_committed_reference_matches_the_parser(self):
+        result = _run("gen_cli_reference.py", "--check")
+        assert result.returncode == 0, result.stderr
+
+    def test_reference_documents_every_subcommand(self):
+        text = (REPO_ROOT / "docs" / "cli.md").read_text()
+        from repro.cli import build_parser
+        import argparse
+
+        parser = build_parser()
+        (subparsers,) = [
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        ]
+        for name in subparsers.choices:
+            assert f"## repro {name}" in text, f"docs/cli.md lacks a section for {name!r}"
+
+
+class TestDocsLinks:
+    def test_all_relative_links_resolve(self):
+        result = _run("check_docs_links.py")
+        assert result.returncode == 0, result.stderr

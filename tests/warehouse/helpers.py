@@ -1,0 +1,76 @@
+"""Builders for warehouse tests: synthetic result artifacts on disk.
+
+These write the *exact* artifact shapes the experiments layer produces
+(``ResultStore`` directories, ``ResultCache`` fan-outs) without running any
+engine, so ingestion edge cases are cheap to set up.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.cache import trial_key
+from repro.experiments.store import ResultStore
+
+
+def make_records(
+    scenario: str,
+    params: list[dict[str, Any]],
+    metrics: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Tidy records as ``run_sweep`` would emit them (identity + params + metrics)."""
+    assert len(params) == len(metrics)
+    return [
+        {
+            "scenario": scenario,
+            "trial_index": index,
+            "replicate": 0,
+            "seed": 1000 + index,
+            **param,
+            **metric,
+        }
+        for index, (param, metric) in enumerate(zip(params, metrics))
+    ]
+
+
+def make_store_dir(directory, records, spec=None, stats=None):
+    """Write a ``ResultStore`` directory (results.jsonl/csv + manifest.json)."""
+    ResultStore(directory).write(records, spec=spec, stats=stats)
+    return directory
+
+
+def cache_put(cache, record):
+    """Store one tidy record in a ``ResultCache`` under its real content key."""
+    scenario = record["scenario"]
+    params = {
+        name: value
+        for name, value in record.items()
+        if name not in ("scenario", "trial_index", "replicate", "seed")
+    }
+    key = trial_key(scenario, "1", params, record["seed"])
+    cache.put(scenario, key, record)
+    return key
+
+
+def ser_spec() -> dict[str, Any]:
+    """A manifest spec dict for a synthetic modem-ser-vs-snr run."""
+    return {
+        "scenario": "modem-ser-vs-snr",
+        "grid": {"snr_db": [-9, -6, -3], "scheme": ["DSSS"]},
+        "zipped": {},
+        "base": {},
+        "replicates": 1,
+        "seed": 1,
+    }
+
+
+def make_ser_run(directory, ser_values):
+    """A synthetic modem-ser-vs-snr store run with the given SER curve."""
+    snrs = [-9, -6, -3]
+    assert len(ser_values) == len(snrs)
+    records = make_records(
+        "modem-ser-vs-snr",
+        params=[{"snr_db": snr, "scheme": "DSSS"} for snr in snrs],
+        metrics=[{"ser": ser} for ser in ser_values],
+    )
+    return make_store_dir(directory, records, spec=ser_spec())

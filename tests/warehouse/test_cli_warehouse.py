@@ -1,0 +1,110 @@
+"""CLI acceptance tests for ``repro ingest`` / ``repro query`` / ``repro compare``.
+
+Pins the PR's acceptance criterion: over a freshly ingested two-run
+warehouse, ``repro query --scenario modem-ser-vs-snr`` returns both runs and
+``repro compare`` emits a metric-diff report with regression highlighting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.warehouse.helpers import make_ser_run
+
+
+@pytest.fixture
+def two_run_db(tmp_path):
+    """Ingest two synthetic modem-ser-vs-snr runs; returns the --db path."""
+    db = str(tmp_path / "wh.sqlite")
+    make_ser_run(tmp_path / "baseline", [0.30, 0.10, 0.02])
+    make_ser_run(tmp_path / "candidate", [0.30, 0.10, 0.05])
+    assert main(["ingest", str(tmp_path / "baseline"), str(tmp_path / "candidate"),
+                 "--db", db]) == 0
+    return db
+
+
+class TestIngestCommand:
+    def test_reports_counts_and_is_idempotent(self, tmp_path, capsys):
+        db = str(tmp_path / "wh.sqlite")
+        make_ser_run(tmp_path / "run", [0.3, 0.1, 0.02])
+        assert main(["ingest", str(tmp_path / "run"), "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "runs_added: 1" in out and "trials_added: 3" in out
+        assert main(["ingest", str(tmp_path / "run"), "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "runs_unchanged: 1" in out and "trials_added: 0" in out
+
+    def test_missing_path_is_a_clean_cli_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to ingest"):
+            main(["ingest", str(tmp_path / "nope"), "--db", str(tmp_path / "wh.sqlite")])
+
+
+class TestQueryCommand:
+    def test_scenario_query_returns_both_runs(self, two_run_db, capsys):
+        assert main(["query", "--db", two_run_db, "--scenario", "modem-ser-vs-snr"]) == 0
+        out = capsys.readouterr().out
+        assert "2 warehouse run(s)" in out
+        assert "baseline" in out and "candidate" in out
+
+    def test_json_output_is_machine_readable(self, two_run_db, capsys):
+        assert main(["query", "--db", two_run_db, "--format", "json"]) == 0
+        runs = json.loads(capsys.readouterr().out)
+        assert len(runs) == 2
+        assert {run["scenario"] for run in runs} == {"modem-ser-vs-snr"}
+        assert all(run["num_trials"] == 3 for run in runs)
+
+    def test_trials_mode_honours_where_filters(self, two_run_db, capsys):
+        assert main(["query", "--db", two_run_db, "--trials",
+                     "--where", "snr_db>=-6", "--where", "scheme=DSSS",
+                     "--format", "json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4  # 2 runs x 2 qualifying SNR points
+        assert all(record["snr_db"] >= -6 for record in records)
+
+    def test_csv_output_has_a_header_row(self, two_run_db, capsys):
+        assert main(["query", "--db", two_run_db, "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("run,scenario,")
+        assert len(lines) == 3
+
+    def test_bad_where_expression_is_a_clean_cli_error(self, two_run_db):
+        with pytest.raises(SystemExit, match="cannot parse filter"):
+            main(["query", "--db", two_run_db, "--where", "snr_db"])
+
+    def test_bad_since_value_is_a_clean_cli_error(self, two_run_db):
+        with pytest.raises(SystemExit, match="--since expects an ISO"):
+            main(["query", "--db", two_run_db, "--since", "yesterday"])
+
+
+class TestCompareCommand:
+    def test_emits_a_metric_diff_report_with_regression_flag(self, two_run_db, capsys):
+        assert main(["compare", "1", "2", "--db", two_run_db, "--by", "snr_db"]) == 0
+        out = capsys.readouterr().out
+        assert "Run A mean" in out and "Run B mean" in out
+        assert "regression" in out
+        assert "1 regression(s) beyond 10%" in out
+
+    def test_latest_prev_references_scoped_by_scenario(self, two_run_db, capsys):
+        assert main(["compare", "prev", "latest", "--db", two_run_db,
+                     "--scenario", "modem-ser-vs-snr", "--metric", "ser"]) == 0
+        assert "ser" in capsys.readouterr().out
+
+    def test_fail_on_regression_exits_nonzero(self, two_run_db):
+        with pytest.raises(SystemExit, match="1 metric regression"):
+            main(["compare", "1", "2", "--db", two_run_db, "--by", "snr_db",
+                  "--fail-on-regression"])
+
+    def test_json_report_carries_classifications(self, two_run_db, capsys):
+        assert main(["compare", "1", "2", "--db", two_run_db, "--by", "snr_db",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_regressions"] == 1
+        classes = {cell["classification"] for cell in payload["diffs"]}
+        assert "regression" in classes
+
+    def test_unknown_run_reference_is_a_clean_cli_error(self, two_run_db):
+        with pytest.raises(SystemExit, match="no run with id 99"):
+            main(["compare", "99", "1", "--db", two_run_db])

@@ -1,0 +1,179 @@
+"""Ingestion: discovery, idempotency, incremental caches, quarantine skips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+from repro.warehouse import Warehouse, discover
+from tests.warehouse.helpers import cache_put, make_records, make_ser_run, make_store_dir
+
+
+@pytest.fixture
+def warehouse(tmp_path):
+    return Warehouse(tmp_path / "wh.sqlite")
+
+
+def _platform_records():
+    return make_records(
+        "platform-energy",
+        params=[{"platform": name} for name in ("a", "b", "c")],
+        metrics=[{"energy_uj": value} for value in (10.0, 20.0, 30.0)],
+    )
+
+
+class TestDiscovery:
+    def test_store_service_and_cache_dirs_are_classified(self, tmp_path):
+        make_store_dir(tmp_path / "direct", _platform_records())
+        make_store_dir(tmp_path / "data" / "jobs" / "job-1", _platform_records())
+        cache = ResultCache(tmp_path / "cache")
+        cache_put(cache, _platform_records()[0])
+        found = {(kind, path.name) for kind, path in discover(tmp_path)}
+        assert ("store", "direct") in found
+        assert ("service", "job-1") in found
+        assert ("cache", "platform-energy") in found
+
+    def test_a_results_jsonl_file_is_accepted_directly(self, tmp_path):
+        directory = make_store_dir(tmp_path / "run", _platform_records())
+        found = list(discover(directory / "results.jsonl"))
+        assert found == [("store", directory)]
+
+    def test_nothing_to_ingest_is_an_error(self, tmp_path, warehouse):
+        with pytest.raises(FileNotFoundError, match="nothing to ingest"):
+            warehouse.ingest(tmp_path / "does-not-exist")
+
+
+class TestStoreIngestion:
+    def test_one_run_with_params_and_metrics_split_by_the_spec(self, tmp_path, warehouse):
+        spec = {"scenario": "platform-energy", "grid": {"platform": ["a", "b", "c"]},
+                "zipped": {}, "base": {}}
+        make_store_dir(tmp_path / "run", _platform_records(), spec=spec)
+        report = warehouse.ingest(tmp_path / "run")
+        assert report.runs_added == 1 and report.trials_added == 3
+        (run,) = warehouse.runs()
+        assert run.scenario == "platform-energy"
+        assert run.source == "store"
+        assert run.num_trials == 3
+        assert run.spec == spec
+        assert warehouse.metric_names(run.run_id) == ["energy_uj"]
+
+    def test_reingest_is_idempotent_zero_new_rows(self, tmp_path, warehouse):
+        make_store_dir(tmp_path / "run", _platform_records())
+        warehouse.ingest(tmp_path / "run")
+        before = warehouse.counts()
+        report = warehouse.ingest(tmp_path / "run")
+        assert report.runs_unchanged == 1
+        assert report.runs_added == 0 and report.trials_added == 0
+        assert warehouse.counts() == before
+
+    def test_changed_store_dir_is_replaced_under_the_same_run_id(self, tmp_path, warehouse):
+        directory = make_store_dir(tmp_path / "run", _platform_records())
+        warehouse.ingest(directory)
+        (original,) = warehouse.runs()
+
+        changed = make_records(
+            "platform-energy",
+            params=[{"platform": name} for name in ("a", "b")],
+            metrics=[{"energy_uj": value} for value in (11.0, 21.0)],
+        )
+        make_store_dir(directory, changed)
+        report = warehouse.ingest(directory)
+        assert report.runs_replaced == 1 and report.trials_added == 2
+        (run,) = warehouse.runs()
+        assert run.run_id == original.run_id
+        assert run.num_trials == 2
+        assert len(warehouse.trials(run_ids=[run.run_id])) == 2  # no stale rows
+
+    def test_without_a_manifest_the_scenario_comes_from_the_records(self, tmp_path, warehouse):
+        directory = make_store_dir(tmp_path / "run", _platform_records())
+        (directory / "manifest.json").unlink(missing_ok=True)
+        warehouse.ingest(directory)
+        (run,) = warehouse.runs()
+        assert run.scenario == "platform-energy"
+        assert run.spec is None
+
+
+class TestCacheIngestion:
+    def test_empty_cache_dir_is_a_clean_no_op(self, tmp_path, warehouse):
+        empty = tmp_path / "cache"
+        empty.mkdir()
+        report = warehouse.ingest(empty)
+        assert report.to_dict() == {
+            "sources_scanned": 0, "runs_added": 0, "runs_replaced": 0,
+            "runs_unchanged": 0, "trials_added": 0, "quarantined_skipped": 0,
+        }
+        assert warehouse.counts()["runs"] == 0
+
+    def test_cache_entries_become_one_run_per_scenario(self, tmp_path, warehouse):
+        cache = ResultCache(tmp_path / "cache")
+        for record in _platform_records():
+            cache_put(cache, record)
+        report = warehouse.ingest(tmp_path / "cache")
+        assert report.runs_added == 1 and report.trials_added == 3
+        (run,) = warehouse.runs(source="cache")
+        assert run.scenario == "platform-energy"
+
+    def test_cache_runs_grow_incrementally(self, tmp_path, warehouse):
+        cache = ResultCache(tmp_path / "cache")
+        records = _platform_records()
+        for record in records[:2]:
+            cache_put(cache, record)
+        warehouse.ingest(tmp_path / "cache")
+        cache_put(cache, records[2])
+        report = warehouse.ingest(tmp_path / "cache")
+        assert report.runs_replaced == 1  # the run row is refreshed...
+        assert report.trials_added == 1  # ...but only the new entry inserts
+        (run,) = warehouse.runs(source="cache")
+        assert len(warehouse.trials(run_ids=[run.run_id])) == 3
+
+    def test_quarantined_files_are_skipped_and_counted(self, tmp_path, warehouse):
+        cache = ResultCache(tmp_path / "cache")
+        records = _platform_records()
+        for record in records[:2]:
+            cache_put(cache, record)
+        key = cache_put(cache, records[2])
+        # quarantine one entry the way the cache layer does (rename), and
+        # plant one not-yet-quarantined corrupt payload
+        path = tmp_path / "cache" / "platform-energy" / key[:2] / f"{key}.json"
+        path.rename(path.with_suffix(".json.corrupt"))
+        bad_key = "f" * 40
+        bad = tmp_path / "cache" / "platform-energy" / bad_key[:2] / f"{bad_key}.json"
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("{not json")
+
+        report = warehouse.ingest(tmp_path / "cache")
+        assert report.quarantined_skipped == 2
+        assert report.trials_added == 2  # only the healthy entries
+
+    def test_cache_payload_without_a_record_object_counts_as_quarantined(
+        self, tmp_path, warehouse
+    ):
+        key = "a" * 40
+        path = tmp_path / "cache" / "demo-scenario" / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"key": key, "record": "not-a-dict"}))
+        report = warehouse.ingest(tmp_path / "cache")
+        assert report.quarantined_skipped == 1
+        assert report.trials_added == 0
+
+
+class TestMixedIngestion:
+    def test_service_data_dir_and_direct_sweep_land_as_distinct_sources(
+        self, tmp_path, warehouse
+    ):
+        make_store_dir(tmp_path / "data" / "jobs" / "job-1", _platform_records())
+        make_ser_run(tmp_path / "direct", [0.3, 0.1, 0.02])
+        report = warehouse.ingest(tmp_path / "data", tmp_path / "direct")
+        assert report.runs_added == 2
+        assert {run.source for run in warehouse.runs()} == {"service", "store"}
+        assert {run.scenario for run in warehouse.runs()} == {
+            "platform-energy", "modem-ser-vs-snr",
+        }
+
+    def test_registered_scenarios_get_their_version_stamped(self, tmp_path, warehouse):
+        make_ser_run(tmp_path / "run", [0.3, 0.1, 0.02])
+        warehouse.ingest(tmp_path / "run")
+        (run,) = warehouse.runs()
+        assert run.scenario_version is not None  # from the live registry

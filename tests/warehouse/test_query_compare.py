@@ -1,0 +1,148 @@
+"""Query filters, run resolution, and the comparison/regression report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.warehouse import Warehouse, compare_runs, parse_filter, render_comparison
+from repro.warehouse.compare import MetricDiff
+from repro.warehouse.schema import connect
+from tests.warehouse.helpers import make_records, make_ser_run, make_store_dir
+
+
+@pytest.fixture
+def two_ser_runs(tmp_path):
+    """A warehouse holding a baseline SER curve and a degraded one."""
+    warehouse = Warehouse(tmp_path / "wh.sqlite")
+    make_ser_run(tmp_path / "baseline", [0.30, 0.10, 0.02])
+    make_ser_run(tmp_path / "degraded", [0.30, 0.10, 0.05])  # worse at -3 dB
+    warehouse.ingest(tmp_path / "baseline")
+    warehouse.ingest(tmp_path / "degraded")
+    return warehouse
+
+
+class TestParseFilter:
+    @pytest.mark.parametrize(
+        "expression, name, op, value",
+        [
+            ("snr_db>=-3", "snr_db", ">=", -3),
+            ("snr_db<0", "snr_db", "<", 0),
+            ("scheme=DSSS", "scheme", "=", "DSSS"),
+            ("scheme!=FSK", "scheme", "!=", "FSK"),
+            ("word_length==8", "word_length", "==", 8),
+            ("duty == 0.5", "duty", "==", 0.5),
+        ],
+    )
+    def test_expressions(self, expression, name, op, value):
+        predicate = parse_filter(expression)
+        assert (predicate.name, predicate.op, predicate.value) == (name, op, value)
+
+    def test_malformed_expression_rejected(self):
+        with pytest.raises(ValueError, match="NAME<op>VALUE"):
+            parse_filter("snr_db")
+        with pytest.raises(ValueError, match="NAME<op>VALUE"):
+            parse_filter("=3")
+
+
+class TestQueries:
+    def test_scenario_and_where_filters_select_the_right_runs(self, two_ser_runs):
+        runs = two_ser_runs.runs(scenario="modem-ser-vs-snr")
+        assert len(runs) == 2
+        assert two_ser_runs.runs(scenario="no-such-scenario") == []
+        # a run matches when at least one trial satisfies every predicate
+        assert len(two_ser_runs.runs(where=[parse_filter("snr_db>=-3")])) == 2
+        assert two_ser_runs.runs(where=[parse_filter("snr_db>100")]) == []
+
+    def test_trial_filters_combine_and_limit(self, two_ser_runs):
+        trials = two_ser_runs.trials(
+            where=[parse_filter("scheme=DSSS"), parse_filter("snr_db>=-6")]
+        )
+        assert len(trials) == 4  # two runs x two qualifying SNR points
+        assert all(trial.record["snr_db"] >= -6 for trial in trials)
+        assert len(two_ser_runs.trials(limit=3)) == 3
+
+    def test_resolve_latest_prev_and_failure_modes(self, two_ser_runs):
+        latest = two_ser_runs.resolve("latest", scenario="modem-ser-vs-snr")
+        prev = two_ser_runs.resolve("prev", scenario="modem-ser-vs-snr")
+        assert latest.ingested_at >= prev.ingested_at
+        assert latest.run_id != prev.run_id
+        assert two_ser_runs.resolve(str(prev.run_id)).run_id == prev.run_id
+        with pytest.raises(LookupError, match="no run with id 999"):
+            two_ser_runs.resolve(999)
+        with pytest.raises(LookupError, match="neither an id nor"):
+            two_ser_runs.resolve("newest")
+        with pytest.raises(LookupError, match="holds 0 matching"):
+            two_ser_runs.resolve("latest", scenario="no-such-scenario")
+
+
+class TestComparison:
+    def test_regression_is_flagged_on_the_degraded_point(self, two_ser_runs):
+        report = two_ser_runs.compare("prev", "latest", by="snr_db",
+                                      scenario="modem-ser-vs-snr")
+        flagged = {
+            (diff.metric, diff.by_value): diff.classify(
+                report.threshold, report.higher_is_better
+            )
+            for diff in report.diffs
+        }
+        assert flagged[("ser", -3)] == "regression"  # 0.02 -> 0.05
+        assert flagged[("ser", -9)] == ""
+        assert len(report.regressions) == 1
+
+    def test_higher_is_better_flips_polarity(self, two_ser_runs):
+        report = two_ser_runs.compare(
+            "prev", "latest", by="snr_db", higher_is_better=True,
+            scenario="modem-ser-vs-snr",
+        )
+        assert report.regressions == []
+        improvements = [
+            diff for diff in report.diffs
+            if diff.classify(report.threshold, True) == "improvement"
+        ]
+        assert len(improvements) == 1
+
+    def test_groups_present_in_one_run_only_are_kept(self, tmp_path):
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        make_store_dir(
+            tmp_path / "a",
+            make_records("demo", params=[{"x": 1}], metrics=[{"y": 1.0}]),
+        )
+        make_store_dir(
+            tmp_path / "b",
+            make_records("demo", params=[{"x": 2}], metrics=[{"y": 2.0}]),
+        )
+        warehouse.ingest(tmp_path / "a", tmp_path / "b")
+        report = warehouse.compare("prev", "latest", by="x")
+        classes = {
+            diff.by_value: diff.classify(report.threshold, False)
+            for diff in report.diffs
+        }
+        assert classes == {1: "only-a", 2: "only-b"}
+
+    def test_zero_baseline_reads_as_infinite_change_but_json_safe(self):
+        diff = MetricDiff(metric="ser", by=None, by_value=None,
+                          mean_a=0.0, mean_b=0.5, count_a=1, count_b=1)
+        assert diff.relative_change == float("inf")
+        assert diff.classify(0.1, higher_is_better=False) == "regression"
+        both_zero = MetricDiff(metric="ser", by=None, by_value=None,
+                               mean_a=0.0, mean_b=0.0, count_a=1, count_b=1)
+        assert both_zero.relative_change == 0.0
+
+    def test_report_round_trips_to_dict_and_renders(self, two_ser_runs, tmp_path):
+        report = two_ser_runs.compare("prev", "latest", by="snr_db",
+                                      scenario="modem-ser-vs-snr")
+        payload = report.to_dict()
+        assert payload["num_regressions"] == 1
+        assert all("classification" in cell for cell in payload["diffs"])
+        text = render_comparison(report)
+        assert "regression" in text
+        assert "1 regression(s) beyond 10%" in text
+
+    def test_default_metric_set_is_the_shared_numeric_metrics(self, two_ser_runs):
+        runs = two_ser_runs.runs(scenario="modem-ser-vs-snr")
+        conn = connect(two_ser_runs.path)
+        try:
+            report = compare_runs(conn, runs[0], runs[1])
+        finally:
+            conn.close()
+        assert {diff.metric for diff in report.diffs} == {"ser"}

@@ -1,0 +1,75 @@
+"""Schema creation, reopening, and the version-mismatch contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.warehouse import SCHEMA_VERSION, SchemaVersionError, Warehouse
+from repro.warehouse.schema import connect
+
+
+class TestSchemaCreation:
+    def test_fresh_file_gets_all_tables_and_the_version_row(self, tmp_path):
+        conn = connect(tmp_path / "wh.sqlite")
+        try:
+            tables = {
+                row["name"]
+                for row in conn.execute("SELECT name FROM sqlite_master WHERE type='table'")
+            }
+            assert {"warehouse_meta", "runs", "trials", "params", "metrics"} <= tables
+            version = conn.execute(
+                "SELECT value FROM warehouse_meta WHERE key='schema_version'"
+            ).fetchone()["value"]
+            assert version == str(SCHEMA_VERSION)
+        finally:
+            conn.close()
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "wh.sqlite"
+        connect(path).close()
+        assert path.is_file()
+
+    def test_reopening_an_existing_file_is_a_no_op(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        connect(path).close()
+        conn = connect(path)  # must not raise or recreate
+        try:
+            count = conn.execute("SELECT COUNT(*) AS n FROM warehouse_meta").fetchone()["n"]
+            assert count == 1
+        finally:
+            conn.close()
+
+
+class TestSchemaVersionMismatch:
+    def _tamper_version(self, path, value):
+        conn = connect(path)
+        conn.execute("UPDATE warehouse_meta SET value = ? WHERE key='schema_version'", (value,))
+        conn.close()
+
+    def test_mismatched_version_raises_the_documented_error(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        self._tamper_version(path, "999")
+        with pytest.raises(SchemaVersionError, match="re-ingest into a fresh warehouse"):
+            connect(path)
+        try:
+            connect(path)
+        except SchemaVersionError as error:
+            assert error.found == "999"
+            assert error.expected == SCHEMA_VERSION
+
+    def test_missing_version_row_also_raises(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        conn = connect(path)
+        conn.execute("DELETE FROM warehouse_meta WHERE key='schema_version'")
+        conn.close()
+        with pytest.raises(SchemaVersionError, match="<missing>"):
+            connect(path)
+
+    def test_the_warehouse_facade_surfaces_the_error_on_every_operation(self, tmp_path):
+        path = tmp_path / "wh.sqlite"
+        self._tamper_version(path, "2")
+        warehouse = Warehouse(path)
+        with pytest.raises(SchemaVersionError):
+            warehouse.runs()
+        with pytest.raises(SchemaVersionError):
+            warehouse.ingest(tmp_path)
