@@ -1,0 +1,123 @@
+"""Streaming aggregation: flat memory over growing result files.
+
+The point of the segmented/streaming result layer is that analysis memory is
+O(groups), never O(records).  This benchmark writes JSONL result files of
+increasing trial counts, aggregates each with the streaming path
+(``iter_jsonl`` + ``group_stats``) and with the materialising path
+(``read_jsonl`` + in-memory list), and measures peak allocation via
+``tracemalloc``:
+
+* the streaming peak must stay essentially flat as the trial count grows
+  8x (asserted: < 2x growth — O(groups), not O(records));
+* the materialising peak grows linearly, and the printed table shows the
+  widening gap.
+
+It also times the streaming merge-and-aggregate over a multi-segment
+``SegmentedResultStore`` — the exact path an adaptive sweep's artefacts take.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+
+from repro.analysis.intervals import group_stats
+from repro.experiments.segments import SegmentedResultStore
+from repro.experiments.store import iter_jsonl, read_jsonl, write_jsonl
+from repro.utils.tables import format_table
+
+SIZES = (2_000, 4_000, 8_000, 16_000)
+GROUPS = 8
+
+
+def _make_records(count):
+    for index in range(count):
+        yield {
+            "scenario": "stream-bench",
+            "trial_index": index,
+            "replicate": index % (count // GROUPS),
+            "seed": 7_000 + index,
+            "snr_db": float(index % GROUPS),
+            "symbol_error_rate": (index % 97) / 970.0,
+        }
+
+
+def _peak_bytes(func):
+    tracemalloc.start()
+    try:
+        func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def test_bench_streaming_aggregation_memory_is_flat(tmp_path):
+    paths = {}
+    for size in SIZES:
+        path = tmp_path / f"results-{size}.jsonl"
+        write_jsonl(path, _make_records(size))
+        paths[size] = path
+
+    rows = []
+    streaming_peaks = {}
+    for size, path in paths.items():
+        streaming = _peak_bytes(
+            lambda path=path: group_stats(
+                iter_jsonl(path), by="snr_db", metric="symbol_error_rate"
+            )
+        )
+        materialised = _peak_bytes(
+            lambda path=path: group_stats(
+                read_jsonl(path), by="snr_db", metric="symbol_error_rate"
+            )
+        )
+        streaming_peaks[size] = streaming
+        rows.append((size, f"{streaming / 1024:.0f}", f"{materialised / 1024:.0f}",
+                     f"{materialised / streaming:.1f}x"))
+
+    print()
+    print(format_table(
+        ["Trials", "Streaming peak (KiB)", "Materialised peak (KiB)", "Ratio"],
+        rows,
+        title="group_stats peak allocation: iter_jsonl vs read_jsonl",
+    ))
+
+    # O(groups) memory: an 8x larger file must not move the streaming peak
+    # appreciably (2x headroom absorbs allocator/GC noise)
+    assert streaming_peaks[SIZES[-1]] < 2 * streaming_peaks[SIZES[0]], (
+        f"streaming aggregation peak grew with trial count: {streaming_peaks}"
+    )
+    # sanity: the streamed answer is the materialised answer
+    stats = group_stats(
+        iter_jsonl(paths[SIZES[0]]), by="snr_db", metric="symbol_error_rate"
+    )
+    assert sum(s.count for s in stats.values()) == SIZES[0]
+
+
+def test_bench_segment_merge_throughput(benchmark, tmp_path):
+    count = 16_000
+    store = SegmentedResultStore(tmp_path, flush_trials=2_000)
+    batch = []
+    for record in _make_records(count):
+        batch.append(record)
+        if len(batch) == 2_000:
+            store.append(batch)
+            batch.clear()
+
+    def merge_and_aggregate():
+        store.merge(spec={"scenario": "stream-bench"}, stats={"num_trials": count})
+        return group_stats(
+            iter_jsonl(tmp_path / "results.jsonl"),
+            by="snr_db", metric="symbol_error_rate",
+        )
+
+    stats = benchmark.pedantic(merge_and_aggregate, iterations=1, rounds=3)
+    assert sum(s.count for s in stats.values()) == count
+    merged = sum(1 for _ in iter_jsonl(tmp_path / "results.jsonl"))
+    assert merged == count
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["stats"]["num_trials"] == count
+    print()
+    print(f"segment merge + streamed aggregation over {count:,} trials "
+          f"in {len(store.segments())} segments")

@@ -195,6 +195,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum seconds between intermediate --progress heartbeats "
         "(default: 0.5; first and final updates always print)",
     )
+    adaptive = sweep.add_argument_group(
+        "adaptive sampling",
+        "sequential stopping: grow the sweep in waves of replicates and stop "
+        "each parameter point once the confidence interval on --metric is "
+        "tighter than --ci-width (results stream to segments/ and merge at "
+        "the end, so trial counts can exceed memory)",
+    )
+    adaptive.add_argument("--adaptive", action="store_true",
+                          help="enable sequential stopping (--replicates is ignored)")
+    adaptive.add_argument("--metric", default="symbol_error_rate",
+                          help="binomial record metric the stopping rule gates on "
+                          "(default: symbol_error_rate)")
+    adaptive.add_argument("--ci-width", type=float, default=0.01, metavar="W",
+                          help="stop a point once its CI half-width is <= W "
+                          "(default: 0.01)")
+    adaptive.add_argument("--confidence", type=float, default=0.95,
+                          help="confidence level of the stopping interval "
+                          "(default: 0.95)")
+    adaptive.add_argument("--ci-method", choices=("wilson", "clopper-pearson"),
+                          default="wilson",
+                          help="interval method (default: wilson; clopper-pearson "
+                          "is exact/conservative)")
+    adaptive.add_argument("--max-trials", type=int, default=256, metavar="N",
+                          help="hard per-point replicate ceiling (default: 256)")
+    adaptive.add_argument("--min-trials", type=int, default=4, metavar="N",
+                          help="replicates every point runs before it may stop "
+                          "(default: 4)")
+    adaptive.add_argument("--wave", type=int, default=8, metavar="N", dest="wave_trials",
+                          help="replicates each wave adds per active point "
+                          "(default: 8)")
 
     serve = subparsers.add_parser(
         "serve", help="run the sweep service: a daemon with an HTTP/JSON job API"
@@ -237,6 +267,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ask the daemon to bypass its shared cache for this job")
     submit.add_argument("--trace-job", action="store_true",
                         help="ask the daemon to record a per-job trace.jsonl")
+    submit.add_argument("--adaptive", action="store_true",
+                        help="run the job with sequential stopping (see "
+                        "'repro sweep' adaptive options)")
+    submit.add_argument("--metric", default="symbol_error_rate",
+                        help="binomial metric the adaptive rule gates on "
+                        "(default: symbol_error_rate)")
+    submit.add_argument("--ci-width", type=float, default=0.01, metavar="W",
+                        help="adaptive CI half-width target (default: 0.01)")
+    submit.add_argument("--confidence", type=float, default=0.95,
+                        help="adaptive confidence level (default: 0.95)")
+    submit.add_argument("--ci-method", choices=("wilson", "clopper-pearson"),
+                        default="wilson", help="adaptive interval method")
+    submit.add_argument("--max-trials", type=int, default=256, metavar="N",
+                        help="adaptive per-point replicate ceiling (default: 256)")
+    submit.add_argument("--min-trials", type=int, default=4, metavar="N",
+                        help="adaptive minimum replicates per point (default: 4)")
+    submit.add_argument("--wave", type=int, default=8, metavar="N", dest="wave_trials",
+                        help="adaptive replicates added per wave (default: 8)")
     submit.add_argument(
         "--watch", action="store_true",
         help="poll the job to completion, printing progress heartbeats on stderr",
@@ -583,8 +631,33 @@ def _resolve_spec(args: argparse.Namespace):
     return scenario, spec
 
 
+def _adaptive_config(args: argparse.Namespace):
+    """Build the sequential-stopping rule from the adaptive CLI flags."""
+    from repro.experiments import AdaptiveConfig
+
+    try:
+        return AdaptiveConfig(
+            metric=args.metric,
+            ci_width=args.ci_width,
+            max_trials=args.max_trials,
+            confidence=args.confidence,
+            method=args.ci_method,
+            min_trials=args.min_trials,
+            wave_trials=args.wave_trials,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
 def _run_sweep(args: argparse.Namespace) -> str:
-    from repro.experiments import ResultCache, ResultStore, run_sweep
+    from repro.experiments import (
+        ResultCache,
+        ResultStore,
+        SegmentedResultStore,
+        run_adaptive_sweep,
+        run_fingerprint,
+        run_sweep,
+    )
     from repro.experiments.store import tidy_headers
     from repro.telemetry import progress_printer, start_trace, write_trace
 
@@ -594,24 +667,47 @@ def _run_sweep(args: argparse.Namespace) -> str:
     progress = progress_printer(sys.stderr) if args.progress else None
 
     output_dir = args.output if args.output else f"results/sweeps/{scenario.name}"
-    if args.trace:
-        with start_trace() as tracer:
-            result = run_sweep(
-                spec, jobs=args.jobs, cache=cache,
-                progress=progress, progress_interval_s=args.progress_interval,
-            )
-            trace_records = tracer.records
-    else:
-        result = run_sweep(
+
+    def _execute():
+        if args.adaptive:
+            config = _adaptive_config(args)
+            try:
+                # the fingerprint refuses an output dir whose leftover
+                # segments came from a different spec/config/version
+                store = SegmentedResultStore(output_dir, fingerprint=run_fingerprint(
+                    spec=spec.to_dict(),
+                    adaptive=config.to_dict(),
+                    scenario={"name": scenario.name, "version": scenario.version},
+                ))
+                return run_adaptive_sweep(
+                    spec, config, jobs=args.jobs, cache=cache,
+                    progress=progress, progress_interval_s=args.progress_interval,
+                    store=store,
+                ), store
+            except ValueError as error:
+                raise SystemExit(f"error: {error}") from None
+        return run_sweep(
             spec, jobs=args.jobs, cache=cache,
             progress=progress, progress_interval_s=args.progress_interval,
-        )
+        ), None
+
+    if args.trace:
+        with start_trace() as tracer:
+            result, store = _execute()
+            trace_records = tracer.records
+    else:
+        result, store = _execute()
         trace_records = None
     stats = result.stats
 
-    written = ResultStore(output_dir).write(
-        result.records, spec=spec.to_dict(), stats=stats.to_dict()
-    )
+    if store is not None:
+        # merged artefacts are byte-compatible with a ResultStore.write of
+        # the same records, and the segments stay behind for resume/audit
+        written = store.merge(spec=spec.to_dict(), stats=result.stats_payload())
+    else:
+        written = ResultStore(output_dir).write(
+            result.records, spec=spec.to_dict(), stats=stats.to_dict()
+        )
     if trace_records is not None:
         written["trace"] = str(write_trace(
             os.path.join(output_dir, "trace.jsonl"), trace_records
@@ -634,6 +730,14 @@ def _run_sweep(args: argparse.Namespace) -> str:
         f"jobs: {stats.jobs}  elapsed: {stats.elapsed_s:.2f}s  "
         f"({stats.trials_per_second:.1f} trials/s)",
     ]
+    if args.adaptive:
+        lines.append(
+            f"adaptive: {result.points_stopped_early}/{len(result.points)} points "
+            f"stopped early in {result.waves} wave(s); realised "
+            f"{stats.num_trials}/{result.ceiling_trials} ceiling trials "
+            f"(ci_width={result.config.ci_width:g}, {result.config.method} @ "
+            f"{result.config.confidence:.0%}, {len(store.segments())} segment(s))"
+        )
     lines.extend(f"{name}: {path}" for name, path in sorted(written.items()))
     return "\n".join(lines)
 
@@ -668,9 +772,11 @@ def _run_submit(args: argparse.Namespace) -> str:
 
     _, spec = _resolve_spec(args)
     client = SweepServiceClient(args.url)
+    adaptive = _adaptive_config(args).to_dict() if args.adaptive else None
     try:
         response = client.submit(
-            spec, jobs=args.jobs, cache=not args.no_cache_job, trace=args.trace_job
+            spec, jobs=args.jobs, cache=not args.no_cache_job,
+            trace=args.trace_job, adaptive=adaptive,
         )
     except ServiceError as error:
         raise SystemExit(f"error: {error}") from None

@@ -20,6 +20,12 @@ Quick start::
     result.group_mean(by="word_length", metric="normalized_error")
 """
 
+from repro.experiments.adaptive import (
+    AdaptiveConfig,
+    AdaptivePointSummary,
+    AdaptiveSweepResult,
+    run_adaptive_sweep,
+)
 from repro.experiments.cache import CacheStats, ResultCache, code_version_tag, trial_key
 from repro.experiments.registry import (
     Scenario,
@@ -28,9 +34,20 @@ from repro.experiments.registry import (
     register,
     scenario_names,
 )
-from repro.experiments.runner import SweepResult, SweepStats, run_sweep
+from repro.experiments.runner import (
+    SweepResult,
+    SweepStats,
+    execute_trials,
+    run_sweep,
+)
+from repro.experiments.segments import (
+    SegmentedResultStore,
+    iter_merged_records,
+    run_fingerprint,
+    segment_files,
+)
 from repro.experiments.spec import SeedPolicy, SweepSpec, TrialPoint, stable_hash
-from repro.experiments.store import ResultStore, read_jsonl, write_jsonl
+from repro.experiments.store import ResultStore, iter_jsonl, read_jsonl, write_jsonl
 
 __all__ = [
     "SweepSpec",
@@ -43,13 +60,23 @@ __all__ = [
     "list_scenarios",
     "scenario_names",
     "run_sweep",
+    "execute_trials",
     "SweepResult",
     "SweepStats",
+    "run_adaptive_sweep",
+    "AdaptiveConfig",
+    "AdaptivePointSummary",
+    "AdaptiveSweepResult",
     "ResultCache",
     "CacheStats",
     "trial_key",
     "code_version_tag",
     "ResultStore",
+    "SegmentedResultStore",
+    "iter_merged_records",
+    "run_fingerprint",
+    "segment_files",
     "write_jsonl",
     "read_jsonl",
+    "iter_jsonl",
 ]

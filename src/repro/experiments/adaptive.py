@@ -1,0 +1,560 @@
+"""Sequential-stopping sweeps: sample each point until its CI is tight enough.
+
+A fixed-count sweep spends the same number of trials on every parameter
+point, but Monte-Carlo error is wildly non-uniform across a sweep: at high
+SNR a symbol-error-rate estimate converges in a handful of frames, while the
+deep-noise points need orders of magnitude more.  :func:`run_adaptive_sweep`
+grows a spec in *waves* of replicates and applies a per-point sequential
+stopping rule — a point stops sampling once the Wilson (or Clopper-Pearson)
+confidence interval on its designated binomial metric is tighter than the
+requested half-width, or once it hits the hard trial ceiling.
+
+Three invariants make adaptive runs interchangeable with fixed-count runs:
+
+* **paired seeds, extended not re-drawn** — per-trial seeds come from the
+  spec's :class:`~repro.experiments.spec.SeedPolicy`, which derives them from
+  the replicate number alone (never the replicate *count*), so wave *k+1*
+  extends exactly the random streams wave *k* drew from.  An adaptive run
+  that realises ``n`` replicates of a point executes byte-for-byte the same
+  trials as a fixed run with ``replicates=n``;
+* **canonical ceiling indexing** — records carry
+  ``trial_index = point_ordinal * max_trials + replicate``, the index the
+  *ceiling* spec (``replicates=max_trials``) would assign, so an adaptive
+  store merges/sorts/dedupes identically to the fixed-count run it is a
+  prefix of;
+* **cache-compatible trials** — each wave executes through the same
+  :func:`~repro.experiments.runner.execute_trials` engine as ``run_sweep``,
+  with the same content-addressed cache keys, so adaptive and fixed sweeps
+  share cached results and a killed adaptive run resumes from cache.
+
+Each completed wave is flushed to the optional
+:class:`~repro.experiments.segments.SegmentedResultStore` (and chunked
+within a wave at ``store.flush_trials``), so a ``kill -9`` loses at most the
+in-flight chunk of one wave.  Telemetry: the run traces as
+``sweep > adaptive.wave > sweep.cache_scan / sweep.execute > trial`` and
+counts waves, early-stopped points and trials saved versus the ceiling.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.analysis.intervals import (
+    BINOMIAL_METHODS,
+    BinomialAccumulator,
+    ConfidenceInterval,
+)
+from repro.experiments.registry import get_scenario
+from repro.experiments.runner import (
+    ExecutionOutcome,
+    SweepResult,
+    SweepStats,
+    execute_trials,
+)
+from repro.experiments.spec import SweepSpec, TrialPoint
+from repro.telemetry.metrics import counter, flatten_snapshot, registry, snapshot_delta
+from repro.telemetry.progress import ProgressEvent, ProgressReporter
+from repro.telemetry.tracing import current_tracer, span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.segments import SegmentedResultStore
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptivePointSummary",
+    "AdaptiveSweepResult",
+    "BINOMIAL_COUNT_KEYS",
+    "run_adaptive_sweep",
+]
+
+logger = logging.getLogger(__name__)
+
+_WAVES = counter("adaptive.waves")
+_POINTS_STOPPED_EARLY = counter("adaptive.points_stopped_early")
+_TRIALS_SAVED = counter("adaptive.trials_saved")
+
+#: Metrics whose records carry exact binomial counts: metric name →
+#: ``(successes_key, trials_key)``.  Count columns give the stopping rule
+#: exact numerators/denominators; metrics not listed here fall back to
+#: treating each record's metric value as a per-trial proportion.
+BINOMIAL_COUNT_KEYS: Mapping[str, tuple[str, str]] = {
+    "symbol_error_rate": ("symbol_errors", "symbols_sent"),
+}
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """The sequential stopping rule of one adaptive sweep.
+
+    Parameters
+    ----------
+    metric:
+        Record key of the binomial metric the rule gates on (a proportion in
+        ``[0, 1]``, e.g. ``symbol_error_rate`` or a delivery ratio).
+    ci_width:
+        Target precision: a point stops once its interval half-width is
+        ``<= ci_width``.
+    max_trials:
+        Hard per-point replicate ceiling — the adaptive run is a prefix of a
+        fixed run with ``replicates=max_trials``.
+    confidence:
+        Interval confidence level.
+    method:
+        ``"wilson"`` (default) or ``"clopper-pearson"`` (exact/conservative).
+    min_trials:
+        Replicates every point runs before the rule may stop it (a 1-trial
+        "converged" SER of 0.0 is noise, not convergence).
+    wave_trials:
+        Replicates each wave adds to every still-active point.
+    successes_key / trials_key:
+        Record keys holding the exact binomial counts behind ``metric``.
+        Default: looked up in :data:`BINOMIAL_COUNT_KEYS`, else per-record
+        proportions are accumulated with weight 1.
+    """
+
+    metric: str
+    ci_width: float
+    max_trials: int
+    confidence: float = 0.95
+    method: str = "wilson"
+    min_trials: int = 4
+    wave_trials: int = 8
+    successes_key: str | None = None
+    trials_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("metric must be a non-empty record key")
+        if not 0.0 < self.ci_width < 1.0:
+            raise ValueError(f"ci_width must be in (0, 1), got {self.ci_width}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.method not in BINOMIAL_METHODS:
+            raise ValueError(
+                f"unknown interval method {self.method!r}; "
+                f"expected one of {', '.join(BINOMIAL_METHODS)}"
+            )
+        if self.min_trials < 1:
+            raise ValueError(f"min_trials must be >= 1, got {self.min_trials}")
+        if self.wave_trials < 1:
+            raise ValueError(f"wave_trials must be >= 1, got {self.wave_trials}")
+        if self.max_trials < self.min_trials:
+            raise ValueError(
+                f"max_trials ({self.max_trials}) must be >= "
+                f"min_trials ({self.min_trials})"
+            )
+        if (self.successes_key is None) != (self.trials_key is None):
+            raise ValueError("successes_key and trials_key must be given together")
+
+    @property
+    def count_keys(self) -> tuple[str, str] | None:
+        """The resolved ``(successes_key, trials_key)`` pair, if any."""
+        if self.successes_key is not None and self.trials_key is not None:
+            return (self.successes_key, self.trials_key)
+        return BINOMIAL_COUNT_KEYS.get(self.metric)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The rule as a JSON-ready dict (manifest / service payloads)."""
+        return {
+            "metric": self.metric,
+            "ci_width": self.ci_width,
+            "max_trials": self.max_trials,
+            "confidence": self.confidence,
+            "method": self.method,
+            "min_trials": self.min_trials,
+            "wave_trials": self.wave_trials,
+            "successes_key": self.successes_key,
+            "trials_key": self.trials_key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdaptiveConfig":
+        """Rebuild a config from :meth:`to_dict` output (unknown keys rejected)."""
+        known = {
+            "metric", "ci_width", "max_trials", "confidence", "method",
+            "min_trials", "wave_trials", "successes_key", "trials_key",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown adaptive option(s): {', '.join(sorted(unknown))}")
+        if "metric" not in data or "ci_width" not in data or "max_trials" not in data:
+            raise ValueError("adaptive options require metric, ci_width and max_trials")
+        kwargs: dict[str, Any] = {
+            "metric": str(data["metric"]),
+            "ci_width": float(data["ci_width"]),
+            "max_trials": int(data["max_trials"]),
+        }
+        if "confidence" in data:
+            kwargs["confidence"] = float(data["confidence"])
+        if "method" in data:
+            kwargs["method"] = str(data["method"])
+        if "min_trials" in data:
+            kwargs["min_trials"] = int(data["min_trials"])
+        if "wave_trials" in data:
+            kwargs["wave_trials"] = int(data["wave_trials"])
+        if data.get("successes_key") is not None:
+            kwargs["successes_key"] = str(data["successes_key"])
+        if data.get("trials_key") is not None:
+            kwargs["trials_key"] = str(data["trials_key"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class AdaptivePointSummary:
+    """The stopping decision of one parameter point."""
+
+    #: The point's position in the spec's canonical (grid × zip) order.
+    ordinal: int
+    #: The point's full parameter dict (base + grid + zipped values).
+    params: Mapping[str, Any]
+    #: Replicates realised (executed or cache-hit) before stopping.
+    trials: int
+    #: Interval on the gated metric over the realised replicates (``None``
+    #: only if every record lacked the metric).
+    interval: ConfidenceInterval | None
+    #: ``True`` when the CI converged below ``max_trials`` replicates.
+    stopped_early: bool
+    #: Why sampling stopped: ``"converged"`` or ``"ceiling"``.
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        """The summary as a JSON-ready dict (manifest ``stats.adaptive.points``)."""
+        return {
+            "ordinal": self.ordinal,
+            "params": dict(self.params),
+            "trials": self.trials,
+            "interval": self.interval.to_dict() if self.interval is not None else None,
+            "stopped_early": self.stopped_early,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class AdaptiveSweepResult(SweepResult):
+    """A :class:`~repro.experiments.runner.SweepResult` plus stopping evidence.
+
+    Subclassing keeps every consumer of fixed-count results (the store, the
+    service's records endpoint, ``group_mean``) working unchanged; the extra
+    fields carry what the stopping rule decided, destined for the manifest's
+    ``stats.adaptive`` block.
+    """
+
+    config: AdaptiveConfig | None = None
+    points: list[AdaptivePointSummary] = field(default_factory=list)
+    waves: int = 0
+
+    @property
+    def points_stopped_early(self) -> int:
+        """How many points converged below the trial ceiling."""
+        return sum(1 for point in self.points if point.stopped_early)
+
+    @property
+    def ceiling_trials(self) -> int:
+        """Trials a fixed-count run at ``max_trials`` replicates would take."""
+        if self.config is None:
+            return 0
+        return len(self.points) * self.config.max_trials
+
+    def stats_payload(self) -> dict[str, Any]:
+        """``stats`` for the manifest: SweepStats plus the ``adaptive`` block."""
+        payload = self.stats.to_dict() if self.stats is not None else {}
+        payload["adaptive"] = {
+            "config": self.config.to_dict() if self.config is not None else None,
+            "waves": self.waves,
+            "points_total": len(self.points),
+            "points_stopped_early": self.points_stopped_early,
+            "ceiling_trials": self.ceiling_trials,
+            "points": [point.to_dict() for point in self.points],
+        }
+        return payload
+
+
+@dataclass
+class _PointState:
+    """Mutable per-point bookkeeping while the wave loop runs."""
+
+    ordinal: int
+    params: Mapping[str, Any]
+    accumulator: BinomialAccumulator
+    trials: int = 0
+    metric_records: int = 0
+    reason: str | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.reason is None
+
+
+def _fold_record(
+    state: _PointState, record: Mapping[str, Any], config: AdaptiveConfig
+) -> None:
+    """Fold one trial record into its point's binomial accumulator.
+
+    Prefers the exact count columns when the record has them; falls back to
+    the metric value as a per-trial proportion.  Records lacking both are
+    counted as realised trials but contribute no interval evidence
+    (heterogeneous records are documented-normal in the store layer).
+    """
+    state.trials += 1
+    count_keys = config.count_keys
+    if count_keys is not None:
+        successes_key, trials_key = count_keys
+        if successes_key in record and trials_key in record:
+            trials = float(record[trials_key])
+            if trials > 0:
+                state.accumulator.add(float(record[successes_key]), trials)
+                state.metric_records += 1
+            return
+    value = record.get(config.metric)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return
+    proportion = float(value)
+    if not math.isfinite(proportion) or not 0.0 <= proportion <= 1.0:
+        raise ValueError(
+            f"metric {config.metric!r} value {proportion!r} is not a proportion "
+            "in [0, 1]; sequential stopping is defined on binomial metrics"
+        )
+    state.accumulator.add(proportion, 1.0)
+    state.metric_records += 1
+
+
+def run_adaptive_sweep(
+    spec: SweepSpec,
+    config: AdaptiveConfig,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+    chunk_size: int | None = None,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+    progress: Callable[[ProgressEvent], None] | None = None,
+    progress_interval_s: float = 0.0,
+    store: "SegmentedResultStore | None" = None,
+) -> AdaptiveSweepResult:
+    """Run ``spec`` with per-point sequential stopping; return all records.
+
+    The spec's own ``replicates`` is ignored — sampling depth is the stopping
+    rule's job: every point starts with ``config.min_trials`` replicates,
+    then gains ``config.wave_trials`` per wave until its interval half-width
+    on ``config.metric`` drops to ``config.ci_width`` or it reaches
+    ``config.max_trials``.  Execution parameters (``jobs``, ``cache``,
+    ``chunk_size``, ``mp_context``, ``progress``, ``store``) mean exactly
+    what they mean for :func:`~repro.experiments.runner.run_sweep`; each
+    wave batches all active points into one ``execute_trials`` call so pool
+    workers stay saturated even when only a few points remain.
+    """
+    scenario = get_scenario(spec.scenario)
+    # one TrialPoint per parameter point, in canonical (grid × zip) order;
+    # its index is the point ordinal the ceiling indexing is built on
+    point_trials = spec.with_seed(replicates=1).expand()
+    states = [
+        _PointState(
+            ordinal=point.index,
+            params=dict(point.params),
+            accumulator=BinomialAccumulator(),
+        )
+        for point in point_trials
+    ]
+    ceiling = len(states) * config.max_trials
+    started = time.perf_counter()
+    tracer = current_tracer()
+    telemetry_on = tracer is not None
+    metrics_before = registry().snapshot() if telemetry_on else None
+    logger.info(
+        "adaptive sweep %s: %d points, ci_width=%g (%s, %g confidence), "
+        "ceiling %d trials",
+        scenario.name, len(states), config.ci_width, config.method,
+        config.confidence, ceiling,
+    )
+
+    reporter = (
+        ProgressReporter(progress, total=ceiling, min_interval_s=progress_interval_s)
+        if progress is not None
+        else None
+    )
+
+    flush_buffer: list[dict[str, Any]] = []
+
+    def _flush_segment(label: str | None = None) -> None:
+        if store is not None and flush_buffer:
+            store.append(flush_buffer, label=label)
+            flush_buffer.clear()
+
+    def _on_record(record: dict[str, Any]) -> None:
+        if store is not None:
+            flush_buffer.append(record)
+            if len(flush_buffer) >= store.flush_trials:
+                _flush_segment()
+
+    records: dict[int, dict[str, Any]] = {}
+    executed = 0
+    cache_hits = 0
+    effective_jobs = 1
+    waves = 0
+    # the in-flight wave's outcome, mutated in place by execute_trials so a
+    # trial raising mid-wave still leaves its partial counts visible to the
+    # finally block; re-bound to a folded-empty instance after each wave
+    wave_outcome = ExecutionOutcome()
+
+    # try/finally mirrors run_sweep: a trial raising mid-wave still flushes
+    # the records that completed and still delivers the terminal progress
+    # heartbeat the sweep service polls for
+    with span(
+        "sweep",
+        scenario=scenario.name,
+        adaptive=True,
+        points=len(states),
+        ceiling_trials=ceiling,
+    ):
+        try:
+            while any(state.active for state in states):
+                active = [state for state in states if state.active]
+                depth = min(
+                    (state.trials for state in active), default=0
+                )
+                target = (
+                    config.min_trials if depth < config.min_trials
+                    else min(depth + config.wave_trials, config.max_trials)
+                )
+                wave_trials: list[TrialPoint] = []
+                for state in active:
+                    stop = min(target, config.max_trials)
+                    for replicate in range(state.trials, stop):
+                        wave_trials.append(
+                            TrialPoint(
+                                index=state.ordinal * config.max_trials + replicate,
+                                replicate=replicate,
+                                seed=spec.seed.trial_seed(replicate, state.params),
+                                params=dict(state.params),
+                            )
+                        )
+                wave_outcome = ExecutionOutcome()
+                with span(
+                    "adaptive.wave",
+                    wave=waves,
+                    points=len(active),
+                    trials=len(wave_trials),
+                ):
+                    execute_trials(
+                        scenario,
+                        wave_trials,
+                        jobs=jobs,
+                        cache=cache,
+                        chunk_size=chunk_size,
+                        mp_context=mp_context,
+                        reporter=reporter,
+                        completed_before=executed + cache_hits,
+                        executed_before=executed,
+                        hits_before=cache_hits,
+                        on_record=_on_record if store is not None else None,
+                        outcome=wave_outcome,
+                    )
+                waves += 1
+                _WAVES.inc()
+                executed += wave_outcome.executed
+                cache_hits += wave_outcome.cache_hits
+                effective_jobs = max(effective_jobs, wave_outcome.effective_jobs)
+                records.update(wave_outcome.records)
+                wave_records = wave_outcome.records
+                wave_outcome = ExecutionOutcome()  # folded: don't double count
+                _flush_segment(label=f"wave-{waves - 1:03d}")
+
+                by_ordinal = {state.ordinal: state for state in active}
+                for index in sorted(wave_records):
+                    state = by_ordinal[index // config.max_trials]
+                    _fold_record(state, wave_records[index], config)
+                if waves == 1 and not any(s.metric_records for s in states):
+                    # a typo'd metric would otherwise sample every point to
+                    # the ceiling without ever accumulating evidence
+                    sample = next(iter(wave_records.values()), {})
+                    candidates = sorted(
+                        key for key, value in sample.items()
+                        if isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                    )
+                    raise ValueError(
+                        f"metric {config.metric!r} never appeared in any trial "
+                        "record after the first wave; numeric record keys: "
+                        f"{', '.join(candidates) or '(none)'}"
+                    )
+                stopped_this_wave = 0
+                for state in active:
+                    interval = state.accumulator.interval(
+                        config.confidence, config.method
+                    )
+                    if (
+                        state.trials >= config.min_trials
+                        and interval is not None
+                        and interval.half_width <= config.ci_width
+                    ):
+                        state.reason = "converged"
+                        if state.trials < config.max_trials:
+                            stopped_this_wave += 1
+                    elif state.trials >= config.max_trials:
+                        state.reason = "ceiling"
+                if stopped_this_wave:
+                    _POINTS_STOPPED_EARLY.inc(stopped_this_wave)
+                logger.info(
+                    "adaptive sweep %s: wave %d done — %d active points remain "
+                    "at depth <= %d",
+                    scenario.name, waves - 1,
+                    sum(1 for state in states if state.active), target,
+                )
+        finally:
+            _flush_segment(label="final")
+            if reporter is not None:
+                reporter.update(
+                    completed=executed + cache_hits
+                    + wave_outcome.executed + wave_outcome.cache_hits,
+                    executed=executed + wave_outcome.executed,
+                    cache_hits=cache_hits + wave_outcome.cache_hits,
+                    final=True,
+                )
+
+    realised = executed + cache_hits
+    _TRIALS_SAVED.inc(ceiling - realised)
+    elapsed = time.perf_counter() - started
+    metrics_delta = None
+    if metrics_before is not None:
+        metrics_delta = flatten_snapshot(
+            snapshot_delta(metrics_before, registry().snapshot())
+        )
+    stats = SweepStats(
+        num_trials=realised,
+        executed=executed,
+        cache_hits=cache_hits,
+        jobs=effective_jobs,
+        elapsed_s=elapsed,
+        metrics=metrics_delta or None,
+    )
+    points = [
+        AdaptivePointSummary(
+            ordinal=state.ordinal,
+            params=state.params,
+            trials=state.trials,
+            interval=state.accumulator.interval(config.confidence, config.method),
+            stopped_early=state.reason == "converged"
+            and state.trials < config.max_trials,
+            reason=state.reason or "ceiling",
+        )
+        for state in states
+    ]
+    logger.info(
+        "adaptive sweep %s: done — %d/%d trials of the ceiling "
+        "(%d points stopped early) in %.2fs",
+        scenario.name, realised, ceiling,
+        sum(1 for point in points if point.stopped_early), elapsed,
+    )
+    ordered = [records[index] for index in sorted(records)]
+    return AdaptiveSweepResult(
+        spec=spec,
+        records=ordered,
+        stats=stats,
+        config=config,
+        points=points,
+        waves=waves,
+    )

@@ -1,11 +1,13 @@
 """The sweep engine: expand a spec, execute its trials, cache the results.
 
-:func:`run_sweep` is the single entry point.  It expands a
-:class:`~repro.experiments.spec.SweepSpec` into trial points, skips any whose
-result is already in the :class:`~repro.experiments.cache.ResultCache`, and
-executes the rest — serially for small batches, or on a ``multiprocessing``
-pool with chunked dispatch for large ones.  Three properties the tests pin
-down:
+:func:`run_sweep` is the fixed-count entry point.  It expands a
+:class:`~repro.experiments.spec.SweepSpec` into trial points and hands them to
+:func:`execute_trials` — the wave-level engine that the adaptive runner
+(:mod:`repro.experiments.adaptive`) reuses to grow sweeps in waves.  The
+engine skips trials whose result is already in the
+:class:`~repro.experiments.cache.ResultCache`, and executes the rest —
+serially for small batches, or on a ``multiprocessing`` pool with chunked
+dispatch for large ones.  Three properties the tests pin down:
 
 * **determinism** — per-trial seeds come from the seed policy, never from
   execution order, and records are returned in canonical trial order, so a
@@ -17,12 +19,17 @@ down:
   (trial functions are module-level), so nothing unpicklable crosses the
   process boundary.
 
+For out-of-core sweeps, ``run_sweep`` takes a ``store=``
+:class:`~repro.experiments.segments.SegmentedResultStore` and flushes
+completed trials to append-only segments every ``store.flush_trials``
+records, so a killed sweep keeps every finished wave on disk.
+
 The engine is also the telemetry trunk (:mod:`repro.telemetry`): with a
 tracer active it opens ``sweep > sweep.cache_scan / sweep.execute > trial``
 spans (workers buffer their spans and metric deltas and ship them back with
 each trial result for parent-side merging), folds the sweep's metric deltas
 into :class:`SweepStats`, and drives an optional throttled ``progress``
-callback — the hook the future sweep service will poll.
+callback — the hook the sweep service polls.
 """
 
 from __future__ import annotations
@@ -33,16 +40,26 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from repro.experiments.cache import ResultCache, code_version_tag, trial_key
-from repro.experiments.registry import get_scenario
+from repro.experiments.registry import Scenario, get_scenario
 from repro.experiments.spec import SweepSpec, TrialPoint
 from repro.telemetry.metrics import counter, flatten_snapshot, registry, snapshot_delta
 from repro.telemetry.progress import ProgressEvent, ProgressReporter
 from repro.telemetry.tracing import SpanRecord, current_tracer, span, worker_trace
 
-__all__ = ["SweepStats", "SweepResult", "plain_value", "run_sweep"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.experiments.segments import SegmentedResultStore
+
+__all__ = [
+    "SweepStats",
+    "SweepResult",
+    "ExecutionOutcome",
+    "execute_trials",
+    "plain_value",
+    "run_sweep",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -157,7 +174,16 @@ class SweepStats:
 
     @property
     def trials_per_second(self) -> float:
-        return self.num_trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+        """Throughput of *executed* trials.
+
+        Cache hits are lookups, not work: a 100%-cache-hit resume must not
+        claim an absurd execution rate, so the numerator is ``executed``,
+        never ``num_trials``.  A run that executed nothing reports 0.0 (and
+        a zero-elapsed run stays ``inf``, serialised as null).
+        """
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.executed / self.elapsed_s
 
     def to_dict(self) -> dict[str, Any]:
         # a zero-elapsed run has no meaningful rate: serialise it as null —
@@ -191,9 +217,16 @@ class SweepResult:
         return [record.get(name) for record in self.records]
 
     def group_mean(self, by: str, metric: str) -> dict[Any, float]:
-        """Mean of ``metric`` grouped by the values of column ``by``."""
+        """Mean of ``metric`` grouped by the values of column ``by``.
+
+        Records missing either key are skipped — heterogeneous records
+        (scenarios whose metric sets differ per parameter) are
+        documented-normal in the store layer, never an error here.
+        """
         totals: dict[Any, list[float]] = {}
         for record in self.records:
+            if by not in record or metric not in record:
+                continue
             totals.setdefault(record[by], []).append(float(record[metric]))
         return {key: sum(vals) / len(vals) for key, vals in totals.items()}
 
@@ -201,6 +234,164 @@ class SweepResult:
 def _chunk_size(pending: int, jobs: int) -> int:
     """Chunked dispatch: ~4 chunks per worker balances latency and overhead."""
     return max(1, pending // (jobs * 4))
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one :func:`execute_trials` call produced (updated *in place*).
+
+    Callers may pass their own instance to ``execute_trials``; because the
+    engine mutates it as results arrive, the counts and records survive a
+    trial raising mid-batch — that is how ``run_sweep``'s ``finally`` block
+    reports partial progress after a failure.
+    """
+
+    #: Completed records keyed by canonical trial index.
+    records: dict[int, dict[str, Any]] = field(default_factory=dict)
+    executed: int = 0
+    cache_hits: int = 0
+    effective_jobs: int = 1
+
+
+def execute_trials(
+    scenario: Scenario,
+    trials: Sequence[TrialPoint],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    chunk_size: int | None = None,
+    mp_context: multiprocessing.context.BaseContext | None = None,
+    reporter: ProgressReporter | None = None,
+    completed_before: int = 0,
+    executed_before: int = 0,
+    hits_before: int = 0,
+    on_record: Callable[[dict[str, Any]], None] | None = None,
+    outcome: ExecutionOutcome | None = None,
+) -> ExecutionOutcome:
+    """Execute one batch of trial points — the engine under every sweep.
+
+    This is the wave-level primitive: :func:`run_sweep` calls it once with a
+    spec's full expansion; the adaptive runner calls it per wave with just
+    the replicates that wave adds.  It opens the ``sweep.cache_scan`` and
+    ``sweep.execute`` spans, writes fresh results to the cache as they
+    arrive, restamps identity columns on cache hits, merges worker telemetry
+    home, and invokes ``on_record`` for every completed record (hits and
+    fresh alike) — the flush hook the segmented store plugs into.
+
+    ``*_before`` offsets let a multi-wave caller report cumulative progress
+    through one shared ``reporter``; the final (terminal) progress event is
+    the caller's responsibility.  ``outcome`` (optional) is updated in place
+    as results arrive, so the caller sees partial counts even when a trial
+    raises.
+    """
+    code_tag = code_version_tag()
+    tracer = current_tracer()
+    telemetry_on = tracer is not None and tracer.pid == os.getpid()
+    result = outcome if outcome is not None else ExecutionOutcome()
+
+    pending: list[TrialPoint] = []
+    keys: dict[int, str] = {}
+
+    with span("sweep.cache_scan", cached=cache is not None):
+        for trial in trials:
+            if cache is not None:
+                key = trial_key(
+                    scenario.name, scenario.version, trial.params, trial.seed, code_tag
+                )
+                keys[trial.index] = key
+                hit = cache.get(scenario.name, key)
+                if hit is not None:
+                    # restamp the identity columns: the cached record may
+                    # have been executed by a different sweep of the same
+                    # trials
+                    record = {
+                        **hit, "trial_index": trial.index, "replicate": trial.replicate,
+                    }
+                    result.records[trial.index] = record
+                    result.cache_hits += 1
+                    # a zero-duration trial span per hit keeps the trace's
+                    # trial count equal to stats.num_trials
+                    with span("trial", trial_index=trial.index, seed=trial.seed,
+                              cache_hit=True):
+                        pass
+                    if on_record is not None:
+                        on_record(record)
+                    continue
+            pending.append(trial)
+    cache_hits = result.cache_hits
+    _TRIALS_CACHED.inc(cache_hits)
+    logger.info(
+        "sweep %s: cache scan done — %d hits, %d to execute",
+        scenario.name, cache_hits, len(pending),
+    )
+
+    payloads = [
+        (scenario.name, trial.index, trial.replicate, trial.seed, trial.params,
+         telemetry_on)
+        for trial in pending
+    ]
+    result.effective_jobs = max(1, min(int(jobs), len(pending)))
+
+    if reporter is not None:
+        reporter.update(
+            completed=completed_before + cache_hits,
+            executed=executed_before,
+            cache_hits=hits_before + cache_hits,
+        )
+
+    # the metric increments in a finally so a trial raising mid-pool still
+    # counts the trials that did complete; those results are already in the
+    # cache (and flushed through on_record) because _collect handles each
+    # one the moment it arrives
+    executed = 0
+    try:
+        with span("sweep.execute", pending=len(pending)) as execute_span:
+            execute_id = execute_span.span_id if execute_span is not None else None
+
+            def _collect(results: Iterable[_TrialResult]) -> None:
+                nonlocal executed
+                for index, record, spans, metric_delta in results:
+                    result.records[index] = record
+                    executed += 1
+                    result.executed += 1
+                    if cache is not None:
+                        cache.put(scenario.name, keys[index], record)
+                    if spans and tracer is not None:
+                        tracer.adopt(spans, parent_id=execute_id)
+                    if metric_delta:
+                        registry().merge_delta(metric_delta)
+                    if on_record is not None:
+                        on_record(record)
+                    if reporter is not None:
+                        reporter.update(
+                            completed=completed_before + cache_hits + executed,
+                            executed=executed_before + executed,
+                            cache_hits=hits_before + cache_hits,
+                        )
+
+            if result.effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
+                result.effective_jobs = 1
+                _collect(map(_execute_trial, payloads))
+            else:
+                ctx = (
+                    mp_context if mp_context is not None
+                    else multiprocessing.get_context()
+                )
+                size = (
+                    chunk_size if chunk_size is not None
+                    else _chunk_size(len(pending), result.effective_jobs)
+                )
+                logger.debug(
+                    "sweep %s: pool dispatch — %d workers, chunk size %d",
+                    scenario.name, result.effective_jobs, size,
+                )
+                with ctx.Pool(processes=result.effective_jobs) as pool:
+                    _collect(
+                        pool.imap_unordered(_execute_trial, payloads, chunksize=size)
+                    )
+    finally:
+        _TRIALS_EXECUTED.inc(executed)
+
+    return result
 
 
 def run_sweep(
@@ -211,6 +402,7 @@ def run_sweep(
     mp_context: multiprocessing.context.BaseContext | None = None,
     progress: Callable[[ProgressEvent], None] | None = None,
     progress_interval_s: float = 0.0,
+    store: "SegmentedResultStore | None" = None,
 ) -> SweepResult:
     """Execute every trial of ``spec`` and return their tidy records.
 
@@ -237,11 +429,16 @@ def run_sweep(
     progress_interval_s:
         Minimum seconds between intermediate progress events (first and final
         events always fire).
+    store:
+        Optional :class:`~repro.experiments.segments.SegmentedResultStore`:
+        completed records are flushed to an append-only segment every
+        ``store.flush_trials`` completions (and once at the end), so a killed
+        sweep keeps every flushed wave on disk.  Call ``store.merge()`` to
+        produce the canonical results afterwards.
     """
     scenario = get_scenario(spec.scenario)
     trials = spec.expand()
     started = time.perf_counter()
-    code_tag = code_version_tag()
     tracer = current_tracer()
     telemetry_on = tracer is not None and tracer.pid == os.getpid()
     metrics_before = registry().snapshot() if telemetry_on else None
@@ -250,110 +447,52 @@ def run_sweep(
         scenario.name, len(trials), jobs, "on" if cache is not None else "off",
     )
 
-    records: dict[int, dict[str, Any]] = {}
-    pending: list[TrialPoint] = []
-    keys: dict[int, str] = {}
-    cache_hits = 0
+    reporter = (
+        ProgressReporter(progress, total=len(trials), min_interval_s=progress_interval_s)
+        if progress is not None
+        else None
+    )
 
+    flush_buffer: list[dict[str, Any]] = []
+
+    def _flush_segment() -> None:
+        if store is not None and flush_buffer:
+            store.append(flush_buffer)
+            flush_buffer.clear()
+
+    def _on_record(record: dict[str, Any]) -> None:
+        if store is not None:
+            flush_buffer.append(record)
+            if len(flush_buffer) >= store.flush_trials:
+                _flush_segment()
+
+    # execute_trials updates this outcome in place, so the finally block
+    # still sees the partial counts when a trial raises mid-batch
+    outcome = ExecutionOutcome()
+    # try/finally so a trial raising mid-pool still delivers the final
+    # progress heartbeat (pollers — the sweep service — must observe a
+    # terminal event) and still flushes the records that did complete
     with span("sweep", scenario=scenario.name, num_trials=len(trials)):
-        with span("sweep.cache_scan", cached=cache is not None):
-            for trial in trials:
-                if cache is not None:
-                    key = trial_key(
-                        scenario.name, scenario.version, trial.params, trial.seed, code_tag
-                    )
-                    keys[trial.index] = key
-                    hit = cache.get(scenario.name, key)
-                    if hit is not None:
-                        # restamp the identity columns: the cached record may
-                        # have been executed by a different sweep of the same
-                        # trials
-                        records[trial.index] = {
-                            **hit, "trial_index": trial.index, "replicate": trial.replicate,
-                        }
-                        cache_hits += 1
-                        # a zero-duration trial span per hit keeps the trace's
-                        # trial count equal to stats.num_trials
-                        with span("trial", trial_index=trial.index, seed=trial.seed,
-                                  cache_hit=True):
-                            pass
-                        continue
-                pending.append(trial)
-        _TRIALS_CACHED.inc(cache_hits)
-        logger.info(
-            "sweep %s: cache scan done — %d hits, %d to execute",
-            scenario.name, cache_hits, len(pending),
-        )
-
-        payloads = [
-            (scenario.name, trial.index, trial.replicate, trial.seed, trial.params,
-             telemetry_on)
-            for trial in pending
-        ]
-        effective_jobs = max(1, min(int(jobs), len(pending)))
-
-        reporter = (
-            ProgressReporter(progress, total=len(trials), min_interval_s=progress_interval_s)
-            if progress is not None
-            else None
-        )
-        if reporter is not None:
-            reporter.update(completed=cache_hits, executed=0, cache_hits=cache_hits)
-        executed = 0
-
-        # try/finally so a trial raising mid-pool still delivers the final
-        # progress heartbeat (pollers — the sweep service — must observe a
-        # terminal event) and still counts the trials that did complete;
-        # results collected before the raise are already in the cache because
-        # _collect writes each one the moment it arrives
         try:
-            with span("sweep.execute", pending=len(pending)) as execute_span:
-                execute_id = execute_span.span_id if execute_span is not None else None
-
-                def _collect(results: Iterable[_TrialResult]) -> None:
-                    nonlocal executed
-                    for index, record, spans, metric_delta in results:
-                        records[index] = record
-                        executed += 1
-                        if cache is not None:
-                            cache.put(scenario.name, keys[index], record)
-                        if spans and tracer is not None:
-                            tracer.adopt(spans, parent_id=execute_id)
-                        if metric_delta:
-                            registry().merge_delta(metric_delta)
-                        if reporter is not None:
-                            reporter.update(
-                                completed=cache_hits + executed,
-                                executed=executed,
-                                cache_hits=cache_hits,
-                            )
-
-                if effective_jobs == 1 or len(pending) < MIN_TRIALS_FOR_POOL:
-                    effective_jobs = 1
-                    _collect(map(_execute_trial, payloads))
-                else:
-                    ctx = (
-                        mp_context if mp_context is not None
-                        else multiprocessing.get_context()
-                    )
-                    size = (
-                        chunk_size if chunk_size is not None
-                        else _chunk_size(len(pending), effective_jobs)
-                    )
-                    logger.debug(
-                        "sweep %s: pool dispatch — %d workers, chunk size %d",
-                        scenario.name, effective_jobs, size,
-                    )
-                    with ctx.Pool(processes=effective_jobs) as pool:
-                        _collect(
-                            pool.imap_unordered(_execute_trial, payloads, chunksize=size)
-                        )
+            execute_trials(
+                scenario,
+                trials,
+                jobs=jobs,
+                cache=cache,
+                chunk_size=chunk_size,
+                mp_context=mp_context,
+                reporter=reporter,
+                on_record=_on_record if store is not None else None,
+                outcome=outcome,
+            )
         finally:
-            _TRIALS_EXECUTED.inc(executed)
+            _flush_segment()
             if reporter is not None:
                 reporter.update(
-                    completed=cache_hits + executed, executed=executed,
-                    cache_hits=cache_hits, final=True,
+                    completed=outcome.cache_hits + outcome.executed,
+                    executed=outcome.executed,
+                    cache_hits=outcome.cache_hits,
+                    final=True,
                 )
 
     elapsed = time.perf_counter() - started
@@ -364,9 +503,9 @@ def run_sweep(
         )
     stats = SweepStats(
         num_trials=len(trials),
-        executed=len(pending),
-        cache_hits=cache_hits,
-        jobs=effective_jobs,
+        executed=outcome.executed,
+        cache_hits=outcome.cache_hits,
+        jobs=outcome.effective_jobs,
         elapsed_s=elapsed,
         metrics=metrics_delta or None,
     )
@@ -374,5 +513,5 @@ def run_sweep(
         "sweep %s: done — %d executed, %d cache hits in %.2fs",
         scenario.name, stats.executed, stats.cache_hits, elapsed,
     )
-    ordered = [records[trial.index] for trial in trials]
+    ordered = [outcome.records[trial.index] for trial in trials]
     return SweepResult(spec=spec, records=ordered, stats=stats)

@@ -25,12 +25,12 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.analysis.export import write_csv
 from repro.utils.atomic import atomic_writer
 
-__all__ = ["ResultStore", "write_jsonl", "read_jsonl", "tidy_headers"]
+__all__ = ["ResultStore", "write_jsonl", "read_jsonl", "iter_jsonl", "tidy_headers"]
 
 #: Columns that lead every CSV, in this order, when present in the records.
 IDENTITY_COLUMNS = ("scenario", "trial_index", "replicate", "seed")
@@ -53,13 +53,22 @@ def write_jsonl(path: Path | str, records: Iterable[Mapping[str, Any]]) -> Path:
 
 def read_jsonl(path: Path | str) -> list[dict[str, Any]]:
     """Load a JSONL results file back into a list of records."""
-    records: list[dict[str, Any]] = []
+    return list(iter_jsonl(path))
+
+
+def iter_jsonl(path: Path | str) -> Iterator[dict[str, Any]]:
+    """Stream a JSONL results file one record at a time (O(1) memory).
+
+    The streaming counterpart of :func:`read_jsonl`: the online aggregators in
+    :mod:`repro.analysis.intervals` and the segment merge in
+    :mod:`repro.experiments.segments` consume this so a 10^7-trial result
+    file never has to fit in memory.
+    """
     with Path(path).open() as handle:
         for line in handle:
             line = line.strip()
             if line:
-                records.append(json.loads(line))
-    return records
+                yield json.loads(line)
 
 
 def tidy_headers(records: Sequence[Mapping[str, Any]]) -> list[str]:
@@ -83,12 +92,16 @@ class ResultStore:
 
     def write(
         self,
-        records: Sequence[Mapping[str, Any]],
+        records: Iterable[Mapping[str, Any]],
         spec: Mapping[str, Any] | None = None,
         stats: Mapping[str, Any] | None = None,
         basename: str = "results",
     ) -> dict[str, Path]:
         """Write JSONL + CSV (+ manifest when spec/stats given); return paths."""
+        # materialise exactly once: a one-shot iterable (generator) would be
+        # consumed by the JSONL writer, leaving the header scan and the CSV
+        # writer an empty stream — JSONL full, CSV silently empty
+        records = [record for record in records]
         out = Path(self.output_dir)
         written: dict[str, Path] = {}
         written["jsonl"] = write_jsonl(out / f"{basename}.jsonl", records)

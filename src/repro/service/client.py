@@ -87,13 +87,20 @@ class SweepServiceClient:
         jobs: int = 1,
         cache: bool = True,
         trace: bool = False,
+        adaptive: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
-        """Submit a spec; returns ``{"job": {...}, "deduplicated": bool}``."""
+        """Submit a spec; returns ``{"job": {...}, "deduplicated": bool}``.
+
+        ``adaptive`` is an optional sequential-stopping rule
+        (:meth:`repro.experiments.adaptive.AdaptiveConfig.to_dict` shape);
+        when given, the daemon runs the sweep adaptively.
+        """
         spec_dict = spec.to_dict() if isinstance(spec, SweepSpec) else spec
+        options: dict[str, Any] = {"jobs": jobs, "cache": cache, "trace": trace}
+        if adaptive is not None:
+            options["adaptive"] = adaptive
         return self._request(
-            "POST",
-            "/api/v1/jobs",
-            {"spec": spec_dict, "options": {"jobs": jobs, "cache": cache, "trace": trace}},
+            "POST", "/api/v1/jobs", {"spec": spec_dict, "options": options}
         )
 
     def jobs(self) -> dict[str, Any]:

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.experiments.adaptive import AdaptiveSweepResult, run_adaptive_sweep
 from repro.experiments.cache import ResultCache
 from repro.experiments.registry import get_scenario
 from repro.experiments.runner import SweepResult, run_sweep
@@ -80,6 +81,15 @@ def spec_key(spec: SweepSpec) -> str:
     return stable_hash(spec.to_dict(), length=16)
 
 
+def _stats_payload(result: SweepResult | None) -> dict[str, Any] | None:
+    """The manifest/status ``stats`` dict: SweepStats, plus the adaptive block."""
+    if result is None or result.stats is None:
+        return None
+    if isinstance(result, AdaptiveSweepResult):
+        return result.stats_payload()
+    return result.stats.to_dict()
+
+
 @dataclass
 class Job:
     """One submitted sweep and everything a poller may ask about it."""
@@ -102,7 +112,6 @@ class Job:
 
     def to_dict(self) -> dict[str, Any]:
         """The job's JSON status payload (what ``GET /jobs/<id>`` returns)."""
-        stats = self.result.stats if self.result is not None else None
         return {
             "job_id": self.job_id,
             "state": self.state,
@@ -115,7 +124,7 @@ class Job:
             "finished_s": self.finished_s,
             "progress": self.progress.to_dict() if self.progress is not None else None,
             "error": self.error,
-            "stats": stats.to_dict() if stats is not None else None,
+            "stats": _stats_payload(self.result),
             "artifacts": dict(self.artifacts),
         }
 
@@ -220,7 +229,7 @@ class JobQueue:
             written = ResultStore(job.output_dir).write(
                 result.records,
                 spec=job.spec.to_dict(),
-                stats=result.stats.to_dict() if result.stats is not None else None,
+                stats=_stats_payload(result),
             )
             if trace_records is not None:
                 written["trace"] = write_trace(
@@ -268,6 +277,15 @@ class JobQueue:
         def heartbeat(event: ProgressEvent) -> None:
             job.progress = event
 
+        if job.options.adaptive is not None:
+            return run_adaptive_sweep(
+                job.spec,
+                job.options.adaptive,
+                jobs=job.options.jobs,
+                cache=self.cache if job.options.cache else None,
+                progress=heartbeat,
+                progress_interval_s=self._progress_interval_s,
+            )
         return run_sweep(
             job.spec,
             jobs=job.options.jobs,

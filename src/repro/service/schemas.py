@@ -9,7 +9,10 @@ The submit request shape::
       "options": {                               # optional, all keys optional
         "jobs":  1,        # worker processes inside the sweep (int >= 1)
         "cache": true,     # use the daemon's shared result cache
-        "trace": false     # record a per-job trace.jsonl next to the results
+        "trace": false,    # record a per-job trace.jsonl next to the results
+        "adaptive": {      # sequential stopping (AdaptiveConfig.to_dict shape)
+          "metric": "symbol_error_rate", "ci_width": 0.01, "max_trials": 256
+        }
       }
     }
 
@@ -25,12 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from repro.experiments.adaptive import AdaptiveConfig
 from repro.experiments.spec import SweepSpec
 
 __all__ = ["SchemaError", "JobOptions", "parse_submit_request"]
 
 #: Option keys a submit request may carry (anything else is a 400).
-_OPTION_KEYS = ("jobs", "cache", "trace")
+_OPTION_KEYS = ("jobs", "cache", "trace", "adaptive")
 
 
 class SchemaError(ValueError):
@@ -49,9 +53,16 @@ class JobOptions:
     jobs: int = 1
     cache: bool = True
     trace: bool = False
+    #: Sequential-stopping rule; ``None`` runs the classic fixed-count sweep.
+    adaptive: AdaptiveConfig | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {"jobs": self.jobs, "cache": self.cache, "trace": self.trace}
+        return {
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "trace": self.trace,
+            "adaptive": self.adaptive.to_dict() if self.adaptive is not None else None,
+        }
 
 
 def _require_mapping(value: Any, name: str) -> Mapping[str, Any]:
@@ -78,7 +89,14 @@ def _parse_options(payload: Any) -> JobOptions:
     trace = options.get("trace", False)
     if not isinstance(trace, bool):
         raise SchemaError(f"options.trace must be a boolean, got {trace!r}")
-    return JobOptions(jobs=jobs, cache=cache, trace=trace)
+    adaptive = None
+    if options.get("adaptive") is not None:
+        payload = _require_mapping(options["adaptive"], "options.adaptive")
+        try:
+            adaptive = AdaptiveConfig.from_dict(payload)
+        except (TypeError, ValueError, KeyError) as error:
+            raise SchemaError(f"invalid options.adaptive: {error}") from None
+    return JobOptions(jobs=jobs, cache=cache, trace=trace, adaptive=adaptive)
 
 
 def parse_submit_request(payload: Any) -> tuple[SweepSpec, JobOptions]:

@@ -12,6 +12,11 @@ normalized errors regress upward, lifetimes and delivery ratios regress
 downward.  ``higher_is_better`` flips the polarity; the default treats higher
 values as worse, which matches the error-style metrics that dominate the
 registry.
+
+Each side of a diff also carries the 95% confidence half-width on its mean
+(Welford accumulation via :mod:`repro.analysis.intervals`), and a diff whose
+delta exceeds the sum of the two half-widths is flagged *significant* — the
+reader's guard against mistaking Monte-Carlo noise for a real change.
 """
 
 from __future__ import annotations
@@ -20,12 +25,16 @@ import sqlite3
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.intervals import OnlineMean
 from repro.warehouse.query import RunInfo, metric_names, select_trials
 
 __all__ = ["MetricDiff", "ComparisonReport", "compare_runs", "render_comparison"]
 
 #: Relative change below which a diff is considered noise (default 10%).
 DEFAULT_THRESHOLD = 0.10
+
+#: Confidence level of the per-side interval half-widths.
+CI_CONFIDENCE = 0.95
 
 
 @dataclass(frozen=True)
@@ -39,6 +48,23 @@ class MetricDiff:
     mean_b: float | None
     count_a: int
     count_b: int
+    #: 95% half-width on each side's mean (``None`` below two trials).
+    ci_a: float | None = None
+    ci_b: float | None = None
+
+    @property
+    def significant(self) -> bool | None:
+        """Whether the delta clears both sides' combined CI half-widths.
+
+        ``None`` when either side is missing its mean or its interval (too
+        few trials to judge); the naive half-width sum is conservative, which
+        is the right bias for a regression gate.
+        """
+        if self.mean_a is None or self.mean_b is None:
+            return None
+        if self.ci_a is None or self.ci_b is None:
+            return None
+        return abs(self.mean_b - self.mean_a) > self.ci_a + self.ci_b
 
     @property
     def delta(self) -> float | None:
@@ -108,6 +134,9 @@ class ComparisonReport:
                     "mean_b": diff.mean_b,
                     "count_a": diff.count_a,
                     "count_b": diff.count_b,
+                    "ci_a": diff.ci_a,
+                    "ci_b": diff.ci_b,
+                    "significant": diff.significant,
                     "delta": diff.delta,
                     "relative_change": _finite_or_none(diff.relative_change),
                     "classification": diff.classify(self.threshold, self.higher_is_better),
@@ -127,15 +156,15 @@ def _finite_or_none(value: float | None) -> float | None:
 
 def _grouped_means(
     conn: sqlite3.Connection, run_id: int, metric: str, by: str | None
-) -> dict[Any, tuple[float, int]]:
-    """``{group value: (mean, count)}`` of one metric over one run's trials.
+) -> dict[Any, tuple[float, int, float | None]]:
+    """``{group: (mean, count, ci half-width)}`` of one metric over one run.
 
     With ``by=None`` everything lands in a single ``None`` group.  Trials
     without the metric (or the group axis) are skipped, so scenarios whose
-    metric sets differ per parameter still compare cleanly.
+    metric sets differ per parameter still compare cleanly.  The half-width
+    is the 95% normal interval on the mean (``None`` below two trials).
     """
-    sums: dict[Any, float] = {}
-    counts: dict[Any, int] = {}
+    accumulators: dict[Any, OnlineMean] = {}
     for trial in select_trials(conn, run_ids=(run_id,)):
         value = trial.record.get(metric)
         if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -143,9 +172,16 @@ def _grouped_means(
         group = trial.record.get(by) if by is not None else None
         if by is not None and group is None:
             continue
-        sums[group] = sums.get(group, 0.0) + float(value)
-        counts[group] = counts.get(group, 0) + 1
-    return {group: (sums[group] / counts[group], counts[group]) for group in sums}
+        accumulators.setdefault(group, OnlineMean()).add(float(value))
+    result: dict[Any, tuple[float, int, float | None]] = {}
+    for group, acc in accumulators.items():
+        interval = acc.interval(CI_CONFIDENCE)
+        result[group] = (
+            acc.mean,
+            acc.count,
+            interval.half_width if interval is not None else None,
+        )
+    return result
 
 
 def compare_runs(
@@ -179,8 +215,8 @@ def compare_runs(
             set(means_a) | set(means_b), key=lambda value: (value is None, str(value))
         )
         for group in groups:
-            mean_a, count_a = means_a.get(group, (None, 0))
-            mean_b, count_b = means_b.get(group, (None, 0))
+            mean_a, count_a, ci_a = means_a.get(group, (None, 0, None))
+            mean_b, count_b, ci_b = means_b.get(group, (None, 0, None))
             report.diffs.append(
                 MetricDiff(
                     metric=metric,
@@ -190,6 +226,8 @@ def compare_runs(
                     mean_b=mean_b,
                     count_a=count_a,
                     count_b=count_b,
+                    ci_a=ci_a,
+                    ci_b=ci_b,
                 )
             )
     return report
@@ -200,22 +238,27 @@ def render_comparison(report: ComparisonReport) -> str:
     from repro.utils.tables import format_table
 
     headers = ["Metric"]
-    if any(diff.by is not None for diff in report.diffs):
+    has_by = any(diff.by is not None for diff in report.diffs)
+    if has_by:
         by_name = next(diff.by for diff in report.diffs if diff.by is not None)
         headers.append(by_name)
-    headers += ["Run A mean", "Run B mean", "Delta", "Change", "Flag"]
+    headers += ["Run A mean", "±95% A", "Run B mean", "±95% B", "Delta", "Change",
+                "Signif", "Flag"]
 
     rows = []
     for diff in report.diffs:
         row: list[Any] = [diff.metric]
-        if len(headers) == 7:
+        if has_by:
             row.append("" if diff.by_value is None else diff.by_value)
         change = diff.relative_change
         row += [
             "-" if diff.mean_a is None else f"{diff.mean_a:.6g}",
+            "-" if diff.ci_a is None else f"{diff.ci_a:.3g}",
             "-" if diff.mean_b is None else f"{diff.mean_b:.6g}",
+            "-" if diff.ci_b is None else f"{diff.ci_b:.3g}",
             "-" if diff.delta is None else f"{diff.delta:+.6g}",
             "-" if change is None else ("inf" if change == float("inf") else f"{change:+.1%}"),
+            {True: "yes", False: "no", None: "-"}[diff.significant],
             diff.classify(report.threshold, report.higher_is_better),
         ]
         rows.append(row)

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro.experiments.segments import iter_merged_records, segment_files
 from repro.experiments.spec import stable_hash
 from repro.telemetry.metrics import counter
 from repro.telemetry.tracing import span
@@ -117,8 +118,11 @@ def discover(root: Path | str) -> Iterator[tuple[str, Path]]:
 
     ``kind`` is ``'store'`` (a results directory), ``'service'`` (a results
     directory under a ``jobs/`` parent) or ``'cache'`` (one scenario of a
-    trial cache).  ``root`` may also point directly at a ``results.jsonl``
-    file or at a single artifact directory.
+    trial cache).  A directory holding only a ``segments/`` shard set (a
+    segmented store that was never merged — e.g. a killed adaptive sweep) is
+    discovered as a store too; its records are streamed through the segment
+    merge at ingest time.  ``root`` may also point directly at a
+    ``results.jsonl`` file or at a single artifact directory.
     """
     root = Path(root)
     if root.is_file():
@@ -130,7 +134,7 @@ def discover(root: Path | str) -> Iterator[tuple[str, Path]]:
     for path in sorted([root, *root.rglob("*")]):
         if not path.is_dir():
             continue
-        if (path / "results.jsonl").is_file():
+        if (path / "results.jsonl").is_file() or segment_files(path):
             kind = "service" if path.parent.name == "jobs" else "store"
             yield (kind, path)
         elif _is_cache_scenario_dir(path):
@@ -284,10 +288,18 @@ def _file_digest(*paths: Path) -> str:
 def _ingest_store_dir(
     conn: sqlite3.Connection, directory: Path, source: str, report: IngestReport
 ) -> None:
-    """Ingest one ``ResultStore`` output directory as one run."""
+    """Ingest one ``ResultStore`` output directory as one run.
+
+    A directory without a merged ``results.jsonl`` but with a ``segments/``
+    shard set (an unmerged segmented store) ingests the same way: its
+    records stream through the deduplicating segment merge, and its run key
+    hashes the segment files instead.
+    """
     results_path = directory / "results.jsonl"
     manifest_path = directory / "manifest.json"
-    hash_inputs = [results_path]
+    hash_inputs = (
+        [results_path] if results_path.is_file() else segment_files(directory)
+    )
     spec: Mapping[str, Any] | None = None
     stats: Mapping[str, Any] | None = None
     if manifest_path.is_file():
@@ -298,11 +310,14 @@ def _ingest_store_dir(
     run_key = _file_digest(*hash_inputs)
 
     records: list[dict[str, Any]] = []
-    with results_path.open() as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    if results_path.is_file():
+        with results_path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    else:
+        records.extend(iter_merged_records(directory))
     scenario = (
         str(spec["scenario"]) if spec and "scenario" in spec
         else str(records[0].get("scenario", "<unknown>")) if records

@@ -141,20 +141,33 @@ def ensure_schema(conn: sqlite3.Connection) -> None:
     if row is None:
         conn.execute("BEGIN IMMEDIATE")
         try:
-            # statement-by-statement (executescript would COMMIT the pending
-            # transaction first, defeating the all-or-nothing creation)
-            for statement in _TABLES.split(";"):
-                if statement.strip():
-                    conn.execute(statement)
-            conn.execute(
-                "INSERT INTO warehouse_meta (key, value) VALUES ('schema_version', ?)",
-                (str(SCHEMA_VERSION),),
-            )
-            conn.execute("COMMIT")
+            # two connections can both see the table absent above and then
+            # serialise on BEGIN IMMEDIATE — re-check under the write lock so
+            # the loser verifies instead of re-creating (concurrent service
+            # ingest threads open the same warehouse)
+            row = conn.execute(
+                "SELECT name FROM sqlite_master"
+                " WHERE type = 'table' AND name = 'warehouse_meta'"
+            ).fetchone()
+            if row is not None:
+                conn.execute("ROLLBACK")
+            else:
+                # statement-by-statement (executescript would COMMIT the
+                # pending transaction first, defeating the all-or-nothing
+                # creation)
+                for statement in _TABLES.split(";"):
+                    if statement.strip():
+                        conn.execute(statement)
+                conn.execute(
+                    "INSERT INTO warehouse_meta (key, value)"
+                    " VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+                conn.execute("COMMIT")
+                return
         except BaseException:
             conn.execute("ROLLBACK")
             raise
-        return
     found = conn.execute(
         "SELECT value FROM warehouse_meta WHERE key = 'schema_version'"
     ).fetchone()

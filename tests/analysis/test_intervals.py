@@ -1,0 +1,271 @@
+"""Confidence intervals and streaming accumulators (`repro.analysis.intervals`).
+
+The Clopper-Pearson bounds are checked against their closed forms at the
+k=0 / k=n edges (``1 - (α/2)^(1/n)`` and its mirror) and against published
+reference values in the interior, so the pure-stdlib incomplete-beta
+implementation is pinned without a scipy dependency.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.analysis.intervals import (
+    BINOMIAL_METHODS,
+    BinomialAccumulator,
+    ConfidenceInterval,
+    OnlineMean,
+    binomial_interval,
+    clopper_pearson_interval,
+    group_stats,
+    normal_interval,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_known_value(self):
+        # canonical worked example: 5/10 at 95% -> (0.2366, 0.7634)
+        interval = wilson_interval(5, 10, 0.95)
+        assert interval.estimate == 0.5
+        assert interval.low == pytest.approx(0.2366, abs=1e-4)
+        assert interval.high == pytest.approx(0.7634, abs=1e-4)
+
+    def test_never_collapses_at_zero_successes(self):
+        interval = wilson_interval(0, 50)
+        assert interval.low == 0.0
+        assert interval.high > 0.0  # unlike the Wald interval
+
+    def test_bounds_stay_in_unit_interval(self):
+        for successes, trials in ((0, 3), (3, 3), (1, 1000), (999, 1000)):
+            interval = wilson_interval(successes, trials)
+            assert 0.0 <= interval.low <= interval.high <= 1.0
+
+    def test_fractional_counts_accepted(self):
+        interval = wilson_interval(2.5, 10.0)
+        assert interval.estimate == pytest.approx(0.25)
+
+    def test_width_shrinks_with_trials(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert narrow.half_width < wide.half_width
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+
+class TestClopperPearson:
+    def test_zero_successes_closed_form(self):
+        # k=0: low = 0, high = 1 - (alpha/2)^(1/n)
+        n, alpha = 20, 0.05
+        interval = clopper_pearson_interval(0, n)
+        assert interval.low == 0.0
+        assert interval.high == pytest.approx(1 - (alpha / 2) ** (1 / n), abs=1e-9)
+
+    def test_all_successes_closed_form(self):
+        n, alpha = 20, 0.05
+        interval = clopper_pearson_interval(n, n)
+        assert interval.high == 1.0
+        assert interval.low == pytest.approx((alpha / 2) ** (1 / n), abs=1e-9)
+
+    def test_known_interior_value(self):
+        # published reference: 5/10 at 95% -> (0.1871, 0.8129)
+        interval = clopper_pearson_interval(5, 10)
+        assert interval.low == pytest.approx(0.1871, abs=1e-4)
+        assert interval.high == pytest.approx(0.8129, abs=1e-4)
+
+    def test_wider_than_wilson(self):
+        # exact/conservative: CP always covers at least what Wilson does here
+        for successes, trials in ((5, 10), (1, 30), (80, 100)):
+            cp = clopper_pearson_interval(successes, trials)
+            wilson = wilson_interval(successes, trials)
+            assert cp.half_width >= wilson.half_width
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(1, 0)
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(11, 10)
+
+
+class TestBinomialDispatch:
+    def test_methods_tuple(self):
+        assert BINOMIAL_METHODS == ("wilson", "clopper-pearson")
+
+    def test_dispatch(self):
+        assert binomial_interval(5, 10, method="wilson") == wilson_interval(5, 10)
+        assert binomial_interval(5, 10, method="clopper-pearson") == (
+            clopper_pearson_interval(5, 10)
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown binomial interval method"):
+            binomial_interval(5, 10, method="wald")
+
+
+class TestNormalInterval:
+    def test_margin_matches_z_formula(self):
+        interval = normal_interval(10.0, 2.0, 100, confidence=0.95)
+        assert interval.estimate == 10.0
+        assert interval.half_width == pytest.approx(1.959964 * 2.0 / 10.0, abs=1e-5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            normal_interval(0.0, 1.0, 0)
+
+
+class TestConfidenceInterval:
+    def test_half_width_and_to_dict(self):
+        interval = ConfidenceInterval(estimate=0.5, low=0.4, high=0.8, confidence=0.9)
+        assert interval.half_width == pytest.approx(0.2)
+        payload = interval.to_dict()
+        assert payload == {
+            "estimate": 0.5, "low": 0.4, "high": 0.8,
+            "half_width": pytest.approx(0.2), "confidence": 0.9,
+        }
+
+
+class TestOnlineMean:
+    def test_matches_batch_statistics(self):
+        values = [1.5, -2.0, 3.25, 0.0, 10.0, -7.5]
+        acc = OnlineMean()
+        for value in values:
+            acc.add(value)
+        assert acc.count == len(values)
+        assert acc.mean == pytest.approx(statistics.fmean(values))
+        assert acc.variance == pytest.approx(statistics.variance(values))
+        assert acc.std == pytest.approx(statistics.stdev(values))
+
+    def test_interval_none_below_two(self):
+        acc = OnlineMean()
+        assert acc.interval() is None
+        acc.add(1.0)
+        assert acc.interval() is None
+        acc.add(2.0)
+        interval = acc.interval()
+        assert interval is not None
+        assert interval.estimate == pytest.approx(1.5)
+
+    def test_interval_matches_normal_interval(self):
+        acc = OnlineMean()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            acc.add(value)
+        assert acc.interval(0.9) == normal_interval(acc.mean, acc.std, 4, 0.9)
+
+    def test_numerically_stable_at_large_offsets(self):
+        # the naive sum-of-squares formula loses all precision here
+        acc = OnlineMean()
+        for value in (1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0):
+            acc.add(value)
+        assert acc.variance == pytest.approx(1.0)
+
+
+class TestBinomialAccumulator:
+    def test_counts_and_interval(self):
+        acc = BinomialAccumulator()
+        acc.add(3, 10)
+        acc.add(1, 10)
+        assert acc.proportion == pytest.approx(0.2)
+        assert acc.interval() == binomial_interval(4, 20)
+        assert acc.interval(method="clopper-pearson") == (
+            binomial_interval(4, 20, method="clopper-pearson")
+        )
+
+    def test_per_trial_rates(self):
+        acc = BinomialAccumulator()
+        acc.add(0.25)  # one trial contributing a rate
+        acc.add(0.75)
+        assert acc.trials == 2.0
+        assert acc.proportion == pytest.approx(0.5)
+
+    def test_empty_has_no_interval(self):
+        acc = BinomialAccumulator()
+        assert acc.proportion == 0.0
+        assert acc.interval() is None
+
+    def test_rejects_bad_observations(self):
+        acc = BinomialAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(1.0, 0.0)
+        with pytest.raises(ValueError):
+            acc.add(2.0, 1.0)
+
+
+class TestGroupStats:
+    def test_streams_grouped_means_and_intervals(self):
+        records = [
+            {"snr_db": 0.0, "ser": 0.5},
+            {"snr_db": 0.0, "ser": 0.3},
+            {"snr_db": 6.0, "ser": 0.1},
+            {"snr_db": 6.0, "ser": 0.2},
+        ]
+        stats = group_stats(iter(records), by="snr_db", metric="ser")
+        assert set(stats) == {0.0, 6.0}
+        assert stats[0.0].count == 2
+        assert stats[0.0].mean == pytest.approx(0.4)
+        assert stats[0.0].interval is not None
+        assert stats[0.0].to_dict()["group"] == 0.0
+
+    def test_skips_heterogeneous_records(self):
+        records = [
+            {"snr_db": 0.0, "ser": 0.5},
+            {"snr_db": 0.0},                      # no metric
+            {"ser": 0.9},                         # no group key
+            {"snr_db": 0.0, "ser": "corrupt"},    # non-numeric
+            {"snr_db": 0.0, "ser": True},         # bool is not a measurement
+        ]
+        stats = group_stats(records, by="snr_db", metric="ser")
+        assert stats[0.0].count == 1
+        assert stats[0.0].mean == 0.5
+
+    def test_memory_is_o_groups_over_a_generator(self):
+        def stream():
+            for i in range(10_000):
+                yield {"g": i % 4, "m": float(i % 7)}
+
+        stats = group_stats(stream(), by="g", metric="m")
+        assert sum(s.count for s in stats.values()) == 10_000
+
+
+class TestBetaFunctionInternals:
+    """The pure-stdlib incomplete beta agrees with independent identities."""
+
+    def test_symmetry_identity(self):
+        from repro.analysis.intervals import _regularised_incomplete_beta
+
+        for a, b, x in ((2.0, 5.0, 0.3), (10.0, 2.0, 0.8), (0.5, 0.5, 0.5)):
+            left = _regularised_incomplete_beta(a, b, x)
+            right = 1.0 - _regularised_incomplete_beta(b, a, 1.0 - x)
+            assert left == pytest.approx(right, abs=1e-10)
+
+    def test_binomial_cdf_identity(self):
+        # I_p(k, n-k+1) = P(X >= k) for X ~ Binomial(n, p)
+        from repro.analysis.intervals import _regularised_incomplete_beta
+
+        n, k, p = 10, 3, 0.4
+        tail = sum(
+            math.comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(k, n + 1)
+        )
+        assert _regularised_incomplete_beta(k, n - k + 1, p) == pytest.approx(
+            tail, abs=1e-10
+        )
+
+    def test_ppf_inverts_cdf(self):
+        from repro.analysis.intervals import (
+            _beta_ppf,
+            _regularised_incomplete_beta,
+        )
+
+        for quantile in (0.025, 0.5, 0.975):
+            x = _beta_ppf(quantile, 3.0, 8.0)
+            assert _regularised_incomplete_beta(3.0, 8.0, x) == pytest.approx(
+                quantile, abs=1e-9
+            )

@@ -113,6 +113,30 @@ class TestSweepCommand:
         with pytest.raises(SystemExit, match="unknown scenario"):
             main(["sweep", "nope"])
 
+    def test_adaptive_refuses_another_runs_segments(self, tmp_path, capsys):
+        output = tmp_path / "out"
+        base = [
+            "sweep", "modem-ser-vs-snr", "--adaptive",
+            "--ci-width", "0.2", "--min-trials", "4", "--wave", "4",
+            "--no-cache", "--output", str(output),
+        ]
+        assert main(base + ["--max-trials", "8"]) == 0
+        capsys.readouterr()
+        # same config resumes over the leftover segments without complaint
+        assert main(base + ["--max-trials", "8"]) == 0
+        capsys.readouterr()
+        # a different ceiling re-numbers the trials: merging would corrupt
+        with pytest.raises(SystemExit, match="different sweep"):
+            main(base + ["--max-trials", "12"])
+
+    def test_adaptive_unknown_metric_exits_with_candidates(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="never appeared.*symbol_error_rate"):
+            main([
+                "sweep", "modem-ser-vs-snr", "--adaptive", "--metric", "serr",
+                "--ci-width", "0.2", "--max-trials", "8", "--min-trials", "4",
+                "--no-cache", "--output", str(tmp_path / "out"),
+            ])
+
     def test_typoed_axis_rejected_with_known_parameters(self, capsys):
         with pytest.raises(SystemExit, match="unknown axis 'platfrm'.*platform"):
             main(["sweep", "platform-energy", "--set", "platfrm=X"])

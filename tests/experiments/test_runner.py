@@ -148,6 +148,59 @@ class TestRaisingTrial:
         assert events[-1].final is True
 
 
+class TestHeterogeneousAggregation:
+    """Regressions for the heterogeneous-record aggregation bugs."""
+
+    def test_group_mean_skips_records_missing_either_key(self):
+        from repro.experiments.runner import SweepResult
+        from repro.experiments.spec import SweepSpec
+
+        result = SweepResult(
+            spec=SweepSpec(scenario="hetero"),
+            records=[
+                {"snr_db": 0, "ser": 0.4},
+                {"snr_db": 0, "ser": 0.2},
+                {"snr_db": 0},              # metric missing: must not KeyError
+                {"ser": 0.9},               # group key missing: must not KeyError
+                {"snr_db": 6, "ser": 0.1},
+            ],
+        )
+        means = result.group_mean(by="snr_db", metric="ser")
+        assert means == {0: pytest.approx(0.3), 6: pytest.approx(0.1)}
+
+    def test_trials_per_second_counts_executed_not_cache_hits(self):
+        from repro.experiments.runner import SweepStats
+
+        # a 100%-cache-hit resume did no work: its rate must be 0, not 1000/s
+        resumed = SweepStats(
+            num_trials=1000, executed=0, cache_hits=1000, jobs=1, elapsed_s=1.0
+        )
+        assert resumed.trials_per_second == 0.0
+        mixed = SweepStats(
+            num_trials=100, executed=40, cache_hits=60, jobs=1, elapsed_s=2.0
+        )
+        assert mixed.trials_per_second == 20.0
+        assert mixed.to_dict()["trials_per_second"] == 20.0
+        # zero elapsed serialises as null, not the non-JSON `Infinity` literal
+        instant = SweepStats(
+            num_trials=1, executed=1, cache_hits=0, jobs=1, elapsed_s=0.0
+        )
+        assert instant.to_dict()["trials_per_second"] is None
+
+    def test_result_store_write_accepts_a_one_shot_generator(self, tmp_path):
+        # a generator is consumed by the JSONL pass; the CSV pass must still
+        # see every record (the store materialises exactly once)
+        records = (
+            {"scenario": "gen", "trial_index": i, "replicate": 0, "seed": i, "m": i * 1.0}
+            for i in range(5)
+        )
+        written = ResultStore(tmp_path).write(records)
+        assert len(read_jsonl(written["jsonl"])) == 5
+        csv_lines = written["csv"].read_text().splitlines()
+        assert len(csv_lines) == 1 + 5  # header + one row per record
+        assert csv_lines[0].split(",") == ["scenario", "trial_index", "replicate", "seed", "m"]
+
+
 class TestResultStore:
     def test_writes_jsonl_csv_and_manifest(self, small_bitwidth_spec, tmp_path):
         result = run_sweep(small_bitwidth_spec)

@@ -1,0 +1,195 @@
+"""Segmented result store: append-only segments, streaming merge, dedup."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.segments import (
+    SegmentedResultStore,
+    iter_merged_records,
+    run_fingerprint,
+    segment_files,
+)
+from repro.experiments.store import ResultStore, read_jsonl
+
+
+def _record(index: int, **extra):
+    record = {
+        "scenario": "seg-test",
+        "trial_index": index,
+        "replicate": index % 4,
+        "seed": 1000 + index,
+        "snr_db": float(index // 4),
+        "symbol_error_rate": 0.01 * index,
+    }
+    record.update(extra)
+    return record
+
+
+class TestAppend:
+    def test_first_segment_gets_sequence_zero(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        path = store.append([_record(0), _record(1)])
+        assert path is not None
+        assert path.name == "segment-000000.jsonl"
+        assert path.parent == tmp_path / "segments"
+
+    def test_label_lands_in_the_file_name(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(0)])
+        path = store.append([_record(1)], label="wave-000")
+        assert path.name == "segment-000001-wave-000.jsonl"
+
+    def test_records_are_sorted_by_trial_index(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        path = store.append([_record(5), _record(2), _record(9)])
+        indexes = [record["trial_index"] for record in read_jsonl(path)]
+        assert indexes == [2, 5, 9]
+
+    def test_empty_batch_writes_nothing(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        assert store.append([]) is None
+        assert store.segments() == []
+
+    def test_flush_trials_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_trials"):
+            SegmentedResultStore(tmp_path, flush_trials=0)
+
+    def test_resume_continues_the_sequence(self, tmp_path):
+        first = SegmentedResultStore(tmp_path)
+        first.append([_record(0)])
+        first.append([_record(1)], label="final")
+        # a new store over the same directory (a resumed sweep) must never
+        # overwrite the segments the killed run left behind
+        resumed = SegmentedResultStore(tmp_path)
+        path = resumed.append([_record(2)])
+        assert path.name == "segment-000002.jsonl"
+        assert len(resumed.segments()) == 3
+
+
+class TestFingerprint:
+    """Reusing an output directory across *different* runs must fail fast."""
+
+    def test_same_fingerprint_resumes(self, tmp_path):
+        fp = run_fingerprint(spec={"scenario": "a"}, adaptive={"ci_width": 0.05})
+        SegmentedResultStore(tmp_path, fingerprint=fp).append([_record(0)])
+        resumed = SegmentedResultStore(tmp_path, fingerprint=fp)
+        assert resumed.append([_record(1)]).name == "segment-000001.jsonl"
+
+    def test_different_fingerprint_with_segments_raises(self, tmp_path):
+        SegmentedResultStore(
+            tmp_path, fingerprint=run_fingerprint(spec={"scenario": "a"})
+        ).append([_record(0)])
+        with pytest.raises(ValueError, match="different sweep"):
+            SegmentedResultStore(
+                tmp_path, fingerprint=run_fingerprint(spec={"scenario": "b"})
+            )
+
+    def test_unidentified_segments_raise(self, tmp_path):
+        # segments written without a fingerprint are another run's data too
+        SegmentedResultStore(tmp_path).append([_record(0)])
+        with pytest.raises(ValueError, match="different sweep"):
+            SegmentedResultStore(tmp_path, fingerprint=run_fingerprint(spec={}))
+
+    def test_stale_sidecar_without_segments_is_reclaimed(self, tmp_path):
+        # a run killed before its first flush leaves run.json but no data:
+        # a different run may take the directory over
+        SegmentedResultStore(tmp_path, fingerprint=run_fingerprint(spec={"n": 1}))
+        store = SegmentedResultStore(
+            tmp_path, fingerprint=run_fingerprint(spec={"n": 2})
+        )
+        assert store.append([_record(0)]).name == "segment-000000.jsonl"
+
+    def test_sidecar_is_not_listed_as_a_segment(self, tmp_path):
+        store = SegmentedResultStore(tmp_path, fingerprint=run_fingerprint(spec={}))
+        store.append([_record(0)])
+        assert [path.name for path in segment_files(tmp_path)] == [
+            "segment-000000.jsonl"
+        ]
+
+    def test_fingerprint_is_stable_and_order_insensitive(self):
+        assert run_fingerprint(spec={"a": 1}, adaptive={"b": 2}) == run_fingerprint(
+            adaptive={"b": 2}, spec={"a": 1}
+        )
+        assert run_fingerprint(spec={"a": 1}) != run_fingerprint(spec={"a": 2})
+
+
+class TestSegmentFiles:
+    def test_empty_without_segments_dir(self, tmp_path):
+        assert segment_files(tmp_path) == []
+
+    def test_ignores_foreign_files(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(0)])
+        (tmp_path / "segments" / "notes.txt").write_text("not a segment\n")
+        (tmp_path / "segments" / "segment-xyz.jsonl").write_text("{}\n")
+        assert [path.name for path in segment_files(tmp_path)] == [
+            "segment-000000.jsonl"
+        ]
+
+
+class TestMergeStreaming:
+    def test_k_way_merge_restores_canonical_order(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(i) for i in (0, 3, 6)])
+        store.append([_record(i) for i in (1, 4, 7)])
+        store.append([_record(i) for i in (2, 5)])
+        merged = list(iter_merged_records(tmp_path))
+        assert [record["trial_index"] for record in merged] == list(range(8))
+        assert store.record_count() == 8
+
+    def test_identical_duplicates_collapse(self, tmp_path):
+        # a resumed sweep re-flushes its interrupted wave: same trials,
+        # byte-identical records
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(0), _record(1)])
+        store.append([_record(1), _record(2)])
+        merged = list(store.iter_records())
+        assert [record["trial_index"] for record in merged] == [0, 1, 2]
+
+    def test_conflicting_duplicates_raise(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(1)])
+        store.append([_record(1, symbol_error_rate=0.999)])
+        with pytest.raises(ValueError, match="segments disagree"):
+            list(store.iter_records())
+
+
+class TestMergeArtefacts:
+    def test_merge_is_byte_identical_to_result_store_write(self, tmp_path):
+        records = [_record(i) for i in range(10)]
+        spec = {"scenario": "seg-test"}
+        stats = {"num_trials": 10}
+
+        segmented_dir = tmp_path / "segmented"
+        store = SegmentedResultStore(segmented_dir)
+        store.append(records[:4], label="wave-000")
+        store.append(records[4:9], label="wave-001")
+        store.append(records[9:], label="final")
+        merged = store.merge(spec=spec, stats=stats)
+
+        fixed_dir = tmp_path / "fixed"
+        fixed = ResultStore(fixed_dir).write(records, spec=spec, stats=stats)
+
+        for artefact in ("jsonl", "csv", "manifest"):
+            assert merged[artefact].read_bytes() == fixed[artefact].read_bytes(), (
+                f"{artefact} differs between segmented merge and ResultStore.write"
+            )
+
+    def test_merge_without_spec_or_stats_skips_the_manifest(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(0)])
+        written = store.merge()
+        assert set(written) == {"jsonl", "csv"}
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_merged_jsonl_is_valid_and_deduplicated(self, tmp_path):
+        store = SegmentedResultStore(tmp_path)
+        store.append([_record(0), _record(1)])
+        store.append([_record(1), _record(2)])  # resumed-wave duplicate
+        written = store.merge()
+        lines = written["jsonl"].read_text().splitlines()
+        assert len(lines) == 3
+        assert [json.loads(line)["trial_index"] for line in lines] == [0, 1, 2]

@@ -1,0 +1,139 @@
+"""Adaptive sweeps through the service: option parsing, dispatch, artefacts."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.experiments import ResultCache, Scenario, register
+from repro.experiments.adaptive import AdaptiveConfig
+from repro.experiments.spec import SweepSpec
+from repro.service.jobs import JobQueue, JobState
+from repro.service.schemas import JobOptions, SchemaError, parse_submit_request
+
+COIN = "service-adaptive-coin"
+
+ADAPTIVE_OPTIONS = {
+    "metric": "success", "ci_width": 0.13, "max_trials": 64,
+    "min_trials": 4, "wave_trials": 8,
+}
+
+
+def _register_coin() -> None:
+    def run_trial(params, seed):
+        rng = np.random.default_rng(seed)
+        return {"success": float(rng.random() < params["p"])}
+
+    register(Scenario(
+        name=COIN,
+        description="Bernoulli trials for service adaptive tests (test only)",
+        layers=("test",),
+        version="1",
+        run_trial=run_trial,
+        default_spec=SweepSpec(scenario=COIN, grid={"p": (0.0, 0.5)}),
+    ))
+
+
+@pytest.fixture(autouse=True)
+def coin_scenario():
+    _register_coin()
+
+
+def _wait_terminal(queue, job_id, timeout_s=30.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = queue.get(job_id)
+        if job is not None and job.state in JobState.TERMINAL:
+            return job
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never reached a terminal state")
+
+
+@pytest.fixture
+def queue(tmp_path):
+    queue = JobQueue(tmp_path / "data", cache=ResultCache(tmp_path / "cache"),
+                     max_workers=2)
+    yield queue
+    queue.shutdown(wait=True)
+
+
+class TestOptionParsing:
+    def _submit_payload(self, adaptive):
+        return {
+            "spec": {"scenario": COIN, "grid": {"p": [0.0, 0.5]}},
+            "options": {"adaptive": adaptive},
+        }
+
+    def test_adaptive_options_parse_into_a_config(self):
+        _, options = parse_submit_request(self._submit_payload(ADAPTIVE_OPTIONS))
+        assert options.adaptive == AdaptiveConfig.from_dict(ADAPTIVE_OPTIONS)
+
+    def test_adaptive_defaults_to_none(self):
+        _, options = parse_submit_request(
+            {"spec": {"scenario": COIN}, "options": {}}
+        )
+        assert options.adaptive is None
+        assert options.to_dict()["adaptive"] is None
+
+    @pytest.mark.parametrize(
+        "adaptive, match",
+        [
+            ("tight", "options.adaptive"),
+            ({"metric": "success"}, "require metric"),
+            ({**ADAPTIVE_OPTIONS, "warp": 9}, "unknown adaptive option"),
+            ({**ADAPTIVE_OPTIONS, "method": "wald"}, "unknown interval method"),
+        ],
+    )
+    def test_bad_adaptive_options_are_schema_errors(self, adaptive, match):
+        with pytest.raises(SchemaError, match=match):
+            parse_submit_request(self._submit_payload(adaptive))
+
+    def test_options_round_trip_through_to_dict(self):
+        _, options = parse_submit_request(self._submit_payload(ADAPTIVE_OPTIONS))
+        payload = options.to_dict()["adaptive"]
+        assert payload["metric"] == "success"
+        assert payload["ci_width"] == 0.13
+        assert AdaptiveConfig.from_dict(payload) == options.adaptive
+
+
+class TestAdaptiveJobs:
+    def test_adaptive_job_runs_to_done_with_the_adaptive_stats_block(self, queue):
+        spec = SweepSpec(scenario=COIN, grid={"p": (0.0, 0.5)})
+        config = AdaptiveConfig.from_dict(ADAPTIVE_OPTIONS)
+        job, _ = queue.submit(spec, JobOptions(adaptive=config))
+        job = _wait_terminal(queue, job.job_id)
+        assert job.state == JobState.DONE
+
+        payload = job.to_dict()
+        adaptive = payload["stats"]["adaptive"]
+        assert adaptive["config"] == config.to_dict()
+        assert adaptive["points_total"] == 2
+        assert adaptive["waves"] >= 2
+        # sequential stopping really kicked in: fewer trials than the ceiling
+        assert payload["stats"]["num_trials"] < adaptive["ceiling_trials"]
+        assert adaptive["points_stopped_early"] >= 1
+
+    def test_adaptive_job_writes_the_standard_artifacts(self, queue):
+        import json
+
+        from repro.experiments.store import read_jsonl
+
+        spec = SweepSpec(scenario=COIN, grid={"p": (0.0, 0.5)})
+        config = AdaptiveConfig.from_dict(ADAPTIVE_OPTIONS)
+        job, _ = queue.submit(spec, JobOptions(adaptive=config))
+        job = _wait_terminal(queue, job.job_id)
+        assert set(job.artifacts) >= {"jsonl", "csv", "manifest"}
+        assert read_jsonl(job.artifacts["jsonl"]) == job.result.records
+        with open(job.artifacts["manifest"]) as handle:
+            manifest = json.load(handle)
+        assert "adaptive" in manifest["stats"]
+        assert manifest["stats"]["adaptive"]["points_total"] == 2
+
+    def test_fixed_count_jobs_report_no_adaptive_block(self, queue):
+        spec = SweepSpec(scenario=COIN, grid={"p": (0.0, 0.5)})
+        job, _ = queue.submit(spec)
+        job = _wait_terminal(queue, job.job_id)
+        assert job.state == JobState.DONE
+        assert "adaptive" not in job.to_dict()["stats"]

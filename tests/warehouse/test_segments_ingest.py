@@ -1,0 +1,153 @@
+"""Segmented stores through the warehouse: discovery, ingest, CI-aware compare."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.segments import SegmentedResultStore
+from repro.warehouse import Warehouse, discover, render_comparison
+from repro.warehouse.compare import MetricDiff
+from tests.warehouse.helpers import make_records, make_store_dir
+
+
+def _replicated_ser_records(ser_by_snr):
+    """Three replicates per SNR point so grouped means carry intervals."""
+    params, metrics = [], []
+    for snr, sers in ser_by_snr.items():
+        for ser in sers:
+            params.append({"snr_db": snr, "scheme": "DSSS"})
+            metrics.append({"ser": ser})
+    return make_records("modem-ser-vs-snr", params=params, metrics=metrics)
+
+
+def _make_segmented_run(directory, records, merge=False):
+    """A results directory holding only segments (an unmerged adaptive run)."""
+    store = SegmentedResultStore(directory)
+    half = len(records) // 2
+    store.append(records[:half], label="wave-000")
+    store.append(records[half:], label="wave-001")
+    if merge:
+        store.merge(spec={"scenario": records[0]["scenario"]})
+    return directory
+
+
+BASELINE = {-6: (0.30, 0.32, 0.28), -3: (0.10, 0.11, 0.09)}
+DEGRADED = {-6: (0.30, 0.31, 0.29), -3: (0.20, 0.21, 0.19)}  # clearly worse at -3
+
+
+class TestDiscovery:
+    def test_a_segments_only_dir_is_classified_as_a_store(self, tmp_path):
+        directory = _make_segmented_run(
+            tmp_path / "adaptive", _replicated_ser_records(BASELINE)
+        )
+        assert list(discover(directory)) == [("store", directory)]
+
+    def test_an_empty_segments_dir_is_not_a_run(self, tmp_path):
+        (tmp_path / "empty" / "segments").mkdir(parents=True)
+        assert list(discover(tmp_path / "empty")) == []
+
+
+class TestSegmentedIngest:
+    def test_segments_only_dir_round_trips_through_query(self, tmp_path):
+        records = _replicated_ser_records(BASELINE)
+        directory = _make_segmented_run(tmp_path / "adaptive", records)
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        report = warehouse.ingest(directory)
+        assert report.runs_added == 1
+        assert report.trials_added == len(records)
+        (run,) = warehouse.runs()
+        assert run.scenario == "modem-ser-vs-snr"
+        trials = warehouse.trials(run_ids=[run.run_id])
+        assert [trial.record for trial in trials] == records
+
+    def test_reingest_is_idempotent_until_a_new_segment_lands(self, tmp_path):
+        records = _replicated_ser_records(BASELINE)
+        directory = _make_segmented_run(tmp_path / "adaptive", records)
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        warehouse.ingest(directory)
+        assert warehouse.ingest(directory).runs_unchanged == 1
+
+        # a resumed sweep appends a segment: the content hash moves, the run
+        # is replaced in place with the merged (deduplicated) record set
+        extra = make_records("modem-ser-vs-snr",
+                             params=[{"snr_db": 0, "scheme": "DSSS"}],
+                             metrics=[{"ser": 0.01}])
+        extra[0]["trial_index"] = len(records)
+        SegmentedResultStore(directory).append(extra, label="wave-002")
+        report = warehouse.ingest(directory)
+        assert report.runs_replaced == 1
+        assert report.trials_added == len(records) + 1
+
+    def test_merged_dir_prefers_results_jsonl(self, tmp_path):
+        # once merge() has produced results.jsonl the canonical file wins
+        # (same records either way — this pins the hashing source)
+        records = _replicated_ser_records(BASELINE)
+        directory = _make_segmented_run(tmp_path / "adaptive", records, merge=True)
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        report = warehouse.ingest(directory)
+        assert report.runs_added == 1
+        (run,) = warehouse.runs()
+        assert run.num_trials == len(records)
+        assert run.spec == {"scenario": "modem-ser-vs-snr"}
+
+
+class TestCompareWithIntervals:
+    @pytest.fixture
+    def warehouse(self, tmp_path):
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        _make_segmented_run(tmp_path / "baseline",
+                            _replicated_ser_records(BASELINE))
+        _make_segmented_run(tmp_path / "degraded",
+                            _replicated_ser_records(DEGRADED))
+        warehouse.ingest(tmp_path / "baseline")
+        warehouse.ingest(tmp_path / "degraded")
+        return warehouse
+
+    def test_diff_cells_carry_ci_half_widths_and_significance(self, warehouse):
+        report = warehouse.compare("prev", "latest", by="snr_db",
+                                   scenario="modem-ser-vs-snr")
+        by_snr = {diff.by_value: diff for diff in report.diffs}
+        for diff in by_snr.values():
+            assert diff.ci_a is not None and diff.ci_a > 0.0
+            assert diff.ci_b is not None and diff.ci_b > 0.0
+        # -3 dB moved 0.10 -> 0.20, far beyond the tight replicate spread
+        assert by_snr[-3].significant is True
+        # -6 dB moved within the noise of its replicates
+        assert by_snr[-6].significant is False
+
+    def test_to_dict_and_render_expose_the_ci_columns(self, warehouse):
+        report = warehouse.compare("prev", "latest", by="snr_db",
+                                   scenario="modem-ser-vs-snr")
+        cell = report.to_dict()["diffs"][0]
+        assert {"ci_a", "ci_b", "significant"} <= set(cell)
+        text = render_comparison(report)
+        assert "±95% A" in text and "±95% B" in text and "Signif" in text
+        assert "regression(s) beyond" in text  # CI smoke greps this summary
+
+    def test_single_trial_sides_have_no_interval_and_no_verdict(self, tmp_path):
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        for name, value in (("a", 0.1), ("b", 0.4)):
+            make_store_dir(
+                tmp_path / name,
+                make_records("demo", params=[{"x": 1}], metrics=[{"y": value}]),
+            )
+            warehouse.ingest(tmp_path / name)
+        report = warehouse.compare("prev", "latest", by="x")
+        diff = next(d for d in report.diffs if d.metric == "y")
+        assert diff.ci_a is None and diff.ci_b is None
+        assert diff.significant is None
+        assert "-" in render_comparison(report)
+
+
+class TestMetricDiffSignificance:
+    def test_significant_requires_delta_beyond_combined_half_widths(self):
+        base = dict(metric="m", by=None, by_value=None, count_a=3, count_b=3)
+        clear = MetricDiff(mean_a=0.1, mean_b=0.5, ci_a=0.05, ci_b=0.05, **base)
+        assert clear.significant is True
+        noisy = MetricDiff(mean_a=0.1, mean_b=0.5, ci_a=0.3, ci_b=0.3, **base)
+        assert noisy.significant is False
+
+    def test_missing_mean_or_interval_yields_none(self):
+        base = dict(metric="m", by=None, by_value=None, count_a=1, count_b=1)
+        assert MetricDiff(mean_a=None, mean_b=0.5, **base).significant is None
+        assert MetricDiff(mean_a=0.1, mean_b=0.5, **base).significant is None
