@@ -414,17 +414,20 @@ def summarize_lifetimes(platform: str, results) -> SimulatedLifetimeSummary:
     Trials without a death are censored observations: they are excluded from
     the mean (never coerced to 0, which would read as an instant death) and
     counted separately.  With no deaths at all the mean itself is ``None``.
+    Trials that generated zero packets report a NaN delivery ratio
+    (undefined, not total loss) and are likewise excluded from the ratio
+    mean; with no defined ratio at all the mean is NaN.
     """
     results = list(results)
     lifetimes = [r.lifetime_days for r in results if r.lifetime_days is not None]
     mean_lifetime = sum(lifetimes) / len(lifetimes) if lifetimes else None
-    ratios = [r.delivery_ratio for r in results]
+    ratios = [r.delivery_ratio for r in results if not np.isnan(r.delivery_ratio)]
     return SimulatedLifetimeSummary(
         platform=platform,
         trials=len(results),
         died_trials=len(lifetimes),
         mean_lifetime_days=mean_lifetime,
-        mean_delivery_ratio=sum(ratios) / len(ratios) if ratios else 0.0,
+        mean_delivery_ratio=sum(ratios) / len(ratios) if ratios else float("nan"),
     )
 
 
@@ -444,6 +447,9 @@ def simulated_network_lifetime_study(
     batch: bool = True,
     topology: str = "grid",
     topology_seed: int = 1,
+    mac=None,
+    protocol=None,
+    mobility=None,
 ) -> dict[str, SimulatedLifetimeSummary]:
     """Monte-Carlo deployment lifetime per platform on the network simulator.
 
@@ -453,7 +459,12 @@ def simulated_network_lifetime_study(
     traffic seeds batched per platform — and reports per-platform lifetime
     and delivery-ratio summaries.  Trials whose network outlives ``max_days``
     are reported as censored (see :func:`summarize_lifetimes`).  ``topology``
-    selects the same ``grid``/``random`` geometries as the analytical study.
+    selects the same ``grid``/``random`` geometries as the analytical study;
+    ``mac``/``protocol``/``mobility`` pass a MAC model (e.g.
+    :class:`~repro.network.mac.CsmaMac`), a protocol model
+    (:class:`~repro.network.routing.TtlFlooding`) and a
+    :class:`~repro.network.topology.LinearMobility` drift straight through to
+    the simulator.
     """
     from repro.modem.energy_budget import ModemEnergyBudget
     from repro.network.batch import simulate_network_trials
@@ -495,6 +506,9 @@ def simulated_network_lifetime_study(
             traffic=traffic,
             communication_range_m=communication_range_m,
             battery_capacity_j=battery_capacity_j,
+            mac=mac,
+            protocol=protocol,
+            mobility=mobility,
             seeds=seeds,
             max_time_s=max_days * 86_400.0,
             batch=batch,

@@ -122,6 +122,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="deployment geometry (applies to both the analytical estimate "
         "and --trials simulation)",
     )
+    lifetime.add_argument(
+        "--mac", choices=("none", "csma"), default="none",
+        help="MAC model for --trials: 'csma' draws per-packet contention "
+        "(collisions, bounded retries); 'none' is the contention-free default",
+    )
+    lifetime.add_argument("--channel-load", type=float, default=0.1,
+                          help="per-contender channel occupancy for --mac csma")
+    lifetime.add_argument("--max-attempts", type=int, default=5,
+                          help="per-hop retry cap for --mac csma")
+    lifetime.add_argument("--capture", type=float, default=0.0,
+                          help="capture probability of a collided attempt for --mac csma")
+    lifetime.add_argument(
+        "--protocol", choices=("routed", "flooding"), default="routed",
+        help="packet forwarding for --trials: shortest-path unicast or "
+        "TTL-bounded flooding",
+    )
+    lifetime.add_argument("--ttl", type=int, default=4,
+                          help="hop budget for --protocol flooding")
+    lifetime.add_argument(
+        "--drift-speed", type=float, default=0.0,
+        help="node drift speed in m/s for --trials (0 = static deployment); "
+        "topology and routes are rebuilt once per drift epoch",
+    )
+    lifetime.add_argument("--drift-epoch-s", type=float, default=21_600.0,
+                          help="topology refresh period for --drift-speed")
 
     ipcore = subparsers.add_parser(
         "ipcore",
@@ -439,7 +464,23 @@ def _run_bitwidth(args: argparse.Namespace) -> str:
 def _run_lifetime(args: argparse.Namespace) -> str:
     if args.trials > 0:
         from repro.analysis.ablations import simulated_network_lifetime_study
+        from repro.network.mac import CsmaMac
+        from repro.network.routing import TtlFlooding
+        from repro.network.topology import LinearMobility
 
+        mac = None
+        if args.mac == "csma":
+            mac = CsmaMac(
+                channel_load=args.channel_load,
+                max_attempts=args.max_attempts,
+                capture_probability=args.capture,
+            )
+        protocol = TtlFlooding(ttl=args.ttl) if args.protocol == "flooding" else None
+        mobility = None
+        if args.drift_speed > 0.0:
+            mobility = LinearMobility(
+                speed_mps=args.drift_speed, epoch_s=args.drift_epoch_s
+            )
         summaries = simulated_network_lifetime_study(
             grid_size=(args.grid, args.grid),
             battery_capacity_j=args.battery_kj * 1e3,
@@ -448,6 +489,9 @@ def _run_lifetime(args: argparse.Namespace) -> str:
             base_seed=args.seed,
             batch=args.batch,
             topology=args.topology,
+            mac=mac,
+            protocol=protocol,
+            mobility=mobility,
         )
         engine = "batched engine" if args.batch else "event loop"
         rows = [

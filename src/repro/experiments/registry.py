@@ -4,18 +4,20 @@ A :class:`Scenario` couples a *trial function* — ``(params, seed) -> metrics``
 — with a default :class:`~repro.experiments.spec.SweepSpec` describing the
 interesting axes.  Scenarios are looked up by name (also from worker
 processes, so trial functions stay importable module-level callables) and the
-registry ships with six built-ins spanning every layer of the codebase:
+registry ships with eight built-ins spanning every layer of the codebase:
 
-====================  =======================  ================================
-name                  layers                   sweeps
-====================  =======================  ================================
-modem-ser-vs-snr      modem, channel, dsp      DS-SS vs FSK symbol error rate
-fixedpoint-bitwidth   fixedpoint, core         MP accuracy vs word length
-ipcore-parallelism    core, fixedpoint, hw     IP-core accuracy + cycles vs P, w
-platform-energy       hardware                 energy per estimation / packet
-mp-refinement         core, channel            greedy vs LS-refined MP vs Nf
-network-lifetime      network, modem           deployment lifetime by platform
-====================  =======================  ================================
+======================  =======================  ================================
+name                    layers                   sweeps
+======================  =======================  ================================
+modem-ser-vs-snr        modem, channel, dsp      DS-SS vs FSK symbol error rate
+fixedpoint-bitwidth     fixedpoint, core         MP accuracy vs word length
+ipcore-parallelism      core, fixedpoint, hw     IP-core accuracy + cycles vs P, w
+platform-energy         hardware                 energy per estimation / packet
+mp-refinement           core, channel            greedy vs LS-refined MP vs Nf
+network-lifetime        network, modem           deployment lifetime by platform
+network-contention      network, modem           lifetime/PDR under contention MAC
+network-pdr-vs-density  network                  delivery ratio vs node density
+======================  =======================  ================================
 
 Each scenario carries a ``version`` string that is folded into cache keys, so
 changing a trial function's behaviour (bump the version) invalidates exactly
@@ -44,8 +46,15 @@ from repro.modem.config import AquaModemConfig
 from repro.modem.energy_budget import ModemEnergyBudget
 from repro.modem.link import LinkSimulator
 from repro.network.lifetime import lifetime_by_platform
-from repro.network.routing import shortest_path_routing
-from repro.network.topology import connectivity_graph, grid_deployment, random_deployment
+from repro.network.mac import CsmaMac
+from repro.network.routing import RoutedForwarding, TtlFlooding, shortest_path_routing
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import (
+    LinearMobility,
+    connectivity_graph,
+    grid_deployment,
+    random_deployment,
+)
 from repro.network.traffic import PeriodicTraffic
 
 __all__ = [
@@ -493,6 +502,114 @@ def _network_lifetime_trial(params: Mapping[str, Any], seed: int) -> dict[str, A
     return {"lifetime_days": lifetimes_s[platform] / 86_400.0}
 
 
+def _contention_simulator(params: Mapping[str, Any], seed: int) -> NetworkSimulator:
+    """Build the packet-level simulator a contention trial runs on.
+
+    The deployment covers a *fixed* ``area_side_m`` square regardless of
+    ``num_nodes``, so sweeping the node count sweeps the density — and with
+    it the per-receiver contender count the CSMA MAC reacts to.
+    """
+    topology = str(params.get("topology", "grid"))
+    num_nodes = int(params["num_nodes"])
+    area_side_m = float(params["area_side_m"])
+    if topology == "grid":
+        side = int(round(num_nodes**0.5))
+        if side * side != num_nodes:
+            raise ValueError(
+                f"num_nodes must be a perfect square for the grid topology, got {num_nodes}"
+            )
+        deployment = grid_deployment(side, side, spacing_m=area_side_m / max(side - 1, 1))
+    elif topology == "random":
+        deployment = random_deployment(
+            num_nodes,
+            area_m=(area_side_m, area_side_m),
+            rng=int(params.get("topology_seed", 1)),
+        )
+    else:
+        raise ValueError(f"unknown topology {topology!r}; expected 'grid' or 'random'")
+    protocol_name = str(params.get("protocol", "routed"))
+    if protocol_name == "routed":
+        protocol: RoutedForwarding | TtlFlooding = RoutedForwarding()
+    elif protocol_name == "flooding":
+        protocol = TtlFlooding(ttl=int(params.get("ttl", 4)))
+    else:
+        raise ValueError(f"unknown protocol {protocol_name!r}; expected 'routed' or 'flooding'")
+    drift_speed = float(params.get("drift_speed_mps", 0.0))
+    mobility = None
+    if drift_speed > 0.0:
+        mobility = LinearMobility(
+            speed_mps=drift_speed, epoch_s=float(params.get("drift_epoch_s", 21_600.0))
+        )
+    return NetworkSimulator(
+        deployment=deployment,
+        energy_budget=ModemEnergyBudget(
+            processing_energy_per_estimation_j=float(params["energy_uj"]) * 1e-6,
+        ),
+        traffic=PeriodicTraffic(
+            report_interval_s=float(params["report_interval_s"]),
+            packet_symbols=int(params["packet_symbols"]),
+        ),
+        communication_range_m=float(params["communication_range_m"]),
+        battery_capacity_j=float(params["battery_capacity_j"]),
+        mac=CsmaMac(
+            channel_load=float(params["channel_load"]),
+            max_attempts=int(params["max_attempts"]),
+            capture_probability=float(params.get("capture_probability", 0.0)),
+        ),
+        rng=seed,
+        batch=bool(params.get("batch", True)),
+        protocol=protocol,
+        mobility=mobility,
+    )
+
+
+def _contention_metrics(result) -> dict[str, Any]:
+    ratio = result.delivery_ratio
+    return {
+        "lifetime_days": result.lifetime_days,
+        # a zero-packet run has an undefined (NaN) ratio; encode it as None
+        # so sweep records stay strict JSON and aggregators skip it
+        "delivery_ratio": None if ratio != ratio else float(ratio),
+        "packets_generated": result.packets_generated,
+        "packets_delivered": result.packets_delivered,
+        "packets_dropped": result.packets_dropped,
+    }
+
+
+def _network_contention_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Lifetime and delivery of one seeded run under the contention MAC.
+
+    ``protocol`` selects routed forwarding or TTL flooding, ``drift_speed_mps``
+    (> 0) attaches current-drift mobility, and ``batch`` picks the vectorised
+    or per-packet engine — both produce identical records seed for seed,
+    which is what the CI byte-compare smoke pins.
+    """
+    simulator = _contention_simulator(params, seed)
+    result = simulator.run(
+        max_time_s=float(params["max_days"]) * 86_400.0,
+        stop_at_first_death=bool(params.get("stop_at_first_death", True)),
+    )
+    return _contention_metrics(result)
+
+
+def _network_pdr_trial(params: Mapping[str, Any], seed: int) -> dict[str, Any]:
+    """Delivery ratio at one deployment density (fixed area, varying nodes).
+
+    Runs the full horizon without stopping at deaths (the battery is sized so
+    none occur) and reports the per-receiver contention exposure alongside
+    the delivery ratio: as density rises, mean degree rises and PDR falls.
+    """
+    simulator = _contention_simulator(params, seed)
+    degrees = [degree for _, degree in simulator.graph.degree]
+    result = simulator.run(
+        max_time_s=float(params["max_days"]) * 86_400.0,
+        stop_at_first_death=False,
+    )
+    metrics = _contention_metrics(result)
+    metrics["mean_degree"] = float(sum(degrees)) / len(degrees)
+    return metrics
+
+
 # --------------------------------------------------------------------------- #
 # built-in scenario definitions
 # --------------------------------------------------------------------------- #
@@ -624,5 +741,56 @@ register(Scenario(
             "batch": True, "topology_seed": 1,
         },
         seed=SeedPolicy(base_seed=0, replicates=1),
+    ),
+))
+
+register(Scenario(
+    name="network-contention",
+    description="deployment lifetime and delivery ratio under the contention CSMA MAC",
+    layers=("network", "modem"),
+    version="1",
+    run_trial=_network_contention_trial,
+    default_spec=SweepSpec(
+        scenario="network-contention",
+        grid={
+            "protocol": ("routed", "flooding"),
+            "channel_load": (0.1, 0.3),
+        },
+        base={
+            "num_nodes": 25, "area_side_m": 800.0, "topology": "grid",
+            "communication_range_m": 300.0, "battery_capacity_j": 200.0,
+            "report_interval_s": 30.0, "packet_symbols": 16,
+            "energy_uj": 500.76, "max_attempts": 5, "capture_probability": 0.0,
+            "ttl": 4, "drift_speed_mps": 0.0, "drift_epoch_s": 21_600.0,
+            "max_days": 1.0, "topology_seed": 1,
+            # vectorised contention engine by default; `--set batch=false`
+            # replays the per-packet event loop (identical records, slower) —
+            # the CI smoke byte-compares the two
+            "batch": True,
+        },
+        seed=SeedPolicy(base_seed=0, replicates=2),
+    ),
+))
+
+register(Scenario(
+    name="network-pdr-vs-density",
+    description="packet delivery ratio vs deployment density under contention (fixed area)",
+    layers=("network",),
+    version="1",
+    run_trial=_network_pdr_trial,
+    default_spec=SweepSpec(
+        scenario="network-pdr-vs-density",
+        # same square area throughout: more nodes = denser = more contenders
+        grid={"num_nodes": (9, 16, 25, 36)},
+        base={
+            "area_side_m": 600.0, "topology": "grid",
+            "communication_range_m": 300.0, "battery_capacity_j": 50_000.0,
+            "report_interval_s": 60.0, "packet_symbols": 16,
+            "energy_uj": 500.76, "channel_load": 0.1, "max_attempts": 5,
+            "capture_probability": 0.0, "protocol": "routed", "ttl": 4,
+            "drift_speed_mps": 0.0, "drift_epoch_s": 21_600.0,
+            "max_days": 0.05, "topology_seed": 1, "batch": True,
+        },
+        seed=SeedPolicy(base_seed=0, replicates=3),
     ),
 ))

@@ -11,8 +11,11 @@ numbers of :mod:`repro.hardware` into deployment lifetimes (experiment E9):
   energy accounting;
 * :mod:`repro.network.topology` — grid / random deployments and the
   connectivity graph (networkx) induced by the acoustic range;
-* :mod:`repro.network.routing` — static shortest-path routing to the sink;
-* :mod:`repro.network.mac` — TDMA and slotted-ALOHA medium-access models;
+* :mod:`repro.network.routing` — static shortest-path routing to the sink,
+  plus the protocol models (unicast :class:`RoutedForwarding`, TTL-bounded
+  :class:`TtlFlooding`);
+* :mod:`repro.network.mac` — TDMA, slotted-ALOHA and contention CSMA
+  (:class:`CsmaMac`: per-packet collision draws, bounded retries) models;
 * :mod:`repro.network.traffic` — periodic sensing traffic;
 * :mod:`repro.network.simulator` — the event-driven network simulator;
 * :mod:`repro.network.batch` — the vectorised batch engine (round-based
@@ -24,9 +27,21 @@ numbers of :mod:`repro.hardware` into deployment lifetimes (experiment E9):
 from repro.network.batch import BatchNetworkEngine, generate_report_schedule, simulate_network_trials
 from repro.network.events import Event, EventQueue, Scheduler
 from repro.network.node import Battery, SensorNode, NodeEnergyReport
-from repro.network.topology import Deployment, grid_deployment, random_deployment, connectivity_graph
-from repro.network.routing import shortest_path_routing, RoutingTable
-from repro.network.mac import TDMASchedule, SlottedAloha
+from repro.network.topology import (
+    Deployment,
+    LinearMobility,
+    grid_deployment,
+    random_deployment,
+    connectivity_graph,
+)
+from repro.network.routing import (
+    RoutedForwarding,
+    RoutingTable,
+    TtlFlooding,
+    flood_packet,
+    shortest_path_routing,
+)
+from repro.network.mac import TDMASchedule, SlottedAloha, CsmaMac
 from repro.network.traffic import PeriodicTraffic
 from repro.network.simulator import NetworkSimulator, NetworkSimulationResult
 from repro.network.lifetime import analytical_node_lifetime, lifetime_by_platform, subtree_sizes
@@ -43,13 +58,18 @@ __all__ = [
     "SensorNode",
     "NodeEnergyReport",
     "Deployment",
+    "LinearMobility",
     "grid_deployment",
     "random_deployment",
     "connectivity_graph",
     "shortest_path_routing",
+    "RoutedForwarding",
     "RoutingTable",
+    "TtlFlooding",
+    "flood_packet",
     "TDMASchedule",
     "SlottedAloha",
+    "CsmaMac",
     "PeriodicTraffic",
     "NetworkSimulator",
     "NetworkSimulationResult",

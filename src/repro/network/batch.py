@@ -26,6 +26,19 @@ accounting while reproducing the event loop bit-for-bit:
    packet delivery may truncate mid-path) is replayed through the event
    loop's own per-hop accounting, keeping partial-delivery semantics exact.
 
+Contention (:class:`~repro.network.mac.CsmaMac`), TTL flooding
+(:class:`~repro.network.routing.TtlFlooding`) and mobility
+(:class:`~repro.network.topology.LinearMobility`) run through the *general*
+path: charges are no longer a static per-source function, so the engine
+builds exact per-event increment matrices instead — contention retry counts
+come from the same counter-based uniforms
+(:func:`repro.utils.rng.counter_uniforms`, keyed by each event's global
+schedule index) the event loop draws, floods are propagated
+level-synchronously as boolean matrix products, and chunks are segmented at
+mobility epoch boundaries so every segment sees one fixed topology.  The
+cumulative death scan and boundary-event replay work unchanged on top of the
+increments.
+
 Both engines agree exactly on death times, death order, packet counts,
 delivery ratios and per-component energy — the seed-locked equivalence suite
 (``tests/network/test_batch_equivalence.py``) pins this with ``==``, not
@@ -39,11 +52,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.network.routing import RoutedForwarding, TtlFlooding
 from repro.network.simulator import NetworkSimulationResult, NetworkSimulator
+from repro.network.topology import LinearMobility
 from repro.network.traffic import PeriodicTraffic
 from repro.telemetry.metrics import counter, histogram
 from repro.telemetry.tracing import span
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, counter_uniforms
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -57,6 +72,12 @@ __all__ = [
 _EVENTS = counter("engine.network.events")
 _CHUNKS = counter("engine.network.chunks")
 _SCAN_TRIALS = histogram("engine.network.scan_live_trials")
+#: events processed through the general (contention/flooding/mobility) path
+_GENERAL_EVENTS = counter("engine.network.general_events")
+#: events per same-topology segment of the general path
+_SEGMENT_EVENTS = histogram("engine.network.segment_events")
+#: same counter instance the event loop increments (registry-deduplicated)
+_PACKETS_DROPPED = counter("network.packets_dropped")
 
 #: Events per generated/scanned chunk; bounds wasted schedule generation past
 #: a death while keeping the NumPy call overhead amortised.
@@ -243,6 +264,24 @@ def _first_crossings(
 
 
 @dataclass
+class _EventIncrements:
+    """Exact per-event charge increments for one same-topology segment.
+
+    Row ``e`` of each matrix holds the charges event ``e`` inflicts on every
+    node (already including retry attempts), computed against the alive set
+    at the start of the scan — exact for every event before the first death,
+    which is all the scan needs (the boundary event itself is replayed).
+    """
+
+    tx: np.ndarray  # (events, nodes) transmit charge counts
+    rx: np.ndarray  # (events, nodes) receive charge counts
+    fwd: np.ndarray  # (events, nodes) forwarded-packet counts
+    generated: np.ndarray  # (events,) whether the source generated
+    delivered: np.ndarray  # (events,) whether the sink got the packet
+    dropped_row: np.ndarray  # (events,) node row of a retry-exhausted drop, -1 if none
+
+
+@dataclass
 class BatchNetworkEngine:
     """Drives one :class:`NetworkSimulator` with vectorised accounting.
 
@@ -263,6 +302,14 @@ class BatchNetworkEngine:
         self._tx_energy = sim.energy_budget.transmit_energy_j(symbols)
         self._rx_energy = sim.energy_budget.receive_energy_j(symbols).total_j
         self._idle_power = sim.energy_budget.idle_power_w()
+        # contention, flooding and mobility make per-event charges dynamic,
+        # which selects the increment-matrix path; everything else stays on
+        # the (byte-identical) static charge-model path
+        self._general = (
+            sim._contention is not None
+            or isinstance(sim.protocol, TtlFlooding)
+            or sim.mobility is not None
+        )
 
     # ------------------------------------------------------------------ #
     def _to_rows(self, sources: np.ndarray) -> np.ndarray:
@@ -384,15 +431,320 @@ class BatchNetworkEngine:
         sim._packets_generated += int(alive_source[src_rows].sum())
         sim._packets_delivered += int(deliverable[src_rows].sum())
 
+    # ----------------------- general (dynamic-charge) path ------------- #
+    def _alive_mask(self) -> np.ndarray:
+        """Per-row aliveness of every node, in row order."""
+        sim = self.simulator
+        return np.asarray(
+            [sim.nodes[node_id].is_alive for node_id in self._ids], dtype=bool
+        )
+
+    def _segment_end(self, times: np.ndarray, position: int) -> int:
+        """End (exclusive) of the same-mobility-epoch run starting at ``position``."""
+        mobility = self.simulator.mobility
+        if mobility is None:
+            return len(times)
+        epochs = (times[position:] // mobility.epoch_s).astype(np.int64)
+        boundary = np.nonzero(epochs != epochs[0])[0]
+        return len(times) if boundary.size == 0 else position + int(boundary[0])
+
+    def _event_increments(
+        self, src_rows: np.ndarray, event_indices: np.ndarray
+    ) -> _EventIncrements:
+        if isinstance(self.simulator.protocol, TtlFlooding):
+            return self._flood_increments(src_rows, event_indices)
+        return self._routed_increments(src_rows, event_indices)
+
+    def _routed_increments(
+        self, src_rows: np.ndarray, event_indices: np.ndarray
+    ) -> _EventIncrements:
+        """Per-event charges for routed forwarding (contended or multiplier).
+
+        Mirrors ``NetworkSimulator._deliver_routed_contended`` /
+        ``_deliver_packet`` exactly: hop ``h``'s attempt ``a`` reads the
+        event's counter-based uniform at slot ``h * max_attempts + a``, hops
+        execute only along the alive path prefix and while every earlier hop
+        succeeded, and a hop that exhausts its retries drops the packet at
+        its sender.
+        """
+        sim = self.simulator
+        rows = self._rows
+        count = len(self._ids)
+        num_events = len(src_rows)
+        alive = self._alive_mask()
+        sink_row = rows[sim.deployment.sink_id]
+        contention = sim._contention
+        tx = np.zeros((num_events, count), dtype=np.int64)
+        rx = np.zeros_like(tx)
+        fwd = np.zeros_like(tx)
+        generated = alive[src_rows]
+        dropped_row = np.full(num_events, -1, dtype=np.int64)
+        # per-source path tables under the current alive set
+        hops_total = np.zeros(count, dtype=np.int64)
+        exec_hops = np.zeros(count, dtype=np.int64)
+        routable = np.zeros(count, dtype=bool)
+        paths: dict[int, list[int]] = {}
+        max_hops = 0
+        for node_id in sim.sensor_ids:
+            row = rows[node_id]
+            if not alive[row] or not sim.routing.has_route(node_id):
+                continue
+            path_rows = [rows[hop_id] for hop_id in sim.routing.route(node_id)]
+            routable[row] = True
+            hops_total[row] = len(path_rows) - 1
+            cut = len(path_rows)
+            for index, hop_row in enumerate(path_rows):
+                if not alive[hop_row]:
+                    cut = index
+                    break
+            exec_hops[row] = cut - 1
+            paths[row] = path_rows
+            max_hops = max(max_hops, len(path_rows) - 1)
+        if max_hops == 0:
+            return _EventIncrements(
+                tx, rx, fwd, generated, np.zeros(num_events, dtype=bool), dropped_row
+            )
+        path_pad = np.zeros((count, max_hops + 1), dtype=np.int64)
+        p_hop = np.zeros((count, max_hops), dtype=np.float64)
+        for row, path_rows in paths.items():
+            path_pad[row, : len(path_rows)] = path_rows
+            if contention is not None:
+                for hop in range(len(path_rows) - 1):
+                    edge = (self._ids[path_rows[hop]], self._ids[path_rows[hop + 1]])
+                    p_hop[row, hop] = sim._edge_success[edge]
+        hop_index = np.arange(max_hops)
+        real = hop_index[np.newaxis, :] < hops_total[src_rows][:, np.newaxis]
+        if contention is not None:
+            num_attempts = contention.max_attempts
+            draws = counter_uniforms(
+                sim._contention_seed, event_indices, max_hops * num_attempts
+            ).reshape(num_events, max_hops, num_attempts)
+            success = draws < p_hop[src_rows][:, :, np.newaxis]
+            hop_ok = success.any(axis=2)
+            attempts = np.where(hop_ok, success.argmax(axis=2) + 1, num_attempts)
+        else:
+            hop_ok = np.ones((num_events, max_hops), dtype=bool)
+            attempts = np.full((num_events, max_hops), self._attempts, dtype=np.int64)
+        prefix_ok = np.ones((num_events, max_hops), dtype=bool)
+        if max_hops > 1:
+            prefix_ok[:, 1:] = np.cumprod(hop_ok[:, :-1], axis=1).astype(bool)
+        executed = (
+            (hop_index[np.newaxis, :] < exec_hops[src_rows][:, np.newaxis])
+            & prefix_ok
+            & generated[:, np.newaxis]
+            & routable[src_rows][:, np.newaxis]
+        )
+        charge = np.where(executed, attempts, 0)
+        event_of = np.repeat(np.arange(num_events), max_hops)
+        flat = charge.ravel()
+        senders = path_pad[src_rows][:, :max_hops].ravel()
+        receivers = path_pad[src_rows][:, 1 : max_hops + 1].ravel()
+        nonzero = flat > 0
+        np.add.at(tx, (event_of[nonzero], senders[nonzero]), flat[nonzero])
+        np.add.at(rx, (event_of[nonzero], receivers[nonzero]), flat[nonzero])
+        np.add.at(
+            fwd,
+            (event_of[nonzero], receivers[nonzero]),
+            flat[nonzero] * (receivers[nonzero] != sink_row),
+        )
+        all_hops_ok = (hop_ok | ~real).all(axis=1)
+        delivered = (
+            generated
+            & routable[src_rows]
+            & (exec_hops[src_rows] == hops_total[src_rows])
+            & all_hops_ok
+        )
+        if contention is not None:
+            fail = ~hop_ok & real
+            has_fail = fail.any(axis=1)
+            first_fail = fail.argmax(axis=1)
+            drop = (
+                generated
+                & routable[src_rows]
+                & has_fail
+                & (first_fail < exec_hops[src_rows])
+            )
+            dropped_row[drop] = path_pad[src_rows[drop], first_fail[drop]]
+        return _EventIncrements(tx, rx, fwd, generated, delivered, dropped_row)
+
+    def _flood_increments(
+        self, src_rows: np.ndarray, event_indices: np.ndarray
+    ) -> _EventIncrements:
+        """Per-event charges for TTL flooding, level-synchronous as matrices.
+
+        Mirrors :func:`repro.network.routing.flood_packet`: each level's
+        frontier broadcasts (sink excluded), every alive neighbour pays
+        reception whether or not the copy decodes, and only decoded first
+        copies (per-edge counter-based draws under contention) propagate.
+        """
+        sim = self.simulator
+        rows = self._rows
+        count = len(self._ids)
+        num_events = len(src_rows)
+        alive = self._alive_mask()
+        sink_row = rows[sim.deployment.sink_id]
+        attempts = self._attempts
+        contention = sim._contention
+        adjacency = np.zeros((count, count), dtype=bool)
+        for node_id, neighbours in sim._adjacency.items():
+            for neighbour in neighbours:
+                adjacency[rows[node_id], rows[neighbour]] = True
+        adj_alive = (adjacency & alive[np.newaxis, :]).astype(np.int64)
+        generated = alive[src_rows]
+        tx = np.zeros((num_events, count), dtype=np.int64)
+        rx = np.zeros_like(tx)
+        heard = np.zeros((num_events, count), dtype=bool)
+        heard[np.arange(num_events), src_rows] = generated
+        frontier = heard.copy()
+        if contention is not None:
+            # slot order == insertion order of the sorted directed-edge dict
+            edge_list = list(sim._edge_slots)
+            u_rows = np.asarray([rows[u] for u, _ in edge_list], dtype=np.int64)
+            v_rows = np.asarray([rows[v] for _, v in edge_list], dtype=np.int64)
+            probs = np.asarray([sim._edge_success[edge] for edge in edge_list])
+            draws = counter_uniforms(
+                sim._contention_seed, event_indices, len(edge_list)
+            )
+            edge_ok = (draws < probs[np.newaxis, :]) & alive[v_rows][np.newaxis, :]
+            v_onehot = np.zeros((len(edge_list), count), dtype=np.int64)
+            if edge_list:
+                v_onehot[np.arange(len(edge_list)), v_rows] = 1
+        for _ in range(sim.protocol.ttl):
+            senders = frontier.copy()
+            senders[:, sink_row] = False
+            if not senders.any():
+                break
+            sender_counts = senders.astype(np.int64)
+            tx += attempts * sender_counts
+            rx += attempts * (sender_counts @ adj_alive)
+            if contention is not None:
+                contrib = (senders[:, u_rows] & edge_ok).astype(np.int64)
+                reached = (contrib @ v_onehot) > 0
+            else:
+                reached = (sender_counts @ adj_alive) > 0
+            frontier = reached & ~heard
+            heard |= frontier
+        fwd = rx.copy()
+        fwd[:, sink_row] = 0
+        delivered = heard[:, sink_row].copy()
+        return _EventIncrements(
+            tx, rx, fwd, generated, delivered, np.full(num_events, -1, dtype=np.int64)
+        )
+
+    def _scan_increments(self, times: np.ndarray, inc: _EventIncrements) -> int | None:
+        """First event index whose cumulative increments kill a node, or None.
+
+        Same closed-form demand expression as :func:`_first_crossings` (and
+        :attr:`repro.network.node.SensorNode.demanded_j`), with the retry
+        attempts already folded into the increment counts.
+        """
+        scan_rows = self._alive_sensor_rows()
+        if scan_rows.size == 0 or len(times) == 0:
+            return None
+        base_tx, base_rx = self._base_counts()
+        ntx = base_tx[scan_rows][np.newaxis, :] + np.cumsum(inc.tx[:, scan_rows], axis=0)
+        nrx = base_rx[scan_rows][np.newaxis, :] + np.cumsum(inc.rx[:, scan_rows], axis=0)
+        demanded = (
+            ntx * self._tx_energy
+            + nrx * self._rx_energy
+            + self._idle_power * times[:, np.newaxis]
+        )
+        crossed = (demanded >= self.simulator.battery_capacity_j).any(axis=1)
+        if not crossed.any():
+            return None
+        return int(np.argmax(crossed))
+
+    def _apply_increments(
+        self, times: np.ndarray, inc: _EventIncrements, stop: int
+    ) -> None:
+        """Bulk-apply the first ``stop`` events' increments to the node states."""
+        sim = self.simulator
+        symbols = sim.traffic.packet_symbols
+        tx_total = inc.tx[:stop].sum(axis=0)
+        rx_total = inc.rx[:stop].sum(axis=0)
+        fwd_total = inc.fwd[:stop].sum(axis=0)
+        now = float(times[stop - 1])
+        for node_id, row in self._rows.items():
+            node = sim.nodes[node_id]
+            if not node.is_alive:
+                continue
+            node.apply_charges(
+                symbols,
+                transmit=int(tx_total[row]),
+                receive=int(rx_total[row]),
+                forwarded=int(fwd_total[row]),
+                now_s=now,
+            )
+        sim._packets_generated += int(inc.generated[:stop].sum())
+        sim._packets_delivered += int(inc.delivered[:stop].sum())
+        drops = inc.dropped_row[:stop]
+        drops = drops[drops >= 0]
+        if drops.size:
+            for row, count in zip(*np.unique(drops, return_counts=True)):
+                sim.nodes[self._ids[int(row)]].packets_dropped += int(count)
+            sim._packets_dropped += int(drops.size)
+            _PACKETS_DROPPED.inc(int(drops.size))
+
+    def _consume_general(
+        self,
+        times: np.ndarray,
+        sources: np.ndarray,
+        src_rows: np.ndarray,
+        stop_at_first_death: bool,
+        offset: int,
+    ) -> tuple[float | None, bool]:
+        """The general-path chunk consumer: segment, scan increments, replay.
+
+        ``offset`` is the global schedule index of ``times[0]`` — the key
+        into the counter-based contention stream, which is how the two
+        engines observe identical per-packet draws without any stream state.
+        """
+        sim = self.simulator
+        last_time: float | None = None
+        position = 0
+        _GENERAL_EVENTS.inc(len(times))
+        while position < len(times):
+            sim._refresh_topology(float(times[position]))
+            segment_end = self._segment_end(times, position)
+            seg_times = times[position:segment_end]
+            seg_rows = src_rows[position:segment_end]
+            _SEGMENT_EVENTS.observe(len(seg_times))
+            event_indices = offset + np.arange(position, segment_end, dtype=np.int64)
+            inc = self._event_increments(seg_rows, event_indices)
+            crossing = self._scan_increments(seg_times, inc)
+            stop = len(seg_times) if crossing is None else crossing
+            if stop > 0:
+                self._apply_increments(seg_times, inc, stop)
+                last_time = float(seg_times[stop - 1])
+            position += stop
+            if crossing is None:
+                continue
+            # replay the boundary event through the event loop's own
+            # accounting, at its exact global schedule index
+            last_time = float(times[position])
+            sim._account_report(
+                last_time, int(sources[position]), event_index=offset + position
+            )
+            position += 1
+            if stop_at_first_death and sim._first_death is not None:
+                return last_time, True
+        return last_time, False
+
+    # ------------------------------------------------------------------ #
     def _consume(
         self,
         times: np.ndarray,
         sources: np.ndarray,
         src_rows: np.ndarray,
         stop_at_first_death: bool,
+        offset: int = 0,
     ) -> tuple[float | None, bool]:
         """Process one chunk of events; returns (last event time, finished)."""
         sim = self.simulator
+        if self._general:
+            return self._consume_general(
+                times, sources, src_rows, stop_at_first_death, offset
+            )
         last_time: float | None = None
         position = 0
         while position < len(times):
@@ -451,6 +803,7 @@ class BatchNetworkEngine:
                 stream = ScheduleStream(
                     sim.traffic, sim.sensor_ids, as_rng(sim.rng), max_time_s, max_events
                 )
+                offset = 0
                 while True:
                     times, sources = stream.next_chunk()
                     if len(times) == 0:
@@ -458,8 +811,13 @@ class BatchNetworkEngine:
                     _CHUNKS.inc()
                     _EVENTS.inc(len(times))
                     last_time, finished = self._consume(
-                        times, sources, self._to_rows(sources), stop_at_first_death
+                        times,
+                        sources,
+                        self._to_rows(sources),
+                        stop_at_first_death,
+                        offset=offset,
                     )
+                    offset += len(times)
                     if last_time is not None:
                         end_time = last_time
                     if finished:
@@ -476,6 +834,8 @@ def simulate_network_trials(
     communication_range_m: float = 300.0,
     battery_capacity_j: float = 50_000.0,
     mac=None,
+    protocol: RoutedForwarding | TtlFlooding | None = None,
+    mobility: LinearMobility | None = None,
     seeds=(0,),
     max_time_s: float = 30.0 * 86_400.0,
     stop_at_first_death: bool = True,
@@ -489,8 +849,10 @@ def simulate_network_trials(
     ``stop_at_first_death`` mode, the death scan runs as one
     (trials x nodes x events) array operation across every live trial
     simultaneously; each trial's boundary event is then replayed exactly.
-    ``batch=False`` runs the per-packet event loop per seed — results are
-    identical either way, seed for seed.
+    Contention/flooding/mobility configurations make the charge model
+    per-trial dynamic, so they run each trial on its own batched engine
+    instead of the cross-trial scan.  ``batch=False`` runs the per-packet
+    event loop per seed — results are identical either way, seed for seed.
     """
     traffic = traffic if traffic is not None else PeriodicTraffic()
     simulators = [
@@ -503,6 +865,8 @@ def simulate_network_trials(
             mac=mac,
             rng=seed,
             batch=batch,
+            protocol=protocol if protocol is not None else RoutedForwarding(),
+            mobility=mobility,
         )
         for seed in seeds
     ]
@@ -514,7 +878,8 @@ def simulate_network_trials(
     if not batch:
         return [sim.run_event_loop(**run_args) for sim in simulators]
     engines = [BatchNetworkEngine(sim) for sim in simulators]
-    if not stop_at_first_death:
+    general = bool(engines) and engines[0]._general
+    if not stop_at_first_death or general:
         with span("engine.network.trials", trials=len(engines), mode="per-trial"):
             return [engine.run(**run_args) for engine in engines]
 

@@ -1,8 +1,8 @@
-"""Medium-access control models: TDMA and slotted ALOHA.
+"""Medium-access control models: TDMA, slotted ALOHA and contention CSMA.
 
 The MAC layer sits above the modem (Figure 1) and determines how often a
-packet must be retransmitted — which multiplies the per-packet energy.  Two
-simple models bracket the design space:
+packet must be retransmitted — which multiplies the per-packet energy.  Three
+models bracket the design space:
 
 * **TDMA** — every node owns a slot; transmissions never collide, but a node
   must wait for its slot (latency, not energy, is affected).
@@ -10,6 +10,13 @@ simple models bracket the design space:
   retransmissions.  The expected number of attempts per delivered packet is
   ``exp(G)`` for offered load ``G`` per slot (the classical result), which the
   simulator uses as an energy multiplier.
+* **CSMA with capture** (:class:`CsmaMac`) — the contention-*realistic*
+  model: each transmission attempt succeeds with a probability that falls
+  with the receiver's neighbour count (more contenders, more collisions) and
+  the simulator draws that outcome per packet per hop, retrying up to
+  ``max_attempts`` before dropping the packet.  Unlike the expected-value
+  models above, collisions here actually lose packets, so delivery ratio
+  degrades with deployment density.
 """
 
 from __future__ import annotations
@@ -17,9 +24,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.utils.validation import check_integer, check_non_negative, check_positive
+from repro.utils.validation import (
+    check_integer,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
 
-__all__ = ["TDMASchedule", "SlottedAloha"]
+__all__ = ["TDMASchedule", "SlottedAloha", "CsmaMac"]
 
 
 @dataclass(frozen=True)
@@ -56,12 +68,31 @@ class TDMASchedule:
         """TDMA never collides, so exactly one transmission per packet."""
         return 1.0
 
-    def wait_time_s(self, node_index: int, ready_time_s: float) -> float:
-        """Time a packet ready at ``ready_time_s`` waits for its owner's next slot."""
+    def wait_time_s(
+        self, node_index: int, ready_time_s: float, airtime_s: float = 0.0
+    ) -> float:
+        """Time a packet ready at ``ready_time_s`` waits before it can transmit.
+
+        The transmission occupies ``[start, start + airtime_s)`` and must fit
+        entirely inside one of the owner's slots.  A packet ready mid-slot
+        transmits immediately only when the remaining slot residue still fits
+        one packet airtime; otherwise it rolls to the owner's slot in the next
+        frame.  A packet ready exactly at its slot start waits zero; one ready
+        exactly at its slot end has no residue left and always rolls over.
+        """
         check_non_negative("ready_time_s", ready_time_s)
+        check_non_negative("airtime_s", airtime_s)
+        if airtime_s > self.slot_duration_s:
+            raise ValueError(
+                f"airtime_s must be <= slot_duration_s ({self.slot_duration_s}), "
+                f"got {airtime_s}"
+            )
         frame = int(ready_time_s // self.frame_duration_s)
         slot = self.slot_start(node_index, frame)
-        if slot < ready_time_s:
+        slot_end = slot + self.slot_duration_s
+        if slot <= ready_time_s:
+            if ready_time_s < slot_end and ready_time_s + airtime_s <= slot_end:
+                return 0.0
             slot = self.slot_start(node_index, frame + 1)
         return slot - ready_time_s
 
@@ -113,3 +144,59 @@ class SlottedAloha:
         """Probability a packet is delivered within ``max_attempts`` tries."""
         p = self.success_probability
         return 1.0 - (1.0 - p) ** self.max_attempts
+
+
+@dataclass(frozen=True)
+class CsmaMac:
+    """CSMA-style contention with capture and bounded retries.
+
+    A transmission attempt on the link toward a receiver with ``c`` other
+    in-range neighbours finds the channel clear with probability
+    ``(1 - channel_load) ** c`` (each contender independently occupies the
+    channel with probability ``channel_load``); a collided attempt may still
+    be decoded with ``capture_probability`` (near-far capture).  The simulator
+    draws each attempt's outcome per packet and retries a failed hop up to
+    ``max_attempts`` times before dropping the packet — so, unlike
+    :class:`SlottedAloha`'s expected-energy multiplier, contention here
+    actually loses packets and couples delivery ratio to deployment density.
+
+    Parameters
+    ----------
+    channel_load:
+        Probability that one contending neighbour occupies the channel during
+        an attempt window.
+    max_attempts:
+        Attempts per hop before the packet is dropped.
+    capture_probability:
+        Probability a collided attempt is still decoded.
+    """
+
+    channel_load: float = 0.1
+    max_attempts: int = 5
+    capture_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("channel_load", self.channel_load)
+        check_integer("max_attempts", self.max_attempts, minimum=1)
+        check_probability("capture_probability", self.capture_probability)
+
+    def attempt_success_probability(self, contenders: int) -> float:
+        """Per-attempt success probability against ``contenders`` neighbours."""
+        check_integer("contenders", contenders, minimum=0)
+        clear = (1.0 - self.channel_load) ** contenders
+        return clear + (1.0 - clear) * self.capture_probability
+
+    def delivery_probability(self, contenders: int) -> float:
+        """Probability one hop succeeds within ``max_attempts`` tries."""
+        p = self.attempt_success_probability(contenders)
+        return 1.0 - (1.0 - p) ** self.max_attempts
+
+    def expected_transmissions_per_packet(self, contenders: int = 0) -> float:
+        """Truncated-geometric expected attempts per hop (same form as ALOHA's)."""
+        p = self.attempt_success_probability(contenders)
+        if p >= 1.0:
+            return 1.0
+        n = self.max_attempts
+        expected = sum(k * p * (1 - p) ** (k - 1) for k in range(1, n + 1))
+        expected += n * (1 - p) ** n
+        return expected

@@ -112,6 +112,10 @@ class SensorNode:
     packets_sent: int = 0
     packets_received: int = 0
     packets_forwarded: int = 0
+    #: packets this node abandoned after exhausting its contention-MAC retries
+    #: (stays 0 for the expected-multiplier MACs and for flooding, which does
+    #: not retransmit)
+    packets_dropped: int = 0
     last_accounted_time: float = 0.0
 
     def __post_init__(self) -> None:

@@ -1,11 +1,13 @@
-"""Deployment geometries and acoustic connectivity graphs.
+"""Deployment geometries, acoustic connectivity graphs and node mobility.
 
 The paper targets deployments of "10s to 100s of nodes spaced a relatively
 small distance apart (up to a few hundred meters)".  Two deployment
 generators are provided — a regular grid and a uniform random scatter over a
 rectangular area — plus the connectivity graph induced by a maximum acoustic
 communication range (built with networkx, so routing can reuse its
-shortest-path machinery).
+shortest-path machinery), and :class:`LinearMobility`, a current-drift model
+that displaces sensor positions over time (the moored sink stays put) so the
+topology and routes can be rebuilt epoch by epoch.
 """
 
 from __future__ import annotations
@@ -16,10 +18,16 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, counter_uniforms
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["Deployment", "grid_deployment", "random_deployment", "connectivity_graph"]
+__all__ = [
+    "Deployment",
+    "LinearMobility",
+    "grid_deployment",
+    "random_deployment",
+    "connectivity_graph",
+]
 
 
 @dataclass(frozen=True)
@@ -117,17 +125,80 @@ def random_deployment(
     return Deployment(positions=positions, sink_id=0)
 
 
-def connectivity_graph(deployment: Deployment, communication_range_m: float) -> nx.Graph:
+@dataclass(frozen=True)
+class LinearMobility:
+    """Constant-velocity drift of the sensor nodes (ocean-current mobility).
+
+    Each sensor drifts at ``speed_mps`` along a fixed per-node heading derived
+    deterministically from ``heading_seed`` (a counter-based hash, so no RNG
+    stream state is consumed); the sink is a moored buoy and never moves.
+    Positions are piecewise constant over epochs of ``epoch_s`` seconds — the
+    granularity at which the simulator rebuilds connectivity and routing.
+    Drifted deployments may disconnect; the simulator builds the graph in
+    non-strict mode and treats partitioned sources as undeliverable.
+
+    Parameters
+    ----------
+    speed_mps:
+        Drift speed magnitude applied to every sensor node.
+    epoch_s:
+        Topology refresh period in seconds.
+    heading_seed:
+        Seed of the per-node heading hash.
+    """
+
+    speed_mps: float
+    epoch_s: float = 21_600.0
+    heading_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("speed_mps", self.speed_mps)
+        check_positive("epoch_s", self.epoch_s)
+
+    def epoch_index(self, time_s: float) -> int:
+        """The epoch containing absolute time ``time_s``."""
+        return int(time_s // self.epoch_s)
+
+    def heading_rad(self, node_id: int) -> float:
+        """The node's fixed drift heading in radians (deterministic per node)."""
+        return float(2.0 * math.pi * counter_uniforms(self.heading_seed, node_id, 1)[0])
+
+    def positions_at(self, deployment: Deployment, epoch: int) -> Deployment:
+        """The deployment as displaced at the *start* of ``epoch``."""
+        check_integer("epoch", epoch, minimum=0)
+        if epoch == 0:
+            return deployment
+        distance = self.speed_mps * epoch * self.epoch_s
+        positions: dict[int, tuple[float, float]] = {}
+        for node_id, (x, y) in deployment.positions.items():
+            if node_id == deployment.sink_id:
+                positions[node_id] = (x, y)
+                continue
+            heading = self.heading_rad(node_id)
+            positions[node_id] = (
+                x + distance * math.cos(heading),
+                y + distance * math.sin(heading),
+            )
+        return Deployment(positions=positions, sink_id=deployment.sink_id)
+
+
+def connectivity_graph(
+    deployment: Deployment,
+    communication_range_m: float,
+    require_connected: bool = True,
+) -> nx.Graph:
     """Build the connectivity graph: an edge joins nodes within acoustic range.
 
     Edge weights carry the inter-node distance (metres), which the routing
-    layer uses as its path metric.
+    layer uses as its path metric.  ``require_connected=False`` permits nodes
+    with no path to the sink (drifted/mobile deployments partition routinely;
+    the simulator then treats partitioned sources as undeliverable).
 
     Raises
     ------
     ValueError
-        If the resulting graph leaves any node disconnected from the sink —
-        an unusable deployment for a data-collection network.
+        If ``require_connected`` and the graph leaves any node disconnected
+        from the sink — an unusable deployment for a data-collection network.
     """
     check_positive("communication_range_m", communication_range_m)
     graph = nx.Graph()
@@ -149,7 +220,7 @@ def connectivity_graph(deployment: Deployment, communication_range_m: float) -> 
         n for n in graph.nodes
         if n != deployment.sink_id and not nx.has_path(graph, n, deployment.sink_id)
     ]
-    if unreachable:
+    if unreachable and require_connected:
         raise ValueError(
             f"nodes {unreachable} cannot reach the sink with range {communication_range_m} m; "
             "increase the range or densify the deployment"

@@ -45,10 +45,15 @@ class PeriodicTraffic:
             raise ValueError("jitter_fraction must be < 1")
 
     def first_offset(self, node_index: int, num_nodes: int) -> float:
-        """Deterministic stagger of the first report so nodes do not collide at t=0."""
-        check_integer("node_index", node_index, minimum=0)
+        """Deterministic stagger of the first report so nodes do not collide at t=0.
+
+        ``node_index`` must address one of the ``num_nodes`` transmitters; an
+        out-of-range index raises rather than silently wrapping onto another
+        node's stagger slot.
+        """
         check_integer("num_nodes", num_nodes, minimum=1)
-        return (node_index % num_nodes) * self.report_interval_s / num_nodes
+        check_integer("node_index", node_index, minimum=0, maximum=num_nodes - 1)
+        return node_index * self.report_interval_s / num_nodes
 
     def next_interval(self, rng: np.random.Generator | int | None = None) -> float:
         """Draw the time to the next report (interval plus jitter)."""

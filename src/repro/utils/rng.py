@@ -5,13 +5,20 @@ existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy) and
 normalises it through :func:`as_rng`.  Simulations that need several
 independent streams (e.g. one per sensor node) use :func:`spawn_rngs` so the
 streams are reproducible yet statistically independent.
+
+:func:`counter_uniforms` provides *counter-based* uniforms: each value is a
+pure function of ``(seed, event, slot)`` rather than of a sequential stream
+position.  Two engines that enumerate the same events therefore observe the
+same draws regardless of how many values each of them happens to evaluate —
+the property the batched network engine relies on to stay bit-identical to
+the per-packet event loop under stochastic contention.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_rng", "spawn_rngs"]
+__all__ = ["as_rng", "counter_uniforms", "spawn_rngs"]
 
 RandomState = int | np.random.Generator | np.random.SeedSequence | None
 
@@ -25,6 +32,40 @@ def as_rng(seed: RandomState = None) -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = values + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def counter_uniforms(
+    seed: int, event_indices: int | np.ndarray, num_slots: int
+) -> np.ndarray:
+    """Uniforms in [0, 1) as a pure function of ``(seed, event, slot)``.
+
+    For a scalar ``event_indices`` returns shape ``(num_slots,)``; for an
+    array of events returns ``(len(events), num_slots)`` where row ``i`` is
+    exactly what the scalar call would produce for ``event_indices[i]`` —
+    there is no stream state to align, so scalar and vectorised consumers
+    agree element for element no matter which subset of slots each reads.
+    """
+    if num_slots < 0:
+        raise ValueError(f"num_slots must be >= 0, got {num_slots}")
+    scalar = np.ndim(event_indices) == 0
+    events = np.atleast_1d(np.asarray(event_indices)).astype(np.uint64)
+    slots = np.arange(num_slots, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        per_event = _splitmix64(np.uint64(seed) ^ _splitmix64(events))
+        bits = _splitmix64(
+            per_event[:, np.newaxis]
+            ^ (slots[np.newaxis, :] * np.uint64(0xD1342543DE82EF95) + np.uint64(1))
+        )
+    uniforms = (bits >> np.uint64(11)).astype(np.float64) * float(2.0**-53)
+    return uniforms[0] if scalar else uniforms
 
 
 def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:

@@ -161,13 +161,18 @@ def _grouped_means(
 
     With ``by=None`` everything lands in a single ``None`` group.  Trials
     without the metric (or the group axis) are skipped, so scenarios whose
-    metric sets differ per parameter still compare cleanly.  The half-width
-    is the 95% normal interval on the mean (``None`` below two trials).
+    metric sets differ per parameter still compare cleanly; NaN values (an
+    undefined measurement, e.g. the delivery ratio of a zero-packet trial)
+    are likewise skipped rather than poisoning the group mean.  The
+    half-width is the 95% normal interval on the mean (``None`` below two
+    trials).
     """
     accumulators: dict[Any, OnlineMean] = {}
     for trial in select_trials(conn, run_ids=(run_id,)):
         value = trial.record.get(metric)
         if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if value != value:
             continue
         group = trial.record.get(by) if by is not None else None
         if by is not None and group is None:

@@ -7,10 +7,11 @@ aggregation must treat that as a censored observation, never as 0 days.
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.analysis.ablations import (
-    SimulatedLifetimeSummary,
     simulated_network_lifetime_study,
     summarize_lifetimes,
 )
@@ -66,10 +67,28 @@ class TestSummarizeLifetimes:
 
     def test_empty_results(self):
         summary = summarize_lifetimes("X", [])
-        assert summary == SimulatedLifetimeSummary(
-            platform="X", trials=0, died_trials=0,
-            mean_lifetime_days=None, mean_delivery_ratio=0.0,
+        assert summary.platform == "X"
+        assert summary.trials == 0
+        assert summary.died_trials == 0
+        assert summary.mean_lifetime_days is None
+        # no trials means no defined delivery ratio: NaN, not a fake 0.0
+        assert math.isnan(summary.mean_delivery_ratio)
+
+    def test_nan_ratios_excluded_from_mean(self):
+        """Zero-packet trials report a NaN delivery ratio; the mean skips
+        them instead of poisoning the aggregate (the PR's NaN bugfix)."""
+        summary = summarize_lifetimes(
+            "X",
+            [
+                result(None, generated=10, delivered=5),
+                result(None, generated=0, delivered=0),  # NaN ratio
+            ],
         )
+        assert summary.mean_delivery_ratio == pytest.approx(0.5)
+
+    def test_all_nan_ratios_mean_is_nan(self):
+        summary = summarize_lifetimes("X", [result(None, generated=0, delivered=0)])
+        assert math.isnan(summary.mean_delivery_ratio)
 
 
 class TestSimulatedStudyCensoring:
@@ -111,3 +130,22 @@ class TestCliRendering:
         out = capsys.readouterr().out
         assert "> horizon" in out
         assert "0/1" in out
+
+    def test_contention_flags_drive_the_simulated_study(self, capsys):
+        """--mac/--protocol/--drift-* plumb through to the network stack;
+        under contention the delivery column drops below the perfect 1.000."""
+        assert main([
+            "lifetime", "--trials", "1", "--grid", "3",
+            "--battery-kj", "0.15", "--report-interval-s", "30",
+            "--mac", "csma", "--channel-load", "0.3", "--max-attempts", "3",
+            "--protocol", "flooding", "--ttl", "3",
+            "--drift-speed", "0.02", "--drift-epoch-s", "3600",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1/1" in out  # the tiny battery still dies
+        rows = [
+            line for line in out.splitlines()
+            if "|" in line and "Platform" not in line
+        ]
+        ratios = [float(row.rsplit("|", 1)[1]) for row in rows]
+        assert ratios and all(ratio < 1.0 for ratio in ratios)

@@ -16,6 +16,8 @@ REQUIRED_SCENARIOS = {
     "platform-energy",
     "mp-refinement",
     "network-lifetime",
+    "network-contention",
+    "network-pdr-vs-density",
 }
 
 
@@ -118,6 +120,43 @@ class TestBuiltinTrials:
         # partitioning is a scheduling choice: identical accuracy, Ns/P cycles
         assert errors[1] == errors[112]
         assert cycles[1] == cycles[112] * 112
+
+    def test_network_contention_batch_matches_event_loop_records(self):
+        """The scenario's record payloads are engine-independent: batch=true
+        and batch=false sweeps differ only in the `batch` param itself (the
+        invariant the CI byte-compare smoke pins end to end)."""
+        spec = (
+            get_scenario("network-contention").spec
+            .with_axis("protocol", ("routed",))
+            .with_axis("channel_load", (0.3,))
+            .with_seed(replicates=1)
+            .with_base(num_nodes=9, area_side_m=400.0, max_days=0.2)
+        )
+        batched = run_sweep(spec.with_base(batch=True))
+        reference = run_sweep(spec.with_base(batch=False))
+
+        def strip(records):
+            return [
+                {k: v for k, v in record.items() if k != "batch"}
+                for record in records
+            ]
+
+        assert strip(batched.records) == strip(reference.records)
+        (record,) = batched.records
+        assert record["packets_dropped"] > 0
+        assert 0.0 < record["delivery_ratio"] < 1.0
+
+    def test_network_pdr_falls_with_density(self):
+        spec = (
+            get_scenario("network-pdr-vs-density").spec
+            .with_axis("num_nodes", (9, 36))
+            .with_seed(replicates=1)
+        )
+        result = run_sweep(spec)
+        ratios = result.group_mean(by="num_nodes", metric="delivery_ratio")
+        degrees = result.group_mean(by="num_nodes", metric="mean_degree")
+        assert ratios[36] < ratios[9]
+        assert degrees[36] > degrees[9]
 
     def test_fixedpoint_bitwidth_wider_is_closer_to_float(self):
         spec = (

@@ -9,14 +9,17 @@ lifetime days, delivery ratios, per-node per-component energy.
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.modem.energy_budget import ModemEnergyBudget
 from repro.network.batch import generate_report_schedule, simulate_network_trials
 from repro.network.lifetime import lifetime_by_platform
-from repro.network.mac import SlottedAloha, TDMASchedule
+from repro.network.mac import CsmaMac, SlottedAloha, TDMASchedule
+from repro.network.routing import TtlFlooding
 from repro.network.simulator import NetworkSimulator
-from repro.network.topology import grid_deployment, random_deployment
+from repro.network.topology import LinearMobility, grid_deployment, random_deployment
 from repro.network.traffic import PeriodicTraffic
 from repro.utils.rng import as_rng
 
@@ -42,7 +45,12 @@ def make_simulator(
     battery_j: float = 150.0,
     mac=None,
     interval_s: float = 30.0,
+    protocol=None,
+    mobility=None,
 ) -> NetworkSimulator:
+    kwargs = {}
+    if protocol is not None:
+        kwargs["protocol"] = protocol
     return NetworkSimulator(
         deployment=deployment if deployment is not None else grid_deployment(4, 4, spacing_m=200.0),
         energy_budget=ModemEnergyBudget(
@@ -57,8 +65,10 @@ def make_simulator(
         communication_range_m=300.0,
         battery_capacity_j=battery_j,
         mac=mac,
+        mobility=mobility,
         rng=seed,
         batch=batch,
+        **kwargs,
     )
 
 
@@ -69,7 +79,11 @@ def assert_identical(reference, batched):
     assert batched.simulated_time_s == reference.simulated_time_s
     assert batched.packets_generated == reference.packets_generated
     assert batched.packets_delivered == reference.packets_delivered
-    assert batched.delivery_ratio == reference.delivery_ratio
+    assert batched.packets_dropped == reference.packets_dropped
+    # NaN-safe: a zero-packet trial's delivery ratio is NaN on both sides
+    assert batched.delivery_ratio == reference.delivery_ratio or (
+        math.isnan(batched.delivery_ratio) and math.isnan(reference.delivery_ratio)
+    )
     assert batched.node_alive == reference.node_alive
     assert set(batched.node_reports) == set(reference.node_reports)
     for node_id, ref_report in reference.node_reports.items():
@@ -150,7 +164,8 @@ class TestSeedLockedEquivalence:
         reference = make_simulator(False).run(max_time_s=10.0, max_events=0)
         batched = make_simulator(True).run(max_time_s=10.0, max_events=0)
         assert reference.packets_generated == 0
-        assert reference.delivery_ratio == 0.0
+        # an undefined ratio is NaN, not a fake-perfect (or fake-zero) number
+        assert math.isnan(reference.delivery_ratio)
         assert reference.lifetime_days is None
         assert_identical(reference, batched)
 
@@ -167,6 +182,113 @@ class TestSeedLockedEquivalence:
         )
         assert reference.packets_generated > 10_000
         assert_identical(reference, batched)
+
+
+class TestContentionEquivalence:
+    """The general (contention / flooding / mobility) batch path must match
+    the event loop bit for bit, including the per-packet collision draws and
+    the drop counters — the counter-based RNG makes the draws a pure function
+    of the event index, so both engines observe identical outcomes."""
+
+    CSMA = CsmaMac(channel_load=0.3, max_attempts=3, capture_probability=0.1)
+
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_csma_routed(self, topology, seed):
+        kwargs = dict(mac=self.CSMA, seed=seed)
+        reference = make_simulator(
+            False, deployment=TOPOLOGIES[topology](), **kwargs
+        ).run(max_time_s=86_400.0)
+        batched = make_simulator(
+            True, deployment=TOPOLOGIES[topology](), **kwargs
+        ).run(max_time_s=86_400.0)
+        assert reference.packets_dropped > 0  # contention must actually bite
+        assert_identical(reference, batched)
+
+    @pytest.mark.parametrize("mac", [None, CSMA, SlottedAloha(offered_load=1.0)])
+    def test_flooding(self, mac):
+        kwargs = dict(protocol=TtlFlooding(ttl=4), mac=mac)
+        reference = make_simulator(False, **kwargs).run(max_time_s=86_400.0)
+        batched = make_simulator(True, **kwargs).run(max_time_s=86_400.0)
+        assert reference.packets_generated > 0
+        assert_identical(reference, batched)
+
+    @pytest.mark.parametrize(
+        "protocol,mac",
+        [
+            (None, CSMA),
+            (TtlFlooding(ttl=3), None),
+            (TtlFlooding(ttl=3), CSMA),
+        ],
+    )
+    def test_mobility(self, protocol, mac):
+        """Epoch-by-epoch topology rebuild under drift, with and without
+        contention; partitioned routed sources count as generated-not-delivered
+        on both engines."""
+        mobility = LinearMobility(speed_mps=0.05, epoch_s=3_600.0, heading_seed=1)
+        kwargs = dict(protocol=protocol, mac=mac, mobility=mobility, battery_j=3_000.0)
+        reference = make_simulator(False, **kwargs).run(
+            max_time_s=6 * 3_600.0, stop_at_first_death=False
+        )
+        batched = make_simulator(True, **kwargs).run(
+            max_time_s=6 * 3_600.0, stop_at_first_death=False
+        )
+        assert_identical(reference, batched)
+
+    def test_mobility_long_horizon_partition(self):
+        """Many epoch rollovers until the deployment fully partitions: routed
+        packets stop being deliverable but the accounting stays exact."""
+        mobility = LinearMobility(speed_mps=0.2, epoch_s=1_800.0, heading_seed=3)
+        kwargs = dict(
+            mac=self.CSMA, mobility=mobility, battery_j=50_000.0, interval_s=120.0
+        )
+        reference = make_simulator(False, **kwargs).run(
+            max_time_s=12 * 3_600.0, stop_at_first_death=False
+        )
+        batched = make_simulator(True, **kwargs).run(
+            max_time_s=12 * 3_600.0, stop_at_first_death=False
+        )
+        assert reference.packets_delivered < reference.packets_generated
+        assert_identical(reference, batched)
+
+    def test_csma_death_cascade(self):
+        """stop_at_first_death=False under contention: the segmented scan and
+        boundary replay stay exact through the whole death cascade."""
+        reference = make_simulator(False, mac=self.CSMA, battery_j=100.0).run(
+            max_time_s=4 * 3_600.0, stop_at_first_death=False
+        )
+        batched = make_simulator(True, mac=self.CSMA, battery_j=100.0).run(
+            max_time_s=4 * 3_600.0, stop_at_first_death=False
+        )
+        assert sum(not alive for alive in reference.node_alive.values()) > 1
+        assert_identical(reference, batched)
+
+    def test_trials_helper_with_contention(self):
+        """simulate_network_trials falls back to per-trial batched engines for
+        the general path and still matches the event loop seed for seed."""
+        deployment = grid_deployment(3, 3, spacing_m=200.0)
+        budget = ModemEnergyBudget(
+            transmit_power_w=2.0,
+            receive_frontend_power_w=0.05,
+            processing_energy_per_estimation_j=500.76e-6,
+            processing_idle_power_w=0.01,
+        )
+        shared = dict(
+            traffic=PeriodicTraffic(
+                report_interval_s=30.0, packet_symbols=16, jitter_fraction=0.1
+            ),
+            communication_range_m=300.0,
+            battery_capacity_j=150.0,
+            seeds=[0, 1, 2],
+            max_time_s=86_400.0,
+            mac=self.CSMA,
+            protocol=TtlFlooding(ttl=3),
+        )
+        batched = simulate_network_trials(deployment, budget, batch=True, **shared)
+        reference = simulate_network_trials(deployment, budget, batch=False, **shared)
+        assert len(batched) == len(reference) == 3
+        for batch_result, loop_result in zip(batched, reference):
+            assert_identical(loop_result, batch_result)
 
 
 class TestScheduleGeneration:

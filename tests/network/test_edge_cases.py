@@ -141,7 +141,8 @@ class TestDegenerateZeroTraffic:
     @pytest.mark.parametrize("batch", [False, True])
     def test_no_events_processed(self, batch):
         """max_events=0: the simulation observes no traffic at all — zero
-        packets, delivery ratio 0.0 (not a division error), no lifetime."""
+        packets, delivery ratio NaN (undefined, not a division error or a
+        fake-perfect 1.0), no lifetime."""
         simulator = NetworkSimulator(
             deployment=grid_deployment(2, 2, spacing_m=100.0),
             energy_budget=ModemEnergyBudget(),
@@ -154,7 +155,7 @@ class TestDegenerateZeroTraffic:
         result = simulator.run(max_time_s=100.0, max_events=0)
         assert result.packets_generated == 0
         assert result.packets_delivered == 0
-        assert result.delivery_ratio == 0.0
+        assert math.isnan(result.delivery_ratio)
         assert result.lifetime_days is None
         assert result.simulated_time_s == 0.0
         assert all(result.node_alive.values())

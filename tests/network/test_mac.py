@@ -27,8 +27,37 @@ class TestTDMASchedule:
     def test_wait_time(self):
         mac = TDMASchedule(num_nodes=4, slot_duration_s=1.0)
         assert mac.wait_time_s(2, ready_time_s=0.5) == pytest.approx(1.5)
-        # if the slot already passed this frame, wait for the next frame
-        assert mac.wait_time_s(0, ready_time_s=0.5) == pytest.approx(3.5)
+        # with zero airtime, a packet ready inside its own slot transmits now
+        # (the old residue check wrongly rolled it a whole frame)
+        assert mac.wait_time_s(0, ready_time_s=0.5) == 0.0
+
+    def test_wait_time_airtime_residue(self):
+        """The transmission must fit in the remaining slot residue."""
+        mac = TDMASchedule(num_nodes=4, slot_duration_s=1.0)
+        # 0.5 s of slot left, 0.4 s airtime fits -> transmit immediately
+        assert mac.wait_time_s(0, ready_time_s=0.5, airtime_s=0.4) == 0.0
+        # residue exactly equals the airtime: still fits (closed interval end)
+        assert mac.wait_time_s(0, ready_time_s=0.5, airtime_s=0.5) == 0.0
+        # 0.6 s airtime overruns the slot -> roll to the next frame's slot
+        assert mac.wait_time_s(0, ready_time_s=0.5, airtime_s=0.6) == pytest.approx(3.5)
+
+    def test_wait_time_slot_boundaries_exact(self):
+        mac = TDMASchedule(num_nodes=4, slot_duration_s=1.0)
+        # ready exactly at the slot start: full slot available, zero wait
+        assert mac.wait_time_s(1, ready_time_s=1.0, airtime_s=1.0) == 0.0
+        # ready exactly at the slot end: no residue left, rolls a full frame
+        assert mac.wait_time_s(1, ready_time_s=2.0) == pytest.approx(3.0)
+        # ready before the owner's slot this frame: wait for the slot start
+        assert mac.wait_time_s(3, ready_time_s=1.25, airtime_s=1.0) == pytest.approx(1.75)
+        # frame boundary: node 0's next slot starts immediately
+        assert mac.wait_time_s(0, ready_time_s=4.0) == 0.0
+
+    def test_wait_time_airtime_validation(self):
+        mac = TDMASchedule(num_nodes=4, slot_duration_s=1.0)
+        with pytest.raises(ValueError, match="airtime_s"):
+            mac.wait_time_s(0, ready_time_s=0.0, airtime_s=1.5)
+        with pytest.raises(ValueError):
+            mac.wait_time_s(0, ready_time_s=-1.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -71,6 +100,48 @@ class TestSlottedAloha:
         mac = SlottedAloha(load, max_attempts=10)
         expected = mac.expected_transmissions_per_packet()
         assert 1.0 <= expected <= 10.0
+
+    @pytest.mark.parametrize("load", [0.3, 1.0, 2.5])
+    @pytest.mark.parametrize("max_attempts", [1, 3, 10])
+    def test_expected_transmissions_closed_form(self, load, max_attempts):
+        """The truncated sum equals the closed form (1 - q^n) / p: the
+        expectation of min(Geometric(p), n)."""
+        mac = SlottedAloha(load, max_attempts=max_attempts)
+        p = mac.success_probability
+        closed_form = (1.0 - (1.0 - p) ** max_attempts) / p
+        assert mac.expected_transmissions_per_packet() == pytest.approx(
+            closed_form, rel=1e-12
+        )
+
+    def test_expected_transmissions_monte_carlo(self):
+        """A seeded per-packet attempt simulation agrees with the model."""
+        import numpy as np
+
+        mac = SlottedAloha(offered_load=1.2, max_attempts=4)
+        rng = np.random.default_rng(1234)
+        p = mac.success_probability
+        draws = rng.random((200_000, mac.max_attempts))
+        success = draws < p
+        attempts = np.where(
+            success.any(axis=1), success.argmax(axis=1) + 1, mac.max_attempts
+        )
+        assert attempts.mean() == pytest.approx(
+            mac.expected_transmissions_per_packet(), rel=5e-3
+        )
+        assert success.any(axis=1).mean() == pytest.approx(
+            mac.delivery_probability(), abs=5e-3
+        )
+
+    def test_expected_transmissions_max_attempts_one(self):
+        """With a single attempt the expectation is exactly one transmission
+        whatever the load — the packet is sent once and then dropped or not."""
+        assert SlottedAloha(3.0, max_attempts=1).expected_transmissions_per_packet() == 1.0
+        assert SlottedAloha(0.0, max_attempts=1).expected_transmissions_per_packet() == 1.0
+
+    def test_expected_transmissions_zero_load_any_cap(self):
+        """offered_load=0 means p=1: first attempt always succeeds."""
+        for cap in (1, 5, 50):
+            assert SlottedAloha(0.0, max_attempts=cap).expected_transmissions_per_packet() == 1.0
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -105,7 +105,9 @@ class TestNetworkSimulator:
         assert result.packets_generated == 1
         assert result.delivery_ratio == 1.0
 
-    def test_delivery_ratio_zero_when_no_packets(self):
+    def test_delivery_ratio_nan_when_no_packets(self):
+        import math
+
         from repro.network.simulator import NetworkSimulationResult
 
         empty = NetworkSimulationResult(
@@ -113,5 +115,7 @@ class TestNetworkSimulator:
             packets_generated=0, packets_delivered=0,
             node_reports={}, node_alive={},
         )
-        assert empty.delivery_ratio == 0.0
+        # 0/0 packets is an undefined measurement, not a perfect (or zero)
+        # delivery ratio — downstream averages must be able to skip it
+        assert math.isnan(empty.delivery_ratio)
         assert empty.lifetime_days is None

@@ -28,6 +28,15 @@ class TestPeriodicTraffic:
         assert all(48.0 <= value <= 72.0 for value in intervals)
         assert np.mean(intervals) == pytest.approx(60.0, rel=0.05)
 
+    def test_first_offset_out_of_range_node_raises(self):
+        """An out-of-range node index is a caller bug; the old modulo wrap
+        silently aliased two nodes onto the same offset."""
+        traffic = PeriodicTraffic(report_interval_s=100.0)
+        with pytest.raises(ValueError):
+            traffic.first_offset(4, 4)
+        with pytest.raises(ValueError):
+            traffic.first_offset(-1, 4)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PeriodicTraffic(report_interval_s=0.0)

@@ -119,6 +119,34 @@ class TestComparison:
         }
         assert classes == {1: "only-a", 2: "only-b"}
 
+    def test_nan_trial_values_are_skipped_not_averaged(self, tmp_path):
+        """A NaN metric (e.g. the delivery ratio of a zero-packet trial) must
+        not poison the group mean: the remaining trials define it."""
+        warehouse = Warehouse(tmp_path / "wh.sqlite")
+        make_store_dir(
+            tmp_path / "a",
+            make_records(
+                "demo",
+                params=[{"x": 1}, {"x": 1}],
+                metrics=[{"y": 0.4}, {"y": float("nan")}],
+            ),
+        )
+        make_store_dir(
+            tmp_path / "b",
+            make_records(
+                "demo",
+                params=[{"x": 1}, {"x": 1}],
+                metrics=[{"y": float("nan")}, {"y": float("nan")}],
+            ),
+        )
+        warehouse.ingest(tmp_path / "a", tmp_path / "b")
+        report = warehouse.compare("prev", "latest", metrics=["y"], by="x")
+        (diff,) = report.diffs
+        assert diff.mean_a == pytest.approx(0.4)
+        assert diff.count_a == 1  # the NaN trial does not even count
+        assert diff.mean_b is None  # all-NaN group: no defined mean at all
+        assert diff.classify(report.threshold, False) == "only-a"
+
     def test_zero_baseline_reads_as_infinite_change_but_json_safe(self):
         diff = MetricDiff(metric="ser", by=None, by_value=None,
                           mean_a=0.0, mean_b=0.5, count_a=1, count_b=1)
